@@ -1,0 +1,21 @@
+// Reproduces paper Fig. 7(a): query response times on database ItemsSHor
+// (Citems with ~2 KB documents, zero PictureList/PricesHistory
+// occurrences), horizontally fragmented by /Item/Section into 2/4/8
+// fragments, versus the centralized database.
+//
+// The paper ran 5 MB–250 MB databases; the default here is a scaled-down
+// database so the bench finishes in minutes on one core. Set PARTIX_SCALE
+// (e.g. PARTIX_SCALE=10) to grow it; shapes, not absolute numbers, are the
+// reproduction target.
+
+#include "bench/horizontal_common.h"
+
+int main() {
+  partix::gen::ItemsGenOptions options;
+  options.seed = 20060101;
+  options.large_docs = false;
+  return partix::bench::RunHorizontalExperiment(
+      "Fig 7(a) - ItemsSHor, horizontal fragmentation, small (~2KB) "
+      "documents",
+      options, uint64_t{8} << 20);
+}

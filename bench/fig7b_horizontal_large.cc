@@ -1,0 +1,21 @@
+// Reproduces paper Fig. 7(b): query response times on database ItemsLHor
+// (Citems with ~80 KB documents including PictureList and PricesHistory),
+// horizontally fragmented by /Item/Section into 2/4/8 fragments, versus
+// the centralized database.
+//
+// The paper's observation to reproduce: with large documents the engine
+// pays far fewer per-document parse overheads, so the centralized baseline
+// is much faster than ItemsSHor at equal database size, and fewer
+// fragments already capture most of the gain.
+
+#include "bench/horizontal_common.h"
+
+int main() {
+  partix::gen::ItemsGenOptions options;
+  options.seed = 20060102;
+  options.large_docs = true;
+  return partix::bench::RunHorizontalExperiment(
+      "Fig 7(b) - ItemsLHor, horizontal fragmentation, large (~80KB) "
+      "documents",
+      options, uint64_t{8} << 20);
+}

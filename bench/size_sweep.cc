@@ -1,0 +1,95 @@
+// Reproduces the paper's database-size sweep (§5 ran every experiment at
+// 5/20/100/250 MB, plus 500 MB for ItemsLHor/StoreHyb, and observed that
+// "in small databases the performance gain obtained is not enough to
+// justify the use of fragmentation").
+//
+// This bench runs two representative horizontal queries (Q2: localized
+// selection; Q8: count over a text search) at a geometric ladder of
+// database sizes and prints the speed-up of a 4-fragment deployment over
+// centralized at each size — the gain should grow with the database.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.h"
+#include "gen/virtual_store.h"
+#include "workload/harness.h"
+#include "workload/queries.h"
+#include "workload/schemas.h"
+
+using namespace partix;  // bench binary: brevity over style here
+
+int main() {
+  const double scale = workload::ScaleFromEnv();
+  const std::vector<uint64_t> sizes = {
+      static_cast<uint64_t>((uint64_t{64} << 10) * scale),
+      static_cast<uint64_t>((uint64_t{256} << 10) * scale),
+      static_cast<uint64_t>((uint64_t{1} << 20) * scale),
+      static_cast<uint64_t>((uint64_t{4} << 20) * scale),
+      static_cast<uint64_t>((uint64_t{16} << 20) * scale),
+  };
+
+  std::printf("Database-size sweep - ItemsSHor, 4 horizontal fragments\n");
+  std::printf("%-10s %14s %14s %10s %14s %14s %10s\n", "size",
+              "Q2 central", "Q2 4-frag", "Q2 gain", "Q8 central",
+              "Q8 4-frag", "Q8 gain");
+
+  workload::MeasureOptions measure;
+  measure.runs = workload::RunsFromEnv(3);
+  middleware::NetworkModel network;
+
+  for (uint64_t size : sizes) {
+    gen::ItemsGenOptions options;
+    options.seed = 20060106;
+    options.large_docs = false;
+    auto items = gen::GenerateItemsBySize(options, size, nullptr);
+    xdb::DatabaseOptions node_options;
+    // Proportional cache (no floor): keeps cache behaviour scale-invariant
+    // so the small-database end isolates the fixed distributed overheads.
+    node_options.cache_capacity_bytes =
+        std::max<uint64_t>(uint64_t{64} << 10, size / 6);
+    if (!items.ok()) {
+      std::fprintf(stderr, "generation failed\n");
+      return 1;
+    }
+    const std::vector<workload::QuerySpec> queries =
+        workload::HorizontalQueries(items->name());
+    const workload::QuerySpec* q2 = workload::FindQuery(queries, "Q2");
+    const workload::QuerySpec* q8 = workload::FindQuery(queries, "Q8");
+
+    auto central =
+        workload::Deployment::Centralized(*items, node_options, network);
+    auto schema = workload::SectionHorizontalSchema(
+        items->name(), options.sections, 4);
+    if (!central.ok() || !schema.ok()) {
+      std::fprintf(stderr, "setup failed\n");
+      return 1;
+    }
+    auto fragmented = workload::Deployment::Fragmented(
+        *items, *schema, node_options, network);
+    if (!fragmented.ok()) {
+      std::fprintf(stderr, "deploy failed\n");
+      return 1;
+    }
+
+    auto mc2 = workload::Measure(central->get(), *q2, measure);
+    auto mf2 = workload::Measure(fragmented->get(), *q2, measure);
+    auto mc8 = workload::Measure(central->get(), *q8, measure);
+    auto mf8 = workload::Measure(fragmented->get(), *q8, measure);
+    if (!mc2.ok() || !mf2.ok() || !mc8.ok() || !mf8.ok()) {
+      std::fprintf(stderr, "measurement failed\n");
+      return 1;
+    }
+    std::printf("%-10s %11.2f ms %11.2f ms %9.1fx %11.2f ms %11.2f ms "
+                "%9.1fx\n",
+                HumanBytes(size).c_str(), mc2->response_ms,
+                mf2->response_ms,
+                mf2->response_ms > 0 ? mc2->response_ms / mf2->response_ms
+                                     : 0.0,
+                mc8->response_ms, mf8->response_ms,
+                mf8->response_ms > 0 ? mc8->response_ms / mf8->response_ms
+                                     : 0.0);
+  }
+  return 0;
+}

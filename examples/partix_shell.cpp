@@ -1,0 +1,160 @@
+// partix_shell — a small interactive shell over the embedded xdb engine.
+//
+//   ./build/examples/partix_shell                         # interactive
+//   ./build/examples/partix_shell --gen items=200
+//       -c 'count(collection("items")/Item)'              # scripted
+//   ./build/examples/partix_shell --load dump=items ...   # import export dir
+//
+// Interactive commands:
+//   .gen <collection>=<count>     generate sample virtual-store items
+//   .load <dir>=<collection>      import a directory exported with
+//                                 xdb::ExportCollection
+//   .save <collection>=<dir>      export a collection
+//   .collections                  list collections with stats
+//   .quit                         exit
+// Any other input line is evaluated as an XQuery expression.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "engine/database.h"
+#include "engine/persistence.h"
+#include "gen/virtual_store.h"
+
+using namespace partix;  // example code: brevity over style here
+
+namespace {
+
+void RunQuery(xdb::Database& db, const std::string& query) {
+  auto result = db.Execute(query);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", result->serialized.c_str());
+  std::printf("-- %llu item(s), %.2f ms, %llu/%llu docs considered, "
+              "%llu parsed\n",
+              static_cast<unsigned long long>(result->metrics.result_items),
+              result->metrics.elapsed_ms,
+              static_cast<unsigned long long>(
+                  result->metrics.docs_considered),
+              static_cast<unsigned long long>(
+                  result->metrics.docs_in_collections),
+              static_cast<unsigned long long>(result->metrics.docs_parsed));
+}
+
+bool GenItems(xdb::Database& db, const std::string& spec) {
+  size_t eq = spec.find('=');
+  std::string name = eq == std::string::npos ? spec : spec.substr(0, eq);
+  int64_t count = 100;
+  if (eq != std::string::npos) {
+    if (!ParseInt64(spec.substr(eq + 1), &count) || count < 1) {
+      std::printf("error: bad count in '%s'\n", spec.c_str());
+      return false;
+    }
+  }
+  gen::ItemsGenOptions options;
+  options.doc_count = static_cast<size_t>(count);
+  options.name = name;
+  auto items = gen::GenerateItems(options, db.pool());
+  if (!items.ok()) {
+    std::printf("error: %s\n", items.status().ToString().c_str());
+    return false;
+  }
+  Status status = db.StoreCollection(*items);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return false;
+  }
+  std::printf("generated %zu documents into '%s'\n", items->size(),
+              name.c_str());
+  return true;
+}
+
+bool LoadDir(xdb::Database& db, const std::string& spec) {
+  size_t eq = spec.find('=');
+  if (eq == std::string::npos) {
+    std::printf("usage: .load <dir>=<collection>\n");
+    return false;
+  }
+  Status status = xdb::ImportCollection(db, spec.substr(eq + 1),
+                                        spec.substr(0, eq));
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return false;
+  }
+  std::printf("loaded '%s' from %s\n", spec.substr(eq + 1).c_str(),
+              spec.substr(0, eq).c_str());
+  return true;
+}
+
+void ListCollections(xdb::Database& db) {
+  for (const std::string& name : db.CollectionNames()) {
+    auto stats = db.Stats(name);
+    std::printf("  %-20s %s\n", name.c_str(),
+                stats.ok() ? (*stats)->Summary().c_str() : "?");
+  }
+}
+
+bool HandleCommand(xdb::Database& db, const std::string& line) {
+  if (line == ".quit" || line == ".exit") return false;
+  if (line == ".collections") {
+    ListCollections(db);
+  } else if (StartsWith(line, ".gen ")) {
+    GenItems(db, line.substr(5));
+  } else if (StartsWith(line, ".load ")) {
+    LoadDir(db, line.substr(6));
+  } else if (StartsWith(line, ".save ")) {
+    std::string spec = line.substr(6);
+    size_t eq = spec.find('=');
+    if (eq == std::string::npos) {
+      std::printf("usage: .save <collection>=<dir>\n");
+    } else {
+      Status status = xdb::ExportCollection(db, spec.substr(0, eq),
+                                            spec.substr(eq + 1));
+      std::printf("%s\n", status.ok() ? "saved" : status.ToString().c_str());
+    }
+  } else if (!line.empty() && line[0] == '.') {
+    std::printf("unknown command '%s'\n", line.c_str());
+  } else if (!line.empty()) {
+    RunQuery(db, line);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xdb::Database db;
+  bool interactive = true;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gen") == 0 && i + 1 < argc) {
+      if (!GenItems(db, argv[++i])) return 1;
+    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+      if (!LoadDir(db, argv[++i])) return 1;
+    } else if (std::strcmp(argv[i], "-c") == 0 && i + 1 < argc) {
+      RunQuery(db, argv[++i]);
+      interactive = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--gen name=count] [--load dir=coll] "
+                   "[-c query]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!interactive) return 0;
+
+  std::printf("partix shell — XQuery over the embedded xdb engine\n"
+              "commands: .gen .load .save .collections .quit\n");
+  std::string line;
+  while (std::printf("partix> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (!HandleCommand(db, line)) break;
+  }
+  return 0;
+}

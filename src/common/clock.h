@@ -1,0 +1,36 @@
+#ifndef PARTIX_COMMON_CLOCK_H_
+#define PARTIX_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace partix {
+
+/// Monotonic wall-clock stopwatch used for all experiment timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+
+  /// Resets the start point.
+  void Restart() { start_ = Now(); }
+
+  /// Elapsed time since construction/Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using TimePoint = std::chrono::steady_clock::time_point;
+  static TimePoint Now() { return std::chrono::steady_clock::now(); }
+  TimePoint start_;
+};
+
+}  // namespace partix
+
+#endif  // PARTIX_COMMON_CLOCK_H_

@@ -1,0 +1,73 @@
+#ifndef PARTIX_COMMON_RESULT_H_
+#define PARTIX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace partix {
+
+/// A value-or-status holder, the exception-free return type for fallible
+/// functions that produce a value. Like absl::StatusOr<T>.
+///
+/// Invariant: exactly one of {value, error status} is present. A
+/// default-constructed Result is an internal error ("uninitialized").
+template <typename T>
+class Result {
+ public:
+  Result() : status_(Status::Internal("uninitialized Result")) {}
+
+  /// Implicit conversion from a value, so `return value;` works.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+
+  /// Implicit conversion from a non-OK status, so
+  /// `return Status::NotFound(...)` works. An OK status is a programming
+  /// error and is converted to an internal error.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("OK status used to construct Result");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace partix
+
+#endif  // PARTIX_COMMON_RESULT_H_

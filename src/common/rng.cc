@@ -1,0 +1,133 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace partix {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// Small fixed vocabulary for generated prose. Includes the benchmark
+// trigger words used by the paper's text-search predicates.
+const char* const kVocabulary[] = {
+    "item",    "store",   "quality", "product", "cheap",   "fast",
+    "durable", "classic", "modern",  "popular", "rare",    "shiny",
+    "heavy",   "light",   "compact", "deluxe",  "basic",   "premium",
+    "silver",  "golden",  "vintage", "digital", "analog",  "wireless",
+    "portable"};
+constexpr size_t kVocabularySize =
+    sizeof(kVocabulary) / sizeof(kVocabulary[0]);
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : state_) s = SplitMix64(&x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0ULL - bound) % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  if (s <= 0.0) return NextBelow(n);
+  // Inverse-CDF over explicit harmonic weights; n is small in our use
+  // (sections, fragment counts), so O(n) is fine.
+  double total = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) total += 1.0 / std::pow(double(i), s);
+  double u = UniformDouble() * total;
+  double acc = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(double(i), s);
+    if (u <= acc) return i - 1;
+  }
+  return n - 1;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u <= acc) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+std::string Rng::Word(int min_len, int max_len) {
+  int len = static_cast<int>(UniformInt(min_len, max_len));
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + NextBelow(26)));
+  }
+  return out;
+}
+
+std::string Rng::Sentence(int words, const std::string& inject) {
+  std::string out;
+  int inject_at =
+      inject.empty() ? -1 : static_cast<int>(NextBelow(uint64_t(words)));
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out.push_back(' ');
+    if (i == inject_at) {
+      out += inject;
+    } else {
+      out += kVocabulary[NextBelow(kVocabularySize)];
+    }
+  }
+  return out;
+}
+
+}  // namespace partix

@@ -1,0 +1,56 @@
+#ifndef PARTIX_COMMON_RNG_H_
+#define PARTIX_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace partix {
+
+/// Deterministic, seedable pseudo-random number generator (xoshiro256**).
+/// Used by the synthetic data generators so that every experiment is
+/// reproducible bit-for-bit from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). Pre: bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Pre: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with skew parameter `s` (s=0 is
+  /// uniform). Used for non-uniform document distributions.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Picks an index according to `weights` (need not be normalized).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Random lowercase word of length in [min_len, max_len].
+  std::string Word(int min_len, int max_len);
+
+  /// Sentence of `words` words drawn from a small vocabulary, optionally
+  /// seeded with `inject` as one of the words (used to plant text-search
+  /// hits like "good" at a controlled selectivity).
+  std::string Sentence(int words, const std::string& inject = "");
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace partix
+
+#endif  // PARTIX_COMMON_RNG_H_

@@ -1,0 +1,117 @@
+#ifndef PARTIX_COMMON_STATUS_H_
+#define PARTIX_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace partix {
+
+/// Canonical error codes used across the PartiX codebase. Modeled after the
+/// usual database-engine status vocabulary; libraries never throw, they
+/// return `Status` (or `Result<T>`, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kCorruption,
+  kUnavailable,
+};
+
+/// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, movable success-or-error value. An OK status carries no message;
+/// error statuses carry a code and a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code_name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// `Status` or `Result<T>`.
+#define PARTIX_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::partix::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates a `Result<T>` expression; on error propagates the status, on
+/// success assigns the value to `lhs`.
+#define PARTIX_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto PARTIX_CONCAT_(_res_, __LINE__) = (expr);     \
+  if (!PARTIX_CONCAT_(_res_, __LINE__).ok())         \
+    return PARTIX_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(PARTIX_CONCAT_(_res_, __LINE__)).value()
+
+#define PARTIX_CONCAT_INNER_(a, b) a##b
+#define PARTIX_CONCAT_(a, b) PARTIX_CONCAT_INNER_(a, b)
+
+}  // namespace partix
+
+#endif  // PARTIX_COMMON_STATUS_H_

@@ -1,0 +1,63 @@
+#ifndef PARTIX_COMMON_STRINGS_H_
+#define PARTIX_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace partix {
+
+/// Splits `s` on `sep`, keeping empty pieces. Split("a//b", '/') yields
+/// {"a", "", "b"}.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, dropping empty pieces.
+std::vector<std::string_view> SplitSkipEmpty(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-sensitive substring containment, the semantics of XQuery
+/// fn:contains.
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Lowercases ASCII characters.
+std::string AsciiLower(std::string_view s);
+
+/// Tokenizes `text` into lowercase alphanumeric word tokens (for the text
+/// index). "Good, CHEAP item-42" -> {"good", "cheap", "item", "42"}.
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// Parses a decimal double; returns false on malformed input (the whole
+/// trimmed string must be consumed).
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a decimal int64; returns false on malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Formats a double the way XQuery serializes numbers: integers without a
+/// decimal point, otherwise shortest round-trip representation.
+std::string FormatNumber(double v);
+
+/// Escapes XML text content: & < > (quotes are left alone in text).
+std::string EscapeXmlText(std::string_view s);
+
+/// Escapes XML attribute values (also escapes double quotes).
+std::string EscapeXmlAttr(std::string_view s);
+
+/// Human-readable byte size, e.g. "2.5 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace partix
+
+#endif  // PARTIX_COMMON_STRINGS_H_

@@ -1,0 +1,334 @@
+#include "engine/database.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "common/clock.h"
+#include "engine/planner.h"
+#include "xml/parser.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+
+namespace partix::xdb {
+
+namespace {
+
+/// Resolves collection() calls against the database with planner-derived
+/// candidate documents.
+class PlannedResolver : public xquery::CollectionResolver {
+ public:
+  /// `candidates`: per-collection pruned slot lists (absent = error: the
+  /// planner sees every call site, so every resolvable name is present).
+  PlannedResolver(
+      std::map<std::string, std::vector<storage::DocSlot>> candidates,
+      std::map<std::string, storage::DocumentStore*> stores)
+      : candidates_(std::move(candidates)), stores_(std::move(stores)) {}
+
+  Result<std::vector<xml::DocumentPtr>> Resolve(
+      const std::string& name) override {
+    auto store_it = stores_.find(name);
+    if (store_it == stores_.end()) {
+      return Status::NotFound("collection '" + name + "' does not exist");
+    }
+    storage::DocumentStore* store = store_it->second;
+    std::vector<xml::DocumentPtr> docs;
+    auto cand_it = candidates_.find(name);
+    if (cand_it == candidates_.end()) {
+      // Planner did not see this call site (e.g. dynamic name): full scan.
+      docs.reserve(store->size());
+      for (storage::DocSlot slot = 0; slot < store->size(); ++slot) {
+        PARTIX_ASSIGN_OR_RETURN(xml::DocumentPtr doc, store->Get(slot));
+        docs.push_back(std::move(doc));
+      }
+      return docs;
+    }
+    docs.reserve(cand_it->second.size());
+    for (storage::DocSlot slot : cand_it->second) {
+      PARTIX_ASSIGN_OR_RETURN(xml::DocumentPtr doc, store->Get(slot));
+      docs.push_back(std::move(doc));
+    }
+    return docs;
+  }
+
+ private:
+  std::map<std::string, std::vector<storage::DocSlot>> candidates_;
+  std::map<std::string, storage::DocumentStore*> stores_;
+};
+
+}  // namespace
+
+Database::Database(DatabaseOptions options)
+    : options_(options), pool_(std::make_shared<xml::NamePool>()) {}
+
+Status Database::CreateCollection(const std::string& name,
+                                  CollectionMeta meta) {
+  if (collections_.count(name) != 0) {
+    return Status::AlreadyExists("collection '" + name + "' already exists");
+  }
+  CollectionState state;
+  state.meta = std::move(meta);
+  state.store = std::make_unique<storage::DocumentStore>(
+      pool_, options_.cache_capacity_bytes);
+  collections_.emplace(name, std::move(state));
+  return Status::Ok();
+}
+
+Status Database::DropCollection(const std::string& name) {
+  if (collections_.erase(name) == 0) {
+    return Status::NotFound("collection '" + name + "' does not exist");
+  }
+  return Status::Ok();
+}
+
+bool Database::HasCollection(const std::string& name) const {
+  return collections_.count(name) != 0;
+}
+
+std::vector<std::string> Database::CollectionNames() const {
+  std::vector<std::string> out;
+  out.reserve(collections_.size());
+  for (const auto& [name, state] : collections_) out.push_back(name);
+  return out;
+}
+
+Result<Database::CollectionState*> Database::GetState(
+    const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+Result<const Database::CollectionState*> Database::GetState(
+    const std::string& name) const {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+Status Database::IndexDocument(CollectionState* state, storage::DocSlot slot,
+                               const xml::Document& doc) {
+  if (options_.enable_element_index) state->element_index.AddDocument(slot, doc);
+  if (options_.enable_text_index) state->text_index.AddDocument(slot, doc);
+  if (options_.enable_value_index) state->value_index.AddDocument(slot, doc);
+  state->stats.AddDocument(doc, state->store->SerializedSize(slot));
+  return Status::Ok();
+}
+
+Status Database::StoreDocument(const std::string& collection,
+                               const xml::Document& doc) {
+  PARTIX_ASSIGN_OR_RETURN(CollectionState * state, GetState(collection));
+  if (state->meta.validate_on_store && state->meta.schema != nullptr) {
+    xml::Collection probe("", state->meta.schema, state->meta.root_path,
+                          state->meta.kind);
+    PARTIX_RETURN_IF_ERROR(
+        state->meta.schema->Validate(doc, probe.RootType()));
+  }
+  PARTIX_ASSIGN_OR_RETURN(storage::DocSlot slot, state->store->Put(doc));
+  return IndexDocument(state, slot, doc);
+}
+
+Status Database::StoreSerialized(const std::string& collection,
+                                 std::string doc_name, std::string xml) {
+  return StoreSerializedWithMetadata(collection, std::move(doc_name),
+                                     std::move(xml), {});
+}
+
+Status Database::StoreSerializedWithMetadata(
+    const std::string& collection, std::string doc_name, std::string xml,
+    std::map<std::string, std::string> metadata) {
+  PARTIX_ASSIGN_OR_RETURN(CollectionState * state, GetState(collection));
+  PARTIX_ASSIGN_OR_RETURN(std::shared_ptr<xml::Document> doc,
+                          xml::ParseXml(pool_, doc_name, xml));
+  if (state->meta.validate_on_store && state->meta.schema != nullptr) {
+    xml::Collection probe("", state->meta.schema, state->meta.root_path,
+                          state->meta.kind);
+    PARTIX_RETURN_IF_ERROR(
+        state->meta.schema->Validate(*doc, probe.RootType()));
+  }
+  PARTIX_ASSIGN_OR_RETURN(
+      storage::DocSlot slot,
+      state->store->PutSerialized(std::move(doc_name), std::move(xml),
+                                  std::move(metadata)));
+  return IndexDocument(state, slot, *doc);
+}
+
+Status Database::StoreCollection(const xml::Collection& collection) {
+  if (!HasCollection(collection.name())) {
+    CollectionMeta meta;
+    meta.schema = collection.schema();
+    meta.root_path = collection.root_path();
+    meta.kind = collection.kind();
+    PARTIX_RETURN_IF_ERROR(CreateCollection(collection.name(), meta));
+  }
+  for (const xml::DocumentPtr& doc : collection.docs()) {
+    PARTIX_RETURN_IF_ERROR(StoreDocument(collection.name(), *doc));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<xml::DocumentPtr>> Database::AllDocuments(
+    const std::string& collection) {
+  PARTIX_ASSIGN_OR_RETURN(CollectionState * state, GetState(collection));
+  std::vector<xml::DocumentPtr> docs;
+  docs.reserve(state->store->size());
+  for (storage::DocSlot slot = 0; slot < state->store->size(); ++slot) {
+    PARTIX_ASSIGN_OR_RETURN(xml::DocumentPtr doc, state->store->Get(slot));
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+Result<const storage::CollectionStats*> Database::Stats(
+    const std::string& collection) const {
+  PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
+                          GetState(collection));
+  return &state->stats;
+}
+
+Result<const CollectionMeta*> Database::Meta(
+    const std::string& collection) const {
+  PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
+                          GetState(collection));
+  return &state->meta;
+}
+
+Result<size_t> Database::DocumentCount(const std::string& collection) const {
+  PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
+                          GetState(collection));
+  return state->store->size();
+}
+
+Result<uint64_t> Database::SerializedBytes(
+    const std::string& collection) const {
+  PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
+                          GetState(collection));
+  return state->store->total_serialized_bytes();
+}
+
+Result<QueryResult> Database::Execute(const std::string& query) {
+  Stopwatch watch;
+  PARTIX_ASSIGN_OR_RETURN(xquery::ExprPtr ast, xquery::ParseQuery(query));
+
+  // Plan: compute candidate documents per referenced collection.
+  std::map<std::string, CollectionPlan> plans = AnalyzeQuery(*ast);
+  std::map<std::string, std::vector<storage::DocSlot>> candidates;
+  std::map<std::string, storage::DocumentStore*> stores;
+  QueryMetrics metrics;
+
+  for (auto& [name, state] : collections_) {
+    stores[name] = state.store.get();
+  }
+
+  for (const auto& [name, plan] : plans) {
+    auto it = collections_.find(name);
+    if (it == collections_.end()) continue;  // resolver will report
+    CollectionState& state = it->second;
+    const size_t total = state.store->size();
+    metrics.docs_in_collections += total;
+
+    std::unordered_set<storage::DocSlot> keep;
+    bool all = false;
+    for (const SiteConstraints& site : plan.sites) {
+      if (site.unconstrained) {
+        all = true;
+        break;
+      }
+      // Start with the full range; intersect index postings.
+      storage::PostingList current;
+      bool initialized = false;
+      bool dead = false;
+      auto intersect = [&](const storage::PostingList* postings) {
+        if (postings == nullptr) {
+          dead = true;
+          return;
+        }
+        current = initialized ? storage::IntersectPostings(current, *postings)
+                              : *postings;
+        initialized = true;
+        if (current.empty()) dead = true;
+      };
+      if (options_.enable_element_index) {
+        for (const std::string& elem : site.required_elements) {
+          intersect(state.element_index.Lookup(elem));
+          if (dead) break;
+        }
+      }
+      if (!dead && options_.enable_text_index &&
+          options_.text_index_accelerates_contains) {
+        for (const std::string& needle : site.contains_needles) {
+          std::optional<storage::PostingList> c =
+              state.text_index.CandidatesForContains(needle);
+          if (c) {
+            storage::PostingList list = std::move(*c);
+            intersect(&list);
+          }
+          if (dead) break;
+        }
+      }
+      if (!dead && options_.enable_value_index) {
+        for (const auto& [elem, value] : site.value_equals) {
+          if (value.size() > storage::ValueIndex::kMaxValueLength) continue;
+          intersect(state.value_index.Lookup(elem, value));
+          if (dead) break;
+        }
+      }
+      if (dead) continue;  // this site matches no documents
+      if (!initialized) {
+        // No usable constraint at this site.
+        all = true;
+        break;
+      }
+      keep.insert(current.begin(), current.end());
+    }
+
+    std::vector<storage::DocSlot>& slots = candidates[name];
+    if (all) {
+      slots.resize(total);
+      for (size_t i = 0; i < total; ++i) {
+        slots[i] = static_cast<storage::DocSlot>(i);
+      }
+    } else {
+      slots.assign(keep.begin(), keep.end());
+      std::sort(slots.begin(), slots.end());
+    }
+    metrics.docs_considered += slots.size();
+    state.store->ResetMetrics();
+  }
+
+  // Evaluate.
+  PlannedResolver resolver(std::move(candidates), std::move(stores));
+  xquery::Evaluator evaluator(&resolver, pool_);
+  Result<xquery::Sequence> result = evaluator.Eval(*ast);
+  if (!result.ok()) return result.status();
+
+  // Collect metrics.
+  for (const auto& [name, plan] : plans) {
+    auto it = collections_.find(name);
+    if (it == collections_.end()) continue;
+    const storage::StoreMetrics& sm = it->second.store->metrics();
+    metrics.docs_parsed += sm.parses;
+    metrics.bytes_parsed += sm.bytes_parsed;
+    metrics.cache_hits += sm.cache_hits;
+  }
+  metrics.nodes_visited = evaluator.stats().nodes_visited;
+
+  QueryResult out;
+  out.items = std::move(*result);
+  out.serialized = xquery::SerializeSequence(out.items);
+  metrics.result_items = out.items.size();
+  metrics.result_bytes = out.serialized.size();
+  metrics.elapsed_ms = watch.ElapsedMillis();
+  out.metrics = metrics;
+  return out;
+}
+
+void Database::DropCaches() {
+  for (auto& [name, state] : collections_) state.store->DropCache();
+}
+
+}  // namespace partix::xdb

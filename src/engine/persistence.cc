@@ -1,0 +1,164 @@
+#include "engine/persistence.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+#include "xml/serializer.h"
+
+namespace partix::xdb {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Escapes manifest field separators in metadata values.
+std::string EscapeMeta(const std::string& v) {
+  std::string out;
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case ';':
+        out += "\\s";
+        break;
+      case '=':
+        out += "\\e";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeMeta(std::string_view v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != '\\' || i + 1 >= v.size()) {
+      out += v[i];
+      continue;
+    }
+    ++i;
+    switch (v[i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 's':
+        out += ';';
+        break;
+      case 'e':
+        out += '=';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      default:
+        out += v[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status ExportCollection(Database& db, const std::string& collection,
+                        const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory '" + dir +
+                            "': " + ec.message());
+  }
+  if (fs::exists(fs::path(dir) / "MANIFEST")) {
+    return Status::AlreadyExists("directory '" + dir +
+                                 "' already holds an exported collection");
+  }
+  PARTIX_ASSIGN_OR_RETURN(std::vector<xml::DocumentPtr> docs,
+                          db.AllDocuments(collection));
+  std::ofstream manifest(fs::path(dir) / "MANIFEST");
+  if (!manifest) {
+    return Status::Internal("cannot write MANIFEST in '" + dir + "'");
+  }
+  size_t index = 0;
+  for (const xml::DocumentPtr& doc : docs) {
+    char file[32];
+    std::snprintf(file, sizeof(file), "%06zu.xml", index++);
+    std::ofstream out(fs::path(dir) / file);
+    if (!out) {
+      return Status::Internal(std::string("cannot write '") + file + "'");
+    }
+    out << xml::Serialize(*doc);
+    out.close();
+    std::string meta_field;
+    for (const auto& [key, value] : doc->metadata()) {
+      if (!meta_field.empty()) meta_field += ";";
+      meta_field += EscapeMeta(key) + "=" + EscapeMeta(value);
+    }
+    manifest << file << '\t' << doc->doc_name() << '\t' << meta_field
+             << '\n';
+  }
+  return Status::Ok();
+}
+
+Status ImportCollection(Database& db, const std::string& collection,
+                        const std::string& dir, CollectionMeta meta) {
+  std::ifstream manifest(fs::path(dir) / "MANIFEST");
+  if (!manifest) {
+    return Status::NotFound("no MANIFEST in '" + dir + "'");
+  }
+  if (!db.HasCollection(collection)) {
+    PARTIX_RETURN_IF_ERROR(db.CreateCollection(collection, meta));
+  }
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(manifest, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = Split(line, '\t');
+    if (fields.size() < 2) {
+      return Status::Corruption("bad MANIFEST line " +
+                                std::to_string(line_no) + " in '" + dir +
+                                "'");
+    }
+    std::ifstream in(fs::path(dir) / std::string(fields[0]));
+    if (!in) {
+      return Status::Corruption("missing document file '" +
+                                std::string(fields[0]) + "' in '" + dir +
+                                "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::map<std::string, std::string> metadata;
+    if (fields.size() >= 3 && !fields[2].empty()) {
+      for (std::string_view pair : SplitSkipEmpty(fields[2], ';')) {
+        size_t eq = pair.find('=');
+        if (eq == std::string_view::npos) {
+          return Status::Corruption("bad metadata on MANIFEST line " +
+                                    std::to_string(line_no));
+        }
+        metadata[UnescapeMeta(pair.substr(0, eq))] =
+            UnescapeMeta(pair.substr(eq + 1));
+      }
+    }
+    PARTIX_RETURN_IF_ERROR(db.StoreSerializedWithMetadata(
+        collection, std::string(fields[1]), buffer.str(),
+        std::move(metadata)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace partix::xdb

@@ -1,0 +1,36 @@
+#ifndef PARTIX_ENGINE_PERSISTENCE_H_
+#define PARTIX_ENGINE_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/database.h"
+
+namespace partix::xdb {
+
+/// Directory-based persistence for collections, the way document-oriented
+/// XML stores lay data out on disk:
+///
+///   <dir>/
+///     MANIFEST          one line per document:
+///                       <file>\t<doc name>\t<k=v;k=v metadata>
+///     000000.xml        serialized documents, one file each
+///     000001.xml
+///
+/// Out-of-band document metadata (including PartiX reconstruction IDs)
+/// round-trips through the manifest.
+
+/// Writes every document of `collection` under `dir` (created if needed;
+/// must be empty of a previous MANIFEST).
+Status ExportCollection(Database& db, const std::string& collection,
+                        const std::string& dir);
+
+/// Loads an exported directory into `collection` (created with `meta` if
+/// absent).
+Status ImportCollection(Database& db, const std::string& collection,
+                        const std::string& dir,
+                        CollectionMeta meta = CollectionMeta());
+
+}  // namespace partix::xdb
+
+#endif  // PARTIX_ENGINE_PERSISTENCE_H_

@@ -1,0 +1,55 @@
+#ifndef PARTIX_ENGINE_PLANNER_H_
+#define PARTIX_ENGINE_PLANNER_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xquery/ast.h"
+
+namespace partix::xdb {
+
+/// Constraints that every document contributing to one collection() call
+/// site must satisfy. Derived conservatively from the query: a document
+/// failing any constraint cannot produce bindings or path results at that
+/// site, so the engine may skip (not even parse) it. The candidate set is
+/// a superset of the true matches; evaluation still verifies.
+struct SiteConstraints {
+  /// Element/attribute names on the path spine and in conjunctive
+  /// predicates (checked against the structural index).
+  std::vector<std::string> required_elements;
+
+  /// Literal needles of conjunctive contains() predicates (checked against
+  /// the full-text index).
+  std::vector<std::string> contains_needles;
+
+  /// (element name, literal value) pairs from conjunctive equality
+  /// predicates on simple-content elements (checked against the value
+  /// index).
+  std::vector<std::pair<std::string, std::string>> value_equals;
+
+  /// True when this call site gives no exploitable constraint; the whole
+  /// collection must be considered.
+  bool unconstrained = false;
+};
+
+/// Per-collection analysis result: one entry per collection() call site.
+/// The candidate set for the collection is the union over sites.
+struct CollectionPlan {
+  std::vector<SiteConstraints> sites;
+};
+
+/// Walks the query AST and extracts index-usable constraints for every
+/// collection() / doc() call site. Handles:
+///   - path spines: collection("c")/Item/Name requires elements Item, Name
+///   - step predicates: Item[Section = "CD"], Item[contains(Desc, "x")]
+///   - FLWOR where clauses: conjuncts over variables bound by for-clauses
+///     whose binding expression is rooted at a collection() call
+/// Constraints under not()/empty()/or are ignored (kept sound by not
+/// pruning on them).
+std::map<std::string, CollectionPlan> AnalyzeQuery(const xquery::Expr& root);
+
+}  // namespace partix::xdb
+
+#endif  // PARTIX_ENGINE_PLANNER_H_

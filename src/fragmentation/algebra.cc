@@ -1,0 +1,231 @@
+#include "fragmentation/algebra.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "xpath/eval.h"
+
+namespace partix::frag {
+
+using xml::Document;
+using xml::DocumentPtr;
+using xml::kNullNode;
+using xml::NodeId;
+using xml::NodeKind;
+
+xml::Collection Select(const xml::Collection& c,
+                       const xpath::Conjunction& mu,
+                       const std::string& result_name) {
+  xml::Collection out(result_name, c.schema(), c.root_path(), c.kind());
+  for (const DocumentPtr& doc : c.docs()) {
+    if (mu.Eval(*doc)) {
+      // Result of Add can only fail for empty docs / SD overflow; selection
+      // over an MD collection cannot hit either.
+      (void)out.Add(doc);
+    }
+  }
+  return out;
+}
+
+Result<DocumentPtr> ProjectDocument(const Document& src, const xpath::Path& p,
+                                    const std::vector<xpath::Path>& gamma,
+                                    const std::string& result_doc_name) {
+  std::vector<NodeId> selected = xpath::EvalPath(src, p);
+  if (selected.empty()) return DocumentPtr(nullptr);
+  if (selected.size() > 1) {
+    return Status::FailedPrecondition(
+        "projection path " + p.ToString() + " selects " +
+        std::to_string(selected.size()) + " nodes in document '" +
+        src.doc_name() +
+        "'; vertical fragments require a single node (use a positional "
+        "index)");
+  }
+  NodeId projected = selected[0];
+
+  // Nodes whose subtrees the prune criterion removes.
+  std::unordered_set<NodeId> pruned_roots;
+  for (const xpath::Path& e : gamma) {
+    for (NodeId n : xpath::EvalPath(src, e)) pruned_roots.insert(n);
+  }
+
+  auto doc = std::make_shared<Document>(src.pool(), result_doc_name);
+  doc->EnableOriginTracking(src.doc_name());
+  NodeId copied = doc->CopySubtree(
+      src, projected, kNullNode,
+      [&pruned_roots](NodeId n) { return pruned_roots.count(n) != 0; });
+  if (copied == kNullNode) {
+    // The projected root itself was pruned: an empty fragment instance.
+    return DocumentPtr(nullptr);
+  }
+
+  // Record the ancestor scaffold (root -> parent of projected node).
+  std::vector<std::pair<NodeId, std::string>> ancestors;
+  for (NodeId a = src.parent(projected); a != kNullNode; a = src.parent(a)) {
+    ancestors.emplace_back(a, std::string(src.name(a)));
+  }
+  std::reverse(ancestors.begin(), ancestors.end());
+  doc->SetOriginAncestors(std::move(ancestors));
+  return DocumentPtr(doc);
+}
+
+Result<xml::Collection> UnionCollections(
+    const std::vector<xml::Collection>& fragments,
+    const std::string& result_name) {
+  if (fragments.empty()) {
+    return Status::InvalidArgument("union of zero fragment collections");
+  }
+  xml::Collection out(result_name, fragments[0].schema(),
+                      fragments[0].root_path(), fragments[0].kind());
+  std::set<std::string> seen;
+  for (const xml::Collection& frag : fragments) {
+    for (const DocumentPtr& doc : frag.docs()) {
+      if (!seen.insert(doc->doc_name()).second) {
+        return Status::FailedPrecondition(
+            "document '" + doc->doc_name() +
+            "' appears in more than one fragment (disjointness violation)");
+      }
+      PARTIX_RETURN_IF_ERROR(out.Add(doc));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Flat description of one source node gathered from the fragments.
+struct NodeInfo {
+  NodeKind kind = NodeKind::kElement;
+  std::string name;
+  std::string value;
+  NodeId parent = kNullNode;
+  bool scaffold = false;  // re-created ancestor, not fragment data
+};
+
+}  // namespace
+
+Result<DocumentPtr> JoinFragments(
+    const std::vector<DocumentPtr>& fragment_docs,
+    std::shared_ptr<xml::NamePool> pool) {
+  if (fragment_docs.empty()) {
+    return Status::InvalidArgument("join of zero fragment documents");
+  }
+  const std::string& source = fragment_docs[0]->origin_doc();
+
+  // Gather the node table keyed by source node id. std::map iteration
+  // order (increasing id) is pre-order of the source document, so parents
+  // precede children when rebuilding.
+  std::map<NodeId, NodeInfo> table;
+  for (const DocumentPtr& frag : fragment_docs) {
+    if (!frag->origin_tracking()) {
+      return Status::FailedPrecondition(
+          "fragment document '" + frag->doc_name() +
+          "' carries no reconstruction IDs");
+    }
+    if (frag->origin_doc() != source) {
+      return Status::InvalidArgument(
+          "fragments from different source documents: '" + source +
+          "' vs '" + frag->origin_doc() + "'");
+    }
+    if (frag->empty()) continue;
+    // Ancestor scaffolding: id -> element name chain.
+    const auto& ancestors = frag->origin_ancestors();
+    for (size_t i = 0; i < ancestors.size(); ++i) {
+      auto [id, name] = ancestors[i];
+      auto it = table.find(id);
+      if (it == table.end()) {
+        NodeInfo info;
+        info.kind = NodeKind::kElement;
+        info.name = name;
+        info.parent = i == 0 ? kNullNode : ancestors[i - 1].first;
+        info.scaffold = true;
+        table.emplace(id, std::move(info));
+      }
+    }
+    NodeId frag_root = frag->root();
+    NodeId root_parent =
+        ancestors.empty() ? kNullNode : ancestors.back().first;
+    Status status = Status::Ok();
+    frag->VisitSubtree(frag_root, [&](NodeId n) {
+      if (!status.ok()) return;
+      NodeId src_id = frag->origin(n);
+      if (src_id == kNullNode) {
+        status = Status::Corruption("fragment node without origin id in '" +
+                                    frag->doc_name() + "'");
+        return;
+      }
+      NodeInfo info;
+      info.kind = frag->kind(n);
+      if (info.kind != NodeKind::kText) {
+        info.name = std::string(frag->name(n));
+      }
+      if (info.kind != NodeKind::kElement) {
+        info.value = std::string(frag->value(n));
+      }
+      info.parent = n == frag_root ? root_parent : frag->origin(frag->parent(n));
+      info.scaffold = frag->scaffold(n);
+      auto [it, inserted] = table.emplace(src_id, info);
+      if (!inserted) {
+        if (it->second.scaffold) {
+          // A real fragment node overrides a scaffold entry (a scaffold
+          // duplicate keeps the existing one).
+          if (!info.scaffold) it->second = std::move(info);
+        } else if (!info.scaffold) {
+          status = Status::FailedPrecondition(
+              "source node " + std::to_string(src_id) + " of '" + source +
+              "' appears in more than one fragment (disjointness "
+              "violation)");
+        }
+      }
+    });
+    PARTIX_RETURN_IF_ERROR(status);
+  }
+
+  // Rebuild top-down. Source ids are pre-order, so a std::map walk visits
+  // parents before children; sibling order is restored because children of
+  // one parent appear in increasing id order.
+  auto doc = std::make_shared<Document>(std::move(pool), source);
+  std::map<NodeId, NodeId> rebuilt;  // source id -> new id
+  for (const auto& [src_id, info] : table) {
+    NodeId parent_new = kNullNode;
+    if (info.parent != kNullNode) {
+      auto it = rebuilt.find(info.parent);
+      if (it == rebuilt.end()) {
+        return Status::Corruption(
+            "parent of source node " + std::to_string(src_id) +
+            " missing from all fragments of '" + source + "'");
+      }
+      parent_new = it->second;
+    } else if (!doc->empty()) {
+      return Status::Corruption("multiple roots while reconstructing '" +
+                                source + "'");
+    }
+    if (info.parent == kNullNode && info.kind != NodeKind::kElement) {
+      return Status::Corruption("non-element root while reconstructing '" +
+                                source + "'");
+    }
+    NodeId created = kNullNode;
+    switch (info.kind) {
+      case NodeKind::kElement:
+        created = info.parent == kNullNode
+                      ? doc->CreateRoot(info.name)
+                      : doc->AppendElement(parent_new, info.name);
+        break;
+      case NodeKind::kAttribute:
+        created = doc->AppendAttribute(parent_new, info.name, info.value);
+        break;
+      case NodeKind::kText:
+        created = doc->AppendText(parent_new, info.value);
+        break;
+    }
+    rebuilt.emplace(src_id, created);
+  }
+  if (doc->empty()) {
+    return Status::Corruption("reconstruction of '" + source +
+                              "' produced no nodes");
+  }
+  return DocumentPtr(doc);
+}
+
+}  // namespace partix::frag

@@ -1,0 +1,60 @@
+#ifndef PARTIX_FRAGMENTATION_ALGEBRA_H_
+#define PARTIX_FRAGMENTATION_ALGEBRA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/collection.h"
+#include "xml/document.h"
+#include "xpath/path.h"
+#include "xpath/predicate.h"
+
+namespace partix::frag {
+
+/// TLC-style operators over collections of documents (paper §3.2 follows
+/// the semantics of the TLC algebra): selection σ, projection π with a
+/// prune criterion, union ∪ (horizontal reconstruction), and the ID-join ⋈
+/// (vertical reconstruction).
+
+/// σμ: the documents of `c` satisfying μ. Documents are shared, not
+/// copied.
+xml::Collection Select(const xml::Collection& c, const xpath::Conjunction& mu,
+                       const std::string& result_name);
+
+/// π_{P,Γ} over one document: the subtree rooted at the node selected by P,
+/// minus the subtrees selected by the expressions in Γ.
+///
+/// Returns nullptr (OK) when P selects nothing in this document (the
+/// fragment simply has no instance for it). Fails with kFailedPrecondition
+/// when P selects more than one node — the paper's well-formedness
+/// restriction: P may not retrieve nodes with cardinality greater than one
+/// unless a positional index pins the occurrence.
+///
+/// The projected document carries reconstruction IDs: per-node origins,
+/// the source document name, and the (id, name) chain of strict ancestors
+/// of the projected root.
+Result<xml::DocumentPtr> ProjectDocument(const xml::Document& src,
+                                         const xpath::Path& p,
+                                         const std::vector<xpath::Path>& gamma,
+                                         const std::string& result_doc_name);
+
+/// ∪: the union of fragment collections (horizontal reconstruction).
+/// Fails on duplicate document names (a disjointness violation).
+Result<xml::Collection> UnionCollections(
+    const std::vector<xml::Collection>& fragments,
+    const std::string& result_name);
+
+/// ⋈ by reconstruction ID: rebuilds one source document from the vertical
+/// fragment documents that originated from it. All inputs must carry
+/// origin tracking for the same source document. Missing ancestors are
+/// re-created from the recorded scaffold chains. Fails when two fragments
+/// claim the same source node (disjointness violation).
+Result<xml::DocumentPtr> JoinFragments(
+    const std::vector<xml::DocumentPtr>& fragment_docs,
+    std::shared_ptr<xml::NamePool> pool);
+
+}  // namespace partix::frag
+
+#endif  // PARTIX_FRAGMENTATION_ALGEBRA_H_

@@ -1,0 +1,46 @@
+#ifndef PARTIX_FRAGMENTATION_CORRECTNESS_H_
+#define PARTIX_FRAGMENTATION_CORRECTNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fragmentation/fragment_def.h"
+#include "xml/collection.h"
+
+namespace partix::frag {
+
+/// Outcome of checking the paper's three correctness rules (§3.3) for a
+/// fragmentation design Φ over a collection C:
+///   - completeness: every data item of C appears in at least one fragment
+///     (data item = document for horizontal, node for vertical/hybrid);
+///   - disjointness: no data item appears in two fragments;
+///   - reconstruction: ∇(Φ) == C, with ∇ = ∪ for horizontal and the
+///     ID-join for vertical/hybrid.
+///
+/// For vertical/hybrid designs, replicated container structure (ancestor
+/// scaffolding and FragMode2 container roots) is exempt from disjointness;
+/// a node covered only by scaffolding is reported as incomplete unless it
+/// is re-creatable from the recorded scaffold chains (which the
+/// reconstruction check verifies by actually rebuilding).
+struct CorrectnessReport {
+  bool complete = true;
+  bool disjoint = true;
+  bool reconstructible = true;
+  std::vector<std::string> violations;
+
+  bool ok() const { return complete && disjoint && reconstructible; }
+  std::string Summary() const;
+};
+
+/// Checks all three rules by materializing Φ over `c` and verifying
+/// coverage plus an actual reconstruction round-trip. The check is
+/// instance-based (it validates this database state, as fragmentation
+/// design tools do before deployment); predicate-level proofs are the
+/// design algorithms' job and out of scope, as in the paper.
+Result<CorrectnessReport> CheckCorrectness(const xml::Collection& c,
+                                           const FragmentationSchema& schema);
+
+}  // namespace partix::frag
+
+#endif  // PARTIX_FRAGMENTATION_CORRECTNESS_H_

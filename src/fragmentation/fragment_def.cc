@@ -1,0 +1,120 @@
+#include "fragmentation/fragment_def.h"
+
+#include <set>
+
+namespace partix::frag {
+
+const char* FragmentKindName(FragmentKind kind) {
+  switch (kind) {
+    case FragmentKind::kHorizontal:
+      return "horizontal";
+    case FragmentKind::kVertical:
+      return "vertical";
+    case FragmentKind::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+FragmentKind FragmentDef::kind() const {
+  if (std::holds_alternative<HorizontalDef>(def_)) {
+    return FragmentKind::kHorizontal;
+  }
+  if (std::holds_alternative<VerticalDef>(def_)) {
+    return FragmentKind::kVertical;
+  }
+  return FragmentKind::kHybrid;
+}
+
+const std::string& FragmentDef::name() const {
+  switch (kind()) {
+    case FragmentKind::kHorizontal:
+      return horizontal().name;
+    case FragmentKind::kVertical:
+      return vertical().name;
+    case FragmentKind::kHybrid:
+      break;
+  }
+  return hybrid().name;
+}
+
+std::string FragmentDef::ToString(const std::string& collection) const {
+  std::string out = name() + " := <" + collection + ", ";
+  switch (kind()) {
+    case FragmentKind::kHorizontal:
+      out += "select(" + horizontal().mu.ToString() + ")";
+      break;
+    case FragmentKind::kVertical: {
+      const VerticalDef& v = vertical();
+      out += "project(" + v.path.ToString() + ", {";
+      for (size_t i = 0; i < v.prune.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += v.prune[i].ToString();
+      }
+      out += "})";
+      break;
+    }
+    case FragmentKind::kHybrid: {
+      const HybridDef& h = hybrid();
+      out += "project(" + h.path.ToString() + ", {";
+      for (size_t i = 0; i < h.prune.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += h.prune[i].ToString();
+      }
+      out += "})";
+      if (!h.mu.IsTrue()) out += " . select(" + h.mu.ToString() + ")";
+      break;
+    }
+  }
+  out += ">";
+  return out;
+}
+
+FragmentKind FragmentationSchema::DominantKind() const {
+  bool any_hybrid = false;
+  bool any_horizontal = false;
+  for (const FragmentDef& f : fragments) {
+    if (f.kind() == FragmentKind::kHybrid) any_hybrid = true;
+    if (f.kind() == FragmentKind::kHorizontal) any_horizontal = true;
+  }
+  if (any_hybrid) return FragmentKind::kHybrid;
+  if (any_horizontal) return FragmentKind::kHorizontal;
+  return FragmentKind::kVertical;
+}
+
+Status FragmentationSchema::ValidateStructure() const {
+  if (fragments.empty()) {
+    return Status::InvalidArgument("fragmentation schema for '" + collection +
+                                   "' has no fragments");
+  }
+  std::set<std::string> names;
+  for (const FragmentDef& f : fragments) {
+    if (!names.insert(f.name()).second) {
+      return Status::InvalidArgument("duplicate fragment name '" + f.name() +
+                                     "'");
+    }
+    if (f.kind() == FragmentKind::kVertical) {
+      for (const xpath::Path& prune : f.vertical().prune) {
+        if (!f.vertical().path.IsPrefixOf(prune)) {
+          return Status::InvalidArgument(
+              "prune path " + prune.ToString() + " of fragment '" +
+              f.name() + "' is not prefixed by " +
+              f.vertical().path.ToString());
+        }
+      }
+    }
+    if (f.kind() == FragmentKind::kHybrid) {
+      for (const xpath::Path& prune : f.hybrid().prune) {
+        if (!f.hybrid().path.IsPrefixOf(prune)) {
+          return Status::InvalidArgument(
+              "prune path " + prune.ToString() + " of fragment '" +
+              f.name() + "' is not prefixed by " +
+              f.hybrid().path.ToString());
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace partix::frag

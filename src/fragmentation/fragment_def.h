@@ -1,0 +1,114 @@
+#ifndef PARTIX_FRAGMENTATION_FRAGMENT_DEF_H_
+#define PARTIX_FRAGMENTATION_FRAGMENT_DEF_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "xpath/path.h"
+#include "xpath/predicate.h"
+
+namespace partix::frag {
+
+/// Fragmentation types of the paper (§3.2): horizontal groups whole
+/// documents by a selection predicate; vertical projects subtrees with an
+/// optional prune criterion; hybrid composes projection and selection.
+enum class FragmentKind {
+  kHorizontal,
+  kVertical,
+  kHybrid,
+};
+
+const char* FragmentKindName(FragmentKind kind);
+
+/// Horizontal fragment F := ⟨C, σμ⟩ (Definition 2): the documents of C
+/// satisfying the conjunction μ. Only MD collections may be horizontally
+/// fragmented (SD repositories must use hybrid fragmentation).
+struct HorizontalDef {
+  std::string name;
+  xpath::Conjunction mu;
+};
+
+/// Vertical fragment F := ⟨C, π_{P,Γ}⟩ (Definition 3): per document, the
+/// subtree rooted at the (single) node selected by P, minus the subtrees
+/// selected by the prune expressions Γ. Every prune expression must have P
+/// as a prefix. P must select at most one node per document unless a
+/// positional index pins the occurrence (the well-formedness restriction
+/// of the paper).
+struct VerticalDef {
+  std::string name;
+  xpath::Path path;
+  std::vector<xpath::Path> prune;
+};
+
+/// Hybrid fragment F := ⟨C, π_{P,Γ} • σμ⟩ (Definition 4): project P (with
+/// prune Γ), then select among the *instance subtrees* under the projected
+/// node — the repeating element children (e.g. the Item children of
+/// /Store/Items) — those satisfying μ. μ's paths are absolute over each
+/// instance subtree (e.g. /Item/Section = "CD"), matching the paper's
+/// notation. A hybrid definition with a trivial μ degenerates to a
+/// vertical fragment (e.g. F4items := ⟨Cstore, π_{/Store, {/Store/Items}}⟩).
+struct HybridDef {
+  std::string name;
+  xpath::Path path;
+  std::vector<xpath::Path> prune;
+  xpath::Conjunction mu;
+};
+
+/// A fragment definition F := ⟨C, γ⟩ (Definition 1): γ is one of the three
+/// operator shapes above; C is carried by the enclosing schema.
+class FragmentDef {
+ public:
+  explicit FragmentDef(HorizontalDef def) : def_(std::move(def)) {}
+  explicit FragmentDef(VerticalDef def) : def_(std::move(def)) {}
+  explicit FragmentDef(HybridDef def) : def_(std::move(def)) {}
+
+  FragmentKind kind() const;
+  const std::string& name() const;
+
+  const HorizontalDef& horizontal() const {
+    return std::get<HorizontalDef>(def_);
+  }
+  const VerticalDef& vertical() const { return std::get<VerticalDef>(def_); }
+  const HybridDef& hybrid() const { return std::get<HybridDef>(def_); }
+
+  /// Paper-style rendering, e.g.
+  /// "F1CD := ⟨C, σ(/Item/Section = "CD")⟩".
+  std::string ToString(const std::string& collection) const;
+
+ private:
+  std::variant<HorizontalDef, VerticalDef, HybridDef> def_;
+};
+
+/// How hybrid fragments are materialized (§5, "Hybrid Fragmentation"):
+/// FragMode1 stores each selected instance subtree as an independent
+/// document (an MD fragment of many small documents); FragMode2 keeps a
+/// single document shaped like the original, containing only the selected
+/// instances (an SD fragment). The paper found FragMode1 "very
+/// inefficient" due to per-document parsing and FragMode2 competitive.
+enum class HybridMode {
+  kOneDocPerSubtree,  // FragMode1
+  kSinglePrunedDoc,   // FragMode2
+};
+
+/// A complete fragmentation design Φ = {F1, ..., Fn} over one collection.
+struct FragmentationSchema {
+  std::string collection;  // source collection name
+  std::vector<FragmentDef> fragments;
+  HybridMode hybrid_mode = HybridMode::kSinglePrunedDoc;
+
+  /// All fragments' kinds (a design mixes kinds only in hybrid setups
+  /// where some fragments are pure projections).
+  FragmentKind DominantKind() const;
+
+  /// Validates static well-formedness of the design: nonempty, unique
+  /// fragment names, vertical prune paths prefixed by their fragment path,
+  /// no horizontal fragments over SD (checked by the fragmenter, which
+  /// knows the collection kind).
+  Status ValidateStructure() const;
+};
+
+}  // namespace partix::frag
+
+#endif  // PARTIX_FRAGMENTATION_FRAGMENT_DEF_H_

@@ -1,0 +1,37 @@
+#ifndef PARTIX_FRAGMENTATION_FRAGMENTER_H_
+#define PARTIX_FRAGMENTATION_FRAGMENTER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "fragmentation/fragment_def.h"
+#include "xml/collection.h"
+
+namespace partix::frag {
+
+/// Materializes a fragmentation design: applies every fragment operator γ
+/// to the instance documents of `c` and returns one collection per
+/// fragment, in definition order. When `c` carries a schema, the
+/// collection must be homogeneous (every document satisfies the root
+/// type) — the paper's precondition for fragmenting MD databases.
+///
+/// Semantics per fragment kind:
+///   - horizontal: requires an MD collection (the paper: "SD repositories
+///     may not be horizontally fragmented"); documents are shared.
+///   - vertical: per source document, the pruned projected subtree, with
+///     reconstruction IDs.
+///   - hybrid with non-trivial μ: the instance subtrees (element children
+///     of the projected node) satisfying μ, materialized per
+///     `schema.hybrid_mode` — FragMode1 (one document per instance) or
+///     FragMode2 (one container document per source document, whose shared
+///     container nodes are marked as scaffolding).
+///   - hybrid with trivial μ: a plain projection (vertical semantics).
+///
+/// Fragment collection names are the fragment names; fragment document
+/// names derive from the source document name.
+Result<std::vector<xml::Collection>> ApplyFragmentation(
+    const xml::Collection& c, const FragmentationSchema& schema);
+
+}  // namespace partix::frag
+
+#endif  // PARTIX_FRAGMENTATION_FRAGMENTER_H_

@@ -1,0 +1,30 @@
+#ifndef PARTIX_FRAGMENTATION_RECONSTRUCT_H_
+#define PARTIX_FRAGMENTATION_RECONSTRUCT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/collection.h"
+#include "xml/name_pool.h"
+
+namespace partix::frag {
+
+/// ∇ for horizontal designs: the union of the fragments. Fails on
+/// duplicate documents (disjointness violations).
+Result<xml::Collection> ReconstructHorizontal(
+    const std::vector<xml::Collection>& fragments,
+    const std::string& result_name);
+
+/// ∇ for vertical/hybrid designs: groups fragment documents by their
+/// source document (the reconstruction ID) and joins each group back into
+/// the original document. `pool` receives the rebuilt documents' interned
+/// names; pass the source pool for cheap comparisons.
+Result<xml::Collection> ReconstructVertical(
+    const std::vector<xml::Collection>& fragments,
+    const std::string& result_name, std::shared_ptr<xml::NamePool> pool);
+
+}  // namespace partix::frag
+
+#endif  // PARTIX_FRAGMENTATION_RECONSTRUCT_H_

@@ -1,0 +1,119 @@
+#include "fragmentation/schema_io.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace partix::frag {
+
+namespace {
+
+std::string JoinPaths(const std::vector<xpath::Path>& paths) {
+  std::string out;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (i > 0) out += ";";
+    out += paths[i].ToString();
+  }
+  return out;
+}
+
+Result<std::vector<xpath::Path>> SplitPaths(std::string_view field) {
+  std::vector<xpath::Path> out;
+  for (std::string_view piece : SplitSkipEmpty(field, ';')) {
+    PARTIX_ASSIGN_OR_RETURN(xpath::Path path, xpath::Path::Parse(piece));
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeFragmentationSchema(const FragmentationSchema& schema) {
+  std::string out = "collection\t" + schema.collection + "\n";
+  out += "hybrid_mode\t";
+  out += schema.hybrid_mode == HybridMode::kOneDocPerSubtree ? "frag1"
+                                                             : "frag2";
+  out += "\n";
+  for (const FragmentDef& def : schema.fragments) {
+    switch (def.kind()) {
+      case FragmentKind::kHorizontal:
+        out += "horizontal\t" + def.name() + "\t" +
+               def.horizontal().mu.ToString() + "\n";
+        break;
+      case FragmentKind::kVertical:
+        out += "vertical\t" + def.name() + "\t" +
+               def.vertical().path.ToString() + "\t" +
+               JoinPaths(def.vertical().prune) + "\n";
+        break;
+      case FragmentKind::kHybrid:
+        out += "hybrid\t" + def.name() + "\t" +
+               def.hybrid().path.ToString() + "\t" +
+               JoinPaths(def.hybrid().prune) + "\t" +
+               def.hybrid().mu.ToString() + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+Result<FragmentationSchema> ParseFragmentationSchema(
+    const std::string& text) {
+  FragmentationSchema schema;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = Split(line, '\t');
+    const std::string tag(fields[0]);
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument("schema line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    if (tag == "collection") {
+      if (fields.size() != 2) return bad("collection needs one field");
+      schema.collection = std::string(fields[1]);
+    } else if (tag == "hybrid_mode") {
+      if (fields.size() != 2) return bad("hybrid_mode needs one field");
+      if (fields[1] == "frag1") {
+        schema.hybrid_mode = HybridMode::kOneDocPerSubtree;
+      } else if (fields[1] == "frag2") {
+        schema.hybrid_mode = HybridMode::kSinglePrunedDoc;
+      } else {
+        return bad("unknown hybrid_mode");
+      }
+    } else if (tag == "horizontal") {
+      if (fields.size() != 3) return bad("horizontal needs two fields");
+      PARTIX_ASSIGN_OR_RETURN(xpath::Conjunction mu,
+                              xpath::Conjunction::Parse(fields[2]));
+      schema.fragments.emplace_back(
+          HorizontalDef{std::string(fields[1]), std::move(mu)});
+    } else if (tag == "vertical") {
+      if (fields.size() != 4) return bad("vertical needs three fields");
+      PARTIX_ASSIGN_OR_RETURN(xpath::Path path,
+                              xpath::Path::Parse(fields[2]));
+      PARTIX_ASSIGN_OR_RETURN(std::vector<xpath::Path> prune,
+                              SplitPaths(fields[3]));
+      schema.fragments.emplace_back(VerticalDef{
+          std::string(fields[1]), std::move(path), std::move(prune)});
+    } else if (tag == "hybrid") {
+      if (fields.size() != 5) return bad("hybrid needs four fields");
+      PARTIX_ASSIGN_OR_RETURN(xpath::Path path,
+                              xpath::Path::Parse(fields[2]));
+      PARTIX_ASSIGN_OR_RETURN(std::vector<xpath::Path> prune,
+                              SplitPaths(fields[3]));
+      PARTIX_ASSIGN_OR_RETURN(xpath::Conjunction mu,
+                              xpath::Conjunction::Parse(fields[4]));
+      schema.fragments.emplace_back(
+          HybridDef{std::string(fields[1]), std::move(path),
+                    std::move(prune), std::move(mu)});
+    } else {
+      return bad("unknown tag '" + tag + "'");
+    }
+  }
+  PARTIX_RETURN_IF_ERROR(schema.ValidateStructure());
+  return schema;
+}
+
+}  // namespace partix::frag

@@ -1,0 +1,30 @@
+#ifndef PARTIX_FRAGMENTATION_SCHEMA_IO_H_
+#define PARTIX_FRAGMENTATION_SCHEMA_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "fragmentation/fragment_def.h"
+
+namespace partix::frag {
+
+/// Serializes a fragmentation design to a line-based, tab-separated text
+/// form that round-trips through ParseFragmentationSchema:
+///
+///   collection <tab> items
+///   hybrid_mode <tab> frag2
+///   horizontal <tab> f_cd <tab> /Item/Section = "CD"
+///   vertical <tab> f_prolog <tab> /article/prolog <tab> <prune;...>
+///   hybrid <tab> f_items <tab> /Store/Items <tab> <prune;...> <tab> <mu>
+///
+/// Predicates use the same textual forms xpath::Conjunction::Parse
+/// accepts; prune lists separate paths with ';' (empty when none).
+std::string SerializeFragmentationSchema(const FragmentationSchema& schema);
+
+/// Parses the textual form back into a design (validating its structure).
+Result<FragmentationSchema> ParseFragmentationSchema(
+    const std::string& text);
+
+}  // namespace partix::frag
+
+#endif  // PARTIX_FRAGMENTATION_SCHEMA_IO_H_

@@ -1,0 +1,198 @@
+#include "gen/virtual_store.h"
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "xml/document.h"
+#include "xml/schema.h"
+#include "xml/serializer.h"
+
+namespace partix::gen {
+
+namespace {
+
+using xml::Document;
+using xml::DocumentPtr;
+using xml::NodeId;
+
+std::string RandomDate(Rng* rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                int(rng->UniformInt(1998, 2005)),
+                int(rng->UniformInt(1, 12)), int(rng->UniformInt(1, 28)));
+  return buf;
+}
+
+std::string RandomPrice(Rng* rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.2f", rng->UniformDouble(1.0, 500.0));
+  return buf;
+}
+
+/// Parameters shaping one Item subtree.
+struct ItemShape {
+  bool large = false;
+  double good_fraction = 0.08;
+};
+
+/// Appends one Item element under `parent` (or as the document root when
+/// parent == kNullNode).
+NodeId BuildItem(Document* doc, NodeId parent, uint64_t code,
+                 const std::string& section, const ItemShape& shape,
+                 Rng* rng) {
+  NodeId item = parent == xml::kNullNode ? doc->CreateRoot("Item")
+                                         : doc->AppendElement(parent, "Item");
+  NodeId code_el = doc->AppendElement(item, "Code");
+  doc->AppendText(code_el, std::to_string(code));
+  NodeId name = doc->AppendElement(item, "Name");
+  doc->AppendText(name, rng->Sentence(3));
+  NodeId desc = doc->AppendElement(item, "Description");
+  std::string inject = rng->Bernoulli(shape.good_fraction) ? "good" : "";
+  doc->AppendText(desc, rng->Sentence(shape.large ? 150 : 25, inject));
+  NodeId sec = doc->AppendElement(item, "Section");
+  doc->AppendText(sec, section);
+  NodeId release = doc->AppendElement(item, "Release");
+  doc->AppendText(release, RandomDate(rng));
+
+  int characteristics =
+      int(rng->UniformInt(shape.large ? 12 : 1, shape.large ? 24 : 4));
+  for (int i = 0; i < characteristics; ++i) {
+    NodeId ch = doc->AppendElement(item, "Characteristics");
+    doc->AppendText(ch, rng->Sentence(shape.large ? 70 : 8));
+  }
+
+  if (shape.large) {
+    NodeId pictures = doc->AppendElement(item, "PictureList");
+    int picture_count = int(rng->UniformInt(28, 44));
+    for (int i = 0; i < picture_count; ++i) {
+      NodeId pic = doc->AppendElement(pictures, "Picture");
+      NodeId pic_name = doc->AppendElement(pic, "Name");
+      doc->AppendText(pic_name, rng->Sentence(2));
+      NodeId pic_desc = doc->AppendElement(pic, "Description");
+      doc->AppendText(pic_desc, rng->Sentence(130));
+      NodeId mod = doc->AppendElement(pic, "ModificationDate");
+      doc->AppendText(mod, RandomDate(rng));
+      NodeId orig = doc->AppendElement(pic, "OriginalPath");
+      doc->AppendText(orig, "/img/full/" + rng->Word(8, 16) + ".jpg");
+      NodeId thumb = doc->AppendElement(pic, "ThumbPath");
+      doc->AppendText(thumb, "/img/thumb/" + rng->Word(8, 16) + ".jpg");
+    }
+    NodeId history = doc->AppendElement(item, "PricesHistory");
+    int price_count = int(rng->UniformInt(30, 70));
+    for (int i = 0; i < price_count; ++i) {
+      NodeId entry = doc->AppendElement(history, "PriceHistory");
+      NodeId price = doc->AppendElement(entry, "Price");
+      doc->AppendText(price, RandomPrice(rng));
+      NodeId mod = doc->AppendElement(entry, "ModificationDate");
+      doc->AppendText(mod, RandomDate(rng));
+    }
+  }
+  return item;
+}
+
+}  // namespace
+
+Result<xml::Collection> GenerateItems(const ItemsGenOptions& options,
+                                      std::shared_ptr<xml::NamePool> pool) {
+  if (options.sections.empty()) {
+    return Status::InvalidArgument("no sections configured");
+  }
+  if (pool == nullptr) pool = std::make_shared<xml::NamePool>();
+  Rng rng(options.seed);
+  xml::Collection out(options.name, xml::VirtualStoreSchema(),
+                      "/Store/Items/Item",
+                      xml::RepoKind::kMultipleDocuments);
+  ItemShape shape;
+  shape.large = options.large_docs;
+  shape.good_fraction = options.good_fraction;
+  for (size_t i = 0; i < options.doc_count; ++i) {
+    const std::string& section =
+        options.sections[rng.Zipf(options.sections.size(),
+                                  options.section_skew)];
+    auto doc = std::make_shared<Document>(
+        pool, options.name + "-" + std::to_string(i));
+    BuildItem(doc.get(), xml::kNullNode, i, section, shape, &rng);
+    PARTIX_RETURN_IF_ERROR(out.Add(std::move(doc)));
+  }
+  return out;
+}
+
+Result<xml::Collection> GenerateItemsBySize(
+    ItemsGenOptions options, uint64_t target_bytes,
+    std::shared_ptr<xml::NamePool> pool) {
+  if (pool == nullptr) pool = std::make_shared<xml::NamePool>();
+  // Estimate one document's serialized size from a probe batch, then
+  // generate the computed count.
+  ItemsGenOptions probe = options;
+  probe.doc_count = 8;
+  PARTIX_ASSIGN_OR_RETURN(xml::Collection probe_coll,
+                          GenerateItems(probe, pool));
+  uint64_t probe_bytes = 0;
+  for (const DocumentPtr& doc : probe_coll.docs()) {
+    probe_bytes += xml::Serialize(*doc).size();
+  }
+  double avg = static_cast<double>(probe_bytes) / probe.doc_count;
+  options.doc_count =
+      static_cast<size_t>(static_cast<double>(target_bytes) / avg) + 1;
+  return GenerateItems(options, pool);
+}
+
+Result<xml::Collection> GenerateStore(const StoreGenOptions& options,
+                                      std::shared_ptr<xml::NamePool> pool) {
+  if (options.sections.empty()) {
+    return Status::InvalidArgument("no sections configured");
+  }
+  if (pool == nullptr) pool = std::make_shared<xml::NamePool>();
+  Rng rng(options.seed);
+  xml::Collection out(options.name, xml::VirtualStoreSchema(), "/Store",
+                      xml::RepoKind::kSingleDocument);
+  auto doc = std::make_shared<Document>(pool, options.name + "-doc");
+  NodeId store = doc->CreateRoot("Store");
+
+  NodeId sections = doc->AppendElement(store, "Sections");
+  for (size_t i = 0; i < options.sections.size(); ++i) {
+    NodeId section = doc->AppendElement(sections, "Section");
+    NodeId code = doc->AppendElement(section, "Code");
+    doc->AppendText(code, std::to_string(100 + i));
+    NodeId name = doc->AppendElement(section, "Name");
+    doc->AppendText(name, options.sections[i]);
+  }
+
+  NodeId items = doc->AppendElement(store, "Items");
+  ItemShape shape;
+  shape.large = options.large_items;
+  shape.good_fraction = options.good_fraction;
+  for (size_t i = 0; i < options.item_count; ++i) {
+    const std::string& section =
+        options.sections[rng.Zipf(options.sections.size(),
+                                  options.section_skew)];
+    BuildItem(doc.get(), items, i, section, shape, &rng);
+  }
+
+  NodeId employees = doc->AppendElement(store, "Employees");
+  for (size_t i = 0; i < options.employee_count; ++i) {
+    NodeId employee = doc->AppendElement(employees, "Employee");
+    doc->AppendText(employee, rng.Sentence(2));
+  }
+
+  PARTIX_RETURN_IF_ERROR(out.Add(std::move(doc)));
+  return out;
+}
+
+Result<xml::Collection> GenerateStoreBySize(
+    StoreGenOptions options, uint64_t target_bytes,
+    std::shared_ptr<xml::NamePool> pool) {
+  if (pool == nullptr) pool = std::make_shared<xml::NamePool>();
+  StoreGenOptions probe = options;
+  probe.item_count = 16;
+  PARTIX_ASSIGN_OR_RETURN(xml::Collection probe_coll,
+                          GenerateStore(probe, pool));
+  uint64_t probe_bytes = xml::Serialize(*probe_coll.docs()[0]).size();
+  double per_item =
+      static_cast<double>(probe_bytes) / static_cast<double>(probe.item_count);
+  options.item_count =
+      static_cast<size_t>(static_cast<double>(target_bytes) / per_item) + 1;
+  return GenerateStore(options, pool);
+}
+
+}  // namespace partix::gen

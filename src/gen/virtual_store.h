@@ -1,0 +1,74 @@
+#ifndef PARTIX_GEN_VIRTUAL_STORE_H_
+#define PARTIX_GEN_VIRTUAL_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/collection.h"
+#include "xml/name_pool.h"
+
+namespace partix::gen {
+
+/// Options for the Citems MD collection generator (paper Fig. 1), the
+/// stand-in for the ToXgene-generated ItemsSHor / ItemsLHor databases.
+struct ItemsGenOptions {
+  uint64_t seed = 42;
+  /// Number of Item documents.
+  size_t doc_count = 1000;
+  /// false: ItemsSHor-style ~2 KB docs with zero PictureList/PricesHistory
+  /// occurrences. true: ItemsLHor-style ~80 KB docs.
+  bool large_docs = false;
+  /// Section values; the horizontal designs fragment on these.
+  std::vector<std::string> sections = {"CD",   "DVD",  "BOOK", "GAME",
+                                       "TOY",  "HIFI", "PC",   "GARDEN"};
+  /// Zipf skew of the section distribution (0 = uniform); the paper used a
+  /// non-uniform document distribution.
+  double section_skew = 0.6;
+  /// Fraction of items whose Description contains the word "good" (the
+  /// text-search predicate of the workload).
+  double good_fraction = 0.08;
+  /// Collection name.
+  std::string name = "items";
+};
+
+/// Generates the Citems collection := ⟨Svirtual_store, /Store/Items/Item⟩
+/// (MD). Deterministic in the seed.
+Result<xml::Collection> GenerateItems(const ItemsGenOptions& options,
+                                      std::shared_ptr<xml::NamePool> pool);
+
+/// Generates Item documents until the serialized collection reaches
+/// `target_bytes`, overriding options.doc_count.
+Result<xml::Collection> GenerateItemsBySize(ItemsGenOptions options,
+                                            uint64_t target_bytes,
+                                            std::shared_ptr<xml::NamePool> pool);
+
+/// Options for the Cstore SD collection generator (database StoreHyb).
+struct StoreGenOptions {
+  uint64_t seed = 7;
+  size_t item_count = 500;
+  size_t employee_count = 20;
+  /// Item shape: large items include PictureList/PricesHistory.
+  bool large_items = true;
+  std::vector<std::string> sections = {"CD",   "DVD",  "BOOK", "GAME",
+                                       "TOY",  "HIFI", "PC",   "GARDEN"};
+  double section_skew = 0.6;
+  double good_fraction = 0.08;
+  std::string name = "store";
+};
+
+/// Generates the Cstore collection := ⟨Svirtual_store, /Store⟩ (SD): one
+/// Store document with Sections, Items, and Employees.
+Result<xml::Collection> GenerateStore(const StoreGenOptions& options,
+                                      std::shared_ptr<xml::NamePool> pool);
+
+/// Generates a Store document sized to roughly `target_bytes`.
+Result<xml::Collection> GenerateStoreBySize(StoreGenOptions options,
+                                            uint64_t target_bytes,
+                                            std::shared_ptr<xml::NamePool> pool);
+
+}  // namespace partix::gen
+
+#endif  // PARTIX_GEN_VIRTUAL_STORE_H_

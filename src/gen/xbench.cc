@@ -1,0 +1,123 @@
+#include "gen/xbench.h"
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "xml/document.h"
+#include "xml/schema.h"
+#include "xml/serializer.h"
+
+namespace partix::gen {
+
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+std::string RandomDate(Rng* rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                int(rng->UniformInt(1995, 2005)),
+                int(rng->UniformInt(1, 12)), int(rng->UniformInt(1, 28)));
+  return buf;
+}
+
+const char* const kGenres[] = {"research", "survey", "tutorial", "demo",
+                               "industrial"};
+
+}  // namespace
+
+Result<xml::Collection> GenerateArticles(const XBenchGenOptions& options,
+                                         std::shared_ptr<xml::NamePool> pool) {
+  if (pool == nullptr) pool = std::make_shared<xml::NamePool>();
+  Rng rng(options.seed);
+  xml::Collection out(options.name, xml::XBenchArticleSchema(), "/article",
+                      xml::RepoKind::kMultipleDocuments);
+
+  // A paragraph of ~12 words serializes to roughly 110 bytes; size the
+  // body to hit target_doc_bytes.
+  constexpr double kBytesPerParagraph = 110.0;
+  const size_t paragraphs_total = static_cast<size_t>(
+      static_cast<double>(options.target_doc_bytes) / kBytesPerParagraph);
+
+  for (size_t i = 0; i < options.doc_count; ++i) {
+    auto doc = std::make_shared<Document>(
+        pool, options.name + "-" + std::to_string(i));
+    NodeId article = doc->CreateRoot("article");
+
+    // Prolog: small, metadata-heavy.
+    NodeId prolog = doc->AppendElement(article, "prolog");
+    NodeId title = doc->AppendElement(prolog, "title");
+    doc->AppendText(title, "On " + rng.Sentence(5) + " " +
+                               std::to_string(i));
+    NodeId authors = doc->AppendElement(prolog, "authors");
+    int author_count = int(rng.UniformInt(1, 5));
+    for (int a = 0; a < author_count; ++a) {
+      NodeId author = doc->AppendElement(authors, "author");
+      NodeId name = doc->AppendElement(author, "name");
+      doc->AppendText(name, rng.Word(4, 8) + " " + rng.Word(5, 10));
+      if (rng.Bernoulli(0.6)) {
+        NodeId contact = doc->AppendElement(author, "contact");
+        doc->AppendText(contact, rng.Word(4, 8) + "@" + rng.Word(4, 8) +
+                                     ".edu");
+      }
+    }
+    NodeId dateline = doc->AppendElement(prolog, "dateline");
+    doc->AppendText(dateline, RandomDate(&rng));
+    NodeId genre = doc->AppendElement(prolog, "genre");
+    doc->AppendText(genre, kGenres[rng.NextBelow(5)]);
+    NodeId keywords = doc->AppendElement(prolog, "keywords");
+    int keyword_count = int(rng.UniformInt(2, 6));
+    for (int k = 0; k < keyword_count; ++k) {
+      NodeId kw = doc->AppendElement(keywords, "keyword");
+      doc->AppendText(kw, rng.Sentence(1));
+    }
+
+    // Body: the bulk of the document.
+    NodeId body = doc->AppendElement(article, "body");
+    NodeId abstract = doc->AppendElement(body, "abstract");
+    bool hit = rng.Bernoulli(options.hit_fraction);
+    doc->AppendText(abstract, rng.Sentence(40, hit ? "database" : ""));
+    size_t section_count = 4 + rng.NextBelow(5);
+    size_t paragraphs_per_section =
+        paragraphs_total / section_count + 1;
+    for (size_t s = 0; s < section_count; ++s) {
+      NodeId section = doc->AppendElement(body, "section");
+      NodeId heading = doc->AppendElement(section, "heading");
+      doc->AppendText(heading, rng.Sentence(3));
+      for (size_t p = 0; p < paragraphs_per_section; ++p) {
+        NodeId para = doc->AppendElement(section, "paragraph");
+        doc->AppendText(para, rng.Sentence(12));
+      }
+    }
+
+    // Epilog: references and acknowledgements.
+    NodeId epilog = doc->AppendElement(article, "epilog");
+    NodeId references = doc->AppendElement(epilog, "references");
+    int reference_count = int(rng.UniformInt(5, 40));
+    for (int r = 0; r < reference_count; ++r) {
+      NodeId ref = doc->AppendElement(references, "reference");
+      doc->AppendText(ref, rng.Word(4, 8) + " et al., " + rng.Sentence(6) +
+                               ", " + std::to_string(rng.UniformInt(1990, 2005)));
+    }
+    if (rng.Bernoulli(0.7)) {
+      NodeId ack = doc->AppendElement(epilog, "acknowledgements");
+      doc->AppendText(ack, rng.Sentence(15));
+    }
+
+    PARTIX_RETURN_IF_ERROR(out.Add(std::move(doc)));
+  }
+  return out;
+}
+
+Result<xml::Collection> GenerateArticlesBySize(
+    XBenchGenOptions options, uint64_t target_bytes,
+    std::shared_ptr<xml::NamePool> pool) {
+  if (pool == nullptr) pool = std::make_shared<xml::NamePool>();
+  options.doc_count = static_cast<size_t>(
+                          target_bytes / options.target_doc_bytes) +
+                      1;
+  return GenerateArticles(options, pool);
+}
+
+}  // namespace partix::gen

@@ -1,0 +1,43 @@
+#ifndef PARTIX_GEN_XBENCH_H_
+#define PARTIX_GEN_XBENCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "xml/collection.h"
+#include "xml/name_pool.h"
+
+namespace partix::gen {
+
+/// Options for the XBench-style article collection used by the vertical
+/// fragmentation experiment (database XBenchVer). Each article consists of
+/// a prolog (title, authors, dateline, genre, keywords), a body (abstract
+/// plus sections of paragraphs — the bulk of the bytes), and an epilog
+/// (references, acknowledgements).
+struct XBenchGenOptions {
+  uint64_t seed = 17;
+  size_t doc_count = 16;
+  /// Approximate serialized size of one article. The paper's XBenchVer
+  /// documents span 5–15 MB; scale down for quick runs.
+  uint64_t target_doc_bytes = 256 * 1024;
+  /// Fraction of articles whose body mentions the benchmark search word
+  /// "database".
+  double hit_fraction = 0.15;
+  std::string name = "papers";
+};
+
+/// Generates the article collection := ⟨Sxbench, /article⟩ (MD).
+/// Deterministic in the seed.
+Result<xml::Collection> GenerateArticles(const XBenchGenOptions& options,
+                                         std::shared_ptr<xml::NamePool> pool);
+
+/// Generates articles until the collection reaches `target_bytes` total.
+Result<xml::Collection> GenerateArticlesBySize(
+    XBenchGenOptions options, uint64_t target_bytes,
+    std::shared_ptr<xml::NamePool> pool);
+
+}  // namespace partix::gen
+
+#endif  // PARTIX_GEN_XBENCH_H_

@@ -1,0 +1,68 @@
+#include "partix/allocation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace partix::middleware {
+
+Result<std::vector<FragmentPlacement>> ComputePlacements(
+    const std::vector<xml::Collection>& fragments, size_t node_count,
+    PlacementStrategy strategy) {
+  if (node_count == 0) {
+    return Status::InvalidArgument("cluster has no nodes");
+  }
+  if (fragments.empty()) {
+    return Status::InvalidArgument("no fragments to place");
+  }
+  std::vector<FragmentPlacement> placements;
+  placements.reserve(fragments.size());
+
+  switch (strategy) {
+    case PlacementStrategy::kRoundRobin: {
+      for (size_t i = 0; i < fragments.size(); ++i) {
+        placements.push_back(
+            FragmentPlacement{fragments[i].name(), i % node_count});
+      }
+      return placements;
+    }
+    case PlacementStrategy::kSizeBalanced: {
+      // LPT greedy: biggest fragment first onto the lightest node.
+      std::vector<size_t> order(fragments.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](size_t a, size_t b) {
+                         return fragments[a].ApproxBytes() >
+                                fragments[b].ApproxBytes();
+                       });
+      std::vector<uint64_t> load(node_count, 0);
+      placements.resize(fragments.size());
+      for (size_t idx : order) {
+        size_t lightest = 0;
+        for (size_t n = 1; n < node_count; ++n) {
+          if (load[n] < load[lightest]) lightest = n;
+        }
+        placements[idx] =
+            FragmentPlacement{fragments[idx].name(), lightest};
+        load[lightest] += fragments[idx].ApproxBytes();
+      }
+      return placements;
+    }
+  }
+  return Status::Internal("unknown placement strategy");
+}
+
+std::vector<uint64_t> PlacementLoads(
+    const std::vector<xml::Collection>& fragments,
+    const std::vector<FragmentPlacement>& placements, size_t node_count) {
+  std::vector<uint64_t> load(node_count, 0);
+  for (const FragmentPlacement& p : placements) {
+    for (const xml::Collection& frag : fragments) {
+      if (frag.name() == p.fragment && p.node < node_count) {
+        load[p.node] += frag.ApproxBytes();
+      }
+    }
+  }
+  return load;
+}
+
+}  // namespace partix::middleware

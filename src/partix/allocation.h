@@ -1,0 +1,42 @@
+#ifndef PARTIX_PARTIX_ALLOCATION_H_
+#define PARTIX_PARTIX_ALLOCATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "partix/catalog.h"
+#include "xml/collection.h"
+
+namespace partix::middleware {
+
+/// How fragments are assigned to cluster nodes when the operator does not
+/// place them explicitly. The paper's evaluation uses one fragment per
+/// node; real deployments often have fewer nodes than fragments, making
+/// allocation part of the distribution design (paper §3.3: "fragmenting
+/// collections of documents and allocating the resulting fragments in
+/// sites of a distributed system").
+enum class PlacementStrategy {
+  /// Fragment i -> node i mod n.
+  kRoundRobin,
+  /// Longest-processing-time greedy: repeatedly assign the largest
+  /// remaining fragment to the least-loaded node, minimizing the maximum
+  /// per-node bytes (the quantity the parallel response-time model is
+  /// bounded by).
+  kSizeBalanced,
+};
+
+/// Computes placements for materialized fragment collections over
+/// `node_count` nodes.
+Result<std::vector<FragmentPlacement>> ComputePlacements(
+    const std::vector<xml::Collection>& fragments, size_t node_count,
+    PlacementStrategy strategy);
+
+/// The resulting per-node loads (bytes) of a placement, for reporting and
+/// tests.
+std::vector<uint64_t> PlacementLoads(
+    const std::vector<xml::Collection>& fragments,
+    const std::vector<FragmentPlacement>& placements, size_t node_count);
+
+}  // namespace partix::middleware
+
+#endif  // PARTIX_PARTIX_ALLOCATION_H_

@@ -1,0 +1,113 @@
+#include "partix/catalog.h"
+
+#include <set>
+
+namespace partix::middleware {
+
+Status SchemaCatalog::Register(const std::string& name,
+                               xml::SchemaPtr schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("null schema for '" + name + "'");
+  }
+  if (!schemas_.emplace(name, std::move(schema)).second) {
+    return Status::AlreadyExists("schema '" + name + "' already registered");
+  }
+  return Status::Ok();
+}
+
+Result<xml::SchemaPtr> SchemaCatalog::Get(const std::string& name) const {
+  auto it = schemas_.find(name);
+  if (it == schemas_.end()) {
+    return Status::NotFound("schema '" + name + "' not registered");
+  }
+  return it->second;
+}
+
+std::vector<std::string> SchemaCatalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(schemas_.size());
+  for (const auto& [name, schema] : schemas_) out.push_back(name);
+  return out;
+}
+
+Result<size_t> DistributionEntry::NodeOf(const std::string& fragment) const {
+  for (const FragmentPlacement& p : placements) {
+    if (p.fragment == fragment) return p.node;
+  }
+  return Status::NotFound("fragment '" + fragment + "' has no placement");
+}
+
+Status DistributionCatalog::Register(
+    frag::FragmentationSchema schema,
+    std::vector<FragmentPlacement> placements) {
+  PARTIX_RETURN_IF_ERROR(schema.ValidateStructure());
+  const std::string collection = schema.collection;
+  if (entries_.count(collection) != 0 ||
+      centralized_.count(collection) != 0) {
+    return Status::AlreadyExists("collection '" + collection +
+                                 "' already registered");
+  }
+  std::set<std::string> placed;
+  for (const FragmentPlacement& p : placements) placed.insert(p.fragment);
+  for (const frag::FragmentDef& def : schema.fragments) {
+    if (placed.count(def.name()) == 0) {
+      return Status::InvalidArgument("fragment '" + def.name() +
+                                     "' has no placement");
+    }
+  }
+  entries_.emplace(collection, DistributionEntry{std::move(schema),
+                                                 std::move(placements)});
+  return Status::Ok();
+}
+
+Status DistributionCatalog::RegisterCentralized(const std::string& collection,
+                                                size_t node) {
+  if (entries_.count(collection) != 0 ||
+      centralized_.count(collection) != 0) {
+    return Status::AlreadyExists("collection '" + collection +
+                                 "' already registered");
+  }
+  centralized_.emplace(collection, node);
+  return Status::Ok();
+}
+
+bool DistributionCatalog::IsFragmented(const std::string& collection) const {
+  return entries_.count(collection) != 0;
+}
+
+Result<const DistributionEntry*> DistributionCatalog::Get(
+    const std::string& collection) const {
+  auto it = entries_.find(collection);
+  if (it == entries_.end()) {
+    return Status::NotFound("collection '" + collection +
+                            "' has no fragmentation entry");
+  }
+  return &it->second;
+}
+
+Result<size_t> DistributionCatalog::CentralizedNode(
+    const std::string& collection) const {
+  auto it = centralized_.find(collection);
+  if (it == centralized_.end()) {
+    return Status::NotFound("collection '" + collection +
+                            "' is not registered as centralized");
+  }
+  return it->second;
+}
+
+std::vector<std::pair<std::string, size_t>>
+DistributionCatalog::CentralizedCollections() const {
+  std::vector<std::pair<std::string, size_t>> out;
+  out.reserve(centralized_.size());
+  for (const auto& [name, node] : centralized_) out.emplace_back(name, node);
+  return out;
+}
+
+std::vector<std::string> DistributionCatalog::FragmentedCollections() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace partix::middleware

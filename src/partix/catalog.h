@@ -1,0 +1,74 @@
+#ifndef PARTIX_PARTIX_CATALOG_H_
+#define PARTIX_PARTIX_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fragmentation/fragment_def.h"
+#include "xml/schema.h"
+
+namespace partix::middleware {
+
+/// XML Schema Catalog Service (paper §4): registers the data types used by
+/// the distributed collections.
+class SchemaCatalog {
+ public:
+  Status Register(const std::string& name, xml::SchemaPtr schema);
+  Result<xml::SchemaPtr> Get(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, xml::SchemaPtr> schemas_;
+};
+
+/// Where one fragment lives: the index of a cluster node.
+struct FragmentPlacement {
+  std::string fragment;
+  size_t node = 0;
+};
+
+/// Everything the middleware knows about one distributed collection: its
+/// fragmentation design and the placement of each fragment.
+struct DistributionEntry {
+  frag::FragmentationSchema schema;
+  std::vector<FragmentPlacement> placements;
+
+  Result<size_t> NodeOf(const std::string& fragment) const;
+};
+
+/// XML Distribution Catalog Service (paper §4): stores fragment
+/// definitions and their allocation, consulted by the query decomposer for
+/// data localization.
+class DistributionCatalog {
+ public:
+  /// Registers a fragmentation design. Each fragment must have a
+  /// placement.
+  Status Register(frag::FragmentationSchema schema,
+                  std::vector<FragmentPlacement> placements);
+
+  /// Registers an unfragmented (centralized) collection at a node.
+  Status RegisterCentralized(const std::string& collection, size_t node);
+
+  bool IsFragmented(const std::string& collection) const;
+
+  Result<const DistributionEntry*> Get(const std::string& collection) const;
+
+  /// Node holding an unfragmented collection.
+  Result<size_t> CentralizedNode(const std::string& collection) const;
+
+  std::vector<std::string> FragmentedCollections() const;
+
+  /// (collection, node) pairs registered as centralized.
+  std::vector<std::pair<std::string, size_t>> CentralizedCollections()
+      const;
+
+ private:
+  std::map<std::string, DistributionEntry> entries_;
+  std::map<std::string, size_t> centralized_;
+};
+
+}  // namespace partix::middleware
+
+#endif  // PARTIX_PARTIX_CATALOG_H_

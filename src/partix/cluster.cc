@@ -1,0 +1,28 @@
+#include "partix/cluster.h"
+
+namespace partix::middleware {
+
+ClusterSim::ClusterSim(size_t node_count, xdb::DatabaseOptions node_options,
+                       NetworkModel network)
+    : network_(network) {
+  nodes_.reserve(node_count);
+  for (size_t i = 0; i < node_count; ++i) {
+    nodes_.push_back(std::make_unique<LocalXdbDriver>(
+        "node" + std::to_string(i), node_options));
+  }
+  down_.assign(node_count, false);
+}
+
+void ClusterSim::SetNodeDown(size_t i, bool down) {
+  if (i < down_.size()) down_[i] = down;
+}
+
+bool ClusterSim::IsNodeDown(size_t i) const {
+  return i < down_.size() && down_[i];
+}
+
+void ClusterSim::DropAllCaches() {
+  for (auto& node : nodes_) node->DropCaches();
+}
+
+}  // namespace partix::middleware

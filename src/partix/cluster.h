@@ -1,0 +1,64 @@
+#ifndef PARTIX_PARTIX_CLUSTER_H_
+#define PARTIX_PARTIX_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "partix/driver.h"
+
+namespace partix::middleware {
+
+/// Network cost model for the simulated cluster. The paper computes
+/// communication time as result size divided by the Gigabit Ethernet
+/// transmission speed, plus the (negligible) cost of shipping sub-queries;
+/// we model both explicitly.
+struct NetworkModel {
+  /// Payload bandwidth. 1 Gbit/s = 125e6 bytes/s.
+  double bandwidth_bytes_per_sec = 125e6;
+  /// Fixed per-message latency (sub-query dispatch, TCP round trip).
+  double latency_sec = 100e-6;
+
+  double TransferSeconds(uint64_t bytes) const {
+    return latency_sec +
+           static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  }
+};
+
+/// A simulated cluster of DBMS nodes. Each node is an independent
+/// xdb::Database (its own name pool, stores, caches, indexes). Sub-queries
+/// execute sequentially in-process, but the query service reports the
+/// *parallel* response time — the maximum over the involved nodes — the
+/// same methodology as the paper's evaluation ("the parallel execution of
+/// a query was simulated assuming that all fragments are placed at
+/// different sites ... we have used the time spent by the slowest site").
+class ClusterSim {
+ public:
+  ClusterSim(size_t node_count, xdb::DatabaseOptions node_options,
+             NetworkModel network);
+
+  size_t node_count() const { return nodes_.size(); }
+  Driver& node(size_t i) { return *nodes_[i]; }
+
+  /// Direct access to a node's embedded engine (local drivers only) —
+  /// used by deployment persistence and tests.
+  xdb::Database& database(size_t i) { return nodes_[i]->database(); }
+  const NetworkModel& network() const { return network_; }
+
+  /// Failure injection: a down node rejects every request until brought
+  /// back up. Data survives (the node is unreachable, not wiped).
+  void SetNodeDown(size_t i, bool down);
+  bool IsNodeDown(size_t i) const;
+
+  /// Cold-start all nodes.
+  void DropAllCaches();
+
+ private:
+  std::vector<std::unique_ptr<LocalXdbDriver>> nodes_;
+  std::vector<bool> down_;
+  NetworkModel network_;
+};
+
+}  // namespace partix::middleware
+
+#endif  // PARTIX_PARTIX_CLUSTER_H_

@@ -1,0 +1,41 @@
+#ifndef PARTIX_PARTIX_DEPLOYMENT_IO_H_
+#define PARTIX_PARTIX_DEPLOYMENT_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "partix/catalog.h"
+#include "partix/cluster.h"
+
+namespace partix::middleware {
+
+/// A deployment restored from disk.
+struct LoadedDeployment {
+  std::unique_ptr<DistributionCatalog> catalog;
+  std::unique_ptr<ClusterSim> cluster;
+};
+
+/// Persists a whole PartiX deployment — the distribution catalog
+/// (fragmentation designs, placements, centralized collections) and every
+/// node's collections — under `dir`:
+///
+///   <dir>/catalog.txt            cluster size + catalog entries
+///   <dir>/schema_<name>.txt      one fragmentation design each
+///   <dir>/node<i>/<collection>/  per-node exported collections
+///
+/// The cluster must be built from local drivers (ClusterSim always is).
+Status SaveDeployment(const std::string& dir,
+                      const DistributionCatalog& catalog,
+                      ClusterSim* cluster);
+
+/// Restores a deployment saved with SaveDeployment. Node databases are
+/// rebuilt with `node_options` (indexes are reconstructed at load time, as
+/// a real engine rebuilds them on restore).
+Result<LoadedDeployment> LoadDeployment(const std::string& dir,
+                                        xdb::DatabaseOptions node_options,
+                                        NetworkModel network);
+
+}  // namespace partix::middleware
+
+#endif  // PARTIX_PARTIX_DEPLOYMENT_IO_H_

@@ -1,0 +1,28 @@
+#include "partix/driver.h"
+
+namespace partix::middleware {
+
+LocalXdbDriver::LocalXdbDriver(std::string name, xdb::DatabaseOptions options)
+    : name_(std::move(name)), db_(options) {}
+
+Status LocalXdbDriver::CreateCollection(const std::string& name,
+                                        xdb::CollectionMeta meta) {
+  return db_.CreateCollection(name, std::move(meta));
+}
+
+Status LocalXdbDriver::StoreDocument(const std::string& collection,
+                                     const xml::Document& doc) {
+  return db_.StoreDocument(collection, doc);
+}
+
+Result<xdb::QueryResult> LocalXdbDriver::Execute(const std::string& query) {
+  return db_.Execute(query);
+}
+
+void LocalXdbDriver::DropCaches() { db_.DropCaches(); }
+
+std::string LocalXdbDriver::Describe() const {
+  return "local-xdb:" + name_;
+}
+
+}  // namespace partix::middleware

@@ -1,0 +1,57 @@
+#ifndef PARTIX_PARTIX_DRIVER_H_
+#define PARTIX_PARTIX_DRIVER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "engine/database.h"
+
+namespace partix::middleware {
+
+/// The PartiX Driver (paper §4): a uniform interface between the
+/// middleware and one XQuery-enabled DBMS node. Any XML DBMS that
+/// processes XQuery can participate; the only build here wraps the
+/// embedded xdb engine (the eXist stand-in), but the query service is
+/// written against this interface.
+class Driver {
+ public:
+  virtual ~Driver() = default;
+
+  virtual Status CreateCollection(const std::string& name,
+                                  xdb::CollectionMeta meta) = 0;
+  virtual Status StoreDocument(const std::string& collection,
+                               const xml::Document& doc) = 0;
+  virtual Result<xdb::QueryResult> Execute(const std::string& query) = 0;
+
+  /// Drops parsed-document caches (cold-start emulation for benchmarks).
+  virtual void DropCaches() = 0;
+
+  /// Human-readable identification for logs.
+  virtual std::string Describe() const = 0;
+};
+
+/// Driver for an in-process xdb::Database instance.
+class LocalXdbDriver : public Driver {
+ public:
+  explicit LocalXdbDriver(std::string name,
+                          xdb::DatabaseOptions options = {});
+
+  Status CreateCollection(const std::string& name,
+                          xdb::CollectionMeta meta) override;
+  Status StoreDocument(const std::string& collection,
+                       const xml::Document& doc) override;
+  Result<xdb::QueryResult> Execute(const std::string& query) override;
+  void DropCaches() override;
+  std::string Describe() const override;
+
+  xdb::Database& database() { return db_; }
+
+ private:
+  std::string name_;
+  xdb::Database db_;
+};
+
+}  // namespace partix::middleware
+
+#endif  // PARTIX_PARTIX_DRIVER_H_

@@ -1,0 +1,97 @@
+#include "partix/publisher.h"
+
+#include <string>
+
+#include "fragmentation/fragmenter.h"
+
+namespace partix::middleware {
+
+using xml::Document;
+using xml::DocumentPtr;
+using xml::kNullNode;
+using xml::NodeId;
+using xml::NodeKind;
+
+DocumentPtr ToWireFormat(const DocumentPtr& doc) {
+  if (!doc->origin_tracking() || doc->empty()) return doc;
+  auto out = std::make_shared<Document>(doc->pool(), doc->doc_name());
+  out->CopySubtree(*doc, doc->root(), kNullNode);
+  out->SetMetadata("px-src", doc->origin_doc());
+  out->SetMetadata("px-root", std::to_string(doc->origin(doc->root())));
+  std::string anc;
+  for (const auto& [id, name] : doc->origin_ancestors()) {
+    if (!anc.empty()) anc.push_back(',');
+    anc += std::to_string(id) + ":" + name;
+  }
+  out->SetMetadata("px-anc", anc);
+  return out;
+}
+
+Status DataPublisher::PublishCentralized(const xml::Collection& c,
+                                         size_t node) {
+  if (node >= cluster_->node_count()) {
+    return Status::OutOfRange("node index out of range");
+  }
+  Driver& driver = cluster_->node(node);
+  xdb::CollectionMeta meta;
+  meta.schema = c.schema();
+  meta.root_path = c.root_path();
+  meta.kind = c.kind();
+  PARTIX_RETURN_IF_ERROR(driver.CreateCollection(c.name(), meta));
+  for (const DocumentPtr& doc : c.docs()) {
+    PARTIX_RETURN_IF_ERROR(driver.StoreDocument(c.name(), *doc));
+  }
+  return catalog_->RegisterCentralized(c.name(), node);
+}
+
+Status DataPublisher::StoreFragments(
+    const std::vector<xml::Collection>& fragments,
+    const std::vector<FragmentPlacement>& placements) {
+  for (const xml::Collection& frag_coll : fragments) {
+    size_t node = cluster_->node_count();
+    for (const FragmentPlacement& p : placements) {
+      if (p.fragment == frag_coll.name()) {
+        node = p.node;
+        break;
+      }
+    }
+    if (node >= cluster_->node_count()) {
+      return Status::InvalidArgument("fragment '" + frag_coll.name() +
+                                     "' has no valid placement");
+    }
+    Driver& driver = cluster_->node(node);
+    xdb::CollectionMeta meta;
+    meta.schema = frag_coll.schema();
+    meta.root_path = frag_coll.root_path();
+    meta.kind = frag_coll.kind();
+    PARTIX_RETURN_IF_ERROR(driver.CreateCollection(frag_coll.name(), meta));
+    for (const DocumentPtr& doc : frag_coll.docs()) {
+      PARTIX_RETURN_IF_ERROR(
+          driver.StoreDocument(frag_coll.name(), *ToWireFormat(doc)));
+    }
+  }
+  return Status::Ok();
+}
+
+Status DataPublisher::PublishFragmented(
+    const xml::Collection& c, const frag::FragmentationSchema& schema,
+    std::vector<FragmentPlacement> placements) {
+  if (schema.collection != c.name()) {
+    return Status::InvalidArgument(
+        "fragmentation schema is for collection '" + schema.collection +
+        "', publishing '" + c.name() + "'");
+  }
+  if (placements.empty()) {
+    for (size_t i = 0; i < schema.fragments.size(); ++i) {
+      placements.push_back(FragmentPlacement{
+          schema.fragments[i].name(), i % cluster_->node_count()});
+    }
+  }
+  PARTIX_ASSIGN_OR_RETURN(std::vector<xml::Collection> fragments,
+                          frag::ApplyFragmentation(c, schema));
+  PARTIX_RETURN_IF_ERROR(StoreFragments(fragments, placements));
+  frag::FragmentationSchema registered = schema;
+  return catalog_->Register(std::move(registered), std::move(placements));
+}
+
+}  // namespace partix::middleware

@@ -1,0 +1,55 @@
+#ifndef PARTIX_PARTIX_PUBLISHER_H_
+#define PARTIX_PARTIX_PUBLISHER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "fragmentation/fragment_def.h"
+#include "partix/catalog.h"
+#include "partix/cluster.h"
+#include "xml/collection.h"
+
+namespace partix::middleware {
+
+/// Distributed XML Data Publisher (paper §4): receives XML documents,
+/// applies the fragmentation previously defined for the collection, and
+/// sends the resulting fragments to be stored at the remote DBMS nodes,
+/// registering the design in the distribution catalog.
+///
+/// Vertical/hybrid fragment documents are shipped in a wire format that
+/// carries the reconstruction IDs (px-src, px-root, px-anc) as out-of-band
+/// document metadata so that the query service can join partial results —
+/// "we keep an ID in each vertical fragment for reconstruction purposes".
+class DataPublisher {
+ public:
+  DataPublisher(ClusterSim* cluster, DistributionCatalog* catalog)
+      : cluster_(cluster), catalog_(catalog) {}
+
+  /// Stores an unfragmented collection at `node` and registers it as
+  /// centralized.
+  Status PublishCentralized(const xml::Collection& c, size_t node);
+
+  /// Fragments `c` per `schema`, stores each fragment at its placement
+  /// (round-robin over the cluster when `placements` is empty), and
+  /// registers the design.
+  Status PublishFragmented(const xml::Collection& c,
+                           const frag::FragmentationSchema& schema,
+                           std::vector<FragmentPlacement> placements = {});
+
+ private:
+  Status StoreFragments(const std::vector<xml::Collection>& fragments,
+                        const std::vector<FragmentPlacement>& placements);
+
+  ClusterSim* cluster_;
+  DistributionCatalog* catalog_;
+};
+
+/// Builds the wire-format twin of a fragment document: identical content,
+/// with the reconstruction IDs (px-src / px-root / px-anc) attached as
+/// out-of-band document metadata that stores persist and queries never
+/// see. Documents without origin tracking are returned unchanged.
+xml::DocumentPtr ToWireFormat(const xml::DocumentPtr& doc);
+
+}  // namespace partix::middleware
+
+#endif  // PARTIX_PARTIX_PUBLISHER_H_

@@ -1,0 +1,321 @@
+#include "partix/query_service.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "engine/database.h"
+#include "xml/document.h"
+
+namespace partix::middleware {
+
+namespace {
+
+using xml::Document;
+using xml::DocumentPtr;
+using xml::kNullNode;
+using xml::NodeId;
+using xml::NodeKind;
+
+/// One fetched fragment document plus its parsed wire metadata.
+struct FetchedDoc {
+  DocumentPtr doc;
+  std::string src;                       // px-src (or own name)
+  uint64_t root_id = 0;                  // px-root
+  std::vector<std::pair<uint64_t, std::string>> ancestors;  // px-anc
+  bool has_wire_ids = false;
+};
+
+Result<FetchedDoc> ParseWireDoc(DocumentPtr doc) {
+  FetchedDoc out;
+  out.doc = std::move(doc);
+  const Document& d = *out.doc;
+  if (d.empty()) {
+    return Status::InvalidArgument("empty fragment document");
+  }
+  out.src = d.doc_name();
+  // Reconstruction IDs travel as out-of-band document metadata so they
+  // never appear in query results.
+  std::string src = d.GetMetadata("px-src");
+  if (!src.empty()) {
+    out.src = src;
+    out.has_wire_ids = true;
+    int64_t v = 0;
+    if (!ParseInt64(d.GetMetadata("px-root"), &v)) {
+      return Status::Corruption("bad px-root metadata on '" +
+                                d.doc_name() + "'");
+    }
+    out.root_id = static_cast<uint64_t>(v);
+    for (std::string_view entry :
+         SplitSkipEmpty(d.GetMetadata("px-anc"), ',')) {
+      size_t colon = entry.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::Corruption("bad px-anc metadata");
+      }
+      int64_t id = 0;
+      if (!ParseInt64(entry.substr(0, colon), &id)) {
+        return Status::Corruption("bad px-anc id");
+      }
+      out.ancestors.emplace_back(static_cast<uint64_t>(id),
+                                 std::string(entry.substr(colon + 1)));
+    }
+  }
+  return out;
+}
+
+/// Copies the attributes and children of `src_root` under `dst_parent`.
+void CopyContentInto(Document* dst, NodeId dst_parent, const Document& src,
+                     NodeId src_root) {
+  for (NodeId c = src.first_child(src_root); c != kNullNode;
+       c = src.next_sibling(c)) {
+    dst->CopySubtree(src, c, dst_parent);
+  }
+}
+
+/// Joins the fragment documents of one source document (sorted by root
+/// id) into a single document approximating the original structure:
+/// scaffolding ancestors are re-created, containers with equal
+/// reconstruction ids are merged, fragment subtrees are attached in
+/// reconstruction-id order.
+Result<DocumentPtr> JoinGroup(const std::string& source,
+                              std::vector<FetchedDoc> docs,
+                              const std::shared_ptr<xml::NamePool>& pool) {
+  std::sort(docs.begin(), docs.end(),
+            [](const FetchedDoc& a, const FetchedDoc& b) {
+              return a.root_id < b.root_id;
+            });
+  auto out = std::make_shared<Document>(pool, source);
+  std::map<uint64_t, NodeId> containers;  // reconstruction id -> built node
+
+  for (const FetchedDoc& fd : docs) {
+    const Document& d = *fd.doc;
+    NodeId frag_root = d.root();
+    // Ensure the ancestor chain exists.
+    NodeId parent = kNullNode;
+    for (const auto& [id, name] : fd.ancestors) {
+      auto it = containers.find(id);
+      if (it == containers.end()) {
+        NodeId built = parent == kNullNode && out->empty()
+                           ? out->CreateRoot(name)
+                           : out->AppendElement(
+                                 parent == kNullNode ? out->root() : parent,
+                                 name);
+        containers.emplace(id, built);
+        parent = built;
+      } else {
+        parent = it->second;
+      }
+    }
+    auto it = containers.find(fd.root_id);
+    if (it != containers.end()) {
+      // Merge into an existing container (FragMode2 siblings, or a base
+      // fragment arriving after a scaffold was created).
+      CopyContentInto(out.get(), it->second, d, frag_root);
+      continue;
+    }
+    NodeId attached;
+    if (parent == kNullNode) {
+      if (out->empty()) {
+        attached = out->CreateRoot(d.name(frag_root));
+      } else {
+        return Status::Corruption(
+            "fragment of '" + source +
+            "' has no ancestor chain but a root already exists");
+      }
+    } else {
+      attached = out->AppendElement(parent, d.name(frag_root));
+    }
+    containers.emplace(fd.root_id, attached);
+    CopyContentInto(out.get(), attached, d, frag_root);
+  }
+  if (out->empty()) {
+    return Status::Corruption("join of '" + source + "' produced nothing");
+  }
+  return DocumentPtr(out);
+}
+
+}  // namespace
+
+Result<DistributedResult> QueryService::Execute(
+    const std::string& query, const ExecutionOptions& options) {
+  Stopwatch watch;
+  PARTIX_ASSIGN_OR_RETURN(DistributedPlan plan,
+                          decomposer_.Decompose(query));
+  const double decompose_ms = watch.ElapsedMillis();
+  PARTIX_ASSIGN_OR_RETURN(DistributedResult result,
+                          ExecutePlan(plan, options));
+  // The paper measures "the time between the moment PartiX receives the
+  // query until final result composition": planning is part of it.
+  result.decompose_ms = decompose_ms;
+  result.response_ms += decompose_ms;
+  return result;
+}
+
+Result<std::string> QueryService::Explain(const std::string& query) const {
+  PARTIX_ASSIGN_OR_RETURN(DistributedPlan plan,
+                          decomposer_.Decompose(query));
+  std::string out = "collection:   " + plan.collection + "\n";
+  out += "composition:  " + std::string(CompositionName(plan.composition)) +
+         "\n";
+  out += "sub-queries:  " + std::to_string(plan.subqueries.size());
+  if (plan.pruned_fragments > 0) {
+    out += "  (" + std::to_string(plan.pruned_fragments) +
+           " fragment(s) pruned by data localization)";
+  }
+  out += "\n";
+  for (const SubQuery& sub : plan.subqueries) {
+    out += "  node " + std::to_string(sub.node) + "  " + sub.fragment +
+           "\n    " + sub.query + "\n";
+  }
+  for (const std::string& note : plan.notes) {
+    out += "note: " + note + "\n";
+  }
+  return out;
+}
+
+Result<DistributedResult> QueryService::ExecutePlan(
+    const DistributedPlan& plan, const ExecutionOptions& options) {
+  if (plan.subqueries.empty()) {
+    return Status::InvalidArgument("plan has no sub-queries");
+  }
+  DistributedResult out;
+  out.pruned_fragments = plan.pruned_fragments;
+
+  if (options.cold_caches) cluster_->DropAllCaches();
+
+  // Execute each sub-query at its node (sequentially in-process; the
+  // response model treats them as parallel).
+  std::vector<xdb::QueryResult> partials;
+  partials.reserve(plan.subqueries.size());
+  uint64_t total_result_bytes = 0;
+  for (const SubQuery& sub : plan.subqueries) {
+    if (sub.node >= cluster_->node_count()) {
+      return Status::OutOfRange("sub-query node out of range");
+    }
+    if (cluster_->IsNodeDown(sub.node)) {
+      return Status::Unavailable(
+          "node " + std::to_string(sub.node) + " holding fragment '" +
+          sub.fragment + "' is down");
+    }
+    Driver& driver = cluster_->node(sub.node);
+    Result<xdb::QueryResult> result = driver.Execute(sub.query);
+    if (!result.ok()) {
+      return Status(result.status().code(),
+                    "sub-query on fragment '" + sub.fragment +
+                        "' failed: " + result.status().message());
+    }
+    SubQueryStats stats;
+    stats.fragment = sub.fragment;
+    stats.node = sub.node;
+    stats.elapsed_ms = result->metrics.elapsed_ms;
+    stats.result_bytes = result->metrics.result_bytes;
+    stats.docs_parsed = result->metrics.docs_parsed;
+    out.slowest_node_ms = std::max(out.slowest_node_ms, stats.elapsed_ms);
+    out.sum_node_ms += stats.elapsed_ms;
+    total_result_bytes += stats.result_bytes;
+    out.subqueries.push_back(std::move(stats));
+    partials.push_back(std::move(*result));
+  }
+
+  // Transmission: dispatching the sub-queries + shipping partial results
+  // to the coordinator.
+  const NetworkModel& net = cluster_->network();
+  out.transmission_ms =
+      1e3 * (static_cast<double>(plan.subqueries.size()) * net.latency_sec +
+             static_cast<double>(total_result_bytes) /
+                 net.bandwidth_bytes_per_sec);
+
+  // Composition.
+  Stopwatch compose_watch;
+  switch (plan.composition) {
+    case Composition::kUnion: {
+      for (const xdb::QueryResult& partial : partials) {
+        if (partial.serialized.empty()) continue;
+        if (!out.serialized.empty()) out.serialized.push_back('\n');
+        out.serialized += partial.serialized;
+        out.result_items += partial.metrics.result_items;
+      }
+      break;
+    }
+    case Composition::kSumCounts: {
+      double sum = 0.0;
+      for (const xdb::QueryResult& partial : partials) {
+        double v = 0.0;
+        if (!ParseDouble(partial.serialized, &v)) {
+          return Status::Internal(
+              "sum composition over a non-numeric partial result: '" +
+              partial.serialized + "'");
+        }
+        sum += v;
+      }
+      out.serialized = FormatNumber(sum);
+      out.result_items = 1;
+      break;
+    }
+    case Composition::kJoinReconstruct: {
+      PARTIX_ASSIGN_OR_RETURN(
+          out.serialized,
+          ComposeJoin(plan, std::move(partials), &out.result_items));
+      break;
+    }
+  }
+  out.composition_ms = compose_watch.ElapsedMillis();
+
+  out.response_ms = out.slowest_node_ms + out.composition_ms +
+                    (options.include_transmission ? out.transmission_ms
+                                                  : 0.0);
+  return out;
+}
+
+Result<std::string> QueryService::ComposeJoin(
+    const DistributedPlan& plan, std::vector<xdb::QueryResult> partials,
+    uint64_t* result_items) {
+  // A scratch engine hosts the joined documents under the original
+  // collection name; the original query then runs unchanged.
+  xdb::DatabaseOptions options;
+  options.cache_capacity_bytes = size_t{256} << 20;
+  xdb::Database scratch(options);
+  PARTIX_RETURN_IF_ERROR(scratch.CreateCollection(plan.collection));
+
+  // Group fetched documents by source document.
+  std::map<std::string, std::vector<FetchedDoc>> groups;
+  for (xdb::QueryResult& partial : partials) {
+    for (const xquery::Item& item : partial.items) {
+      if (!item.IsNode()) {
+        return Status::Internal(
+            "fetch sub-query returned a non-node item");
+      }
+      const xquery::NodeRef& ref = item.AsNode();
+      if (ref.node != xml::kDocumentNode &&
+          (ref.doc->empty() || ref.node != ref.doc->root())) {
+        return Status::Internal(
+            "fetch sub-query returned a non-document node");
+      }
+      PARTIX_ASSIGN_OR_RETURN(FetchedDoc fd, ParseWireDoc(ref.doc));
+      groups[fd.src].push_back(std::move(fd));
+    }
+  }
+
+  for (auto& [source, docs] : groups) {
+    bool wire = false;
+    for (const FetchedDoc& fd : docs) wire = wire || fd.has_wire_ids;
+    if (!wire && docs.size() == 1) {
+      // Whole-document fragment (horizontal fetch): store as-is.
+      PARTIX_RETURN_IF_ERROR(
+          scratch.StoreDocument(plan.collection, *docs[0].doc));
+      continue;
+    }
+    PARTIX_ASSIGN_OR_RETURN(DocumentPtr joined,
+                            JoinGroup(source, std::move(docs),
+                                      scratch.pool()));
+    PARTIX_RETURN_IF_ERROR(scratch.StoreDocument(plan.collection, *joined));
+  }
+
+  PARTIX_ASSIGN_OR_RETURN(xdb::QueryResult final_result,
+                          scratch.Execute(plan.original_query));
+  *result_items = final_result.metrics.result_items;
+  return final_result.serialized;
+}
+
+}  // namespace partix::middleware

@@ -1,0 +1,92 @@
+#ifndef PARTIX_PARTIX_QUERY_SERVICE_H_
+#define PARTIX_PARTIX_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "partix/catalog.h"
+#include "partix/cluster.h"
+#include "partix/decomposer.h"
+
+namespace partix::middleware {
+
+/// Per-sub-query execution record.
+struct SubQueryStats {
+  std::string fragment;
+  size_t node = 0;
+  double elapsed_ms = 0.0;
+  uint64_t result_bytes = 0;
+  uint64_t docs_parsed = 0;
+};
+
+/// The answer of a distributed execution, with the timing breakdown the
+/// experiments report. The response-time model follows the paper's
+/// methodology: sub-queries run in parallel at distinct sites, so the node
+/// component is the *slowest* site; partial results then flow to the
+/// coordinator over the modeled link; composition is measured for real.
+struct DistributedResult {
+  std::string serialized;
+  uint64_t result_items = 0;
+
+  double response_ms = 0.0;      // decompose + max node + transmission +
+                                 // composition
+  double decompose_ms = 0.0;     // middleware planning (Execute only)
+  double slowest_node_ms = 0.0;  // max over sub-queries
+  double sum_node_ms = 0.0;      // total work across nodes
+  double transmission_ms = 0.0;  // dispatch latency + result transfer
+  double composition_ms = 0.0;   // union/sum/join at the middleware
+
+  std::vector<SubQueryStats> subqueries;
+  size_t pruned_fragments = 0;
+};
+
+/// Execution knobs for experiments.
+struct ExecutionOptions {
+  /// Include the network model in response_ms (Fig. 7(d) reports both
+  /// with- and without-transmission series).
+  bool include_transmission = true;
+  /// Drop node caches before executing (cold start).
+  bool cold_caches = false;
+};
+
+/// Distributed XML Query Service (paper §4): analyzes path expressions,
+/// identifies the fragments referenced in each query, ships sub-queries to
+/// the corresponding DBMS nodes, and constructs the result.
+class QueryService {
+ public:
+  QueryService(ClusterSim* cluster, const DistributionCatalog* catalog)
+      : cluster_(cluster), catalog_(catalog), decomposer_(catalog) {}
+
+  /// Decomposes and executes `query`.
+  Result<DistributedResult> Execute(const std::string& query,
+                                    const ExecutionOptions& options =
+                                        ExecutionOptions());
+
+  /// Executes a pre-built plan (PartiX's prototype mode: "data location is
+  /// provided along with sub-queries").
+  Result<DistributedResult> ExecutePlan(const DistributedPlan& plan,
+                                        const ExecutionOptions& options =
+                                            ExecutionOptions());
+
+  const QueryDecomposer& decomposer() const { return decomposer_; }
+
+  /// EXPLAIN: decomposes `query` and renders the plan (routing, pruning,
+  /// composition, rewritten sub-queries) as human-readable text without
+  /// executing anything.
+  Result<std::string> Explain(const std::string& query) const;
+
+ private:
+  Result<std::string> ComposeJoin(const DistributedPlan& plan,
+                                  std::vector<xdb::QueryResult> partials,
+                                  uint64_t* result_items);
+
+  ClusterSim* cluster_;
+  const DistributionCatalog* catalog_;
+  QueryDecomposer decomposer_;
+};
+
+}  // namespace partix::middleware
+
+#endif  // PARTIX_PARTIX_QUERY_SERVICE_H_

@@ -1,0 +1,119 @@
+#include "storage/document_store.h"
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace partix::storage {
+
+DocumentStore::DocumentStore(std::shared_ptr<xml::NamePool> pool,
+                             size_t cache_capacity_bytes)
+    : pool_(std::move(pool)), cache_capacity_(cache_capacity_bytes) {}
+
+Result<DocSlot> DocumentStore::Put(const xml::Document& doc) {
+  return PutSerialized(doc.doc_name(), xml::Serialize(doc),
+                       doc.metadata());
+}
+
+Result<DocSlot> DocumentStore::PutSerialized(
+    std::string name, std::string xml,
+    std::map<std::string, std::string> metadata) {
+  if (by_name_.count(name) != 0) {
+    return Status::AlreadyExists("document '" + name +
+                                 "' already exists in store");
+  }
+  DocSlot slot = static_cast<DocSlot>(docs_.size());
+  total_bytes_ += xml.size();
+  Entry entry;
+  entry.name = name;
+  entry.xml = std::move(xml);
+  entry.metadata = std::move(metadata);
+  docs_.push_back(std::move(entry));
+  by_name_.emplace(std::move(name), slot);
+  return slot;
+}
+
+Result<xml::DocumentPtr> DocumentStore::Get(DocSlot slot) {
+  if (slot >= docs_.size()) {
+    return Status::OutOfRange("document slot out of range");
+  }
+  Entry& entry = docs_[slot];
+  if (entry.cached) {
+    ++metrics_.cache_hits;
+    Touch(slot);
+    return entry.parsed;
+  }
+  ++metrics_.cache_misses;
+  ++metrics_.parses;
+  metrics_.bytes_parsed += entry.xml.size();
+  PARTIX_ASSIGN_OR_RETURN(std::shared_ptr<xml::Document> doc,
+                          xml::ParseXml(pool_, entry.name, entry.xml));
+  for (const auto& [key, value] : entry.metadata) {
+    doc->SetMetadata(key, value);
+  }
+  xml::DocumentPtr parsed = std::move(doc);
+  if (cache_capacity_ > 0) InsertIntoCache(slot, parsed);
+  return parsed;
+}
+
+Result<DocSlot> DocumentStore::FindSlot(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("document '" + name + "' not in store");
+  }
+  return it->second;
+}
+
+bool DocumentStore::Contains(const std::string& name) const {
+  return by_name_.count(name) != 0;
+}
+
+void DocumentStore::Touch(DocSlot slot) {
+  Entry& entry = docs_[slot];
+  lru_.erase(entry.lru_it);
+  lru_.push_front(slot);
+  entry.lru_it = lru_.begin();
+}
+
+void DocumentStore::InsertIntoCache(DocSlot slot, xml::DocumentPtr doc) {
+  Entry& entry = docs_[slot];
+  entry.parsed_bytes = doc->ApproxBytes();
+  entry.parsed = std::move(doc);
+  entry.cached = true;
+  lru_.push_front(slot);
+  entry.lru_it = lru_.begin();
+  cache_bytes_ += entry.parsed_bytes;
+  EvictIfNeeded();
+}
+
+void DocumentStore::EvictIfNeeded() {
+  while (cache_bytes_ > cache_capacity_ && !lru_.empty()) {
+    DocSlot victim = lru_.back();
+    lru_.pop_back();
+    Entry& entry = docs_[victim];
+    cache_bytes_ -= entry.parsed_bytes;
+    entry.parsed.reset();
+    entry.parsed_bytes = 0;
+    entry.cached = false;
+  }
+}
+
+void DocumentStore::DropCache() {
+  for (Entry& entry : docs_) {
+    entry.parsed.reset();
+    entry.parsed_bytes = 0;
+    entry.cached = false;
+  }
+  lru_.clear();
+  cache_bytes_ = 0;
+}
+
+void DocumentStore::set_cache_capacity_bytes(size_t bytes) {
+  cache_capacity_ = bytes;
+  if (cache_capacity_ == 0) {
+    DropCache();
+  } else {
+    EvictIfNeeded();
+  }
+}
+
+}  // namespace partix::storage

@@ -1,0 +1,121 @@
+#ifndef PARTIX_STORAGE_DOCUMENT_STORE_H_
+#define PARTIX_STORAGE_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+#include "xml/name_pool.h"
+
+namespace partix::storage {
+
+/// Stable identifier of a document within one store (used as the posting
+/// unit by the indexes).
+using DocSlot = uint32_t;
+
+/// Counters describing store activity. Parse counts and parsed bytes are
+/// the store's cost model: like eXist, a document must be materialized
+/// (parsed) before a query can navigate it, and that per-document overhead
+/// is exactly what the paper's ItemsSHor/ItemsLHor and FragMode1/FragMode2
+/// results hinge on.
+struct StoreMetrics {
+  uint64_t parses = 0;
+  uint64_t bytes_parsed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  void Reset() { *this = StoreMetrics(); }
+};
+
+/// Stores documents in serialized (XML text) form and materializes them on
+/// demand, keeping an LRU cache of parsed trees bounded by approximate
+/// in-memory bytes.
+///
+/// Not thread-safe; the engine serializes access per collection.
+class DocumentStore {
+ public:
+  /// `pool`: name pool used when parsing. `cache_capacity_bytes`: bound on
+  /// the summed ApproxBytes of cached parsed documents; 0 disables caching
+  /// entirely (every Get re-parses).
+  DocumentStore(std::shared_ptr<xml::NamePool> pool,
+                size_t cache_capacity_bytes);
+
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+
+  /// Adds a document, serializing it. The document's out-of-band metadata
+  /// is persisted and re-attached on every Get. Fails if the name already
+  /// exists.
+  Result<DocSlot> Put(const xml::Document& doc);
+
+  /// Adds a document from serialized XML without validating it (it will be
+  /// parsed on first access). Fails if the name already exists.
+  Result<DocSlot> PutSerialized(
+      std::string name, std::string xml,
+      std::map<std::string, std::string> metadata = {});
+
+  /// Returns the parsed document, from cache or by parsing.
+  Result<xml::DocumentPtr> Get(DocSlot slot);
+
+  /// Looks up a document by name.
+  Result<DocSlot> FindSlot(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Serialized size of one document.
+  size_t SerializedSize(DocSlot slot) const { return docs_[slot].xml.size(); }
+
+  const std::string& DocName(DocSlot slot) const { return docs_[slot].name; }
+
+  /// Raw serialized XML (what "disk" holds).
+  const std::string& SerializedXml(DocSlot slot) const {
+    return docs_[slot].xml;
+  }
+
+  size_t size() const { return docs_.size(); }
+  uint64_t total_serialized_bytes() const { return total_bytes_; }
+
+  const StoreMetrics& metrics() const { return metrics_; }
+  void ResetMetrics() { metrics_.Reset(); }
+
+  /// Drops all cached parsed trees (keeps serialized data). Used by the
+  /// benchmarks to emulate a cold start.
+  void DropCache();
+
+  size_t cache_capacity_bytes() const { return cache_capacity_; }
+  void set_cache_capacity_bytes(size_t bytes);
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string xml;
+    std::map<std::string, std::string> metadata;
+    xml::DocumentPtr parsed;  // null when not cached
+    size_t parsed_bytes = 0;
+    std::list<DocSlot>::iterator lru_it;
+    bool cached = false;
+  };
+
+  void Touch(DocSlot slot);
+  void InsertIntoCache(DocSlot slot, xml::DocumentPtr doc);
+  void EvictIfNeeded();
+
+  std::shared_ptr<xml::NamePool> pool_;
+  size_t cache_capacity_;
+  size_t cache_bytes_ = 0;
+  uint64_t total_bytes_ = 0;
+  std::vector<Entry> docs_;
+  std::unordered_map<std::string, DocSlot> by_name_;
+  std::list<DocSlot> lru_;  // front = most recent
+  StoreMetrics metrics_;
+};
+
+}  // namespace partix::storage
+
+#endif  // PARTIX_STORAGE_DOCUMENT_STORE_H_

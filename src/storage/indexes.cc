@@ -1,0 +1,144 @@
+#include "storage/indexes.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace partix::storage {
+
+namespace {
+
+/// Appends `slot` to the posting list for `key` unless it is already the
+/// last entry (slots are added in increasing order, so lists stay sorted
+/// and deduplicated).
+void Append(std::unordered_map<std::string, PostingList>* postings,
+            std::string key, DocSlot slot) {
+  PostingList& list = (*postings)[std::move(key)];
+  if (list.empty() || list.back() != slot) list.push_back(slot);
+}
+
+}  // namespace
+
+PostingList IntersectPostings(const PostingList& a, const PostingList& b) {
+  PostingList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+PostingList UnionPostings(const PostingList& a, const PostingList& b) {
+  PostingList out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+void ElementIndex::AddDocument(DocSlot slot, const xml::Document& doc) {
+  if (doc.empty()) return;
+  doc.VisitSubtree(doc.root(), [&](xml::NodeId n) {
+    if (doc.kind(n) == xml::NodeKind::kText) return;
+    Append(&postings_, std::string(doc.name(n)), slot);
+  });
+}
+
+const PostingList* ElementIndex::Lookup(std::string_view name) const {
+  auto it = postings_.find(std::string(name));
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+void TextIndex::AddDocument(DocSlot slot, const xml::Document& doc) {
+  if (doc.empty()) return;
+  doc.VisitSubtree(doc.root(), [&](xml::NodeId n) {
+    if (doc.kind(n) == xml::NodeKind::kElement) return;
+    for (std::string& token : TokenizeWords(doc.value(n))) {
+      Append(&postings_, std::move(token), slot);
+    }
+  });
+}
+
+const PostingList* TextIndex::Lookup(std::string_view token) const {
+  auto it = postings_.find(AsciiLower(token));
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+std::optional<PostingList> TextIndex::CandidatesForContains(
+    std::string_view needle) const {
+  std::vector<std::string> tokens = TokenizeWords(needle);
+  if (tokens.empty()) return std::nullopt;
+  // A substring match can span token boundaries only if each full token of
+  // the needle (except possibly a prefix/suffix fragment) appears in the
+  // document. We keep the conservative contract simple: only prune when the
+  // needle is a single word token that is exactly the needle itself
+  // (lowercased); otherwise every interior token must be present.
+  PostingList current;
+  bool first = true;
+  for (const std::string& token : tokens) {
+    const PostingList* p = Lookup(token);
+    if (p == nullptr) {
+      // Token absent everywhere: for a single-token needle no document can
+      // contain the word; multi-token needles could still straddle
+      // tokenization in odd ways, but word tokens of the needle must appear
+      // as word tokens of the text under our tokenizer, so empty is sound.
+      return PostingList{};
+    }
+    current = first ? *p : IntersectPostings(current, *p);
+    first = false;
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+std::string ValueIndex::Key(std::string_view name, std::string_view value) {
+  std::string key;
+  key.reserve(name.size() + value.size() + 1);
+  key.append(name);
+  key.push_back('\0');
+  key.append(value);
+  return key;
+}
+
+void ValueIndex::AddDocument(DocSlot slot, const xml::Document& doc) {
+  if (doc.empty()) return;
+  doc.VisitSubtree(doc.root(), [&](xml::NodeId n) {
+    switch (doc.kind(n)) {
+      case xml::NodeKind::kAttribute: {
+        std::string_view v = doc.value(n);
+        if (v.size() <= kMaxValueLength) {
+          Append(&postings_, Key(doc.name(n), v), slot);
+        }
+        break;
+      }
+      case xml::NodeKind::kElement: {
+        if (!doc.HasSimpleContent(n)) break;
+        xml::NodeId child = doc.first_child(n);
+        // Simple content: gather the single text child if present.
+        std::string_view v;
+        bool has_text = false;
+        for (xml::NodeId c = child; c != xml::kNullNode;
+             c = doc.next_sibling(c)) {
+          if (doc.kind(c) == xml::NodeKind::kText) {
+            v = doc.value(c);
+            has_text = true;
+            break;
+          }
+        }
+        if (has_text && v.size() <= kMaxValueLength) {
+          Append(&postings_, Key(doc.name(n), v), slot);
+        }
+        break;
+      }
+      case xml::NodeKind::kText:
+        break;
+    }
+  });
+}
+
+const PostingList* ValueIndex::Lookup(std::string_view name,
+                                      std::string_view value) const {
+  auto it = postings_.find(Key(name, value));
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+}  // namespace partix::storage

@@ -1,0 +1,29 @@
+#include "storage/stats.h"
+
+#include "common/strings.h"
+
+namespace partix::storage {
+
+void CollectionStats::AddDocument(const xml::Document& doc,
+                                  size_t serialized_bytes) {
+  ++document_count_;
+  total_serialized_bytes_ += serialized_bytes;
+  total_nodes_ += doc.node_count();
+  if (doc.empty()) return;
+  doc.VisitSubtree(doc.root(), [&](xml::NodeId n) {
+    if (doc.kind(n) == xml::NodeKind::kText) {
+      total_text_bytes_ += doc.value(n).size();
+    } else {
+      element_counts_[std::string(doc.name(n))] += 1;
+    }
+  });
+}
+
+std::string CollectionStats::Summary() const {
+  return std::to_string(document_count_) + " docs, " +
+         HumanBytes(total_serialized_bytes_) + " serialized, " +
+         std::to_string(total_nodes_) + " nodes, avg doc " +
+         HumanBytes(static_cast<uint64_t>(AvgDocBytes()));
+}
+
+}  // namespace partix::storage

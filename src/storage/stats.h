@@ -1,0 +1,49 @@
+#ifndef PARTIX_STORAGE_STATS_H_
+#define PARTIX_STORAGE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "xml/document.h"
+
+namespace partix::storage {
+
+/// Aggregate statistics over a stored collection, maintained incrementally
+/// as documents are added. Useful for fragmentation design decisions and
+/// reported by the experiment harness.
+class CollectionStats {
+ public:
+  void AddDocument(const xml::Document& doc, size_t serialized_bytes);
+
+  uint64_t document_count() const { return document_count_; }
+  uint64_t total_serialized_bytes() const { return total_serialized_bytes_; }
+  uint64_t total_nodes() const { return total_nodes_; }
+  uint64_t total_text_bytes() const { return total_text_bytes_; }
+
+  double AvgDocBytes() const {
+    return document_count_ == 0
+               ? 0.0
+               : static_cast<double>(total_serialized_bytes_) /
+                     static_cast<double>(document_count_);
+  }
+
+  /// Occurrences of each element/attribute name across the collection.
+  const std::map<std::string, uint64_t>& element_counts() const {
+    return element_counts_;
+  }
+
+  /// Human-readable one-line summary.
+  std::string Summary() const;
+
+ private:
+  uint64_t document_count_ = 0;
+  uint64_t total_serialized_bytes_ = 0;
+  uint64_t total_nodes_ = 0;
+  uint64_t total_text_bytes_ = 0;
+  std::map<std::string, uint64_t> element_counts_;
+};
+
+}  // namespace partix::storage
+
+#endif  // PARTIX_STORAGE_STATS_H_

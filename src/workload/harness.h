@@ -1,0 +1,97 @@
+#ifndef PARTIX_WORKLOAD_HARNESS_H_
+#define PARTIX_WORKLOAD_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "fragmentation/fragment_def.h"
+#include "partix/catalog.h"
+#include "partix/cluster.h"
+#include "partix/publisher.h"
+#include "partix/query_service.h"
+#include "workload/queries.h"
+#include "xml/collection.h"
+
+namespace partix::workload {
+
+/// One deployed configuration: a cluster holding either the centralized
+/// collection or one fragmentation design of it, plus the catalogs and the
+/// query service. Bench binaries create one Deployment per series
+/// (centralized, 2 fragments, 4 fragments, ...).
+class Deployment {
+ public:
+  /// Centralized: one node holding the whole collection under its own
+  /// name.
+  static Result<std::unique_ptr<Deployment>> Centralized(
+      const xml::Collection& data, xdb::DatabaseOptions node_options,
+      middleware::NetworkModel network);
+
+  /// Fragmented: one node per fragment (as the paper simulates), each
+  /// holding its fragment.
+  static Result<std::unique_ptr<Deployment>> Fragmented(
+      const xml::Collection& data,
+      const frag::FragmentationSchema& schema,
+      xdb::DatabaseOptions node_options, middleware::NetworkModel network);
+
+  middleware::QueryService& service() { return *service_; }
+  middleware::ClusterSim& cluster() { return *cluster_; }
+  size_t node_count() const { return cluster_->node_count(); }
+
+ private:
+  Deployment() = default;
+
+  std::unique_ptr<middleware::DistributionCatalog> catalog_;
+  std::unique_ptr<middleware::ClusterSim> cluster_;
+  std::unique_ptr<middleware::DataPublisher> publisher_;
+  std::unique_ptr<middleware::QueryService> service_;
+};
+
+/// Measurement protocol knobs. The paper submitted each query 10 times,
+/// discarded the first execution, and averaged the rest; benches default
+/// to fewer repetitions to stay fast (set PARTIX_RUNS to override).
+struct MeasureOptions {
+  size_t runs = 4;
+  bool discard_first = true;
+  bool include_transmission = true;
+  /// Drop every node cache before each run (cold). The paper's protocol
+  /// is warm (the discarded first run warms the caches).
+  bool cold = false;
+};
+
+/// Aggregated timings for one query on one deployment.
+struct Measurement {
+  std::string query_id;
+  double response_ms = 0.0;       // averaged per the protocol
+  double slowest_node_ms = 0.0;
+  double transmission_ms = 0.0;
+  double composition_ms = 0.0;
+  uint64_t result_bytes = 0;
+  size_t subqueries = 0;
+  size_t pruned_fragments = 0;
+};
+
+/// Runs one query under the measurement protocol.
+Result<Measurement> Measure(Deployment* deployment, const QuerySpec& query,
+                            const MeasureOptions& options);
+
+/// Reads the experiment scale factor from PARTIX_SCALE (default 1.0):
+/// benches multiply their database target sizes by it.
+double ScaleFromEnv();
+
+/// Reads the repetition count from PARTIX_RUNS (default `fallback`).
+size_t RunsFromEnv(size_t fallback);
+
+/// Prints a paper-style results table: one row per query, one column per
+/// series.
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& series_names,
+                const std::vector<std::vector<Measurement>>& series,
+                const std::vector<QuerySpec>& queries);
+
+}  // namespace partix::workload
+
+#endif  // PARTIX_WORKLOAD_HARNESS_H_

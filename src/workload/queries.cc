@@ -1,0 +1,119 @@
+#include "workload/queries.h"
+
+namespace partix::workload {
+
+namespace {
+
+std::string C(const std::string& collection) {
+  return "collection(\"" + collection + "\")";
+}
+
+}  // namespace
+
+std::vector<QuerySpec> HorizontalQueries(const std::string& collection) {
+  const std::string c = C(collection);
+  return {
+      {"Q1", "full scan returning every item name",
+       "for $i in " + c + "/Item return $i/Name"},
+      {"Q2", "selection matching the fragmentation predicate (Section)",
+       "for $i in " + c + "/Item where $i/Section = \"CD\" "
+       "return $i/Name"},
+      {"Q3", "numeric range predicate on Code",
+       "for $i in " + c + "/Item where $i/Code >= 100 and $i/Code < 300 "
+       "return $i/Name"},
+      {"Q4", "aggregation inside the predicate (items with many "
+             "characteristics)",
+       "for $i in " + c + "/Item where count($i/Characteristics) >= 3 "
+       "return $i/Code"},
+      {"Q5", "text search on Description",
+       "for $i in " + c + "/Item "
+       "where contains($i/Description, \"good\") return $i/Code"},
+      {"Q6", "text search with a descendant-axis path",
+       "for $i in " + c + "/Item "
+       "where contains($i//Description, \"good\") return $i/Code"},
+      {"Q7", "count aggregation with a section predicate",
+       "count(" + c + "/Item[Section = \"DVD\"])"},
+      {"Q8", "count aggregation over a text search",
+       "count(for $i in " + c + "/Item "
+       "where contains($i/Description, \"good\") return $i)"},
+  };
+}
+
+std::vector<QuerySpec> VerticalQueries(const std::string& collection) {
+  const std::string c = C(collection);
+  return {
+      {"Q1", "every title (prolog fragment only)",
+       "for $a in " + c + "/article return $a/prolog/title"},
+      {"Q2", "titles of one genre (prolog only)",
+       "for $a in " + c + "/article "
+       "where $a/prolog/genre = \"survey\" return $a/prolog/title"},
+      {"Q3", "all author names (prolog only)",
+       c + "/article/prolog/authors/author/name"},
+      {"Q4", "title plus reference count (prolog + epilog join)",
+       "for $a in " + c + "/article "
+       "return <result>{ $a/prolog/title }"
+       "<refs>{ count($a/epilog/references/reference) }</refs></result>"},
+      {"Q5", "keyword count (prolog only, aggregation)",
+       "count(" + c + "/article/prolog/keywords/keyword)"},
+      {"Q6", "text search in the body (body only, heavy)",
+       "count(for $a in " + c + "/article "
+       "where contains($a/body/abstract, \"database\") "
+       "return $a/body/abstract)"},
+      {"Q7", "titles of heavily-cited articles (prolog + epilog join)",
+       "for $a in " + c + "/article "
+       "where count($a/epilog/references/reference) >= 25 "
+       "return $a/prolog/title"},
+      {"Q8", "abstracts of one genre (prolog + body join)",
+       "for $a in " + c + "/article "
+       "where $a/prolog/genre = \"survey\" return $a/body/abstract"},
+      {"Q9", "whole articles of one genre (all fragments join)",
+       "for $a in " + c + "/article "
+       "where $a/prolog/genre = \"demo\" return $a"},
+      {"Q10", "reference count (epilog only, aggregation)",
+       "count(" + c + "/article/epilog/references/reference)"},
+  };
+}
+
+std::vector<QuerySpec> HybridQueries(const std::string& collection) {
+  const std::string c = C(collection);
+  const std::string items = c + "/Store/Items/Item";
+  return {
+      {"Q1", "every item name (all instance fragments)",
+       "for $i in " + items + " return $i/Name"},
+      {"Q2", "names of one section (localized to one fragment)",
+       "for $i in " + items + " where $i/Section = \"CD\" "
+       "return $i/Name"},
+      {"Q3", "section plus text search (one fragment)",
+       "for $i in " + items + " where $i/Section = \"DVD\" and "
+       "contains($i/Description, \"good\") return $i/Name"},
+      {"Q4", "section plus code range (one fragment)",
+       "for $i in " + items + " where $i/Section = \"CD\" and "
+       "$i/Code < 200 return $i/Code"},
+      {"Q5", "text search across all instance fragments",
+       "for $i in " + items + " "
+       "where contains($i/Description, \"good\") return $i/Code"},
+      {"Q6", "whole items of one section (large results)",
+       "for $i in " + items + " where $i/Section = \"CD\" return $i"},
+      {"Q7", "every whole item (the paper's transmission-bound worst "
+             "case)",
+       "for $i in " + items + " return $i"},
+      {"Q8", "existential test on PictureList",
+       "for $i in " + items + " where $i/PictureList return $i/Code"},
+      {"Q9", "section catalog (pruned store fragment only)",
+       "for $s in " + c + "/Store/Sections/Section return $s/Name"},
+      {"Q10", "employee count (pruned store fragment only)",
+       "count(" + c + "/Store/Employees/Employee)"},
+      {"Q11", "count of all items (decomposable aggregation)",
+       "count(" + items + ")"},
+  };
+}
+
+const QuerySpec* FindQuery(const std::vector<QuerySpec>& set,
+                           const std::string& id) {
+  for (const QuerySpec& q : set) {
+    if (q.id == id) return &q;
+  }
+  return nullptr;
+}
+
+}  // namespace partix::workload

@@ -1,0 +1,41 @@
+#ifndef PARTIX_WORKLOAD_QUERIES_H_
+#define PARTIX_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace partix::workload {
+
+/// One workload query. The paper's query texts live in its (unavailable)
+/// technical report [3]; these sets are reconstructions that match every
+/// property §5 states: "diverse access patterns to XML collections,
+/// including the usage of predicates, text searches and aggregation
+/// operations", queries matching / not matching the fragmentation
+/// predicates, single- vs multi-fragment vertical access, the hybrid
+/// queries that return whole Item elements, Q9/Q10 touching the pruned
+/// store fragment, and the aggregation query Q11.
+struct QuerySpec {
+  std::string id;
+  std::string description;
+  std::string text;
+};
+
+/// Horizontal workload Q1–Q8 over the Citems MD collection (documents
+/// rooted at <Item>), fragmented by /Item/Section.
+std::vector<QuerySpec> HorizontalQueries(const std::string& collection);
+
+/// Vertical workload Q1–Q10 over the XBench article collection, fragmented
+/// into prolog / body / epilog.
+std::vector<QuerySpec> VerticalQueries(const std::string& collection);
+
+/// Hybrid workload Q1–Q11 over the Cstore SD collection, fragmented into
+/// per-section Item fragments plus the pruned store fragment.
+std::vector<QuerySpec> HybridQueries(const std::string& collection);
+
+/// Looks up a query by id; returns nullptr when absent.
+const QuerySpec* FindQuery(const std::vector<QuerySpec>& set,
+                           const std::string& id);
+
+}  // namespace partix::workload
+
+#endif  // PARTIX_WORKLOAD_QUERIES_H_

@@ -1,0 +1,116 @@
+#include "workload/schemas.h"
+
+#include <algorithm>
+
+namespace partix::workload {
+
+namespace {
+
+using frag::FragmentationSchema;
+using frag::HorizontalDef;
+using frag::HybridDef;
+using frag::VerticalDef;
+using xpath::CompareOp;
+using xpath::Conjunction;
+using xpath::Path;
+using xpath::Predicate;
+
+Result<Path> P(const std::string& text) { return Path::Parse(text); }
+
+/// Builds range conjunctions over `path_text` that partition the sorted
+/// section values into `fragment_count` contiguous groups.
+Result<std::vector<Conjunction>> SectionRanges(
+    const std::string& path_text, std::vector<std::string> sections,
+    size_t fragment_count) {
+  if (fragment_count == 0 || sections.empty()) {
+    return Status::InvalidArgument("need sections and fragments");
+  }
+  if (fragment_count > sections.size()) {
+    return Status::InvalidArgument(
+        "more fragments than section values (" +
+        std::to_string(fragment_count) + " > " +
+        std::to_string(sections.size()) + ")");
+  }
+  std::sort(sections.begin(), sections.end());
+  PARTIX_ASSIGN_OR_RETURN(Path path, P(path_text));
+  std::vector<Conjunction> out;
+  // Balanced boundaries: fragment f holds sections
+  // [f*n/count, (f+1)*n/count), which is non-empty whenever
+  // count <= n (checked above).
+  const size_t n = sections.size();
+  for (size_t f = 0; f < fragment_count; ++f) {
+    Conjunction mu;
+    if (f > 0) {
+      mu.Add(Predicate::Compare(path, CompareOp::kGe,
+                                sections[f * n / fragment_count]));
+    }
+    if (f + 1 < fragment_count) {
+      mu.Add(Predicate::Compare(path, CompareOp::kLt,
+                                sections[(f + 1) * n / fragment_count]));
+    }
+    // The first fragment is open below and the last open above, so every
+    // possible section value lands somewhere (completeness by design).
+    out.push_back(std::move(mu));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<FragmentationSchema> SectionHorizontalSchema(
+    const std::string& collection, std::vector<std::string> sections,
+    size_t fragment_count) {
+  PARTIX_ASSIGN_OR_RETURN(
+      std::vector<Conjunction> ranges,
+      SectionRanges("/Item/Section", std::move(sections), fragment_count));
+  FragmentationSchema schema;
+  schema.collection = collection;
+  for (size_t f = 0; f < ranges.size(); ++f) {
+    schema.fragments.emplace_back(HorizontalDef{
+        collection + "_h" + std::to_string(f), std::move(ranges[f])});
+  }
+  PARTIX_RETURN_IF_ERROR(schema.ValidateStructure());
+  return schema;
+}
+
+Result<FragmentationSchema> ArticleVerticalSchema(
+    const std::string& collection) {
+  FragmentationSchema schema;
+  schema.collection = collection;
+  PARTIX_ASSIGN_OR_RETURN(Path prolog, P("/article/prolog"));
+  PARTIX_ASSIGN_OR_RETURN(Path body, P("/article/body"));
+  PARTIX_ASSIGN_OR_RETURN(Path epilog, P("/article/epilog"));
+  schema.fragments.emplace_back(
+      VerticalDef{collection + "_prolog", std::move(prolog), {}});
+  schema.fragments.emplace_back(
+      VerticalDef{collection + "_body", std::move(body), {}});
+  schema.fragments.emplace_back(
+      VerticalDef{collection + "_epilog", std::move(epilog), {}});
+  PARTIX_RETURN_IF_ERROR(schema.ValidateStructure());
+  return schema;
+}
+
+Result<FragmentationSchema> StoreHybridSchema(
+    const std::string& collection, std::vector<std::string> sections,
+    size_t item_fragment_count, frag::HybridMode mode) {
+  PARTIX_ASSIGN_OR_RETURN(
+      std::vector<Conjunction> ranges,
+      SectionRanges("/Item/Section", std::move(sections),
+                    item_fragment_count));
+  FragmentationSchema schema;
+  schema.collection = collection;
+  schema.hybrid_mode = mode;
+  PARTIX_ASSIGN_OR_RETURN(Path items, P("/Store/Items"));
+  PARTIX_ASSIGN_OR_RETURN(Path store, P("/Store"));
+  for (size_t f = 0; f < ranges.size(); ++f) {
+    schema.fragments.emplace_back(
+        HybridDef{collection + "_items" + std::to_string(f), items, {},
+                  std::move(ranges[f])});
+  }
+  schema.fragments.emplace_back(HybridDef{
+      collection + "_rest", std::move(store), {items}, Conjunction()});
+  PARTIX_RETURN_IF_ERROR(schema.ValidateStructure());
+  return schema;
+}
+
+}  // namespace partix::workload

@@ -1,0 +1,37 @@
+#ifndef PARTIX_WORKLOAD_SCHEMAS_H_
+#define PARTIX_WORKLOAD_SCHEMAS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fragmentation/fragment_def.h"
+
+namespace partix::workload {
+
+/// Builds the horizontal design of the paper's ItemsSHor/ItemsLHor
+/// experiments: the Citems collection fragmented on /Item/Section into
+/// `fragment_count` fragments. Sections are grouped into contiguous
+/// lexicographic ranges so that any fragment count works with conjunctive
+/// predicates (fragment k holds sections[k*g .. (k+1)*g)); the final
+/// fragment is open-ended so unforeseen values stay complete.
+Result<frag::FragmentationSchema> SectionHorizontalSchema(
+    const std::string& collection, std::vector<std::string> sections,
+    size_t fragment_count);
+
+/// Builds the vertical design of the XBenchVer experiment:
+///   F1 := π(/article/prolog), F2 := π(/article/body),
+///   F3 := π(/article/epilog).
+Result<frag::FragmentationSchema> ArticleVerticalSchema(
+    const std::string& collection);
+
+/// Builds the hybrid design of the StoreHyb experiment: F1 prunes
+/// /Store/Items out of the store; the remaining fragments partition the
+/// Item instances by /Item/Section ranges (like the horizontal design).
+Result<frag::FragmentationSchema> StoreHybridSchema(
+    const std::string& collection, std::vector<std::string> sections,
+    size_t item_fragment_count, frag::HybridMode mode);
+
+}  // namespace partix::workload
+
+#endif  // PARTIX_WORKLOAD_SCHEMAS_H_

@@ -1,0 +1,46 @@
+#include "xml/collection.h"
+
+#include "common/strings.h"
+
+namespace partix::xml {
+
+std::string Collection::RootType() const {
+  auto steps = SplitSkipEmpty(root_path_, '/');
+  if (steps.empty()) return "";
+  return std::string(steps.back());
+}
+
+Status Collection::Add(DocumentPtr doc) {
+  if (doc == nullptr || doc->empty()) {
+    return Status::InvalidArgument("cannot add an empty document");
+  }
+  if (kind_ == RepoKind::kSingleDocument && !docs_.empty()) {
+    return Status::FailedPrecondition(
+        "SD collection '" + name_ + "' already holds its single document");
+  }
+  docs_.push_back(std::move(doc));
+  return Status::Ok();
+}
+
+Status Collection::ValidateHomogeneous() const {
+  if (schema_ == nullptr) return Status::Ok();
+  const std::string root_type = RootType();
+  for (const DocumentPtr& doc : docs_) {
+    PARTIX_RETURN_IF_ERROR(schema_->Validate(*doc, root_type));
+  }
+  return Status::Ok();
+}
+
+size_t Collection::ApproxBytes() const {
+  size_t total = 0;
+  for (const DocumentPtr& doc : docs_) total += doc->ApproxBytes();
+  return total;
+}
+
+size_t Collection::TotalNodes() const {
+  size_t total = 0;
+  for (const DocumentPtr& doc : docs_) total += doc->node_count();
+  return total;
+}
+
+}  // namespace partix::xml

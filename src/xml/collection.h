@@ -1,0 +1,72 @@
+#ifndef PARTIX_XML_COLLECTION_H_
+#define PARTIX_XML_COLLECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xml/schema.h"
+
+namespace partix::xml {
+
+/// Repository kinds of the paper (§3.1 / XBench): a collection may be one
+/// single large document (SD) or many documents (MD).
+enum class RepoKind {
+  kSingleDocument,
+  kMultipleDocuments,
+};
+
+/// A homogeneous collection C := ⟨S, τ_root⟩ of XML documents: a set of
+/// data trees all satisfying the same root type of schema S.
+///
+/// `root_path` records how instances relate to the schema (e.g. Citems :=
+/// ⟨Svirtual_store, /Store/Items/Item⟩): the element type that roots each
+/// document is the last step of the path.
+class Collection {
+ public:
+  Collection() = default;
+  Collection(std::string name, SchemaPtr schema, std::string root_path,
+             RepoKind kind)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        root_path_(std::move(root_path)),
+        kind_(kind) {}
+
+  const std::string& name() const { return name_; }
+  const SchemaPtr& schema() const { return schema_; }
+  const std::string& root_path() const { return root_path_; }
+  RepoKind kind() const { return kind_; }
+
+  /// The element type rooting each instance (last step of root_path).
+  std::string RootType() const;
+
+  /// Adds a document. For SD collections at most one document is allowed.
+  Status Add(DocumentPtr doc);
+
+  const std::vector<DocumentPtr>& docs() const { return docs_; }
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  /// Validates that the collection is homogeneous: every document satisfies
+  /// the root type. No-op (OK) when the collection has no schema attached.
+  Status ValidateHomogeneous() const;
+
+  /// Total approximate in-memory bytes across documents.
+  size_t ApproxBytes() const;
+
+  /// Total node count across documents.
+  size_t TotalNodes() const;
+
+ private:
+  std::string name_;
+  SchemaPtr schema_;
+  std::string root_path_;
+  RepoKind kind_ = RepoKind::kMultipleDocuments;
+  std::vector<DocumentPtr> docs_;
+};
+
+}  // namespace partix::xml
+
+#endif  // PARTIX_XML_COLLECTION_H_

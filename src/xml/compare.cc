@@ -1,0 +1,72 @@
+#include "xml/compare.h"
+
+namespace partix::xml {
+
+bool SubtreesEqual(const Document& a, NodeId na, const Document& b,
+                   NodeId nb) {
+  if (a.kind(na) != b.kind(nb)) return false;
+  switch (a.kind(na)) {
+    case NodeKind::kText:
+      return a.value(na) == b.value(nb);
+    case NodeKind::kAttribute:
+      return a.name(na) == b.name(nb) && a.value(na) == b.value(nb);
+    case NodeKind::kElement:
+      break;
+  }
+  if (a.name(na) != b.name(nb)) return false;
+  NodeId ca = a.first_child(na);
+  NodeId cb = b.first_child(nb);
+  while (ca != kNullNode && cb != kNullNode) {
+    if (!SubtreesEqual(a, ca, b, cb)) return false;
+    ca = a.next_sibling(ca);
+    cb = b.next_sibling(cb);
+  }
+  return ca == kNullNode && cb == kNullNode;
+}
+
+bool DocumentsEqual(const Document& a, const Document& b) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty();
+  return SubtreesEqual(a, a.root(), b, b.root());
+}
+
+std::string ExplainDifference(const Document& a, NodeId na,
+                              const Document& b, NodeId nb) {
+  if (a.kind(na) != b.kind(nb)) {
+    return "node kind mismatch at a:" + std::to_string(na) +
+           " b:" + std::to_string(nb);
+  }
+  if (a.kind(na) != NodeKind::kElement) {
+    if (a.kind(na) == NodeKind::kAttribute && a.name(na) != b.name(nb)) {
+      return "attribute name mismatch: " + std::string(a.name(na)) +
+             " vs " + std::string(b.name(nb));
+    }
+    if (a.value(na) != b.value(nb)) {
+      return "value mismatch: '" + std::string(a.value(na)) + "' vs '" +
+             std::string(b.value(nb)) + "'";
+    }
+    return "";
+  }
+  if (a.name(na) != b.name(nb)) {
+    return "element name mismatch: <" + std::string(a.name(na)) + "> vs <" +
+           std::string(b.name(nb)) + ">";
+  }
+  NodeId ca = a.first_child(na);
+  NodeId cb = b.first_child(nb);
+  while (ca != kNullNode && cb != kNullNode) {
+    std::string diff = ExplainDifference(a, ca, b, cb);
+    if (!diff.empty()) return diff;
+    ca = a.next_sibling(ca);
+    cb = b.next_sibling(cb);
+  }
+  if (ca != kNullNode) {
+    return "extra child under <" + std::string(a.name(na)) +
+           "> in first document";
+  }
+  if (cb != kNullNode) {
+    return "extra child under <" + std::string(b.name(nb)) +
+           "> in second document";
+  }
+  return "";
+}
+
+}  // namespace partix::xml

@@ -1,0 +1,27 @@
+#ifndef PARTIX_XML_COMPARE_H_
+#define PARTIX_XML_COMPARE_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace partix::xml {
+
+/// Deep structural equality of two subtrees: same node kinds, labels,
+/// values, and child order. Attribute order is significant (the PartiX
+/// builders always emit attributes in a deterministic order).
+bool SubtreesEqual(const Document& a, NodeId na, const Document& b,
+                   NodeId nb);
+
+/// Deep equality of two documents' content (names of the documents are not
+/// compared).
+bool DocumentsEqual(const Document& a, const Document& b);
+
+/// If the subtrees differ, returns a human-readable description of the
+/// first difference found (for test diagnostics); empty string when equal.
+std::string ExplainDifference(const Document& a, NodeId na,
+                              const Document& b, NodeId nb);
+
+}  // namespace partix::xml
+
+#endif  // PARTIX_XML_COMPARE_H_

@@ -1,0 +1,176 @@
+#include "xml/document.h"
+
+#include <cassert>
+
+namespace partix::xml {
+
+Document::Document(std::shared_ptr<NamePool> pool, std::string name)
+    : pool_(std::move(pool)), doc_name_(std::move(name)) {
+  assert(pool_ != nullptr);
+}
+
+NodeId Document::NewNode(NodeKind kind, NameId name, uint32_t value,
+                         NodeId parent) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeData{kind, name, value, parent, kNullNode, kNullNode,
+                            kNullNode});
+  if (parent != kNullNode) {
+    NodeData& p = nodes_[parent];
+    if (p.first_child == kNullNode) {
+      p.first_child = id;
+    } else {
+      nodes_[p.last_child].next_sibling = id;
+    }
+    p.last_child = id;
+  }
+  if (origin_tracking_) origins_.push_back(kNullNode);
+  return id;
+}
+
+NodeId Document::CreateRoot(std::string_view element_name) {
+  assert(nodes_.empty());
+  return NewNode(NodeKind::kElement, pool_->Intern(element_name), 0,
+                 kNullNode);
+}
+
+NodeId Document::AppendElement(NodeId parent, std::string_view name) {
+  assert(parent < nodes_.size() &&
+         nodes_[parent].kind == NodeKind::kElement);
+  return NewNode(NodeKind::kElement, pool_->Intern(name), 0, parent);
+}
+
+NodeId Document::AppendAttribute(NodeId parent, std::string_view name,
+                                 std::string_view value) {
+  assert(parent < nodes_.size() &&
+         nodes_[parent].kind == NodeKind::kElement);
+  uint32_t value_idx = static_cast<uint32_t>(texts_.size());
+  texts_.emplace_back(value);
+  return NewNode(NodeKind::kAttribute, pool_->Intern(name), value_idx,
+                 parent);
+}
+
+NodeId Document::AppendText(NodeId parent, std::string_view value) {
+  assert(parent < nodes_.size() &&
+         nodes_[parent].kind == NodeKind::kElement);
+  uint32_t value_idx = static_cast<uint32_t>(texts_.size());
+  texts_.emplace_back(value);
+  return NewNode(NodeKind::kText, 0, value_idx, parent);
+}
+
+NodeId Document::CopySubtree(const Document& src, NodeId src_root,
+                             NodeId dst_parent,
+                             const std::function<bool(NodeId)>& skip) {
+  if (skip && skip(src_root)) return kNullNode;
+  NodeId copied;
+  switch (src.kind(src_root)) {
+    case NodeKind::kElement:
+      copied = dst_parent == kNullNode
+                   ? CreateRoot(src.name(src_root))
+                   : AppendElement(dst_parent, src.name(src_root));
+      break;
+    case NodeKind::kAttribute:
+      assert(dst_parent != kNullNode);
+      copied = AppendAttribute(dst_parent, src.name(src_root),
+                               src.value(src_root));
+      break;
+    case NodeKind::kText:
+      assert(dst_parent != kNullNode);
+      copied = AppendText(dst_parent, src.value(src_root));
+      break;
+    default:
+      return kNullNode;
+  }
+  if (origin_tracking_) SetOrigin(copied, src_root);
+  if (src.kind(src_root) == NodeKind::kElement) {
+    for (NodeId c = src.first_child(src_root); c != kNullNode;
+         c = src.next_sibling(c)) {
+      CopySubtree(src, c, copied, skip);
+    }
+  }
+  return copied;
+}
+
+std::vector<NodeId> Document::ElementChildren(NodeId n) const {
+  std::vector<NodeId> out;
+  for (NodeId c = first_child(n); c != kNullNode; c = next_sibling(c)) {
+    if (kind(c) == NodeKind::kElement) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<NodeId> Document::ElementChildren(NodeId n, NameId name) const {
+  std::vector<NodeId> out;
+  for (NodeId c = first_child(n); c != kNullNode; c = next_sibling(c)) {
+    if (kind(c) == NodeKind::kElement && name_id(c) == name) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Document::Attributes(NodeId n) const {
+  std::vector<NodeId> out;
+  for (NodeId c = first_child(n); c != kNullNode; c = next_sibling(c)) {
+    if (kind(c) == NodeKind::kAttribute) out.push_back(c);
+  }
+  return out;
+}
+
+NodeId Document::FindAttribute(NodeId n, NameId name) const {
+  for (NodeId c = first_child(n); c != kNullNode; c = next_sibling(c)) {
+    if (kind(c) == NodeKind::kAttribute && name_id(c) == name) return c;
+  }
+  return kNullNode;
+}
+
+std::string Document::StringValue(NodeId n) const {
+  if (kind(n) != NodeKind::kElement) return std::string(value(n));
+  std::string out;
+  VisitSubtree(n, [&](NodeId d) {
+    if (kind(d) == NodeKind::kText) out.append(value(d));
+  });
+  return out;
+}
+
+bool Document::HasSimpleContent(NodeId n) const {
+  if (kind(n) != NodeKind::kElement) return true;
+  for (NodeId c = first_child(n); c != kNullNode; c = next_sibling(c)) {
+    if (kind(c) == NodeKind::kElement) return false;
+  }
+  return true;
+}
+
+void Document::VisitSubtree(NodeId n,
+                            const std::function<void(NodeId)>& fn) const {
+  fn(n);
+  for (NodeId c = first_child(n); c != kNullNode; c = next_sibling(c)) {
+    VisitSubtree(c, fn);
+  }
+}
+
+size_t Document::ApproxBytes() const {
+  size_t bytes = nodes_.size() * sizeof(NodeData);
+  for (const std::string& t : texts_) bytes += t.size() + sizeof(std::string);
+  if (origin_tracking_) bytes += origins_.size() * sizeof(NodeId);
+  return bytes;
+}
+
+void Document::EnableOriginTracking(std::string source_doc) {
+  origin_tracking_ = true;
+  origin_doc_ = std::move(source_doc);
+  origins_.assign(nodes_.size(), kNullNode);
+}
+
+void Document::SetOrigin(NodeId n, NodeId src) {
+  assert(origin_tracking_);
+  if (n >= origins_.size()) origins_.resize(nodes_.size(), kNullNode);
+  origins_[n] = src;
+}
+
+void Document::SetScaffold(NodeId n, bool scaffold) {
+  assert(origin_tracking_);
+  if (n >= scaffold_.size()) scaffold_.resize(nodes_.size(), false);
+  scaffold_[n] = scaffold;
+}
+
+}  // namespace partix::xml

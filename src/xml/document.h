@@ -1,0 +1,224 @@
+#ifndef PARTIX_XML_DOCUMENT_H_
+#define PARTIX_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/name_pool.h"
+
+namespace partix::xml {
+
+/// Index of a node within its document's arena. Node ids are assigned in
+/// creation order; for documents built top-down (parser, generators,
+/// projection) this coincides with document (pre-) order.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNullNode = 0xFFFFFFFFu;
+
+/// Sentinel for the virtual *document node* that parents the root element
+/// (what collection()/doc() return in XQuery). Only the query layer uses
+/// it; Document navigation APIs never accept it.
+inline constexpr NodeId kDocumentNode = 0xFFFFFFFEu;
+
+/// Node kinds of the PartiX data model (paper §3.1): an XML data tree has
+/// element nodes (labels in L), attribute nodes (labels in A), and leaf
+/// value nodes (values in D). Mixed content is not supported: a text node
+/// has no siblings.
+enum class NodeKind : uint8_t {
+  kElement = 0,
+  kAttribute = 1,
+  kText = 2,
+};
+
+/// An XML document: an arena-backed ordered labeled tree Δ = ⟨t, ℓ, Ψ⟩.
+///
+/// Nodes are created top-down via the Append* builder methods and addressed
+/// by NodeId. Attribute nodes live in the child list of their owner element
+/// (by convention before any element/text children) and carry their value
+/// inline, which matches the paper's "attribute node with a single value
+/// child" up to one indirection.
+///
+/// A document can optionally track *origins*: the id of the corresponding
+/// node in a source document. Vertical fragmentation uses origins as the
+/// reconstruction IDs the paper requires ("we keep an ID in each vertical
+/// fragment for reconstruction purposes").
+class Document {
+ public:
+  /// Creates an empty document. `name` identifies the document within its
+  /// collection (the "document URI").
+  Document(std::shared_ptr<NamePool> pool, std::string name);
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  // ---- Builder API (top-down construction) ----
+
+  /// Creates the root element. Pre: document is empty.
+  NodeId CreateRoot(std::string_view element_name);
+
+  /// Appends an element child under `parent`. Pre: parent is an element.
+  NodeId AppendElement(NodeId parent, std::string_view name);
+
+  /// Appends an attribute to `parent`. Pre: parent is an element.
+  NodeId AppendAttribute(NodeId parent, std::string_view name,
+                         std::string_view value);
+
+  /// Appends a text child under `parent`. Pre: parent is an element.
+  NodeId AppendText(NodeId parent, std::string_view value);
+
+  /// Copies the subtree rooted at `src_root` in `src` under `dst_parent`
+  /// (or as this document's root if `dst_parent` is kNullNode). `skip`
+  /// (optional) is consulted for every source node; returning true prunes
+  /// that node and its subtree. Origin tracking, if enabled, records each
+  /// copied node's source id. Returns the id of the copied root, or
+  /// kNullNode if the root itself was skipped.
+  NodeId CopySubtree(const Document& src, NodeId src_root, NodeId dst_parent,
+                     const std::function<bool(NodeId)>& skip = nullptr);
+
+  // ---- Navigation ----
+
+  bool empty() const { return nodes_.empty(); }
+  NodeId root() const { return nodes_.empty() ? kNullNode : 0; }
+  size_t node_count() const { return nodes_.size(); }
+
+  NodeKind kind(NodeId n) const { return nodes_[n].kind; }
+  NameId name_id(NodeId n) const { return nodes_[n].name; }
+  std::string_view name(NodeId n) const { return pool_->Get(nodes_[n].name); }
+
+  /// Value of a text or attribute node. Pre: kind is kText or kAttribute.
+  std::string_view value(NodeId n) const { return texts_[nodes_[n].value]; }
+
+  NodeId parent(NodeId n) const { return nodes_[n].parent; }
+  NodeId first_child(NodeId n) const { return nodes_[n].first_child; }
+  NodeId next_sibling(NodeId n) const { return nodes_[n].next_sibling; }
+
+  /// Element children of `n` (attributes and text excluded).
+  std::vector<NodeId> ElementChildren(NodeId n) const;
+
+  /// Element children of `n` with the given name.
+  std::vector<NodeId> ElementChildren(NodeId n, NameId name) const;
+
+  /// Attribute nodes of `n`.
+  std::vector<NodeId> Attributes(NodeId n) const;
+
+  /// The attribute of `n` named `name`, or kNullNode.
+  NodeId FindAttribute(NodeId n, NameId name) const;
+
+  /// Concatenation of all descendant text values (the typed string value of
+  /// the node). For attribute/text nodes this is just their value.
+  std::string StringValue(NodeId n) const;
+
+  /// True if `n` has no element or text children ("simple content").
+  bool HasSimpleContent(NodeId n) const;
+
+  /// Visits `n` and all descendants in document order.
+  void VisitSubtree(NodeId n, const std::function<void(NodeId)>& fn) const;
+
+  // ---- Identity / metadata ----
+
+  const std::string& doc_name() const { return doc_name_; }
+  void set_doc_name(std::string name) { doc_name_ = std::move(name); }
+
+  /// Out-of-band document properties (like eXist's resource metadata):
+  /// key/value strings attached to the document, not part of its content.
+  /// PartiX ships vertical-fragment reconstruction IDs this way so they
+  /// never appear in query results. Stores persist them alongside the
+  /// serialized XML.
+  void SetMetadata(const std::string& key, std::string value) {
+    metadata_[key] = std::move(value);
+  }
+  const std::map<std::string, std::string>& metadata() const {
+    return metadata_;
+  }
+  /// Returns the value for `key`, or an empty string.
+  std::string GetMetadata(const std::string& key) const {
+    auto it = metadata_.find(key);
+    return it == metadata_.end() ? std::string() : it->second;
+  }
+
+  const std::shared_ptr<NamePool>& pool() const { return pool_; }
+
+  /// Rough in-memory footprint in bytes (nodes + text payloads).
+  size_t ApproxBytes() const;
+
+  // ---- Origin tracking (vertical fragmentation reconstruction IDs) ----
+
+  /// Enables origin tracking; `source_doc` names the document the origins
+  /// refer to.
+  void EnableOriginTracking(std::string source_doc);
+
+  bool origin_tracking() const { return origin_tracking_; }
+  const std::string& origin_doc() const { return origin_doc_; }
+
+  /// Records that node `n` came from node `src` of the origin document.
+  void SetOrigin(NodeId n, NodeId src);
+
+  /// Origin id of `n` (kNullNode if untracked).
+  NodeId origin(NodeId n) const {
+    return origin_tracking_ && n < origins_.size() ? origins_[n] : kNullNode;
+  }
+
+  /// Marks node `n` as *scaffolding*: replicated container structure (e.g.
+  /// the shared root of a FragMode2 hybrid fragment) that is not fragment
+  /// data. Scaffold nodes are exempt from disjointness and merged during
+  /// reconstruction. Pre: origin tracking enabled.
+  void SetScaffold(NodeId n, bool scaffold);
+  bool scaffold(NodeId n) const {
+    return origin_tracking_ && n < scaffold_.size() && scaffold_[n];
+  }
+
+  /// Scaffolding for reconstruction: the strict ancestors of this
+  /// fragment's projected root in the source document, as (source node id,
+  /// element name) pairs in root-to-parent order. Ancestors are *not* part
+  /// of the fragment's data; reconstruction re-creates them when no other
+  /// fragment holds them.
+  void SetOriginAncestors(std::vector<std::pair<NodeId, std::string>> a) {
+    origin_ancestors_ = std::move(a);
+  }
+  const std::vector<std::pair<NodeId, std::string>>& origin_ancestors()
+      const {
+    return origin_ancestors_;
+  }
+
+ private:
+  struct NodeData {
+    NodeKind kind;
+    NameId name;          // element/attribute label; 0 for text nodes
+    uint32_t value;       // index into texts_ for text/attribute nodes
+    NodeId parent;
+    NodeId first_child;
+    NodeId last_child;
+    NodeId next_sibling;
+  };
+
+  NodeId NewNode(NodeKind kind, NameId name, uint32_t value, NodeId parent);
+
+  std::shared_ptr<NamePool> pool_;
+  std::string doc_name_;
+  std::map<std::string, std::string> metadata_;
+  std::vector<NodeData> nodes_;
+  std::vector<std::string> texts_;
+
+  bool origin_tracking_ = false;
+  std::string origin_doc_;
+  std::vector<NodeId> origins_;
+  std::vector<bool> scaffold_;
+  std::vector<std::pair<NodeId, std::string>> origin_ancestors_;
+};
+
+/// Shared ownership alias used throughout the engine: documents are
+/// immutable once built and freely shared between collections, fragments,
+/// caches, and query results.
+using DocumentPtr = std::shared_ptr<const Document>;
+
+}  // namespace partix::xml
+
+#endif  // PARTIX_XML_DOCUMENT_H_

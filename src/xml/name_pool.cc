@@ -1,0 +1,20 @@
+#include "xml/name_pool.h"
+
+namespace partix::xml {
+
+NameId NamePool::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+std::optional<NameId> NamePool::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace partix::xml

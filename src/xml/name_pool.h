@@ -1,0 +1,50 @@
+#ifndef PARTIX_XML_NAME_POOL_H_
+#define PARTIX_XML_NAME_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace partix::xml {
+
+/// Identifier of an interned element/attribute name. Name identity is
+/// pool-wide, so two nodes (possibly in different documents sharing the
+/// pool) have equal names iff their NameIds are equal.
+using NameId = uint32_t;
+
+/// Interns element and attribute names so that node labels are one 32-bit
+/// comparison instead of a string compare. A pool is typically shared by
+/// every document of a database.
+///
+/// Thread-compatible: concurrent readers are fine once names are interned;
+/// interning itself requires external synchronization.
+class NamePool {
+ public:
+  NamePool() = default;
+  NamePool(const NamePool&) = delete;
+  NamePool& operator=(const NamePool&) = delete;
+
+  /// Returns the id for `name`, interning it if new.
+  NameId Intern(std::string_view name);
+
+  /// Returns the id for `name` if already interned.
+  std::optional<NameId> Find(std::string_view name) const;
+
+  /// Returns the name for `id`. Pre: id < size().
+  std::string_view Get(NameId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  // deque: element addresses are stable, so the string_view keys in
+  // `index_` remain valid as the pool grows.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, NameId> index_;
+};
+
+}  // namespace partix::xml
+
+#endif  // PARTIX_XML_NAME_POOL_H_

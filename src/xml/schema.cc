@@ -1,0 +1,212 @@
+#include "xml/schema.h"
+
+#include <unordered_map>
+
+namespace partix::xml {
+
+void Schema::AddType(ElementType type) {
+  types_[type.name] = std::move(type);
+}
+
+const ElementType* Schema::FindType(const std::string& name) const {
+  auto it = types_.find(name);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Schema::TypeNames() const {
+  std::vector<std::string> out;
+  out.reserve(types_.size());
+  for (const auto& [name, type] : types_) out.push_back(name);
+  return out;
+}
+
+Status Schema::Validate(const Document& doc,
+                        const std::string& root_type) const {
+  if (doc.empty()) {
+    return Status::InvalidArgument("document '" + doc.doc_name() +
+                                   "' is empty");
+  }
+  const ElementType* type = FindType(root_type);
+  if (type == nullptr) {
+    return Status::NotFound("schema has no type '" + root_type + "'");
+  }
+  if (doc.name(doc.root()) != root_type) {
+    return Status::InvalidArgument(
+        "document '" + doc.doc_name() + "' root is <" +
+        std::string(doc.name(doc.root())) + ">, expected <" + root_type +
+        ">");
+  }
+  return ValidateElement(doc, doc.root(), *type);
+}
+
+Status Schema::ValidateElement(const Document& doc, NodeId node,
+                               const ElementType& type) const {
+  std::unordered_map<std::string_view, int> counts;
+  for (NodeId c = doc.first_child(node); c != kNullNode;
+       c = doc.next_sibling(c)) {
+    switch (doc.kind(c)) {
+      case NodeKind::kText:
+        if (!type.has_text) {
+          return Status::InvalidArgument(
+              "unexpected text content in <" + type.name + "> of document '" +
+              doc.doc_name() + "'");
+        }
+        break;
+      case NodeKind::kAttribute:
+        // Attributes are unconstrained in this schema model.
+        break;
+      case NodeKind::kElement:
+        counts[doc.name(c)] += 1;
+        break;
+    }
+  }
+  // Every present child must be declared; every declared child must respect
+  // its cardinality.
+  for (const auto& [child_name, count] : counts) {
+    bool declared = false;
+    for (const ChildSpec& spec : type.children) {
+      if (spec.type_name == child_name) {
+        declared = true;
+        break;
+      }
+    }
+    if (!declared) {
+      return Status::InvalidArgument(
+          "undeclared child <" + std::string(child_name) + "> in <" +
+          type.name + "> of document '" + doc.doc_name() + "'");
+    }
+  }
+  for (const ChildSpec& spec : type.children) {
+    int count = 0;
+    auto it = counts.find(spec.type_name);
+    if (it != counts.end()) count = it->second;
+    if (count < spec.min ||
+        (spec.max != ChildSpec::kUnbounded && count > spec.max)) {
+      return Status::InvalidArgument(
+          "cardinality violation for <" + spec.type_name + "> in <" +
+          type.name + "> of document '" + doc.doc_name() + "': found " +
+          std::to_string(count));
+    }
+  }
+  // Recurse into element children.
+  for (NodeId c = doc.first_child(node); c != kNullNode;
+       c = doc.next_sibling(c)) {
+    if (doc.kind(c) != NodeKind::kElement) continue;
+    const ElementType* child_type = FindType(std::string(doc.name(c)));
+    if (child_type == nullptr) {
+      return Status::NotFound("schema has no type '" +
+                              std::string(doc.name(c)) + "'");
+    }
+    PARTIX_RETURN_IF_ERROR(ValidateElement(doc, c, *child_type));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+ElementType Leaf(std::string name) {
+  ElementType t;
+  t.name = std::move(name);
+  t.has_text = true;
+  return t;
+}
+
+ElementType Composite(std::string name, std::vector<ChildSpec> children) {
+  ElementType t;
+  t.name = std::move(name);
+  t.children = std::move(children);
+  return t;
+}
+
+constexpr int kUnbounded = ChildSpec::kUnbounded;
+
+}  // namespace
+
+SchemaPtr VirtualStoreSchema() {
+  auto schema = std::make_shared<Schema>();
+  // Store
+  schema->AddType(Composite("Store", {{"Sections", 1, 1},
+                                      {"Items", 1, 1},
+                                      {"Employees", 1, 1}}));
+  schema->AddType(Composite("Sections", {{"Section", 1, kUnbounded}}));
+  schema->AddType(Composite("Employees", {{"Employee", 1, kUnbounded}}));
+  schema->AddType(Leaf("Employee"));
+  schema->AddType(Composite("Items", {{"Item", 1, kUnbounded}}));
+  // Section appears both as a child of Sections (composite: Code, Name) and
+  // as a leaf inside Item. Our single-namespace type model cannot give the
+  // same element name two shapes, so the Sections/Section entry is modeled
+  // with optional Code/Name children plus text, covering both uses.
+  {
+    ElementType section;
+    section.name = "Section";
+    section.children = {{"Code", 0, 1}, {"Name", 0, 1}};
+    section.has_text = true;
+    schema->AddType(std::move(section));
+  }
+  schema->AddType(
+      Composite("Item", {{"Code", 1, 1},
+                         {"Name", 1, 1},
+                         {"Description", 1, 1},
+                         {"Section", 1, 1},
+                         {"Release", 1, 1},
+                         {"Characteristics", 0, kUnbounded},
+                         {"PictureList", 0, 1},
+                         {"PricesHistory", 0, 1}}));
+  schema->AddType(Leaf("Code"));
+  schema->AddType(Leaf("Name"));
+  schema->AddType(Leaf("Description"));
+  schema->AddType(Leaf("Release"));
+  schema->AddType(Leaf("Characteristics"));
+  schema->AddType(Composite("PictureList", {{"Picture", 1, kUnbounded}}));
+  schema->AddType(
+      Composite("Picture", {{"Name", 1, 1},
+                            {"Description", 1, 1},
+                            {"ModificationDate", 1, 1},
+                            {"OriginalPath", 1, 1},
+                            {"ThumbPath", 1, 1}}));
+  schema->AddType(Leaf("ModificationDate"));
+  schema->AddType(Leaf("OriginalPath"));
+  schema->AddType(Leaf("ThumbPath"));
+  schema->AddType(
+      Composite("PricesHistory", {{"PriceHistory", 1, kUnbounded}}));
+  schema->AddType(Composite("PriceHistory", {{"Price", 1, 1},
+                                             {"ModificationDate", 1, 1}}));
+  schema->AddType(Leaf("Price"));
+  return schema;
+}
+
+SchemaPtr XBenchArticleSchema() {
+  auto schema = std::make_shared<Schema>();
+  schema->AddType(Composite("article", {{"prolog", 1, 1},
+                                        {"body", 1, 1},
+                                        {"epilog", 1, 1}}));
+  schema->AddType(Composite("prolog", {{"title", 1, 1},
+                                       {"authors", 1, 1},
+                                       {"dateline", 1, 1},
+                                       {"genre", 1, 1},
+                                       {"keywords", 0, 1}}));
+  schema->AddType(Leaf("title"));
+  schema->AddType(Composite("authors", {{"author", 1, kUnbounded}}));
+  schema->AddType(Composite("author", {{"name", 1, 1}, {"contact", 0, 1}}));
+  schema->AddType(Leaf("name"));
+  schema->AddType(Leaf("contact"));
+  schema->AddType(Leaf("dateline"));
+  schema->AddType(Leaf("genre"));
+  schema->AddType(Composite("keywords", {{"keyword", 1, kUnbounded}}));
+  schema->AddType(Leaf("keyword"));
+  schema->AddType(Composite("body", {{"abstract", 1, 1},
+                                     {"section", 1, kUnbounded}}));
+  schema->AddType(Leaf("abstract"));
+  schema->AddType(Composite("section", {{"heading", 1, 1},
+                                        {"paragraph", 1, kUnbounded}}));
+  schema->AddType(Leaf("heading"));
+  schema->AddType(Leaf("paragraph"));
+  schema->AddType(Composite("epilog", {{"references", 1, 1},
+                                       {"acknowledgements", 0, 1}}));
+  schema->AddType(Composite("references", {{"reference", 0, kUnbounded}}));
+  schema->AddType(Leaf("reference"));
+  schema->AddType(Leaf("acknowledgements"));
+  return schema;
+}
+
+}  // namespace partix::xml

@@ -1,0 +1,78 @@
+#ifndef PARTIX_XML_SCHEMA_H_
+#define PARTIX_XML_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace partix::xml {
+
+/// Occurrence constraint of a child element within its parent type.
+/// `max == kUnbounded` means "1..n"-style unbounded cardinality.
+struct ChildSpec {
+  static constexpr int kUnbounded = -1;
+
+  std::string type_name;
+  int min = 1;
+  int max = 1;
+};
+
+/// A named element type: which children it may have (with cardinalities)
+/// and whether it carries simple (text) content. In the PartiX model
+/// element names correspond to names of data types (paper §3.1), so the
+/// type name doubles as the element label.
+struct ElementType {
+  std::string name;
+  std::vector<ChildSpec> children;
+  bool has_text = false;
+};
+
+/// A schema S: a set of element types. Documents are validated against a
+/// root type; Δ satisfies τ iff its tree derives from the grammar S with
+/// ℓ(rootΔ) → τ.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers `type`. Replaces any previous type with the same name.
+  void AddType(ElementType type);
+
+  /// Returns the type named `name`, or nullptr.
+  const ElementType* FindType(const std::string& name) const;
+
+  /// Checks that `doc` satisfies `root_type`: the root label matches, every
+  /// element's children are declared with cardinalities respected, and text
+  /// content appears only where declared.
+  Status Validate(const Document& doc, const std::string& root_type) const;
+
+  /// Names of all registered types.
+  std::vector<std::string> TypeNames() const;
+
+ private:
+  Status ValidateElement(const Document& doc, NodeId node,
+                         const ElementType& type) const;
+
+  std::map<std::string, ElementType> types_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Builds the `Svirtual_store` schema of the paper (Fig. 1a): Store with
+/// Sections, Items (Item: Code, Name, Description, Section, Release,
+/// Characteristics 0..n, PictureList 0..1 with Picture 1..n, PricesHistory
+/// 0..1 with PriceHistory 1..n) and Employees.
+SchemaPtr VirtualStoreSchema();
+
+/// Builds the XBench-style article schema used in the vertical
+/// fragmentation experiment: article = prolog (title, authors, date,
+/// keywords), body (sections of paragraphs), epilog (references,
+/// acknowledgements).
+SchemaPtr XBenchArticleSchema();
+
+}  // namespace partix::xml
+
+#endif  // PARTIX_XML_SCHEMA_H_

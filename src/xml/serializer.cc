@@ -1,0 +1,89 @@
+#include "xml/serializer.h"
+
+#include "common/strings.h"
+
+namespace partix::xml {
+
+namespace {
+
+void SerializeNode(const Document& doc, NodeId n, const SerializeOptions& opt,
+                   int depth, std::string* out) {
+  auto write_indent = [&](int d) {
+    if (!opt.indent) return;
+    if (!out->empty()) out->push_back('\n');
+    out->append(static_cast<size_t>(d) * 2, ' ');
+  };
+
+  switch (doc.kind(n)) {
+    case NodeKind::kText:
+      out->append(EscapeXmlText(doc.value(n)));
+      return;
+    case NodeKind::kAttribute:
+      // Attributes are emitted by their owner element.
+      return;
+    case NodeKind::kElement:
+      break;
+  }
+
+  write_indent(depth);
+  out->push_back('<');
+  out->append(doc.name(n));
+  for (NodeId a : doc.Attributes(n)) {
+    out->push_back(' ');
+    out->append(doc.name(a));
+    out->append("=\"");
+    out->append(EscapeXmlAttr(doc.value(a)));
+    out->push_back('"');
+  }
+
+  // Partition children: text content is serialized inline; elements are
+  // serialized nested (possibly indented).
+  bool has_child = false;
+  bool has_element_child = false;
+  for (NodeId c = doc.first_child(n); c != kNullNode;
+       c = doc.next_sibling(c)) {
+    if (doc.kind(c) == NodeKind::kAttribute) continue;
+    has_child = true;
+    if (doc.kind(c) == NodeKind::kElement) has_element_child = true;
+  }
+
+  if (!has_child) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  for (NodeId c = doc.first_child(n); c != kNullNode;
+       c = doc.next_sibling(c)) {
+    if (doc.kind(c) == NodeKind::kAttribute) continue;
+    SerializeNode(doc, c, opt, depth + 1, out);
+  }
+  if (has_element_child) write_indent(depth);
+  out->append("</");
+  out->append(doc.name(n));
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string Serialize(const Document& doc, const SerializeOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.indent) out.push_back('\n');
+  }
+  if (!doc.empty()) {
+    std::string body;
+    SerializeNode(doc, doc.root(), options, 0, &body);
+    out += body;
+  }
+  return out;
+}
+
+std::string SerializeSubtree(const Document& doc, NodeId node,
+                             const SerializeOptions& options) {
+  std::string out;
+  SerializeNode(doc, node, options, 0, &out);
+  return out;
+}
+
+}  // namespace partix::xml

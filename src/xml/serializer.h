@@ -1,0 +1,29 @@
+#ifndef PARTIX_XML_SERIALIZER_H_
+#define PARTIX_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace partix::xml {
+
+/// Options controlling XML serialization.
+struct SerializeOptions {
+  /// Emit `<?xml version="1.0"?>` first.
+  bool declaration = false;
+  /// Pretty-print with 2-space indentation; otherwise compact output.
+  bool indent = false;
+};
+
+/// Serializes the whole document.
+std::string Serialize(const Document& doc, const SerializeOptions& options =
+                                               SerializeOptions());
+
+/// Serializes the subtree rooted at `node`.
+std::string SerializeSubtree(const Document& doc, NodeId node,
+                             const SerializeOptions& options =
+                                 SerializeOptions());
+
+}  // namespace partix::xml
+
+#endif  // PARTIX_XML_SERIALIZER_H_

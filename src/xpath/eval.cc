@@ -1,0 +1,125 @@
+#include "xpath/eval.h"
+
+#include <algorithm>
+
+namespace partix::xpath {
+
+namespace {
+
+using xml::Document;
+using xml::kNullNode;
+using xml::NodeId;
+using xml::NodeKind;
+
+bool StepMatchesName(const Document& doc, NodeId n, const Step& step) {
+  if (step.is_attribute) {
+    if (doc.kind(n) != NodeKind::kAttribute) return false;
+  } else {
+    if (doc.kind(n) != NodeKind::kElement) return false;
+  }
+  return step.wildcard || doc.name(n) == step.name;
+}
+
+/// Appends children of `context` matching `step`, honoring the positional
+/// filter (i-th matching occurrence within this context).
+void MatchChildren(const Document& doc, NodeId context, const Step& step,
+                   std::vector<NodeId>* out) {
+  int occurrence = 0;
+  for (NodeId c = doc.first_child(context); c != kNullNode;
+       c = doc.next_sibling(c)) {
+    if (!StepMatchesName(doc, c, step)) continue;
+    ++occurrence;
+    if (step.position > 0) {
+      if (occurrence == step.position) {
+        out->push_back(c);
+        return;
+      }
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+/// Appends proper descendants of `context` matching `step`. The positional
+/// filter applies per parent (i-th occurrence among its siblings).
+void MatchDescendants(const Document& doc, NodeId context, const Step& step,
+                      std::vector<NodeId>* out) {
+  for (NodeId c = doc.first_child(context); c != kNullNode;
+       c = doc.next_sibling(c)) {
+    if (doc.kind(c) == NodeKind::kElement) {
+      MatchDescendants(doc, c, step, out);
+    }
+  }
+  MatchChildren(doc, context, step, out);
+}
+
+std::vector<NodeId> EvalSteps(const Document& doc,
+                              std::vector<NodeId> context,
+                              const std::vector<Step>& steps,
+                              size_t first_step) {
+  std::vector<NodeId> current = std::move(context);
+  for (size_t si = first_step; si < steps.size(); ++si) {
+    const Step& step = steps[si];
+    std::vector<NodeId> next;
+    for (NodeId ctx : current) {
+      if (doc.kind(ctx) != NodeKind::kElement) continue;
+      if (step.axis == Axis::kChild) {
+        MatchChildren(doc, ctx, step, &next);
+      } else {
+        MatchDescendants(doc, ctx, step, &next);
+      }
+    }
+    // Restore document order and uniqueness (descendant steps from
+    // overlapping contexts can produce duplicates out of order).
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+}  // namespace
+
+std::vector<NodeId> EvalPath(const Document& doc, const Path& path) {
+  if (doc.empty()) return {};
+  return EvalPathRootedAt(doc, doc.root(), path);
+}
+
+std::vector<NodeId> EvalPathRootedAt(const Document& doc, NodeId root,
+                                     const Path& path) {
+  if (doc.empty() || path.empty()) return {};
+  const std::vector<Step>& steps = path.steps();
+  const Step& first = steps[0];
+  std::vector<NodeId> initial;
+  if (first.axis == Axis::kChild) {
+    // The subtree root is the single "child of the virtual document node".
+    if (!first.is_attribute && StepMatchesName(doc, root, first)) {
+      // Positional filter on the root: only [1] can match.
+      if (first.position <= 1) initial.push_back(root);
+    }
+  } else {
+    // Descendant from the virtual document node: any matching node of the
+    // subtree, including the root itself.
+    if (StepMatchesName(doc, root, first) && first.position <= 1) {
+      initial.push_back(root);
+    }
+    MatchDescendants(doc, root, first, &initial);
+    std::sort(initial.begin(), initial.end());
+    initial.erase(std::unique(initial.begin(), initial.end()),
+                  initial.end());
+  }
+  return EvalSteps(doc, std::move(initial), steps, 1);
+}
+
+std::vector<NodeId> EvalPathFrom(const Document& doc, NodeId context,
+                                 const Path& path) {
+  if (doc.empty() || path.empty()) return {};
+  return EvalSteps(doc, {context}, path.steps(), 0);
+}
+
+bool PathExists(const Document& doc, const Path& path) {
+  return !EvalPath(doc, path).empty();
+}
+
+}  // namespace partix::xpath

@@ -1,0 +1,37 @@
+#ifndef PARTIX_XPATH_EVAL_H_
+#define PARTIX_XPATH_EVAL_H_
+
+#include <vector>
+
+#include "xml/document.h"
+#include "xpath/path.h"
+
+namespace partix::xpath {
+
+/// Evaluates an absolute path against a whole document: the first child-
+/// axis step must match the root element; a leading descendant step matches
+/// any element in the tree. Returns matches in document order without
+/// duplicates.
+std::vector<xml::NodeId> EvalPath(const xml::Document& doc, const Path& path);
+
+/// Evaluates `path` relative to `context`: the first step applies to the
+/// children (or descendants) of `context`. Returns matches in document
+/// order without duplicates.
+std::vector<xml::NodeId> EvalPathFrom(const xml::Document& doc,
+                                      xml::NodeId context, const Path& path);
+
+/// Evaluates an absolute path against the subtree rooted at `root`, as if
+/// that subtree were a standalone document: the first child-axis step must
+/// match `root` itself. Used by hybrid fragmentation, whose selection
+/// predicates are absolute over each instance subtree (e.g.
+/// /Item/Section = "CD" evaluated per Item).
+std::vector<xml::NodeId> EvalPathRootedAt(const xml::Document& doc,
+                                          xml::NodeId root,
+                                          const Path& path);
+
+/// True if the path selects at least one node of the document.
+bool PathExists(const xml::Document& doc, const Path& path);
+
+}  // namespace partix::xpath
+
+#endif  // PARTIX_XPATH_EVAL_H_

@@ -1,0 +1,125 @@
+#include "xpath/path.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace partix::xpath {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+}  // namespace
+
+Result<Path> Path::Parse(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty() || text[0] != '/') {
+    return Status::InvalidArgument("path must start with '/': '" +
+                                   std::string(text) + "'");
+  }
+  std::vector<Step> steps;
+  size_t i = 0;
+  while (i < text.size()) {
+    Step step;
+    // Axis.
+    if (text[i] != '/') {
+      return Status::InvalidArgument("expected '/' in path: '" +
+                                     std::string(text) + "'");
+    }
+    ++i;
+    if (i < text.size() && text[i] == '/') {
+      step.axis = Axis::kDescendant;
+      ++i;
+    }
+    if (i >= text.size()) {
+      return Status::InvalidArgument("path ends with '/': '" +
+                                     std::string(text) + "'");
+    }
+    // Node test.
+    if (text[i] == '@') {
+      step.is_attribute = true;
+      ++i;
+    }
+    if (i < text.size() && text[i] == '*') {
+      step.wildcard = true;
+      ++i;
+    } else {
+      size_t start = i;
+      while (i < text.size() && IsNameChar(text[i])) ++i;
+      if (i == start) {
+        return Status::InvalidArgument("expected a name in path: '" +
+                                       std::string(text) + "'");
+      }
+      step.name = std::string(text.substr(start, i - start));
+    }
+    // Optional positional filter.
+    if (i < text.size() && text[i] == '[') {
+      size_t close = text.find(']', i);
+      if (close == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated '[' in path: '" +
+                                       std::string(text) + "'");
+      }
+      int64_t pos = 0;
+      if (!ParseInt64(text.substr(i + 1, close - i - 1), &pos) || pos < 1) {
+        return Status::InvalidArgument(
+            "positional filter must be a positive integer: '" +
+            std::string(text) + "'");
+      }
+      if (step.is_attribute) {
+        return Status::InvalidArgument(
+            "positional filter not allowed on attributes: '" +
+            std::string(text) + "'");
+      }
+      step.position = static_cast<int>(pos);
+      i = close + 1;
+    }
+    if (step.is_attribute && i < text.size()) {
+      return Status::InvalidArgument(
+          "attribute test must be the last step: '" + std::string(text) +
+          "'");
+    }
+    steps.push_back(std::move(step));
+  }
+  if (steps.empty()) {
+    return Status::InvalidArgument("empty path");
+  }
+  return Path(std::move(steps));
+}
+
+std::string Path::ToString() const {
+  std::string out;
+  for (const Step& s : steps_) {
+    out += s.axis == Axis::kDescendant ? "//" : "/";
+    if (s.is_attribute) out += "@";
+    out += s.wildcard ? "*" : s.name;
+    if (s.position > 0) {
+      out += "[" + std::to_string(s.position) + "]";
+    }
+  }
+  return out;
+}
+
+bool Path::IsPrefixOf(const Path& other) const {
+  if (steps_.size() > other.steps_.size()) return false;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (!(steps_[i] == other.steps_[i])) return false;
+  }
+  return true;
+}
+
+Path Path::Suffix(size_t from) const {
+  if (from >= steps_.size()) return Path();
+  return Path(std::vector<Step>(steps_.begin() + from, steps_.end()));
+}
+
+std::string Path::LastName() const {
+  if (steps_.empty()) return "";
+  const Step& s = steps_.back();
+  return s.wildcard ? "*" : s.name;
+}
+
+}  // namespace partix::xpath

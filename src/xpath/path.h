@@ -1,0 +1,74 @@
+#ifndef PARTIX_XPATH_PATH_H_
+#define PARTIX_XPATH_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace partix::xpath {
+
+/// Navigation axis of a path step. `/e` uses the child axis; `//e` matches
+/// `e` at any descendant depth.
+enum class Axis {
+  kChild,
+  kDescendant,
+};
+
+/// One step of a path expression P = /e1/.../{ek | @ak}. A step selects
+/// elements (or attributes when `is_attribute`) by name, `*` matching any
+/// name, with an optional 1-based positional filter `e[i]` that keeps the
+/// i-th occurrence among the matching siblings of one context node.
+struct Step {
+  Axis axis = Axis::kChild;
+  bool is_attribute = false;
+  bool wildcard = false;
+  std::string name;
+  int position = 0;  // 0 = no positional filter
+
+  bool operator==(const Step& other) const {
+    return axis == other.axis && is_attribute == other.is_attribute &&
+           wildcard == other.wildcard && name == other.name &&
+           position == other.position;
+  }
+};
+
+/// A parsed path expression (paper §3.1): a sequence of steps, optionally
+/// containing `*` and `//`, ending in an element or attribute test.
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<Step> steps) : steps_(std::move(steps)) {}
+
+  /// Parses expressions like "/Store/Items/Item", "//Description",
+  /// "/Item/PictureList/Picture[1]", "/Item/@id", "/a/*/b".
+  static Result<Path> Parse(std::string_view text);
+
+  const std::vector<Step>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+  size_t size() const { return steps_.size(); }
+
+  /// Canonical string form, e.g. "/Store/Items/Item[1]/@id".
+  std::string ToString() const;
+
+  /// True if this path is a (syntactic) step-prefix of `other`. Used for
+  /// the Γ-containment requirement of vertical fragments: every prune
+  /// expression must have the fragment path P as a prefix.
+  bool IsPrefixOf(const Path& other) const;
+
+  /// The sub-path formed by steps [from, size()).
+  Path Suffix(size_t from) const;
+
+  /// Last step's name ("*" for a wildcard), for diagnostics.
+  std::string LastName() const;
+
+  bool operator==(const Path& other) const { return steps_ == other.steps_; }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace partix::xpath
+
+#endif  // PARTIX_XPATH_PATH_H_

@@ -1,0 +1,363 @@
+#include "xpath/predicate.h"
+
+#include "common/strings.h"
+#include "xpath/eval.h"
+
+namespace partix::xpath {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Predicate Predicate::Compare(Path path, CompareOp op, std::string value) {
+  Predicate p;
+  p.kind_ = Kind::kCompare;
+  p.path_ = std::move(path);
+  p.op_ = op;
+  p.value_ = std::move(value);
+  return p;
+}
+
+Predicate Predicate::Contains(Path path, std::string needle) {
+  Predicate p;
+  p.kind_ = Kind::kContains;
+  p.path_ = std::move(path);
+  p.value_ = std::move(needle);
+  return p;
+}
+
+Predicate Predicate::NotContains(Path path, std::string needle) {
+  Predicate p = Contains(std::move(path), std::move(needle));
+  p.negated_ = true;
+  return p;
+}
+
+Predicate Predicate::Exists(Path path) {
+  Predicate p;
+  p.kind_ = Kind::kExists;
+  p.path_ = std::move(path);
+  return p;
+}
+
+Predicate Predicate::Empty(Path path) {
+  Predicate p = Exists(std::move(path));
+  p.negated_ = true;
+  return p;
+}
+
+namespace {
+
+bool CompareValues(std::string_view node_value, CompareOp op,
+                   std::string_view rhs) {
+  double a = 0.0;
+  double b = 0.0;
+  int cmp;
+  if (partix::ParseDouble(node_value, &a) && partix::ParseDouble(rhs, &b)) {
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  } else {
+    cmp = node_value.compare(rhs);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Predicate::EvalOnNodes(const xml::Document& doc,
+                            const std::vector<xml::NodeId>& nodes) const {
+  bool result;
+  switch (kind_) {
+    case Kind::kExists:
+      result = !nodes.empty();
+      break;
+    case Kind::kCompare: {
+      result = false;
+      for (xml::NodeId n : nodes) {
+        if (CompareValues(doc.StringValue(n), op_, value_)) {
+          result = true;
+          break;
+        }
+      }
+      break;
+    }
+    case Kind::kContains: {
+      result = false;
+      for (xml::NodeId n : nodes) {
+        if (partix::Contains(doc.StringValue(n), value_)) {
+          result = true;
+          break;
+        }
+      }
+      break;
+    }
+    default:
+      result = false;
+  }
+  return negated_ ? !result : result;
+}
+
+bool Predicate::Eval(const xml::Document& doc) const {
+  return EvalOnNodes(doc, EvalPath(doc, path_));
+}
+
+bool Predicate::EvalFrom(const xml::Document& doc,
+                         xml::NodeId context) const {
+  return EvalOnNodes(doc, EvalPathFrom(doc, context, path_));
+}
+
+bool Predicate::EvalRootedAt(const xml::Document& doc,
+                             xml::NodeId root) const {
+  return EvalOnNodes(doc, EvalPathRootedAt(doc, root, path_));
+}
+
+Predicate Predicate::Complement() const {
+  Predicate p = *this;
+  if (kind_ == Kind::kCompare && !negated_) {
+    switch (op_) {
+      case CompareOp::kEq:
+        p.op_ = CompareOp::kNe;
+        return p;
+      case CompareOp::kNe:
+        p.op_ = CompareOp::kEq;
+        return p;
+      case CompareOp::kLt:
+        p.op_ = CompareOp::kGe;
+        return p;
+      case CompareOp::kLe:
+        p.op_ = CompareOp::kGt;
+        return p;
+      case CompareOp::kGt:
+        p.op_ = CompareOp::kLe;
+        return p;
+      case CompareOp::kGe:
+        p.op_ = CompareOp::kLt;
+        return p;
+    }
+  }
+  p.negated_ = !p.negated_;
+  return p;
+}
+
+std::string Predicate::ToString() const {
+  std::string inner;
+  switch (kind_) {
+    case Kind::kCompare:
+      inner = path_.ToString() + " " + CompareOpName(op_) + " \"" + value_ +
+              "\"";
+      break;
+    case Kind::kContains:
+      inner = "contains(" + path_.ToString() + ", \"" + value_ + "\")";
+      break;
+    case Kind::kExists:
+      if (negated_) return "empty(" + path_.ToString() + ")";
+      return path_.ToString();
+  }
+  return negated_ ? "not(" + inner + ")" : inner;
+}
+
+bool Predicate::operator==(const Predicate& other) const {
+  return kind_ == other.kind_ && path_ == other.path_ && op_ == other.op_ &&
+         value_ == other.value_ && negated_ == other.negated_;
+}
+
+namespace {
+
+/// Extracts a balanced "f(...)" argument list given `text` positioned right
+/// after the opening parenthesis; returns the inside and consumes through
+/// the matching close.
+Result<std::string_view> BalancedParens(std::string_view text) {
+  int depth = 1;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') {
+      --depth;
+      if (depth == 0) return text.substr(0, i);
+    }
+  }
+  return Status::InvalidArgument("unbalanced parentheses in predicate");
+}
+
+Result<std::string> ParseQuotedString(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.size() < 2 || (text.front() != '"' && text.front() != '\'')) {
+    return Status::InvalidArgument("expected a quoted string: '" +
+                                   std::string(text) + "'");
+  }
+  char quote = text.front();
+  if (text.back() != quote) {
+    return Status::InvalidArgument("unterminated string literal: '" +
+                                   std::string(text) + "'");
+  }
+  return std::string(text.substr(1, text.size() - 2));
+}
+
+}  // namespace
+
+Result<Predicate> Predicate::Parse(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty()) {
+    return Status::InvalidArgument("empty predicate");
+  }
+  // not( ... )
+  if (StartsWith(text, "not(") || StartsWith(text, "not (")) {
+    size_t open = text.find('(');
+    PARTIX_ASSIGN_OR_RETURN(std::string_view inner,
+                            BalancedParens(text.substr(open + 1)));
+    if (!StripWhitespace(text.substr(open + 1 + inner.size() + 1)).empty()) {
+      return Status::InvalidArgument("trailing content after not(...)");
+    }
+    PARTIX_ASSIGN_OR_RETURN(Predicate p, Parse(inner));
+    return p.Complement();
+  }
+  // empty( P )
+  if (StartsWith(text, "empty(") || StartsWith(text, "empty (")) {
+    size_t open = text.find('(');
+    PARTIX_ASSIGN_OR_RETURN(std::string_view inner,
+                            BalancedParens(text.substr(open + 1)));
+    PARTIX_ASSIGN_OR_RETURN(Path p, Path::Parse(inner));
+    return Empty(std::move(p));
+  }
+  // contains( P , "s" )
+  if (StartsWith(text, "contains(") || StartsWith(text, "contains (")) {
+    size_t open = text.find('(');
+    PARTIX_ASSIGN_OR_RETURN(std::string_view inner,
+                            BalancedParens(text.substr(open + 1)));
+    size_t comma = inner.find(',');
+    if (comma == std::string_view::npos) {
+      return Status::InvalidArgument("contains() needs two arguments");
+    }
+    PARTIX_ASSIGN_OR_RETURN(Path p, Path::Parse(inner.substr(0, comma)));
+    PARTIX_ASSIGN_OR_RETURN(std::string needle,
+                            ParseQuotedString(inner.substr(comma + 1)));
+    return Contains(std::move(p), std::move(needle));
+  }
+  // P θ value  — find a comparison operator outside quotes.
+  static constexpr struct {
+    const char* text;
+    CompareOp op;
+  } kOps[] = {
+      {"!=", CompareOp::kNe}, {"<=", CompareOp::kLe}, {">=", CompareOp::kGe},
+      {"=", CompareOp::kEq},  {"<", CompareOp::kLt},  {">", CompareOp::kGt},
+  };
+  for (const auto& candidate : kOps) {
+    size_t pos = text.find(candidate.text);
+    if (pos == std::string_view::npos) continue;
+    std::string_view lhs = text.substr(0, pos);
+    std::string_view rhs =
+        text.substr(pos + std::string_view(candidate.text).size());
+    PARTIX_ASSIGN_OR_RETURN(Path p, Path::Parse(lhs));
+    rhs = StripWhitespace(rhs);
+    std::string value;
+    if (!rhs.empty() && (rhs.front() == '"' || rhs.front() == '\'')) {
+      PARTIX_ASSIGN_OR_RETURN(value, ParseQuotedString(rhs));
+    } else {
+      double num;
+      if (!ParseDouble(rhs, &num)) {
+        return Status::InvalidArgument("bad comparison value: '" +
+                                       std::string(rhs) + "'");
+      }
+      value = std::string(rhs);
+    }
+    return Compare(std::move(p), candidate.op, std::move(value));
+  }
+  // Plain path: existential test.
+  PARTIX_ASSIGN_OR_RETURN(Path p, Path::Parse(text));
+  return Exists(std::move(p));
+}
+
+Result<Conjunction> Conjunction::Parse(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty() || text == "true") return Conjunction();
+  std::vector<Predicate> preds;
+  // Split on " and " at paren depth 0, outside quotes.
+  size_t start = 0;
+  int depth = 0;
+  char quote = '\0';
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+    } else if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+    } else if (depth == 0 && text.substr(i, 5) == " and ") {
+      PARTIX_ASSIGN_OR_RETURN(Predicate p,
+                              Predicate::Parse(text.substr(start, i - start)));
+      preds.push_back(std::move(p));
+      i += 4;
+      start = i + 1;
+    }
+  }
+  PARTIX_ASSIGN_OR_RETURN(Predicate last,
+                          Predicate::Parse(text.substr(start)));
+  preds.push_back(std::move(last));
+  return Conjunction(std::move(preds));
+}
+
+bool Conjunction::Eval(const xml::Document& doc) const {
+  for (const Predicate& p : preds_) {
+    if (!p.Eval(doc)) return false;
+  }
+  return true;
+}
+
+bool Conjunction::EvalFrom(const xml::Document& doc,
+                           xml::NodeId context) const {
+  for (const Predicate& p : preds_) {
+    if (!p.EvalFrom(doc, context)) return false;
+  }
+  return true;
+}
+
+bool Conjunction::EvalRootedAt(const xml::Document& doc,
+                               xml::NodeId root) const {
+  for (const Predicate& p : preds_) {
+    if (!p.EvalRootedAt(doc, root)) return false;
+  }
+  return true;
+}
+
+std::string Conjunction::ToString() const {
+  if (preds_.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < preds_.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += preds_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace partix::xpath

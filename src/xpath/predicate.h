@@ -1,0 +1,132 @@
+#ifndef PARTIX_XPATH_PREDICATE_H_
+#define PARTIX_XPATH_PREDICATE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+#include "xpath/path.h"
+
+namespace partix::xpath {
+
+/// Comparison operators θ ∈ {=, ≠, <, ≤, >, ≥} of simple predicates.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* CompareOpName(CompareOp op);
+
+/// A simple predicate p (paper §3.1):
+///   p := P θ value | φv(P) θ value | φb(P) | Q
+/// where P is a terminal path expression and Q an arbitrary path
+/// (existential test). Supported boolean functions: contains(P, s) and
+/// empty(P); `negated` wraps the predicate in not(...), so empty(P) is
+/// represented as a negated existential test.
+class Predicate {
+ public:
+  enum class Kind {
+    kCompare,   // P θ value
+    kContains,  // contains(P, "s")
+    kExists,    // Q  (existential test)
+  };
+
+  /// P θ "value" (string or numeric comparison; if both sides parse as
+  /// numbers the comparison is numeric).
+  static Predicate Compare(Path path, CompareOp op, std::string value);
+
+  /// contains(P, "needle") — substring containment on the string value.
+  static Predicate Contains(Path path, std::string needle);
+
+  /// not(contains(P, "needle")).
+  static Predicate NotContains(Path path, std::string needle);
+
+  /// Existential test: true iff P selects at least one node.
+  static Predicate Exists(Path path);
+
+  /// empty(P) == not(exists P).
+  static Predicate Empty(Path path);
+
+  /// Parses the textual forms used by fragment catalogs:
+  ///   /Item/Section = "CD"
+  ///   /Item/Code >= 100
+  ///   contains(//Description, "good")
+  ///   not(contains(//Description, "good"))
+  ///   /Item/PictureList
+  ///   empty(/Item/PictureList)
+  static Result<Predicate> Parse(std::string_view text);
+
+  /// Evaluates against a whole document (paths are absolute).
+  /// Comparison/contains semantics are existential over the nodes P
+  /// selects, matching XPath general comparisons.
+  bool Eval(const xml::Document& doc) const;
+
+  /// Evaluates with paths interpreted relative to `context`.
+  bool EvalFrom(const xml::Document& doc, xml::NodeId context) const;
+
+  /// Evaluates with paths interpreted as absolute over the subtree rooted
+  /// at `root` (hybrid-fragmentation instance semantics).
+  bool EvalRootedAt(const xml::Document& doc, xml::NodeId root) const;
+
+  Kind kind() const { return kind_; }
+  const Path& path() const { return path_; }
+  CompareOp op() const { return op_; }
+  const std::string& value() const { return value_; }
+  bool negated() const { return negated_; }
+
+  /// Returns the logical complement (toggles `negated`; for kCompare,
+  /// flips the operator instead, e.g. = becomes ≠).
+  Predicate Complement() const;
+
+  std::string ToString() const;
+
+  bool operator==(const Predicate& other) const;
+
+ private:
+  Predicate() = default;
+
+  bool EvalOnNodes(const xml::Document& doc,
+                   const std::vector<xml::NodeId>& nodes) const;
+
+  Kind kind_ = Kind::kExists;
+  Path path_;
+  CompareOp op_ = CompareOp::kEq;
+  std::string value_;
+  bool negated_ = false;
+};
+
+/// A conjunction μ of simple predicates — the selection condition of a
+/// horizontal fragment. An empty conjunction is `true`.
+class Conjunction {
+ public:
+  Conjunction() = default;
+  explicit Conjunction(std::vector<Predicate> preds)
+      : preds_(std::move(preds)) {}
+
+  /// Parses "p1 and p2 and ..." (see Predicate::Parse), or "true".
+  static Result<Conjunction> Parse(std::string_view text);
+
+  void Add(Predicate p) { preds_.push_back(std::move(p)); }
+
+  const std::vector<Predicate>& predicates() const { return preds_; }
+  bool IsTrue() const { return preds_.empty(); }
+
+  bool Eval(const xml::Document& doc) const;
+  bool EvalFrom(const xml::Document& doc, xml::NodeId context) const;
+  bool EvalRootedAt(const xml::Document& doc, xml::NodeId root) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Predicate> preds_;
+};
+
+}  // namespace partix::xpath
+
+#endif  // PARTIX_XPATH_PREDICATE_H_

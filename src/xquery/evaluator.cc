@@ -1,0 +1,798 @@
+#include "xquery/evaluator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "xquery/parser.h"
+
+namespace partix::xquery {
+
+namespace {
+
+using xml::Document;
+using xml::DocumentPtr;
+using xml::kNullNode;
+using xml::NodeId;
+using xml::NodeKind;
+
+/// Key for order-preserving dedup of node sequences.
+struct NodeKey {
+  const Document* doc;
+  NodeId node;
+  bool operator==(const NodeKey& other) const {
+    return doc == other.doc && node == other.node;
+  }
+};
+struct NodeKeyHash {
+  size_t operator()(const NodeKey& k) const {
+    return std::hash<const void*>()(k.doc) * 31 + k.node;
+  }
+};
+
+bool StepMatches(const Document& doc, NodeId n, const xpath::Step& step) {
+  if (step.is_attribute) {
+    if (doc.kind(n) != NodeKind::kAttribute) return false;
+  } else {
+    if (doc.kind(n) != NodeKind::kElement) return false;
+  }
+  return step.wildcard || doc.name(n) == step.name;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(CollectionResolver* resolver,
+                     std::shared_ptr<xml::NamePool> pool)
+    : resolver_(resolver), pool_(std::move(pool)) {
+  if (pool_ == nullptr) pool_ = std::make_shared<xml::NamePool>();
+}
+
+void Evaluator::BindVariable(const std::string& name, Sequence value) {
+  variables_[name] = std::move(value);
+}
+
+void Evaluator::SetContextItem(Item item) {
+  context_stack_.clear();
+  context_stack_.push_back(std::move(item));
+}
+
+Result<Sequence> Evaluator::Eval(const Expr& query) {
+  return EvalExpr(query);
+}
+
+Result<Sequence> Evaluator::EvalExpr(const Expr& e) {
+  if (e.Is<StringLit>()) return Sequence{Item(e.As<StringLit>().value)};
+  if (e.Is<NumberLit>()) return Sequence{Item(e.As<NumberLit>().value)};
+  if (e.Is<VarRef>()) {
+    auto it = variables_.find(e.As<VarRef>().name);
+    if (it == variables_.end()) {
+      return Status::InvalidArgument("unbound variable $" +
+                                     e.As<VarRef>().name);
+    }
+    return it->second;
+  }
+  if (e.Is<ContextItem>()) {
+    if (context_stack_.empty()) {
+      return Status::InvalidArgument("no context item for '.'");
+    }
+    return Sequence{context_stack_.back()};
+  }
+  if (e.Is<BinaryOp>()) return EvalBinary(e.As<BinaryOp>());
+  if (e.Is<UnaryMinus>()) {
+    PARTIX_ASSIGN_OR_RETURN(Sequence v,
+                            EvalExpr(*e.As<UnaryMinus>().operand));
+    if (v.empty()) return Sequence{};
+    double n = 0.0;
+    if (v.size() != 1 || !v[0].TryNumber(&n)) {
+      return Status::InvalidArgument("unary minus on a non-number");
+    }
+    return Sequence{Item(-n)};
+  }
+  if (e.Is<PathExpr>()) return EvalPath(e.As<PathExpr>());
+  if (e.Is<FunctionCall>()) return EvalFunction(e.As<FunctionCall>());
+  if (e.Is<FlworExpr>()) return EvalFlwor(e.As<FlworExpr>());
+  if (e.Is<ElementCtor>()) return EvalElementCtor(e.As<ElementCtor>());
+  if (e.Is<IfExpr>()) {
+    const auto& ie = e.As<IfExpr>();
+    PARTIX_ASSIGN_OR_RETURN(Sequence cond, EvalExpr(*ie.cond));
+    PARTIX_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
+    return EvalExpr(b ? *ie.then_branch : *ie.else_branch);
+  }
+  if (e.Is<QuantifiedExpr>()) {
+    PARTIX_ASSIGN_OR_RETURN(bool b,
+                            EvalQuantified(e.As<QuantifiedExpr>(), 0));
+    return Sequence{Item(b)};
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Sequence> Evaluator::EvalBinary(const BinaryOp& op) {
+  using Op = BinaryOp::Op;
+  switch (op.op) {
+    case Op::kComma: {
+      PARTIX_ASSIGN_OR_RETURN(Sequence lhs, EvalExpr(*op.lhs));
+      PARTIX_ASSIGN_OR_RETURN(Sequence rhs, EvalExpr(*op.rhs));
+      for (Item& item : rhs) lhs.push_back(std::move(item));
+      return lhs;
+    }
+    case Op::kOr:
+    case Op::kAnd: {
+      PARTIX_ASSIGN_OR_RETURN(Sequence lseq, EvalExpr(*op.lhs));
+      PARTIX_ASSIGN_OR_RETURN(bool l, EffectiveBooleanValue(lseq));
+      if (op.op == Op::kOr && l) return Sequence{Item(true)};
+      if (op.op == Op::kAnd && !l) return Sequence{Item(false)};
+      PARTIX_ASSIGN_OR_RETURN(Sequence rseq, EvalExpr(*op.rhs));
+      PARTIX_ASSIGN_OR_RETURN(bool r, EffectiveBooleanValue(rseq));
+      return Sequence{Item(r)};
+    }
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      PARTIX_ASSIGN_OR_RETURN(Sequence lhs, EvalExpr(*op.lhs));
+      PARTIX_ASSIGN_OR_RETURN(Sequence rhs, EvalExpr(*op.rhs));
+      PARTIX_ASSIGN_OR_RETURN(bool b, GeneralCompare(op.op, lhs, rhs));
+      return Sequence{Item(b)};
+    }
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod: {
+      PARTIX_ASSIGN_OR_RETURN(Sequence lhs, EvalExpr(*op.lhs));
+      PARTIX_ASSIGN_OR_RETURN(Sequence rhs, EvalExpr(*op.rhs));
+      if (lhs.empty() || rhs.empty()) return Sequence{};
+      double a = 0.0;
+      double b = 0.0;
+      if (lhs.size() != 1 || rhs.size() != 1 || !lhs[0].TryNumber(&a) ||
+          !rhs[0].TryNumber(&b)) {
+        return Status::InvalidArgument("arithmetic on non-numeric operands");
+      }
+      double result = 0.0;
+      switch (op.op) {
+        case Op::kAdd:
+          result = a + b;
+          break;
+        case Op::kSub:
+          result = a - b;
+          break;
+        case Op::kMul:
+          result = a * b;
+          break;
+        case Op::kDiv:
+          result = a / b;
+          break;
+        case Op::kMod:
+          result = std::fmod(a, b);
+          break;
+        default:
+          break;
+      }
+      return Sequence{Item(result)};
+    }
+  }
+  return Status::Internal("unhandled binary operator");
+}
+
+Result<bool> Evaluator::GeneralCompare(BinaryOp::Op op, const Sequence& lhs,
+                                       const Sequence& rhs) {
+  // XPath general comparison: existential over all atomized pairs.
+  for (const Item& l : lhs) {
+    for (const Item& r : rhs) {
+      double a = 0.0;
+      double b = 0.0;
+      int cmp;
+      bool numeric = (l.IsNumber() || r.IsNumber())
+                         ? (l.TryNumber(&a) && r.TryNumber(&b))
+                         : (l.TryNumber(&a) && r.TryNumber(&b));
+      if (numeric) {
+        cmp = a < b ? -1 : (a > b ? 1 : 0);
+      } else {
+        std::string ls = l.StringValue();
+        std::string rs = r.StringValue();
+        cmp = ls.compare(rs);
+        cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+      }
+      bool match = false;
+      switch (op) {
+        case BinaryOp::Op::kEq:
+          match = cmp == 0;
+          break;
+        case BinaryOp::Op::kNe:
+          match = cmp != 0;
+          break;
+        case BinaryOp::Op::kLt:
+          match = cmp < 0;
+          break;
+        case BinaryOp::Op::kLe:
+          match = cmp <= 0;
+          break;
+        case BinaryOp::Op::kGt:
+          match = cmp > 0;
+          break;
+        case BinaryOp::Op::kGe:
+          match = cmp >= 0;
+          break;
+        default:
+          return Status::Internal("non-comparison op in GeneralCompare");
+      }
+      if (match) return true;
+    }
+  }
+  return false;
+}
+
+Result<Sequence> Evaluator::EvalPath(const PathExpr& path) {
+  Sequence context;
+  if (path.source != nullptr) {
+    PARTIX_ASSIGN_OR_RETURN(context, EvalExpr(*path.source));
+  } else {
+    // Absolute path: root of the context item's document.
+    if (context_stack_.empty() || !context_stack_.back().IsNode()) {
+      return Status::InvalidArgument(
+          "absolute path with no context document");
+    }
+    const NodeRef& ctx = context_stack_.back().AsNode();
+    context.push_back(Item(NodeRef{ctx.doc, ctx.doc->root()}));
+    // The first step of an absolute path matches the root element itself
+    // (child axis from the virtual document node) or any element
+    // (descendant axis); reuse step evaluation by treating the root as
+    // context and matching step 0 specially.
+    if (path.steps.empty()) return context;
+    const AxisStep& first = path.steps[0];
+    Sequence initial;
+    const Document& doc = *ctx.doc;
+    if (first.step.axis == xpath::Axis::kChild) {
+      if (StepMatches(doc, doc.root(), first.step)) {
+        initial.push_back(Item(NodeRef{ctx.doc, doc.root()}));
+      }
+    } else {
+      doc.VisitSubtree(doc.root(), [&](NodeId n) {
+        ++stats_.nodes_visited;
+        if (StepMatches(doc, n, first.step)) {
+          initial.push_back(Item(NodeRef{ctx.doc, n}));
+        }
+      });
+    }
+    for (const ExprPtr& pred : first.predicates) {
+      PARTIX_ASSIGN_OR_RETURN(initial,
+                              ApplyPredicate(*pred, std::move(initial)));
+    }
+    return EvalSteps(std::move(initial), path.steps, 1);
+  }
+  return EvalSteps(std::move(context), path.steps, 0);
+}
+
+Result<Sequence> Evaluator::EvalSteps(Sequence context,
+                                      const std::vector<AxisStep>& steps,
+                                      size_t first) {
+  Sequence current = std::move(context);
+  for (size_t si = first; si < steps.size(); ++si) {
+    const AxisStep& axis_step = steps[si];
+    Sequence next;
+    std::unordered_set<NodeKey, NodeKeyHash> seen;
+    for (const Item& item : current) {
+      if (!item.IsNode()) {
+        return Status::InvalidArgument(
+            "path step applied to an atomic value");
+      }
+      const NodeRef& ref = item.AsNode();
+      const Document& doc = *ref.doc;
+      // Collect matches for this context node.
+      Sequence matches;
+      if (ref.node == xml::kDocumentNode) {
+        // The virtual document node: its only child is the root element.
+        if (!doc.empty()) {
+          if (axis_step.step.axis == xpath::Axis::kChild) {
+            ++stats_.nodes_visited;
+            if (StepMatches(doc, doc.root(), axis_step.step)) {
+              matches.push_back(Item(NodeRef{ref.doc, doc.root()}));
+            }
+          } else {
+            doc.VisitSubtree(doc.root(), [&](NodeId n) {
+              ++stats_.nodes_visited;
+              if (StepMatches(doc, n, axis_step.step)) {
+                matches.push_back(Item(NodeRef{ref.doc, n}));
+              }
+            });
+          }
+        }
+      } else if (axis_step.step.axis == xpath::Axis::kChild) {
+        for (NodeId c = doc.first_child(ref.node); c != kNullNode;
+             c = doc.next_sibling(c)) {
+          ++stats_.nodes_visited;
+          if (StepMatches(doc, c, axis_step.step)) {
+            matches.push_back(Item(NodeRef{ref.doc, c}));
+          }
+        }
+      } else {
+        doc.VisitSubtree(ref.node, [&](NodeId n) {
+          ++stats_.nodes_visited;
+          if (n != ref.node && StepMatches(doc, n, axis_step.step)) {
+            matches.push_back(Item(NodeRef{ref.doc, n}));
+          }
+        });
+      }
+      // Apply predicates per context node (XPath positional semantics).
+      for (const ExprPtr& pred : axis_step.predicates) {
+        PARTIX_ASSIGN_OR_RETURN(matches,
+                                ApplyPredicate(*pred, std::move(matches)));
+        if (matches.empty()) break;
+      }
+      for (Item& m : matches) {
+        NodeKey key{m.AsNode().doc.get(), m.AsNode().node};
+        if (seen.insert(key).second) next.push_back(std::move(m));
+      }
+    }
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+Result<Sequence> Evaluator::ApplyPredicate(const Expr& pred,
+                                           Sequence matches) {
+  // Fast path: a literal number is a positional filter.
+  if (pred.Is<NumberLit>()) {
+    double want = pred.As<NumberLit>().value;
+    size_t idx = static_cast<size_t>(want);
+    Sequence out;
+    if (want >= 1 && static_cast<double>(idx) == want &&
+        idx <= matches.size()) {
+      out.push_back(matches[idx - 1]);
+    }
+    return out;
+  }
+  Sequence out;
+  for (size_t i = 0; i < matches.size(); ++i) {
+    context_stack_.push_back(matches[i]);
+    position_stack_.emplace_back(i + 1, matches.size());
+    Result<Sequence> value = EvalExpr(pred);
+    position_stack_.pop_back();
+    context_stack_.pop_back();
+    if (!value.ok()) return value.status();
+    const Sequence& v = *value;
+    // A numeric result selects by position.
+    if (v.size() == 1 && v[0].IsNumber()) {
+      if (static_cast<size_t>(v[0].AsNumber()) == i + 1) {
+        out.push_back(matches[i]);
+      }
+      continue;
+    }
+    PARTIX_ASSIGN_OR_RETURN(bool keep, EffectiveBooleanValue(v));
+    if (keep) out.push_back(matches[i]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Orders FLWOR sort keys: numbers numerically when both sides are
+/// numeric, strings otherwise; empty keys sort first.
+bool KeyLess(const Item& a, const Item& b) {
+  double na = 0.0;
+  double nb = 0.0;
+  if (a.TryNumber(&na) && b.TryNumber(&nb)) return na < nb;
+  return a.StringValue() < b.StringValue();
+}
+
+}  // namespace
+
+Result<Sequence> Evaluator::EvalFlwor(const FlworExpr& flwor) {
+  Sequence out;
+  if (flwor.order_by == nullptr) {
+    PARTIX_RETURN_IF_ERROR(
+        EvalFlworClauses(flwor, 0, &out, nullptr).status());
+    return out;
+  }
+  std::vector<std::pair<Item, Sequence>> keyed;
+  PARTIX_RETURN_IF_ERROR(
+      EvalFlworClauses(flwor, 0, nullptr, &keyed).status());
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [&](const auto& a, const auto& b) {
+                     return flwor.order_descending
+                                ? KeyLess(b.first, a.first)
+                                : KeyLess(a.first, b.first);
+                   });
+  for (auto& [key, chunk] : keyed) {
+    for (Item& item : chunk) out.push_back(std::move(item));
+  }
+  return out;
+}
+
+Result<Sequence> Evaluator::EvalFlworClauses(
+    const FlworExpr& flwor, size_t clause_idx, Sequence* out,
+    std::vector<std::pair<Item, Sequence>>* keyed) {
+  if (clause_idx == flwor.clauses.size()) {
+    if (flwor.where != nullptr) {
+      PARTIX_ASSIGN_OR_RETURN(Sequence cond, EvalExpr(*flwor.where));
+      PARTIX_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
+      if (!b) return Sequence{};
+    }
+    if (keyed != nullptr) {
+      PARTIX_ASSIGN_OR_RETURN(Sequence key_seq,
+                              EvalExpr(*flwor.order_by));
+      Item key = key_seq.empty() ? Item(std::string()) : key_seq[0];
+      PARTIX_ASSIGN_OR_RETURN(Sequence items, EvalExpr(*flwor.ret));
+      keyed->emplace_back(std::move(key), std::move(items));
+      return Sequence{};
+    }
+    PARTIX_ASSIGN_OR_RETURN(Sequence items, EvalExpr(*flwor.ret));
+    for (Item& item : items) out->push_back(std::move(item));
+    return Sequence{};
+  }
+  const ForLetClause& clause = flwor.clauses[clause_idx];
+  PARTIX_ASSIGN_OR_RETURN(Sequence binding, EvalExpr(*clause.expr));
+  // Save and restore any shadowed variable.
+  auto saved = variables_.find(clause.var);
+  bool had_saved = saved != variables_.end();
+  Sequence saved_value;
+  if (had_saved) saved_value = saved->second;
+
+  Status status = Status::Ok();
+  if (clause.is_let) {
+    variables_[clause.var] = std::move(binding);
+    Result<Sequence> r = EvalFlworClauses(flwor, clause_idx + 1, out, keyed);
+    if (!r.ok()) status = r.status();
+  } else {
+    for (Item& item : binding) {
+      variables_[clause.var] = Sequence{item};
+      Result<Sequence> r =
+          EvalFlworClauses(flwor, clause_idx + 1, out, keyed);
+      if (!r.ok()) {
+        status = r.status();
+        break;
+      }
+    }
+  }
+  if (had_saved) {
+    variables_[clause.var] = std::move(saved_value);
+  } else {
+    variables_.erase(clause.var);
+  }
+  PARTIX_RETURN_IF_ERROR(status);
+  return Sequence{};
+}
+
+Result<bool> Evaluator::EvalQuantified(const QuantifiedExpr& quantified,
+                                       size_t binding_idx) {
+  if (binding_idx == quantified.bindings.size()) {
+    PARTIX_ASSIGN_OR_RETURN(Sequence value, EvalExpr(*quantified.satisfies));
+    return EffectiveBooleanValue(value);
+  }
+  const ForLetClause& clause = quantified.bindings[binding_idx];
+  PARTIX_ASSIGN_OR_RETURN(Sequence binding, EvalExpr(*clause.expr));
+  auto saved = variables_.find(clause.var);
+  bool had_saved = saved != variables_.end();
+  Sequence saved_value;
+  if (had_saved) saved_value = saved->second;
+
+  // some: true if any tuple satisfies; every: false if any tuple fails.
+  bool result = quantified.is_every;
+  Status status = Status::Ok();
+  for (Item& item : binding) {
+    variables_[clause.var] = Sequence{item};
+    Result<bool> r = EvalQuantified(quantified, binding_idx + 1);
+    if (!r.ok()) {
+      status = r.status();
+      break;
+    }
+    if (*r != quantified.is_every) {
+      result = !quantified.is_every;
+      break;
+    }
+  }
+  if (had_saved) {
+    variables_[clause.var] = std::move(saved_value);
+  } else {
+    variables_.erase(clause.var);
+  }
+  PARTIX_RETURN_IF_ERROR(status);
+  return result;
+}
+
+Status Evaluator::BuildContent(const Sequence& content, bool literal_text,
+                               xml::Document* doc, xml::NodeId parent,
+                               bool* last_was_atomic) {
+  for (const Item& item : content) {
+    if (item.IsNode()) {
+      const NodeRef& ref = item.AsNode();
+      if (ref.node == xml::kDocumentNode) {
+        if (!ref.doc->empty()) {
+          doc->CopySubtree(*ref.doc, ref.doc->root(), parent);
+        }
+        *last_was_atomic = false;
+        continue;
+      }
+      if (ref.doc->kind(ref.node) == NodeKind::kAttribute) {
+        doc->AppendAttribute(parent, ref.doc->name(ref.node),
+                             ref.doc->value(ref.node));
+      } else {
+        doc->CopySubtree(*ref.doc, ref.node, parent);
+      }
+      *last_was_atomic = false;
+    } else {
+      std::string text = item.StringValue();
+      if (*last_was_atomic && !literal_text) {
+        // Adjacent atomics are joined with a single space (XQuery rule).
+        text = " " + text;
+      }
+      doc->AppendText(parent, text);
+      *last_was_atomic = true;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Sequence> Evaluator::EvalElementCtor(const ElementCtor& ctor) {
+  auto doc = std::make_shared<Document>(pool_, "(constructed)");
+  NodeId root = doc->CreateRoot(ctor.name);
+  for (const auto& [name, value] : ctor.attributes) {
+    doc->AppendAttribute(root, name, value);
+  }
+  bool last_was_atomic = false;
+  for (size_t i = 0; i < ctor.content.size(); ++i) {
+    bool literal = ctor.content_is_literal_text[i];
+    PARTIX_ASSIGN_OR_RETURN(Sequence value, EvalExpr(*ctor.content[i]));
+    PARTIX_RETURN_IF_ERROR(
+        BuildContent(value, literal, doc.get(), root, &last_was_atomic));
+    if (literal) last_was_atomic = false;
+  }
+  ++stats_.elements_constructed;
+  DocumentPtr frozen = doc;
+  return Sequence{Item(NodeRef{frozen, root})};
+}
+
+Result<Sequence> Evaluator::EvalFunction(const FunctionCall& call) {
+  auto eval_args = [&](std::vector<Sequence>* out) -> Status {
+    for (const ExprPtr& arg : call.args) {
+      PARTIX_ASSIGN_OR_RETURN(Sequence v, EvalExpr(*arg));
+      out->push_back(std::move(v));
+    }
+    return Status::Ok();
+  };
+
+  const std::string& fn = call.name;
+
+  if (fn == "empty-sequence") return Sequence{};
+
+  if (fn == "position" || fn == "last") {
+    if (!call.args.empty()) {
+      return Status::InvalidArgument(fn + "() takes no arguments");
+    }
+    if (position_stack_.empty()) {
+      return Status::InvalidArgument(fn +
+                                     "() outside a predicate context");
+    }
+    return Sequence{Item(static_cast<double>(
+        fn == "position" ? position_stack_.back().first
+                         : position_stack_.back().second))};
+  }
+
+  if (fn == "collection" || fn == "doc") {
+    if (resolver_ == nullptr) {
+      return Status::FailedPrecondition("no collection resolver bound");
+    }
+    std::vector<Sequence> args;
+    PARTIX_RETURN_IF_ERROR(eval_args(&args));
+    if (args.size() != 1 || args[0].size() != 1) {
+      return Status::InvalidArgument(fn + "() takes one string argument");
+    }
+    std::string name = args[0][0].StringValue();
+    ++stats_.collections_resolved;
+    PARTIX_ASSIGN_OR_RETURN(std::vector<DocumentPtr> docs,
+                            resolver_->Resolve(name));
+    if (fn == "doc" && docs.size() != 1) {
+      return Status::InvalidArgument("doc('" + name + "') matched " +
+                                     std::to_string(docs.size()) +
+                                     " documents");
+    }
+    Sequence out;
+    out.reserve(docs.size());
+    for (DocumentPtr& d : docs) {
+      out.push_back(Item(NodeRef{std::move(d), xml::kDocumentNode}));
+    }
+    return out;
+  }
+
+  std::vector<Sequence> args;
+  PARTIX_RETURN_IF_ERROR(eval_args(&args));
+
+  auto require_args = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::InvalidArgument(fn + "() expects " + std::to_string(n) +
+                                     " argument(s), got " +
+                                     std::to_string(args.size()));
+    }
+    return Status::Ok();
+  };
+
+  if (fn == "count") {
+    PARTIX_RETURN_IF_ERROR(require_args(1));
+    return Sequence{Item(static_cast<double>(args[0].size()))};
+  }
+  if (fn == "empty" || fn == "exists") {
+    PARTIX_RETURN_IF_ERROR(require_args(1));
+    bool empty = args[0].empty();
+    return Sequence{Item(fn == "empty" ? empty : !empty)};
+  }
+  if (fn == "not" || fn == "boolean") {
+    PARTIX_RETURN_IF_ERROR(require_args(1));
+    PARTIX_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(args[0]));
+    return Sequence{Item(fn == "not" ? !b : b)};
+  }
+  if (fn == "sum" || fn == "avg" || fn == "min" || fn == "max") {
+    PARTIX_RETURN_IF_ERROR(require_args(1));
+    if (args[0].empty()) {
+      if (fn == "sum") return Sequence{Item(0.0)};
+      return Sequence{};
+    }
+    double acc = fn == "min" ? 1e308 : (fn == "max" ? -1e308 : 0.0);
+    for (const Item& item : args[0]) {
+      double v = 0.0;
+      if (!item.TryNumber(&v)) {
+        return Status::InvalidArgument(fn + "() over a non-numeric item");
+      }
+      if (fn == "min") {
+        acc = std::min(acc, v);
+      } else if (fn == "max") {
+        acc = std::max(acc, v);
+      } else {
+        acc += v;
+      }
+    }
+    if (fn == "avg") acc /= static_cast<double>(args[0].size());
+    return Sequence{Item(acc)};
+  }
+  if (fn == "contains" || fn == "starts-with") {
+    PARTIX_RETURN_IF_ERROR(require_args(2));
+    // Empty first argument: no value to search in.
+    if (args[0].empty()) return Sequence{Item(false)};
+    std::string needle =
+        args[1].empty() ? std::string() : args[1][0].StringValue();
+    // Existential over the first sequence, mirroring how eXist applies
+    // text predicates to node sets.
+    bool found = false;
+    for (const Item& item : args[0]) {
+      std::string hay = item.StringValue();
+      if (fn == "contains" ? Contains(hay, needle)
+                           : StartsWith(hay, needle)) {
+        found = true;
+        break;
+      }
+    }
+    return Sequence{Item(found)};
+  }
+  if (fn == "string-length") {
+    PARTIX_RETURN_IF_ERROR(require_args(1));
+    if (args[0].empty()) return Sequence{Item(0.0)};
+    return Sequence{
+        Item(static_cast<double>(args[0][0].StringValue().size()))};
+  }
+  if (fn == "concat") {
+    std::string out;
+    for (const Sequence& arg : args) {
+      for (const Item& item : arg) out += item.StringValue();
+    }
+    return Sequence{Item(std::move(out))};
+  }
+  if (fn == "string") {
+    PARTIX_RETURN_IF_ERROR(require_args(1));
+    if (args[0].empty()) return Sequence{Item(std::string())};
+    return Sequence{Item(args[0][0].StringValue())};
+  }
+  if (fn == "number") {
+    PARTIX_RETURN_IF_ERROR(require_args(1));
+    double v = 0.0;
+    if (args[0].empty() || !args[0][0].TryNumber(&v)) {
+      return Sequence{Item(std::nan(""))};
+    }
+    return Sequence{Item(v)};
+  }
+  if (fn == "name") {
+    PARTIX_RETURN_IF_ERROR(require_args(1));
+    if (args[0].empty() || !args[0][0].IsNode()) {
+      return Sequence{Item(std::string())};
+    }
+    const NodeRef& ref = args[0][0].AsNode();
+    if (ref.doc->kind(ref.node) == NodeKind::kText) {
+      return Sequence{Item(std::string())};
+    }
+    return Sequence{Item(std::string(ref.doc->name(ref.node)))};
+  }
+  if (fn == "substring") {
+    if (args.size() != 2 && args.size() != 3) {
+      return Status::InvalidArgument("substring() takes 2 or 3 arguments");
+    }
+    std::string s =
+        args[0].empty() ? std::string() : args[0][0].StringValue();
+    double start = 0.0;
+    if (args[1].empty() || !args[1][0].TryNumber(&start)) {
+      return Status::InvalidArgument("substring(): bad start");
+    }
+    // XPath substring is 1-based.
+    int64_t begin = static_cast<int64_t>(start) - 1;
+    int64_t length = static_cast<int64_t>(s.size());
+    if (args.size() == 3) {
+      double len = 0.0;
+      if (args[2].empty() || !args[2][0].TryNumber(&len)) {
+        return Status::InvalidArgument("substring(): bad length");
+      }
+      length = static_cast<int64_t>(len);
+    }
+    if (begin < 0) {
+      length += begin;
+      begin = 0;
+    }
+    if (begin >= static_cast<int64_t>(s.size()) || length <= 0) {
+      return Sequence{Item(std::string())};
+    }
+    return Sequence{Item(s.substr(static_cast<size_t>(begin),
+                                  static_cast<size_t>(length)))};
+  }
+  if (fn == "string-join") {
+    PARTIX_RETURN_IF_ERROR(require_args(2));
+    std::string sep =
+        args[1].empty() ? std::string() : args[1][0].StringValue();
+    std::string out;
+    for (size_t i = 0; i < args[0].size(); ++i) {
+      if (i > 0) out += sep;
+      out += args[0][i].StringValue();
+    }
+    return Sequence{Item(std::move(out))};
+  }
+  if (fn == "normalize-space") {
+    PARTIX_RETURN_IF_ERROR(require_args(1));
+    std::string s =
+        args[0].empty() ? std::string() : args[0][0].StringValue();
+    std::string out;
+    bool in_space = true;  // also strips leading whitespace
+    for (char c : s) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!in_space) out.push_back(' ');
+        in_space = true;
+      } else {
+        out.push_back(c);
+        in_space = false;
+      }
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    return Sequence{Item(std::move(out))};
+  }
+  if (fn == "upper-case" || fn == "lower-case") {
+    PARTIX_RETURN_IF_ERROR(require_args(1));
+    std::string s =
+        args[0].empty() ? std::string() : args[0][0].StringValue();
+    for (char& c : s) {
+      c = fn == "upper-case"
+              ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+              : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return Sequence{Item(std::move(s))};
+  }
+  if (fn == "distinct-values") {
+    PARTIX_RETURN_IF_ERROR(require_args(1));
+    Sequence out;
+    std::unordered_set<std::string> seen;
+    for (const Item& item : args[0]) {
+      std::string v = item.StringValue();
+      if (seen.insert(v).second) out.push_back(Item(std::move(v)));
+    }
+    return out;
+  }
+  return Status::Unimplemented("unknown function " + fn + "()");
+}
+
+Result<Sequence> EvalQuery(const std::string& query,
+                           CollectionResolver* resolver,
+                           std::shared_ptr<xml::NamePool> pool) {
+  PARTIX_ASSIGN_OR_RETURN(ExprPtr ast, ParseQuery(query));
+  Evaluator ev(resolver, std::move(pool));
+  return ev.Eval(*ast);
+}
+
+}  // namespace partix::xquery

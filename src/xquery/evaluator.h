@@ -1,0 +1,104 @@
+#ifndef PARTIX_XQUERY_EVALUATOR_H_
+#define PARTIX_XQUERY_EVALUATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+#include "xml/name_pool.h"
+#include "xquery/ast.h"
+#include "xquery/item.h"
+
+namespace partix::xquery {
+
+/// Supplies the documents behind collection("name") / doc("name"). The
+/// database engine implements this; tests use an in-memory map.
+class CollectionResolver {
+ public:
+  virtual ~CollectionResolver() = default;
+
+  /// Returns the documents of the named collection.
+  virtual Result<std::vector<xml::DocumentPtr>> Resolve(
+      const std::string& name) = 0;
+};
+
+/// Execution counters exposed after evaluation.
+struct EvalStats {
+  uint64_t nodes_visited = 0;
+  uint64_t collections_resolved = 0;
+  uint64_t elements_constructed = 0;
+};
+
+/// Evaluates a parsed XQuery expression against a CollectionResolver.
+/// One evaluator instance runs one query (it accumulates stats and holds
+/// the variable environment); construct a fresh one per query.
+class Evaluator {
+ public:
+  /// `resolver` may be null for queries that never call collection()/doc().
+  /// `pool` is used to intern names of constructed elements; if null a
+  /// private pool is created.
+  Evaluator(CollectionResolver* resolver, std::shared_ptr<xml::NamePool> pool);
+
+  /// Binds an external variable visible to the query.
+  void BindVariable(const std::string& name, Sequence value);
+
+  /// Sets the initial context item (what absolute paths `/a/b` and bare
+  /// relative steps resolve against at the top level).
+  void SetContextItem(Item item);
+
+  Result<Sequence> Eval(const Expr& query);
+
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  Result<Sequence> EvalExpr(const Expr& e);
+  Result<Sequence> EvalBinary(const BinaryOp& op);
+  Result<Sequence> EvalPath(const PathExpr& path);
+  Result<Sequence> EvalSteps(Sequence context,
+                             const std::vector<AxisStep>& steps,
+                             size_t first);
+  Result<Sequence> EvalFlwor(const FlworExpr& flwor);
+  /// Recursive clause expansion. When `keyed` is non-null (order by), each
+  /// binding tuple's (sort key, result chunk) is buffered there instead of
+  /// being appended to `out`.
+  Result<Sequence> EvalFlworClauses(
+      const FlworExpr& flwor, size_t clause_idx, Sequence* out,
+      std::vector<std::pair<Item, Sequence>>* keyed);
+  Result<Sequence> EvalElementCtor(const ElementCtor& ctor);
+  Result<bool> EvalQuantified(const QuantifiedExpr& quantified,
+                              size_t binding_idx);
+  Result<Sequence> EvalFunction(const FunctionCall& call);
+
+  Result<bool> GeneralCompare(BinaryOp::Op op, const Sequence& lhs,
+                              const Sequence& rhs);
+
+  /// Applies one bracketed predicate to a step's match list (for one
+  /// context node). Numeric results select by position; general results
+  /// filter by effective boolean value.
+  Result<Sequence> ApplyPredicate(const Expr& pred, Sequence matches);
+
+  Status BuildContent(const Sequence& content, bool literal_text,
+                      xml::Document* doc, xml::NodeId parent,
+                      bool* last_was_atomic);
+
+  CollectionResolver* resolver_;
+  std::shared_ptr<xml::NamePool> pool_;
+  std::map<std::string, Sequence> variables_;
+  std::vector<Item> context_stack_;
+  /// (position, size) of the predicate context, for position()/last().
+  std::vector<std::pair<size_t, size_t>> position_stack_;
+  EvalStats stats_;
+};
+
+/// Convenience: parse + evaluate `query` in one call.
+Result<Sequence> EvalQuery(const std::string& query,
+                           CollectionResolver* resolver,
+                           std::shared_ptr<xml::NamePool> pool = nullptr);
+
+}  // namespace partix::xquery
+
+#endif  // PARTIX_XQUERY_EVALUATOR_H_

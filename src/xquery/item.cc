@@ -1,0 +1,72 @@
+#include "xquery/item.h"
+
+#include "common/strings.h"
+#include "xml/serializer.h"
+
+namespace partix::xquery {
+
+std::string Item::StringValue() const {
+  if (IsNode()) {
+    const NodeRef& n = AsNode();
+    if (n.node == xml::kDocumentNode) {
+      return n.doc->empty() ? std::string()
+                            : n.doc->StringValue(n.doc->root());
+    }
+    return n.doc->StringValue(n.node);
+  }
+  if (IsString()) return AsString();
+  if (IsNumber()) return FormatNumber(AsNumber());
+  return AsBool() ? "true" : "false";
+}
+
+bool Item::TryNumber(double* out) const {
+  if (IsNumber()) {
+    *out = AsNumber();
+    return true;
+  }
+  if (IsBool()) {
+    *out = AsBool() ? 1.0 : 0.0;
+    return true;
+  }
+  return ParseDouble(StringValue(), out);
+}
+
+Result<bool> EffectiveBooleanValue(const Sequence& seq) {
+  if (seq.empty()) return false;
+  if (seq[0].IsNode()) return true;
+  if (seq.size() > 1) {
+    return Status::InvalidArgument(
+        "effective boolean value of a multi-item atomic sequence");
+  }
+  const Item& item = seq[0];
+  if (item.IsBool()) return item.AsBool();
+  if (item.IsNumber()) {
+    double v = item.AsNumber();
+    return v != 0.0 && v == v;  // false for 0 and NaN
+  }
+  return !item.AsString().empty();
+}
+
+std::string SerializeSequence(const Sequence& seq) {
+  std::string out;
+  for (const Item& item : seq) {
+    if (!out.empty()) out.push_back('\n');
+    if (item.IsNode()) {
+      const NodeRef& n = item.AsNode();
+      if (n.node == xml::kDocumentNode) {
+        if (!n.doc->empty()) {
+          out += xml::SerializeSubtree(*n.doc, n.doc->root());
+        }
+      } else if (n.doc->kind(n.node) == xml::NodeKind::kElement) {
+        out += xml::SerializeSubtree(*n.doc, n.node);
+      } else {
+        out += std::string(n.doc->value(n.node));
+      }
+    } else {
+      out += item.StringValue();
+    }
+  }
+  return out;
+}
+
+}  // namespace partix::xquery

@@ -1,0 +1,69 @@
+#ifndef PARTIX_XQUERY_ITEM_H_
+#define PARTIX_XQUERY_ITEM_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace partix::xquery {
+
+/// A reference to a node inside a (shared, immutable) document. Results
+/// keep their documents alive through the shared_ptr.
+struct NodeRef {
+  xml::DocumentPtr doc;
+  xml::NodeId node = xml::kNullNode;
+
+  bool operator==(const NodeRef& other) const {
+    return doc.get() == other.doc.get() && node == other.node;
+  }
+};
+
+/// An XQuery item: a node or an atomic value (string, number, boolean).
+class Item {
+ public:
+  Item() : v_(std::string()) {}
+  explicit Item(NodeRef node) : v_(std::move(node)) {}
+  explicit Item(std::string s) : v_(std::move(s)) {}
+  explicit Item(double n) : v_(n) {}
+  explicit Item(bool b) : v_(b) {}
+
+  bool IsNode() const { return std::holds_alternative<NodeRef>(v_); }
+  bool IsString() const { return std::holds_alternative<std::string>(v_); }
+  bool IsNumber() const { return std::holds_alternative<double>(v_); }
+  bool IsBool() const { return std::holds_alternative<bool>(v_); }
+
+  const NodeRef& AsNode() const { return std::get<NodeRef>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  double AsNumber() const { return std::get<double>(v_); }
+  bool AsBool() const { return std::get<bool>(v_); }
+
+  /// Atomizes to the item's string value (nodes: concatenated descendant
+  /// text; numbers: canonical XQuery formatting).
+  std::string StringValue() const;
+
+  /// Atomizes to a number if possible.
+  bool TryNumber(double* out) const;
+
+ private:
+  std::variant<NodeRef, std::string, double, bool> v_;
+};
+
+/// An XQuery sequence (flat, ordered).
+using Sequence = std::vector<Item>;
+
+/// XPath/XQuery effective boolean value: empty = false; first item a node =
+/// true; singleton atomic by its truthiness. A multi-item atomic sequence
+/// is a type error.
+Result<bool> EffectiveBooleanValue(const Sequence& seq);
+
+/// Serializes a result sequence the way a query service would ship it to a
+/// client: nodes as XML markup, atomics as text, items separated by
+/// newlines. Also used to measure transmission sizes.
+std::string SerializeSequence(const Sequence& seq);
+
+}  // namespace partix::xquery
+
+#endif  // PARTIX_XQUERY_ITEM_H_

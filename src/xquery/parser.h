@@ -1,0 +1,35 @@
+#ifndef PARTIX_XQUERY_PARSER_H_
+#define PARTIX_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xquery/ast.h"
+
+namespace partix::xquery {
+
+/// Parses an XQuery expression in the subset PartiX supports:
+///
+///   - FLWOR: (for $v in E | let $v := E)+ [where E]
+///     [order by E [ascending|descending]] return E
+///   - quantifiers: some/every $v in E (, ...) satisfies E
+///   - path expressions over any source: $v/a//b[pred]/@id, with
+///     positional and boolean step predicates
+///   - absolute paths: /a/b (against the context document)
+///   - direct element constructors with enclosed expressions:
+///     <r>{ $x/Name }</r>
+///   - function calls: collection(), doc(), count(), sum(), avg(), min(),
+///     max(), contains(), starts-with(), string-length(), concat(), not(),
+///     empty(), exists(), string(), number(), distinct-values(),
+///     substring(), string-join(), normalize-space(), upper-case(),
+///     lower-case(), position(), last(), name(), ...
+///   - general comparisons (= != < <= > >=), and/or, arithmetic
+///     (+ - * div mod), if/then/else, string and number literals,
+///     comma sequences, XQuery comments (: ... :)
+///
+/// Returns kParseError with position information on malformed input.
+Result<ExprPtr> ParseQuery(std::string_view text);
+
+}  // namespace partix::xquery
+
+#endif  // PARTIX_XQUERY_PARSER_H_

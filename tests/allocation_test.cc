@@ -1,0 +1,115 @@
+#include "partix/allocation.h"
+
+#include <algorithm>
+
+#include "fragmentation/fragmenter.h"
+#include "gen/virtual_store.h"
+#include "gtest/gtest.h"
+#include "partix/cluster.h"
+#include "partix/publisher.h"
+#include "partix/query_service.h"
+#include "workload/schemas.h"
+
+namespace partix::middleware {
+namespace {
+
+std::vector<xml::Collection> MakeFragments() {
+  gen::ItemsGenOptions options;
+  options.doc_count = 120;
+  options.seed = 21;
+  options.section_skew = 1.0;  // strongly skewed fragment sizes
+  auto items = gen::GenerateItems(options, nullptr);
+  EXPECT_TRUE(items.ok());
+  auto schema =
+      workload::SectionHorizontalSchema("items", options.sections, 8);
+  EXPECT_TRUE(schema.ok());
+  auto fragments = frag::ApplyFragmentation(*items, *schema);
+  EXPECT_TRUE(fragments.ok());
+  return std::move(*fragments);
+}
+
+TEST(AllocationTest, RoundRobinCycles) {
+  auto fragments = MakeFragments();
+  auto placements =
+      ComputePlacements(fragments, 3, PlacementStrategy::kRoundRobin);
+  ASSERT_TRUE(placements.ok());
+  ASSERT_EQ(placements->size(), fragments.size());
+  for (size_t i = 0; i < placements->size(); ++i) {
+    EXPECT_EQ((*placements)[i].node, i % 3);
+    EXPECT_EQ((*placements)[i].fragment, fragments[i].name());
+  }
+}
+
+TEST(AllocationTest, SizeBalancedBeatsRoundRobinOnSkewedData) {
+  auto fragments = MakeFragments();
+  auto rr =
+      ComputePlacements(fragments, 3, PlacementStrategy::kRoundRobin);
+  auto lpt =
+      ComputePlacements(fragments, 3, PlacementStrategy::kSizeBalanced);
+  ASSERT_TRUE(rr.ok() && lpt.ok());
+  auto rr_loads = PlacementLoads(fragments, *rr, 3);
+  auto lpt_loads = PlacementLoads(fragments, *lpt, 3);
+  uint64_t rr_max = *std::max_element(rr_loads.begin(), rr_loads.end());
+  uint64_t lpt_max = *std::max_element(lpt_loads.begin(), lpt_loads.end());
+  EXPECT_LE(lpt_max, rr_max);
+  // All bytes placed in both cases.
+  uint64_t total = 0;
+  for (const auto& frag : fragments) total += frag.ApproxBytes();
+  uint64_t rr_total = 0;
+  for (uint64_t l : rr_loads) rr_total += l;
+  EXPECT_EQ(rr_total, total);
+}
+
+TEST(AllocationTest, EveryFragmentPlacedExactlyOnce) {
+  auto fragments = MakeFragments();
+  auto placements =
+      ComputePlacements(fragments, 2, PlacementStrategy::kSizeBalanced);
+  ASSERT_TRUE(placements.ok());
+  ASSERT_EQ(placements->size(), fragments.size());
+  for (const xml::Collection& frag : fragments) {
+    int hits = 0;
+    for (const FragmentPlacement& p : *placements) {
+      if (p.fragment == frag.name()) ++hits;
+    }
+    EXPECT_EQ(hits, 1) << frag.name();
+  }
+}
+
+TEST(AllocationTest, RejectsDegenerateInputs) {
+  auto fragments = MakeFragments();
+  EXPECT_FALSE(
+      ComputePlacements(fragments, 0, PlacementStrategy::kRoundRobin)
+          .ok());
+  EXPECT_FALSE(ComputePlacements({}, 3, PlacementStrategy::kRoundRobin)
+                   .ok());
+}
+
+TEST(AllocationTest, FewerNodesThanFragmentsStillAnswersQueries) {
+  gen::ItemsGenOptions options;
+  options.doc_count = 60;
+  options.seed = 22;
+  auto items = gen::GenerateItems(options, nullptr);
+  ASSERT_TRUE(items.ok());
+  auto schema =
+      workload::SectionHorizontalSchema("items", options.sections, 8);
+  ASSERT_TRUE(schema.ok());
+  auto fragments = frag::ApplyFragmentation(*items, *schema);
+  ASSERT_TRUE(fragments.ok());
+  auto placements =
+      ComputePlacements(*fragments, 3, PlacementStrategy::kSizeBalanced);
+  ASSERT_TRUE(placements.ok());
+
+  DistributionCatalog catalog;
+  ClusterSim cluster(3, xdb::DatabaseOptions(), NetworkModel());
+  DataPublisher publisher(&cluster, &catalog);
+  ASSERT_TRUE(
+      publisher.PublishFragmented(*items, *schema, *placements).ok());
+  QueryService service(&cluster, &catalog);
+  auto result = service.Execute("count(collection(\"items\")/Item)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->serialized, std::to_string(items->size()));
+  EXPECT_EQ(result->subqueries.size(), 8u);  // 8 fragments over 3 nodes
+}
+
+}  // namespace
+}  // namespace partix::middleware

@@ -1,0 +1,266 @@
+// Executable versions of the paper's own examples: the fragment
+// definitions of Figures 2, 3, and 4 are built verbatim, applied to
+// collections shaped like Fig. 1, and checked against §3.3's correctness
+// rules. Each test cites the figure it reproduces.
+
+#include <memory>
+
+#include "fragmentation/correctness.h"
+#include "fragmentation/fragment_def.h"
+#include "fragmentation/fragmenter.h"
+#include "gtest/gtest.h"
+#include "xml/parser.h"
+#include "xpath/eval.h"
+
+namespace partix::frag {
+namespace {
+
+using xml::Collection;
+using xml::RepoKind;
+
+xpath::Path P(const std::string& text) {
+  auto result = xpath::Path::Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *result;
+}
+
+xpath::Conjunction Mu(const std::string& text) {
+  auto result = xpath::Conjunction::Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *result;
+}
+
+/// Citems := ⟨Svirtual_store, /Store/Items/Item⟩ (Fig. 1(b), MD) with a
+/// small but diverse instance set.
+class PaperCitems : public ::testing::Test {
+ protected:
+  PaperCitems()
+      : pool_(std::make_shared<xml::NamePool>()),
+        citems_("Citems", xml::VirtualStoreSchema(), "/Store/Items/Item",
+                RepoKind::kMultipleDocuments) {
+    Add("<Item><Code>1</Code><Name>disc one</Name>"
+        "<Description>a good disc</Description><Section>CD</Section>"
+        "<Release>2004-01-01</Release></Item>");
+    Add("<Item><Code>2</Code><Name>film</Name>"
+        "<Description>long film</Description><Section>DVD</Section>"
+        "<Release>2004-02-01</Release>"
+        "<PictureList><Picture><Name>cover</Name>"
+        "<Description>good cover art</Description>"
+        "<ModificationDate>2004-02-02</ModificationDate>"
+        "<OriginalPath>/o</OriginalPath><ThumbPath>/t</ThumbPath>"
+        "</Picture></PictureList></Item>");
+    Add("<Item><Code>3</Code><Name>game</Name>"
+        "<Description>fun game</Description><Section>GAME</Section>"
+        "<Release>2004-03-01</Release></Item>");
+  }
+
+  void Add(const std::string& xml) {
+    auto doc = xml::ParseXml(pool_, "item" + std::to_string(next_++), xml);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    ASSERT_TRUE(citems_.Add(*doc).ok());
+  }
+
+  std::shared_ptr<xml::NamePool> pool_;
+  Collection citems_;
+  int next_ = 0;
+};
+
+// ---- Fig. 2(a): F1CD := ⟨Citems, σ /Item/Section="CD"⟩,
+//                 F2CD := ⟨Citems, σ /Item/Section≠"CD"⟩ ----
+
+TEST_F(PaperCitems, Fig2aSectionFragmentsAreCorrect) {
+  FragmentationSchema schema;
+  schema.collection = "Citems";
+  schema.fragments.emplace_back(
+      HorizontalDef{"F1CD", Mu("/Item/Section = \"CD\"")});
+  schema.fragments.emplace_back(
+      HorizontalDef{"F2CD", Mu("/Item/Section != \"CD\"")});
+  auto report = CheckCorrectness(citems_, schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+
+  auto fragments = ApplyFragmentation(citems_, schema);
+  ASSERT_TRUE(fragments.ok());
+  EXPECT_EQ((*fragments)[0].size(), 1u);
+  EXPECT_EQ((*fragments)[1].size(), 2u);
+}
+
+// ---- Fig. 2(b): F1good := ⟨Citems, σ contains(//Description,"good")⟩,
+//                 F2good := complement ----
+
+TEST_F(PaperCitems, Fig2bTextSearchFragmentsAreCorrect) {
+  FragmentationSchema schema;
+  schema.collection = "Citems";
+  schema.fragments.emplace_back(HorizontalDef{
+      "F1good", Mu("contains(//Description, \"good\")")});
+  schema.fragments.emplace_back(HorizontalDef{
+      "F2good", Mu("not(contains(//Description, \"good\"))")});
+  auto report = CheckCorrectness(citems_, schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+
+  auto fragments = ApplyFragmentation(citems_, schema);
+  ASSERT_TRUE(fragments.ok());
+  // Item 1 ("a good disc") and item 2 (whose *picture* description says
+  // "good cover art" — //Description reaches any level, as the paper
+  // stresses) land in F1good.
+  EXPECT_EQ((*fragments)[0].size(), 2u);
+  EXPECT_EQ((*fragments)[1].size(), 1u);
+}
+
+// ---- Fig. 2(c): F1with_pictures := ⟨Citems, σ /Item/PictureList⟩,
+//                 F2with_pictures := ⟨Citems, σ empty(/Item/PictureList)⟩
+// "Observe that F1with_pictures cannot be classified as a vertical nor
+// hybrid fragment." ----
+
+TEST_F(PaperCitems, Fig2cExistentialFragmentsAreCorrect) {
+  FragmentationSchema schema;
+  schema.collection = "Citems";
+  schema.fragments.emplace_back(
+      HorizontalDef{"F1with_pictures", Mu("/Item/PictureList")});
+  schema.fragments.emplace_back(
+      HorizontalDef{"F2with_pictures", Mu("empty(/Item/PictureList)")});
+  auto report = CheckCorrectness(citems_, schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+
+  auto fragments = ApplyFragmentation(citems_, schema);
+  ASSERT_TRUE(fragments.ok());
+  EXPECT_EQ((*fragments)[0].size(), 1u);  // only the DVD has pictures
+  EXPECT_EQ((*fragments)[1].size(), 2u);
+}
+
+// ---- Fig. 3(a): F1items := ⟨Citems, π /Item, {/Item/PictureList}⟩,
+//                 F2items := ⟨Citems, π /Item/PictureList, {}⟩
+// "nodes that satisfy /Item/PictureList are exactly the ones pruned out
+// of the subtrees rooted in /Item in the fragment F1items, thus
+// preserving disjointness with respect to F2items." ----
+
+TEST_F(PaperCitems, Fig3aVerticalItemsFragmentsAreCorrect) {
+  FragmentationSchema schema;
+  schema.collection = "Citems";
+  schema.fragments.emplace_back(
+      VerticalDef{"F1items", P("/Item"), {P("/Item/PictureList")}});
+  schema.fragments.emplace_back(
+      VerticalDef{"F2items", P("/Item/PictureList"), {}});
+  auto report = CheckCorrectness(citems_, schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+
+  auto fragments = ApplyFragmentation(citems_, schema);
+  ASSERT_TRUE(fragments.ok());
+  EXPECT_EQ((*fragments)[0].size(), 3u);  // every item has a pruned twin
+  EXPECT_EQ((*fragments)[1].size(), 1u);  // only one item has pictures
+  // The pruned fragment holds no PictureList anywhere.
+  for (const auto& doc : (*fragments)[0].docs()) {
+    EXPECT_TRUE(xpath::EvalPath(*doc, P("/Item/PictureList")).empty());
+  }
+}
+
+/// Cstore := ⟨Svirtual_store, /Store⟩ (Fig. 1(b), SD).
+class PaperCstore : public ::testing::Test {
+ protected:
+  PaperCstore()
+      : pool_(std::make_shared<xml::NamePool>()),
+        cstore_("Cstore", xml::VirtualStoreSchema(), "/Store",
+                RepoKind::kSingleDocument) {
+    auto doc = xml::ParseXml(
+        pool_, "store",
+        "<Store>"
+        "<Sections><Section><Code>1</Code><Name>CD</Name></Section>"
+        "<Section><Code>2</Code><Name>DVD</Name></Section></Sections>"
+        "<Items>"
+        "<Item><Code>1</Code><Name>disc</Name><Description>good"
+        "</Description><Section>CD</Section><Release>r</Release></Item>"
+        "<Item><Code>2</Code><Name>film</Name><Description>fine"
+        "</Description><Section>DVD</Section><Release>r</Release></Item>"
+        "<Item><Code>3</Code><Name>game</Name><Description>fun"
+        "</Description><Section>GAME</Section><Release>r</Release></Item>"
+        "</Items>"
+        "<Employees><Employee>ann</Employee></Employees>"
+        "</Store>");
+    EXPECT_TRUE(doc.ok()) << doc.status();
+    EXPECT_TRUE(cstore_.Add(*doc).ok());
+  }
+
+  std::shared_ptr<xml::NamePool> pool_;
+  Collection cstore_;
+};
+
+// ---- Fig. 3(b): F1sections := ⟨Cstore, π /Store/Sections, {}⟩,
+//                 F2section := ⟨Cstore, π /Store, {/Store/Sections}⟩ ----
+
+TEST_F(PaperCstore, Fig3bVerticalStoreFragmentsAreCorrect) {
+  FragmentationSchema schema;
+  schema.collection = "Cstore";
+  schema.fragments.emplace_back(
+      VerticalDef{"F1sections", P("/Store/Sections"), {}});
+  schema.fragments.emplace_back(
+      VerticalDef{"F2section", P("/Store"), {P("/Store/Sections")}});
+  auto report = CheckCorrectness(cstore_, schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+}
+
+// ---- Fig. 4: F1items..F3items := ⟨Cstore, π /Store/Items • σ Section⟩
+//              F4items := ⟨Cstore, π /Store, {/Store/Items}⟩
+// "SD repositories may not be horizontally fragmented ... the elements in
+// an SD repository may be distributed over fragments using a hybrid
+// fragmentation." ----
+
+TEST_F(PaperCstore, Fig4HybridStoreFragmentsAreCorrect) {
+  FragmentationSchema schema;
+  schema.collection = "Cstore";
+  schema.fragments.emplace_back(HybridDef{
+      "F1items", P("/Store/Items"), {}, Mu("/Item/Section = \"CD\"")});
+  schema.fragments.emplace_back(HybridDef{
+      "F2items", P("/Store/Items"), {}, Mu("/Item/Section = \"DVD\"")});
+  schema.fragments.emplace_back(
+      HybridDef{"F3items", P("/Store/Items"), {},
+                Mu("/Item/Section != \"CD\" and "
+                   "/Item/Section != \"DVD\"")});
+  schema.fragments.emplace_back(HybridDef{
+      "F4items", P("/Store"), {P("/Store/Items")}, Mu("true")});
+  for (HybridMode mode : {HybridMode::kOneDocPerSubtree,
+                          HybridMode::kSinglePrunedDoc}) {
+    schema.hybrid_mode = mode;
+    auto report = CheckCorrectness(cstore_, schema);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->ok()) << report->Summary();
+  }
+}
+
+TEST_F(PaperCstore, SdRepositoriesMayNotBeHorizontallyFragmented) {
+  FragmentationSchema schema;
+  schema.collection = "Cstore";
+  schema.fragments.emplace_back(HorizontalDef{"F", Mu("true")});
+  auto result = ApplyFragmentation(cstore_, schema);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---- §3.2: "the path expression P cannot retrieve nodes that may have
+// cardinality greater than one ... except when the element order is
+// indicated (e.g. /Item/PictureList/Picture[1])" ----
+
+TEST_F(PaperCitems, CardinalityRestrictionWithPositionalEscape) {
+  FragmentationSchema bad;
+  bad.collection = "Citems";
+  bad.fragments.emplace_back(
+      VerticalDef{"F", P("/Item/Characteristics"), {}});
+  // Add a doc with two Characteristics to trigger the restriction.
+  Add("<Item><Code>9</Code><Name>multi</Name>"
+      "<Description>d</Description><Section>CD</Section>"
+      "<Release>r</Release><Characteristics>a</Characteristics>"
+      "<Characteristics>b</Characteristics></Item>");
+  auto result = ApplyFragmentation(citems_, bad);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+
+  FragmentationSchema ok;
+  ok.collection = "Citems";
+  ok.fragments.emplace_back(
+      VerticalDef{"F", P("/Item/Characteristics[1]"), {}});
+  EXPECT_TRUE(ApplyFragmentation(citems_, ok).ok());
+}
+
+}  // namespace
+}  // namespace partix::frag

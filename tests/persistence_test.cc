@@ -1,0 +1,124 @@
+#include "engine/persistence.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "fragmentation/fragmenter.h"
+#include "gen/virtual_store.h"
+#include "gtest/gtest.h"
+#include "partix/publisher.h"
+#include "workload/schemas.h"
+#include "xml/compare.h"
+
+namespace partix::xdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  PersistenceTest() {
+    dir_ = fs::temp_directory_path() /
+           ("partix_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  ~PersistenceTest() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(PersistenceTest, ExportImportRoundTrip) {
+  gen::ItemsGenOptions options;
+  options.doc_count = 25;
+  options.seed = 41;
+  auto items = gen::GenerateItems(options, nullptr);
+  ASSERT_TRUE(items.ok());
+
+  Database source;
+  ASSERT_TRUE(source.StoreCollection(*items).ok());
+  ASSERT_TRUE(ExportCollection(source, "items", dir_.string()).ok());
+  EXPECT_TRUE(fs::exists(dir_ / "MANIFEST"));
+
+  Database restored;
+  ASSERT_TRUE(ImportCollection(restored, "items", dir_.string()).ok());
+  EXPECT_EQ(*restored.DocumentCount("items"), items->size());
+
+  auto docs = restored.AllDocuments("items");
+  ASSERT_TRUE(docs.ok());
+  for (size_t i = 0; i < items->size(); ++i) {
+    bool found = false;
+    for (const auto& doc : *docs) {
+      if (doc->doc_name() == items->docs()[i]->doc_name()) {
+        EXPECT_TRUE(xml::DocumentsEqual(*items->docs()[i], *doc));
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+
+  // Queries behave the same after the round trip.
+  auto a = source.Execute("count(collection(\"items\")/Item)");
+  auto b = restored.Execute("count(collection(\"items\")/Item)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->serialized, b->serialized);
+}
+
+TEST_F(PersistenceTest, MetadataSurvivesRoundTrip) {
+  Database source;
+  ASSERT_TRUE(source.CreateCollection("frags").ok());
+  std::map<std::string, std::string> metadata = {
+      {"px-src", "store-doc"},
+      {"px-root", "42"},
+      {"px-anc", "0:Store,22:Items"},
+      {"odd", "a=b;c\td\ne\\f"},  // exercises escaping
+  };
+  ASSERT_TRUE(source
+                  .StoreSerializedWithMetadata("frags", "f0",
+                                               "<Item><Code>1</Code></Item>",
+                                               metadata)
+                  .ok());
+  ASSERT_TRUE(ExportCollection(source, "frags", dir_.string()).ok());
+
+  Database restored;
+  ASSERT_TRUE(ImportCollection(restored, "frags", dir_.string()).ok());
+  auto docs = restored.AllDocuments("frags");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 1u);
+  EXPECT_EQ((*docs)[0]->metadata(), metadata);
+}
+
+TEST_F(PersistenceTest, RefusesToOverwriteExistingExport) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("c").ok());
+  ASSERT_TRUE(db.StoreSerialized("c", "d", "<a/>").ok());
+  ASSERT_TRUE(ExportCollection(db, "c", dir_.string()).ok());
+  EXPECT_EQ(ExportCollection(db, "c", dir_.string()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(PersistenceTest, ImportMissingDirectoryFails) {
+  Database db;
+  EXPECT_EQ(
+      ImportCollection(db, "c", (dir_ / "nope").string()).code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(PersistenceTest, ImportDetectsMissingDocumentFile) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("c").ok());
+  ASSERT_TRUE(db.StoreSerialized("c", "d", "<a/>").ok());
+  ASSERT_TRUE(ExportCollection(db, "c", dir_.string()).ok());
+  fs::remove(dir_ / "000000.xml");
+  Database restored;
+  EXPECT_EQ(ImportCollection(restored, "c", dir_.string()).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(PersistenceTest, ExportUnknownCollectionFails) {
+  Database db;
+  EXPECT_FALSE(ExportCollection(db, "nope", dir_.string()).ok());
+}
+
+}  // namespace
+}  // namespace partix::xdb

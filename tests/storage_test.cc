@@ -1,0 +1,202 @@
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "storage/document_store.h"
+#include "storage/indexes.h"
+#include "storage/stats.h"
+#include "xml/parser.h"
+
+namespace partix::storage {
+namespace {
+
+std::shared_ptr<xml::NamePool> Pool() {
+  return std::make_shared<xml::NamePool>();
+}
+
+xml::DocumentPtr Parse(const std::shared_ptr<xml::NamePool>& pool,
+                       const std::string& name, const std::string& text) {
+  auto result = xml::ParseXml(pool, name, text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *result;
+}
+
+TEST(DocumentStoreTest, PutAndGet) {
+  auto pool = Pool();
+  DocumentStore store(pool, 1 << 20);
+  auto doc = Parse(pool, "d1", "<a><b>x</b></a>");
+  auto slot = store.Put(*doc);
+  ASSERT_TRUE(slot.ok());
+  auto loaded = store.Get(*slot);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->StringValue((*loaded)->root()), "x");
+  EXPECT_EQ(store.DocName(*slot), "d1");
+  EXPECT_TRUE(store.Contains("d1"));
+  EXPECT_EQ(*store.FindSlot("d1"), *slot);
+  EXPECT_FALSE(store.FindSlot("nope").ok());
+}
+
+TEST(DocumentStoreTest, RejectsDuplicateNames) {
+  auto pool = Pool();
+  DocumentStore store(pool, 1 << 20);
+  auto doc = Parse(pool, "d1", "<a/>");
+  ASSERT_TRUE(store.Put(*doc).ok());
+  EXPECT_EQ(store.Put(*doc).status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DocumentStoreTest, ParseOnDemandCountsMetrics) {
+  auto pool = Pool();
+  DocumentStore store(pool, 1 << 20);
+  auto doc = Parse(pool, "d1", "<a><b>hello</b></a>");
+  auto slot = store.Put(*doc);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(store.metrics().parses, 0u);
+  ASSERT_TRUE(store.Get(*slot).ok());
+  EXPECT_EQ(store.metrics().parses, 1u);
+  EXPECT_EQ(store.metrics().cache_misses, 1u);
+  ASSERT_TRUE(store.Get(*slot).ok());
+  EXPECT_EQ(store.metrics().parses, 1u);  // cache hit, no re-parse
+  EXPECT_EQ(store.metrics().cache_hits, 1u);
+  EXPECT_GT(store.metrics().bytes_parsed, 0u);
+}
+
+TEST(DocumentStoreTest, ZeroCapacityDisablesCache) {
+  auto pool = Pool();
+  DocumentStore store(pool, 0);
+  auto doc = Parse(pool, "d1", "<a>x</a>");
+  auto slot = store.Put(*doc);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(store.Get(*slot).ok());
+  ASSERT_TRUE(store.Get(*slot).ok());
+  EXPECT_EQ(store.metrics().parses, 2u);
+}
+
+TEST(DocumentStoreTest, LruEvictsUnderPressure) {
+  auto pool = Pool();
+  // Tiny cache: each parsed doc is a few hundred bytes.
+  DocumentStore store(pool, 600);
+  for (int i = 0; i < 8; ++i) {
+    auto doc = Parse(pool, "d" + std::to_string(i),
+                     "<a><b>document body " + std::to_string(i) +
+                         " with some text</b></a>");
+    ASSERT_TRUE(store.Put(*doc).ok());
+  }
+  for (DocSlot s = 0; s < 8; ++s) ASSERT_TRUE(store.Get(s).ok());
+  // Re-reading the first document must re-parse (it was evicted).
+  uint64_t parses_before = store.metrics().parses;
+  ASSERT_TRUE(store.Get(0).ok());
+  EXPECT_GT(store.metrics().parses, parses_before);
+}
+
+TEST(DocumentStoreTest, DropCacheForcesReparse) {
+  auto pool = Pool();
+  DocumentStore store(pool, 1 << 20);
+  auto doc = Parse(pool, "d1", "<a>x</a>");
+  auto slot = store.Put(*doc);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(store.Get(*slot).ok());
+  store.DropCache();
+  ASSERT_TRUE(store.Get(*slot).ok());
+  EXPECT_EQ(store.metrics().parses, 2u);
+}
+
+TEST(PostingsTest, IntersectAndUnion) {
+  PostingList a = {1, 3, 5, 7};
+  PostingList b = {3, 4, 5};
+  EXPECT_EQ(IntersectPostings(a, b), (PostingList{3, 5}));
+  EXPECT_EQ(UnionPostings(a, b), (PostingList{1, 3, 4, 5, 7}));
+  EXPECT_TRUE(IntersectPostings(a, {}).empty());
+}
+
+TEST(ElementIndexTest, FindsDocsByName) {
+  auto pool = Pool();
+  ElementIndex index;
+  index.AddDocument(0, *Parse(pool, "a", "<Item><Code>1</Code></Item>"));
+  index.AddDocument(1, *Parse(pool, "b", "<Item><Name>n</Name></Item>"));
+  ASSERT_NE(index.Lookup("Item"), nullptr);
+  EXPECT_EQ(*index.Lookup("Item"), (PostingList{0, 1}));
+  EXPECT_EQ(*index.Lookup("Code"), (PostingList{0}));
+  EXPECT_EQ(index.Lookup("Nope"), nullptr);
+}
+
+TEST(ElementIndexTest, IndexesAttributes) {
+  auto pool = Pool();
+  ElementIndex index;
+  index.AddDocument(0, *Parse(pool, "a", "<r id=\"1\"/>"));
+  ASSERT_NE(index.Lookup("id"), nullptr);
+}
+
+TEST(TextIndexTest, TokensAreLowercased) {
+  auto pool = Pool();
+  TextIndex index;
+  index.AddDocument(0, *Parse(pool, "a", "<r>A Good Thing</r>"));
+  index.AddDocument(1, *Parse(pool, "b", "<r>bad thing</r>"));
+  EXPECT_EQ(*index.Lookup("good"), (PostingList{0}));
+  EXPECT_EQ(*index.Lookup("GOOD"), (PostingList{0}));
+  EXPECT_EQ(*index.Lookup("thing"), (PostingList{0, 1}));
+}
+
+TEST(TextIndexTest, CandidatesForContains) {
+  auto pool = Pool();
+  TextIndex index;
+  index.AddDocument(0, *Parse(pool, "a", "<r>a good cheap disc</r>"));
+  index.AddDocument(1, *Parse(pool, "b", "<r>a bad disc</r>"));
+  auto good = index.CandidatesForContains("good");
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(*good, (PostingList{0}));
+  auto multi = index.CandidatesForContains("good cheap");
+  ASSERT_TRUE(multi.has_value());
+  EXPECT_EQ(*multi, (PostingList{0}));
+  auto absent = index.CandidatesForContains("zebra");
+  ASSERT_TRUE(absent.has_value());
+  EXPECT_TRUE(absent->empty());
+  // A needle with no word tokens cannot prune.
+  EXPECT_FALSE(index.CandidatesForContains("   ").has_value());
+}
+
+TEST(ValueIndexTest, ExactMatches) {
+  auto pool = Pool();
+  ValueIndex index;
+  index.AddDocument(0, *Parse(pool, "a",
+                              "<Item><Section>CD</Section></Item>"));
+  index.AddDocument(1, *Parse(pool, "b",
+                              "<Item><Section>DVD</Section></Item>"));
+  ASSERT_NE(index.Lookup("Section", "CD"), nullptr);
+  EXPECT_EQ(*index.Lookup("Section", "CD"), (PostingList{0}));
+  EXPECT_EQ(index.Lookup("Section", "VHS"), nullptr);
+}
+
+TEST(ValueIndexTest, SkipsLongValuesAndComplexContent) {
+  auto pool = Pool();
+  ValueIndex index;
+  std::string longval(100, 'x');
+  index.AddDocument(0, *Parse(pool, "a", "<r><v>" + longval + "</v></r>"));
+  EXPECT_EQ(index.Lookup("v", longval), nullptr);
+  // <r> has element content; only <v> is simple.
+  EXPECT_EQ(index.Lookup("r", longval), nullptr);
+}
+
+TEST(ValueIndexTest, IndexesAttributeValues) {
+  auto pool = Pool();
+  ValueIndex index;
+  index.AddDocument(3, *Parse(pool, "a", "<r kind=\"x\"/>"));
+  ASSERT_NE(index.Lookup("kind", "x"), nullptr);
+  EXPECT_EQ(*index.Lookup("kind", "x"), (PostingList{3}));
+}
+
+TEST(CollectionStatsTest, Accumulates) {
+  auto pool = Pool();
+  CollectionStats stats;
+  auto d1 = Parse(pool, "a", "<Item><Code>1</Code></Item>");
+  auto d2 = Parse(pool, "b", "<Item><Code>2</Code></Item>");
+  stats.AddDocument(*d1, 100);
+  stats.AddDocument(*d2, 200);
+  EXPECT_EQ(stats.document_count(), 2u);
+  EXPECT_EQ(stats.total_serialized_bytes(), 300u);
+  EXPECT_DOUBLE_EQ(stats.AvgDocBytes(), 150.0);
+  EXPECT_EQ(stats.element_counts().at("Item"), 2u);
+  EXPECT_EQ(stats.element_counts().at("Code"), 2u);
+  EXPECT_FALSE(stats.Summary().empty());
+}
+
+}  // namespace
+}  // namespace partix::storage

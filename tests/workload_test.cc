@@ -1,0 +1,148 @@
+#include "fragmentation/correctness.h"
+#include "gen/virtual_store.h"
+#include "gen/xbench.h"
+#include "gtest/gtest.h"
+#include "workload/harness.h"
+#include "workload/queries.h"
+#include "workload/schemas.h"
+#include "xquery/parser.h"
+
+namespace partix::workload {
+namespace {
+
+TEST(QuerySetsTest, AllQueriesParse) {
+  for (const auto& set : {HorizontalQueries("c"), VerticalQueries("c"),
+                          HybridQueries("c")}) {
+    for (const QuerySpec& q : set) {
+      auto ast = xquery::ParseQuery(q.text);
+      EXPECT_TRUE(ast.ok()) << q.id << ": " << ast.status();
+      EXPECT_FALSE(q.description.empty()) << q.id;
+    }
+  }
+}
+
+TEST(QuerySetsTest, ExpectedCardinalities) {
+  EXPECT_EQ(HorizontalQueries("c").size(), 8u);
+  EXPECT_EQ(VerticalQueries("c").size(), 10u);
+  EXPECT_EQ(HybridQueries("c").size(), 11u);
+}
+
+TEST(QuerySetsTest, FindQueryById) {
+  auto set = HorizontalQueries("c");
+  ASSERT_NE(FindQuery(set, "Q5"), nullptr);
+  EXPECT_EQ(FindQuery(set, "Q5")->id, "Q5");
+  EXPECT_EQ(FindQuery(set, "Q99"), nullptr);
+}
+
+TEST(SchemasTest, SectionHorizontalCoversAnyFragmentCount) {
+  std::vector<std::string> sections = {"CD", "DVD", "BOOK", "GAME",
+                                       "TOY", "HIFI", "PC", "GARDEN"};
+  gen::ItemsGenOptions options;
+  options.doc_count = 120;
+  options.sections = sections;
+  auto items = gen::GenerateItems(options, nullptr);
+  ASSERT_TRUE(items.ok());
+  for (size_t fragments : {1, 2, 3, 4, 5, 8}) {
+    auto schema = SectionHorizontalSchema("items", sections, fragments);
+    ASSERT_TRUE(schema.ok()) << fragments << ": " << schema.status();
+    EXPECT_EQ(schema->fragments.size(), fragments);
+    auto report = frag::CheckCorrectness(*items, *schema);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->ok())
+        << fragments << " fragments: " << report->Summary();
+  }
+}
+
+TEST(SchemasTest, RejectsMoreFragmentsThanSections) {
+  auto schema = SectionHorizontalSchema("items", {"A", "B"}, 3);
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(SchemasTest, ArticleVerticalIsCorrectOnGeneratedData) {
+  gen::XBenchGenOptions options;
+  options.doc_count = 4;
+  options.target_doc_bytes = 4096;
+  auto articles = gen::GenerateArticles(options, nullptr);
+  ASSERT_TRUE(articles.ok());
+  auto schema = ArticleVerticalSchema("papers");
+  ASSERT_TRUE(schema.ok());
+  auto report = frag::CheckCorrectness(*articles, *schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+}
+
+TEST(SchemasTest, StoreHybridIsCorrectInBothModes) {
+  gen::StoreGenOptions options;
+  options.item_count = 40;
+  options.large_items = false;
+  auto store = gen::GenerateStore(options, nullptr);
+  ASSERT_TRUE(store.ok());
+  for (frag::HybridMode mode : {frag::HybridMode::kOneDocPerSubtree,
+                                frag::HybridMode::kSinglePrunedDoc}) {
+    for (size_t fragments : {2, 4}) {
+      auto schema =
+          StoreHybridSchema("store", options.sections, fragments, mode);
+      ASSERT_TRUE(schema.ok());
+      EXPECT_EQ(schema->fragments.size(), fragments + 1);  // + pruned rest
+      auto report = frag::CheckCorrectness(*store, *schema);
+      ASSERT_TRUE(report.ok());
+      EXPECT_TRUE(report->ok()) << report->Summary();
+    }
+  }
+}
+
+TEST(HarnessTest, CentralizedDeploymentMeasures) {
+  gen::ItemsGenOptions options;
+  options.doc_count = 20;
+  auto items = gen::GenerateItems(options, nullptr);
+  ASSERT_TRUE(items.ok());
+  auto deployment = Deployment::Centralized(*items, xdb::DatabaseOptions(),
+                                            middleware::NetworkModel());
+  ASSERT_TRUE(deployment.ok()) << deployment.status();
+  QuerySpec q{"T1", "test", "count(collection(\"items\")/Item)"};
+  MeasureOptions measure;
+  measure.runs = 3;
+  auto m = Measure(deployment->get(), q, measure);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_GT(m->response_ms, 0.0);
+  EXPECT_EQ(m->subqueries, 1u);
+}
+
+TEST(HarnessTest, FragmentedDeploymentPlacesOneFragmentPerNode) {
+  gen::ItemsGenOptions options;
+  options.doc_count = 30;
+  auto items = gen::GenerateItems(options, nullptr);
+  ASSERT_TRUE(items.ok());
+  auto schema = SectionHorizontalSchema("items", options.sections, 4);
+  ASSERT_TRUE(schema.ok());
+  auto deployment = Deployment::Fragmented(
+      *items, *schema, xdb::DatabaseOptions(), middleware::NetworkModel());
+  ASSERT_TRUE(deployment.ok()) << deployment.status();
+  EXPECT_EQ(deployment->get()->node_count(), 4u);
+  QuerySpec q{"T1", "test", "count(collection(\"items\")/Item)"};
+  MeasureOptions measure;
+  measure.runs = 2;
+  auto m = Measure(deployment->get(), q, measure);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->subqueries, 4u);
+}
+
+TEST(HarnessTest, MeasureRespectsRunProtocol) {
+  gen::ItemsGenOptions options;
+  options.doc_count = 10;
+  auto items = gen::GenerateItems(options, nullptr);
+  ASSERT_TRUE(items.ok());
+  auto deployment = Deployment::Centralized(*items, xdb::DatabaseOptions(),
+                                            middleware::NetworkModel());
+  ASSERT_TRUE(deployment.ok());
+  QuerySpec q{"T1", "test", "count(collection(\"items\")/Item)"};
+  MeasureOptions single;
+  single.runs = 1;
+  single.discard_first = true;  // single run is still counted
+  auto m = Measure(deployment->get(), q, single);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->response_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace partix::workload

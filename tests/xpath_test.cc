@@ -1,0 +1,250 @@
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "xml/parser.h"
+#include "xpath/eval.h"
+#include "xpath/path.h"
+#include "xpath/predicate.h"
+
+namespace partix::xpath {
+namespace {
+
+using xml::DocumentPtr;
+
+DocumentPtr Doc(const std::string& xml) {
+  auto pool = std::make_shared<xml::NamePool>();
+  auto result = xml::ParseXml(pool, "test", xml);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *result;
+}
+
+Path P(const std::string& text) {
+  auto result = Path::Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *result;
+}
+
+TEST(PathParseTest, SimpleSteps) {
+  Path p = P("/Store/Items/Item");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.steps()[0].name, "Store");
+  EXPECT_EQ(p.steps()[2].name, "Item");
+  EXPECT_EQ(p.ToString(), "/Store/Items/Item");
+}
+
+TEST(PathParseTest, DescendantWildcardAttributePosition) {
+  Path p = P("//Item/*/Picture[1]/@id");
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.steps()[0].axis, Axis::kDescendant);
+  EXPECT_TRUE(p.steps()[1].wildcard);
+  EXPECT_EQ(p.steps()[2].position, 1);
+  EXPECT_TRUE(p.steps()[3].is_attribute);
+  EXPECT_EQ(p.ToString(), "//Item/*/Picture[1]/@id");
+}
+
+TEST(PathParseTest, Rejections) {
+  EXPECT_FALSE(Path::Parse("Item/Name").ok());     // must be absolute
+  EXPECT_FALSE(Path::Parse("/").ok());             // dangling slash
+  EXPECT_FALSE(Path::Parse("/a/[1]").ok());        // missing name
+  EXPECT_FALSE(Path::Parse("/a[0]").ok());         // position must be >= 1
+  EXPECT_FALSE(Path::Parse("/a[x]").ok());         // non-numeric position
+  EXPECT_FALSE(Path::Parse("/@id/b").ok());        // attr must be last
+  EXPECT_FALSE(Path::Parse("").ok());
+}
+
+TEST(PathTest, PrefixRelation) {
+  EXPECT_TRUE(P("/a/b").IsPrefixOf(P("/a/b/c")));
+  EXPECT_TRUE(P("/a/b").IsPrefixOf(P("/a/b")));
+  EXPECT_FALSE(P("/a/c").IsPrefixOf(P("/a/b/c")));
+  EXPECT_FALSE(P("/a/b/c").IsPrefixOf(P("/a/b")));
+  // Axis matters for syntactic prefixes.
+  EXPECT_FALSE(P("//a").IsPrefixOf(P("/a/b")));
+}
+
+TEST(PathTest, Suffix) {
+  Path s = P("/a/b/c").Suffix(1);
+  EXPECT_EQ(s.ToString(), "/b/c");
+  EXPECT_TRUE(P("/a").Suffix(5).empty());
+}
+
+constexpr char kItemXml[] =
+    "<Item id=\"9\"><Code>42</Code><Name>radio</Name>"
+    "<Description>a good cheap radio</Description>"
+    "<Section>HIFI</Section>"
+    "<PictureList>"
+    "<Picture><Name>front</Name><Description>front view</Description>"
+    "</Picture>"
+    "<Picture><Name>back</Name><Description>back view</Description>"
+    "</Picture>"
+    "</PictureList></Item>";
+
+TEST(EvalTest, RootMatching) {
+  DocumentPtr doc = Doc(kItemXml);
+  EXPECT_EQ(EvalPath(*doc, P("/Item")).size(), 1u);
+  EXPECT_TRUE(EvalPath(*doc, P("/Other")).empty());
+}
+
+TEST(EvalTest, ChildSteps) {
+  DocumentPtr doc = Doc(kItemXml);
+  auto nodes = EvalPath(*doc, P("/Item/Code"));
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc->StringValue(nodes[0]), "42");
+}
+
+TEST(EvalTest, DescendantStep) {
+  DocumentPtr doc = Doc(kItemXml);
+  // Three Descriptions: the item's and both pictures'.
+  EXPECT_EQ(EvalPath(*doc, P("//Description")).size(), 3u);
+  EXPECT_EQ(EvalPath(*doc, P("/Item//Description")).size(), 3u);
+  EXPECT_EQ(EvalPath(*doc, P("/Item/Description")).size(), 1u);
+  // Descendant axis can match the root itself.
+  EXPECT_EQ(EvalPath(*doc, P("//Item")).size(), 1u);
+}
+
+TEST(EvalTest, Wildcard) {
+  DocumentPtr doc = Doc(kItemXml);
+  EXPECT_EQ(EvalPath(*doc, P("/Item/*")).size(), 5u);
+  EXPECT_EQ(EvalPath(*doc, P("/*/Code")).size(), 1u);
+}
+
+TEST(EvalTest, PositionalFilter) {
+  DocumentPtr doc = Doc(kItemXml);
+  auto first = EvalPath(*doc, P("/Item/PictureList/Picture[1]/Name"));
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(doc->StringValue(first[0]), "front");
+  auto second = EvalPath(*doc, P("/Item/PictureList/Picture[2]/Name"));
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(doc->StringValue(second[0]), "back");
+  EXPECT_TRUE(EvalPath(*doc, P("/Item/PictureList/Picture[3]")).empty());
+}
+
+TEST(EvalTest, AttributeStep) {
+  DocumentPtr doc = Doc(kItemXml);
+  auto attrs = EvalPath(*doc, P("/Item/@id"));
+  ASSERT_EQ(attrs.size(), 1u);
+  EXPECT_EQ(doc->StringValue(attrs[0]), "9");
+  EXPECT_EQ(EvalPath(*doc, P("/Item/@*")).size(), 1u);
+  EXPECT_TRUE(EvalPath(*doc, P("/Item/@missing")).empty());
+}
+
+TEST(EvalTest, RelativeEvaluation) {
+  DocumentPtr doc = Doc(kItemXml);
+  auto pictures = EvalPath(*doc, P("/Item/PictureList/Picture"));
+  ASSERT_EQ(pictures.size(), 2u);
+  auto names = EvalPathFrom(*doc, pictures[0], P("/Name"));
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(doc->StringValue(names[0]), "front");
+}
+
+TEST(EvalTest, RootedAtSubtree) {
+  DocumentPtr doc = Doc(kItemXml);
+  auto pictures = EvalPath(*doc, P("/Item/PictureList/Picture"));
+  ASSERT_EQ(pictures.size(), 2u);
+  // Instance-absolute path /Picture/Name against the subtree.
+  auto names = EvalPathRootedAt(*doc, pictures[1], P("/Picture/Name"));
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(doc->StringValue(names[0]), "back");
+  // Non-matching root name selects nothing.
+  EXPECT_TRUE(EvalPathRootedAt(*doc, pictures[1], P("/Item/Name")).empty());
+}
+
+TEST(EvalTest, DocumentOrderAndDedup) {
+  DocumentPtr doc = Doc("<r><a><b>1</b></a><a><b>2</b></a></r>");
+  auto nodes = EvalPath(*doc, P("//a//b"));
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_LT(nodes[0], nodes[1]);
+}
+
+Predicate Pred(const std::string& text) {
+  auto result = Predicate::Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *result;
+}
+
+TEST(PredicateTest, ParseForms) {
+  EXPECT_EQ(Pred("/Item/Section = \"CD\"").kind(),
+            Predicate::Kind::kCompare);
+  EXPECT_EQ(Pred("contains(//Description, \"good\")").kind(),
+            Predicate::Kind::kContains);
+  EXPECT_EQ(Pred("/Item/PictureList").kind(), Predicate::Kind::kExists);
+  Predicate empty = Pred("empty(/Item/PictureList)");
+  EXPECT_EQ(empty.kind(), Predicate::Kind::kExists);
+  EXPECT_TRUE(empty.negated());
+  Predicate nc = Pred("not(contains(//Description, \"good\"))");
+  EXPECT_EQ(nc.kind(), Predicate::Kind::kContains);
+  EXPECT_TRUE(nc.negated());
+  EXPECT_FALSE(Predicate::Parse("").ok());
+  EXPECT_FALSE(Predicate::Parse("contains(/a)").ok());
+  EXPECT_FALSE(Predicate::Parse("/a = oops").ok());
+}
+
+TEST(PredicateTest, CompareSemantics) {
+  DocumentPtr doc = Doc(kItemXml);
+  EXPECT_TRUE(Pred("/Item/Section = \"HIFI\"").Eval(*doc));
+  EXPECT_FALSE(Pred("/Item/Section = \"CD\"").Eval(*doc));
+  EXPECT_TRUE(Pred("/Item/Section != \"CD\"").Eval(*doc));
+  EXPECT_TRUE(Pred("/Item/Code >= 42").Eval(*doc));
+  EXPECT_FALSE(Pred("/Item/Code > 42").Eval(*doc));
+  EXPECT_TRUE(Pred("/Item/Code < 100").Eval(*doc));
+  // Numeric comparison, not lexicographic: "42" < "100".
+  EXPECT_TRUE(Pred("/Item/Code > 9").Eval(*doc));
+}
+
+TEST(PredicateTest, ContainsAndExistential) {
+  DocumentPtr doc = Doc(kItemXml);
+  EXPECT_TRUE(Pred("contains(/Item/Description, \"good\")").Eval(*doc));
+  EXPECT_FALSE(Pred("contains(/Item/Description, \"bad\")").Eval(*doc));
+  // Existential over multiple nodes: any Picture Description matching.
+  EXPECT_TRUE(Pred("contains(//Description, \"back view\")").Eval(*doc));
+  EXPECT_TRUE(Pred("/Item/PictureList").Eval(*doc));
+  EXPECT_FALSE(Pred("empty(/Item/PictureList)").Eval(*doc));
+  EXPECT_TRUE(Pred("empty(/Item/PricesHistory)").Eval(*doc));
+}
+
+TEST(PredicateTest, MissingPathBehaviour) {
+  DocumentPtr doc = Doc(kItemXml);
+  // Comparisons over empty node sets are false, and so are their
+  // complements' base forms — but empty() is true.
+  EXPECT_FALSE(Pred("/Item/Nope = \"x\"").Eval(*doc));
+  EXPECT_FALSE(Pred("/Item/Nope != \"x\"").Eval(*doc));
+  EXPECT_TRUE(Pred("empty(/Item/Nope)").Eval(*doc));
+}
+
+TEST(PredicateTest, Complement) {
+  Predicate eq = Pred("/a = \"x\"");
+  Predicate ne = eq.Complement();
+  EXPECT_EQ(ne.op(), CompareOp::kNe);
+  EXPECT_EQ(ne.Complement().op(), CompareOp::kEq);
+  Predicate lt = Pred("/a < 5");
+  EXPECT_EQ(lt.Complement().op(), CompareOp::kGe);
+  Predicate exists = Pred("/a");
+  EXPECT_TRUE(exists.Complement().negated());
+}
+
+TEST(ConjunctionTest, ParseAndEval) {
+  DocumentPtr doc = Doc(kItemXml);
+  auto conj = Conjunction::Parse(
+      "/Item/Section = \"HIFI\" and contains(/Item/Description, \"good\")");
+  ASSERT_TRUE(conj.ok()) << conj.status();
+  EXPECT_TRUE(conj->Eval(*doc));
+  auto conj2 = Conjunction::Parse(
+      "/Item/Section = \"HIFI\" and /Item/Code > 100");
+  ASSERT_TRUE(conj2.ok());
+  EXPECT_FALSE(conj2->Eval(*doc));
+  auto truth = Conjunction::Parse("true");
+  ASSERT_TRUE(truth.ok());
+  EXPECT_TRUE(truth->IsTrue());
+  EXPECT_TRUE(truth->Eval(*doc));
+}
+
+TEST(ConjunctionTest, ToStringRoundTrips) {
+  auto conj = Conjunction::Parse(
+      "/Item/Section != \"CD\" and empty(/Item/PictureList)");
+  ASSERT_TRUE(conj.ok());
+  auto round = Conjunction::Parse(conj->ToString());
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(round->ToString(), conj->ToString());
+}
+
+}  // namespace
+}  // namespace partix::xpath
