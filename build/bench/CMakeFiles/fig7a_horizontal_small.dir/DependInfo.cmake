@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7a_horizontal_small.cc" "bench/CMakeFiles/fig7a_horizontal_small.dir/fig7a_horizontal_small.cc.o" "gcc" "bench/CMakeFiles/fig7a_horizontal_small.dir/fig7a_horizontal_small.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/partix_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/partix/CMakeFiles/partix_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/partix_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/fragmentation/CMakeFiles/partix_frag.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/partix_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/partix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/partix_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/partix_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/partix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/partix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_horizontal_large.dir/fig7b_horizontal_large.cc.o"
+  "CMakeFiles/fig7b_horizontal_large.dir/fig7b_horizontal_large.cc.o.d"
+  "fig7b_horizontal_large"
+  "fig7b_horizontal_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_horizontal_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_vertical.dir/fig7c_vertical.cc.o"
+  "CMakeFiles/fig7c_vertical.dir/fig7c_vertical.cc.o.d"
+  "fig7c_vertical"
+  "fig7c_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

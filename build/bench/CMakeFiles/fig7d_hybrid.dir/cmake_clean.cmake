@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7d_hybrid.dir/fig7d_hybrid.cc.o"
+  "CMakeFiles/fig7d_hybrid.dir/fig7d_hybrid.cc.o.d"
+  "fig7d_hybrid"
+  "fig7d_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7d_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_sweep.dir/size_sweep.cc.o"
+  "CMakeFiles/size_sweep.dir/size_sweep.cc.o.d"
+  "size_sweep"
+  "size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_sd.dir/hybrid_sd.cpp.o"
+  "CMakeFiles/hybrid_sd.dir/hybrid_sd.cpp.o.d"
+  "hybrid_sd"
+  "hybrid_sd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_sd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partix_shell.dir/partix_shell.cpp.o"
+  "CMakeFiles/partix_shell.dir/partix_shell.cpp.o.d"
+  "partix_shell"
+  "partix_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partix_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_horizontal.dir/store_horizontal.cpp.o"
+  "CMakeFiles/store_horizontal.dir/store_horizontal.cpp.o.d"
+  "store_horizontal"
+  "store_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

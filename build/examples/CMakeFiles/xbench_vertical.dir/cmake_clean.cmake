@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbench_vertical.dir/xbench_vertical.cpp.o"
+  "CMakeFiles/xbench_vertical.dir/xbench_vertical.cpp.o.d"
+  "xbench_vertical"
+  "xbench_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbench_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

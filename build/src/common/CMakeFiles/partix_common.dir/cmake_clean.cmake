@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partix_common.dir/rng.cc.o"
+  "CMakeFiles/partix_common.dir/rng.cc.o.d"
+  "CMakeFiles/partix_common.dir/status.cc.o"
+  "CMakeFiles/partix_common.dir/status.cc.o.d"
+  "CMakeFiles/partix_common.dir/strings.cc.o"
+  "CMakeFiles/partix_common.dir/strings.cc.o.d"
+  "libpartix_common.a"
+  "libpartix_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partix_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

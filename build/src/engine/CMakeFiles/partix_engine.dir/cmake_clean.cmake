@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partix_engine.dir/database.cc.o"
+  "CMakeFiles/partix_engine.dir/database.cc.o.d"
+  "CMakeFiles/partix_engine.dir/persistence.cc.o"
+  "CMakeFiles/partix_engine.dir/persistence.cc.o.d"
+  "CMakeFiles/partix_engine.dir/planner.cc.o"
+  "CMakeFiles/partix_engine.dir/planner.cc.o.d"
+  "libpartix_engine.a"
+  "libpartix_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partix_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

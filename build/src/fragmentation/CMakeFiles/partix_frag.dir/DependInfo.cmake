@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fragmentation/advisor.cc" "src/fragmentation/CMakeFiles/partix_frag.dir/advisor.cc.o" "gcc" "src/fragmentation/CMakeFiles/partix_frag.dir/advisor.cc.o.d"
+  "/root/repo/src/fragmentation/algebra.cc" "src/fragmentation/CMakeFiles/partix_frag.dir/algebra.cc.o" "gcc" "src/fragmentation/CMakeFiles/partix_frag.dir/algebra.cc.o.d"
+  "/root/repo/src/fragmentation/correctness.cc" "src/fragmentation/CMakeFiles/partix_frag.dir/correctness.cc.o" "gcc" "src/fragmentation/CMakeFiles/partix_frag.dir/correctness.cc.o.d"
+  "/root/repo/src/fragmentation/fragment_def.cc" "src/fragmentation/CMakeFiles/partix_frag.dir/fragment_def.cc.o" "gcc" "src/fragmentation/CMakeFiles/partix_frag.dir/fragment_def.cc.o.d"
+  "/root/repo/src/fragmentation/fragmenter.cc" "src/fragmentation/CMakeFiles/partix_frag.dir/fragmenter.cc.o" "gcc" "src/fragmentation/CMakeFiles/partix_frag.dir/fragmenter.cc.o.d"
+  "/root/repo/src/fragmentation/reconstruct.cc" "src/fragmentation/CMakeFiles/partix_frag.dir/reconstruct.cc.o" "gcc" "src/fragmentation/CMakeFiles/partix_frag.dir/reconstruct.cc.o.d"
+  "/root/repo/src/fragmentation/schema_io.cc" "src/fragmentation/CMakeFiles/partix_frag.dir/schema_io.cc.o" "gcc" "src/fragmentation/CMakeFiles/partix_frag.dir/schema_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xquery/CMakeFiles/partix_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/partix_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/partix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/partix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

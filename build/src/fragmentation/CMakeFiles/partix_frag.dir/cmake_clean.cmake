@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partix_frag.dir/advisor.cc.o"
+  "CMakeFiles/partix_frag.dir/advisor.cc.o.d"
+  "CMakeFiles/partix_frag.dir/algebra.cc.o"
+  "CMakeFiles/partix_frag.dir/algebra.cc.o.d"
+  "CMakeFiles/partix_frag.dir/correctness.cc.o"
+  "CMakeFiles/partix_frag.dir/correctness.cc.o.d"
+  "CMakeFiles/partix_frag.dir/fragment_def.cc.o"
+  "CMakeFiles/partix_frag.dir/fragment_def.cc.o.d"
+  "CMakeFiles/partix_frag.dir/fragmenter.cc.o"
+  "CMakeFiles/partix_frag.dir/fragmenter.cc.o.d"
+  "CMakeFiles/partix_frag.dir/reconstruct.cc.o"
+  "CMakeFiles/partix_frag.dir/reconstruct.cc.o.d"
+  "CMakeFiles/partix_frag.dir/schema_io.cc.o"
+  "CMakeFiles/partix_frag.dir/schema_io.cc.o.d"
+  "libpartix_frag.a"
+  "libpartix_frag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partix_frag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

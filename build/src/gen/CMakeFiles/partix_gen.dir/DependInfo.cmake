@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/virtual_store.cc" "src/gen/CMakeFiles/partix_gen.dir/virtual_store.cc.o" "gcc" "src/gen/CMakeFiles/partix_gen.dir/virtual_store.cc.o.d"
+  "/root/repo/src/gen/xbench.cc" "src/gen/CMakeFiles/partix_gen.dir/xbench.cc.o" "gcc" "src/gen/CMakeFiles/partix_gen.dir/xbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/partix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/partix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partix_gen.dir/virtual_store.cc.o"
+  "CMakeFiles/partix_gen.dir/virtual_store.cc.o.d"
+  "CMakeFiles/partix_gen.dir/xbench.cc.o"
+  "CMakeFiles/partix_gen.dir/xbench.cc.o.d"
+  "libpartix_gen.a"
+  "libpartix_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partix_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

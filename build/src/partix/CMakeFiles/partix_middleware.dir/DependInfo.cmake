@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partix/allocation.cc" "src/partix/CMakeFiles/partix_middleware.dir/allocation.cc.o" "gcc" "src/partix/CMakeFiles/partix_middleware.dir/allocation.cc.o.d"
+  "/root/repo/src/partix/catalog.cc" "src/partix/CMakeFiles/partix_middleware.dir/catalog.cc.o" "gcc" "src/partix/CMakeFiles/partix_middleware.dir/catalog.cc.o.d"
+  "/root/repo/src/partix/cluster.cc" "src/partix/CMakeFiles/partix_middleware.dir/cluster.cc.o" "gcc" "src/partix/CMakeFiles/partix_middleware.dir/cluster.cc.o.d"
+  "/root/repo/src/partix/decomposer.cc" "src/partix/CMakeFiles/partix_middleware.dir/decomposer.cc.o" "gcc" "src/partix/CMakeFiles/partix_middleware.dir/decomposer.cc.o.d"
+  "/root/repo/src/partix/deployment_io.cc" "src/partix/CMakeFiles/partix_middleware.dir/deployment_io.cc.o" "gcc" "src/partix/CMakeFiles/partix_middleware.dir/deployment_io.cc.o.d"
+  "/root/repo/src/partix/driver.cc" "src/partix/CMakeFiles/partix_middleware.dir/driver.cc.o" "gcc" "src/partix/CMakeFiles/partix_middleware.dir/driver.cc.o.d"
+  "/root/repo/src/partix/publisher.cc" "src/partix/CMakeFiles/partix_middleware.dir/publisher.cc.o" "gcc" "src/partix/CMakeFiles/partix_middleware.dir/publisher.cc.o.d"
+  "/root/repo/src/partix/query_service.cc" "src/partix/CMakeFiles/partix_middleware.dir/query_service.cc.o" "gcc" "src/partix/CMakeFiles/partix_middleware.dir/query_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/partix_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/fragmentation/CMakeFiles/partix_frag.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/partix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/partix_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/partix_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/partix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/partix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partix_middleware.dir/allocation.cc.o"
+  "CMakeFiles/partix_middleware.dir/allocation.cc.o.d"
+  "CMakeFiles/partix_middleware.dir/catalog.cc.o"
+  "CMakeFiles/partix_middleware.dir/catalog.cc.o.d"
+  "CMakeFiles/partix_middleware.dir/cluster.cc.o"
+  "CMakeFiles/partix_middleware.dir/cluster.cc.o.d"
+  "CMakeFiles/partix_middleware.dir/decomposer.cc.o"
+  "CMakeFiles/partix_middleware.dir/decomposer.cc.o.d"
+  "CMakeFiles/partix_middleware.dir/deployment_io.cc.o"
+  "CMakeFiles/partix_middleware.dir/deployment_io.cc.o.d"
+  "CMakeFiles/partix_middleware.dir/driver.cc.o"
+  "CMakeFiles/partix_middleware.dir/driver.cc.o.d"
+  "CMakeFiles/partix_middleware.dir/publisher.cc.o"
+  "CMakeFiles/partix_middleware.dir/publisher.cc.o.d"
+  "CMakeFiles/partix_middleware.dir/query_service.cc.o"
+  "CMakeFiles/partix_middleware.dir/query_service.cc.o.d"
+  "libpartix_middleware.a"
+  "libpartix_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partix_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

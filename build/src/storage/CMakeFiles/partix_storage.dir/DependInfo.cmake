@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/document_store.cc" "src/storage/CMakeFiles/partix_storage.dir/document_store.cc.o" "gcc" "src/storage/CMakeFiles/partix_storage.dir/document_store.cc.o.d"
+  "/root/repo/src/storage/indexes.cc" "src/storage/CMakeFiles/partix_storage.dir/indexes.cc.o" "gcc" "src/storage/CMakeFiles/partix_storage.dir/indexes.cc.o.d"
+  "/root/repo/src/storage/stats.cc" "src/storage/CMakeFiles/partix_storage.dir/stats.cc.o" "gcc" "src/storage/CMakeFiles/partix_storage.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/partix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/partix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partix_storage.dir/document_store.cc.o"
+  "CMakeFiles/partix_storage.dir/document_store.cc.o.d"
+  "CMakeFiles/partix_storage.dir/indexes.cc.o"
+  "CMakeFiles/partix_storage.dir/indexes.cc.o.d"
+  "CMakeFiles/partix_storage.dir/stats.cc.o"
+  "CMakeFiles/partix_storage.dir/stats.cc.o.d"
+  "libpartix_storage.a"
+  "libpartix_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partix_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

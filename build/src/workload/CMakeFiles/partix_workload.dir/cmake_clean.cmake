@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partix_workload.dir/harness.cc.o"
+  "CMakeFiles/partix_workload.dir/harness.cc.o.d"
+  "CMakeFiles/partix_workload.dir/queries.cc.o"
+  "CMakeFiles/partix_workload.dir/queries.cc.o.d"
+  "CMakeFiles/partix_workload.dir/schemas.cc.o"
+  "CMakeFiles/partix_workload.dir/schemas.cc.o.d"
+  "libpartix_workload.a"
+  "libpartix_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partix_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partix_xml.dir/collection.cc.o"
+  "CMakeFiles/partix_xml.dir/collection.cc.o.d"
+  "CMakeFiles/partix_xml.dir/compare.cc.o"
+  "CMakeFiles/partix_xml.dir/compare.cc.o.d"
+  "CMakeFiles/partix_xml.dir/document.cc.o"
+  "CMakeFiles/partix_xml.dir/document.cc.o.d"
+  "CMakeFiles/partix_xml.dir/name_pool.cc.o"
+  "CMakeFiles/partix_xml.dir/name_pool.cc.o.d"
+  "CMakeFiles/partix_xml.dir/parser.cc.o"
+  "CMakeFiles/partix_xml.dir/parser.cc.o.d"
+  "CMakeFiles/partix_xml.dir/schema.cc.o"
+  "CMakeFiles/partix_xml.dir/schema.cc.o.d"
+  "CMakeFiles/partix_xml.dir/serializer.cc.o"
+  "CMakeFiles/partix_xml.dir/serializer.cc.o.d"
+  "libpartix_xml.a"
+  "libpartix_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partix_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

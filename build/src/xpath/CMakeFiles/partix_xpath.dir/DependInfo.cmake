@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpath/eval.cc" "src/xpath/CMakeFiles/partix_xpath.dir/eval.cc.o" "gcc" "src/xpath/CMakeFiles/partix_xpath.dir/eval.cc.o.d"
+  "/root/repo/src/xpath/path.cc" "src/xpath/CMakeFiles/partix_xpath.dir/path.cc.o" "gcc" "src/xpath/CMakeFiles/partix_xpath.dir/path.cc.o.d"
+  "/root/repo/src/xpath/predicate.cc" "src/xpath/CMakeFiles/partix_xpath.dir/predicate.cc.o" "gcc" "src/xpath/CMakeFiles/partix_xpath.dir/predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/partix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/partix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

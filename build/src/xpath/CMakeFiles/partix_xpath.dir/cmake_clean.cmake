@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partix_xpath.dir/eval.cc.o"
+  "CMakeFiles/partix_xpath.dir/eval.cc.o.d"
+  "CMakeFiles/partix_xpath.dir/path.cc.o"
+  "CMakeFiles/partix_xpath.dir/path.cc.o.d"
+  "CMakeFiles/partix_xpath.dir/predicate.cc.o"
+  "CMakeFiles/partix_xpath.dir/predicate.cc.o.d"
+  "libpartix_xpath.a"
+  "libpartix_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partix_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partix_xquery.dir/ast.cc.o"
+  "CMakeFiles/partix_xquery.dir/ast.cc.o.d"
+  "CMakeFiles/partix_xquery.dir/evaluator.cc.o"
+  "CMakeFiles/partix_xquery.dir/evaluator.cc.o.d"
+  "CMakeFiles/partix_xquery.dir/item.cc.o"
+  "CMakeFiles/partix_xquery.dir/item.cc.o.d"
+  "CMakeFiles/partix_xquery.dir/parser.cc.o"
+  "CMakeFiles/partix_xquery.dir/parser.cc.o.d"
+  "libpartix_xquery.a"
+  "libpartix_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partix_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

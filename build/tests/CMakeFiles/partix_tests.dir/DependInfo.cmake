@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisor_test.cc" "tests/CMakeFiles/partix_tests.dir/advisor_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/advisor_test.cc.o.d"
+  "/root/repo/tests/allocation_test.cc" "tests/CMakeFiles/partix_tests.dir/allocation_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/allocation_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/partix_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/decomposer_test.cc" "tests/CMakeFiles/partix_tests.dir/decomposer_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/decomposer_test.cc.o.d"
+  "/root/repo/tests/deployment_io_test.cc" "tests/CMakeFiles/partix_tests.dir/deployment_io_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/deployment_io_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/partix_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/failure_test.cc" "tests/CMakeFiles/partix_tests.dir/failure_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/failure_test.cc.o.d"
+  "/root/repo/tests/fragmentation_test.cc" "tests/CMakeFiles/partix_tests.dir/fragmentation_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/fragmentation_test.cc.o.d"
+  "/root/repo/tests/gen_test.cc" "tests/CMakeFiles/partix_tests.dir/gen_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/gen_test.cc.o.d"
+  "/root/repo/tests/middleware_test.cc" "tests/CMakeFiles/partix_tests.dir/middleware_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/middleware_test.cc.o.d"
+  "/root/repo/tests/misc_coverage_test.cc" "tests/CMakeFiles/partix_tests.dir/misc_coverage_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/misc_coverage_test.cc.o.d"
+  "/root/repo/tests/paper_examples_test.cc" "tests/CMakeFiles/partix_tests.dir/paper_examples_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/paper_examples_test.cc.o.d"
+  "/root/repo/tests/persistence_test.cc" "tests/CMakeFiles/partix_tests.dir/persistence_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/persistence_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/partix_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/partix_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/partix_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/partix_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/xml_test.cc.o.d"
+  "/root/repo/tests/xpath_test.cc" "tests/CMakeFiles/partix_tests.dir/xpath_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/xpath_test.cc.o.d"
+  "/root/repo/tests/xquery_extended_test.cc" "tests/CMakeFiles/partix_tests.dir/xquery_extended_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/xquery_extended_test.cc.o.d"
+  "/root/repo/tests/xquery_test.cc" "tests/CMakeFiles/partix_tests.dir/xquery_test.cc.o" "gcc" "tests/CMakeFiles/partix_tests.dir/xquery_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/partix_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/partix/CMakeFiles/partix_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/partix_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/fragmentation/CMakeFiles/partix_frag.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/partix_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/partix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/partix_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/partix_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/partix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/partix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
