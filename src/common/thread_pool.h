@@ -1,0 +1,83 @@
+#ifndef PARTIX_COMMON_THREAD_POOL_H_
+#define PARTIX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace partix {
+
+/// A one-shot countdown latch: Wait() blocks until CountDown() has been
+/// called `count` times. Thread-safe. Used by the executor to gather a
+/// fan-out of worker tasks without spinning.
+class Latch {
+ public:
+  explicit Latch(size_t count) : count_(count) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  /// Decrements the count; wakes all waiters when it reaches zero.
+  /// Calling more than `count` times is harmless (the extra calls are
+  /// ignored).
+  void CountDown();
+
+  /// Blocks until the count reaches zero. Returns immediately if it
+  /// already has.
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Thread-safe: Submit may be called from any thread, including from
+/// inside a running task. Tasks are plain `std::function<void()>`; in
+/// keeping with the codebase's exception-free style, tasks must not throw —
+/// fallible work records its `Status`/`Result` into state captured by the
+/// closure (see executor.h for the pattern).
+///
+/// Shutdown (also run by the destructor) stops accepting new work, drains
+/// every already-queued task, and joins the workers — so work submitted
+/// before Shutdown is never lost.
+class ThreadPool {
+ public:
+  /// Starts `thread_count` workers (at least one).
+  explicit ThreadPool(size_t thread_count);
+
+  /// Shuts down (draining queued tasks) and joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution by some worker. Tasks submitted after
+  /// Shutdown() are dropped.
+  void Submit(std::function<void()> task);
+
+  /// Stops accepting new tasks, finishes all queued ones, joins the
+  /// workers. Idempotent.
+  void Shutdown();
+
+  size_t thread_count() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace partix
+
+#endif  // PARTIX_COMMON_THREAD_POOL_H_

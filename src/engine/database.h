@@ -77,6 +77,14 @@ struct QueryResult {
 /// exact values) at store time. Queries are XQuery (see xquery/parser.h
 /// for the subset); the planner prunes the documents each collection()
 /// call must touch using the indexes.
+///
+/// Thread-safety: single-thread-only — even Execute mutates shared state
+/// (the LRU parse cache, store metrics, and the name pool when a document
+/// is first materialized), so one instance must be driven by one thread at
+/// a time. In the distributed setting this is per-node-exclusive access:
+/// middleware::LocalXdbDriver wraps each node's instance in a mutex, and
+/// cross-node parallelism is safe because instances share nothing (each
+/// has its own NamePool, stores, caches, and indexes).
 class Database {
  public:
   explicit Database(DatabaseOptions options = DatabaseOptions());

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "partix/driver.h"
+#include "partix/executor.h"
 
 namespace partix::middleware {
 
@@ -17,7 +18,15 @@ struct NetworkModel {
   /// Payload bandwidth. 1 Gbit/s = 125e6 bytes/s.
   double bandwidth_bytes_per_sec = 125e6;
   /// Fixed per-message latency (sub-query dispatch, TCP round trip).
+  /// Enters the *modeled* transmission time only.
   double latency_sec = 100e-6;
+  /// When > 0, the executor physically blocks each sub-query dispatch for
+  /// this long on its worker thread, emulating the synchronous RPC round
+  /// trip a driver pays against a genuinely remote DBMS node (the paper's
+  /// prototype spoke XML-RPC to eXist). Off by default — it affects the
+  /// *measured* `wall_ms`, never the modeled response time.
+  /// `bench/parallel_speedup` uses it for its remote-deployment series.
+  double emulated_rpc_sec = 0.0;
 
   double TransferSeconds(uint64_t bytes) const {
     return latency_sec +
@@ -26,12 +35,18 @@ struct NetworkModel {
 };
 
 /// A simulated cluster of DBMS nodes. Each node is an independent
-/// xdb::Database (its own name pool, stores, caches, indexes). Sub-queries
-/// execute sequentially in-process, but the query service reports the
-/// *parallel* response time — the maximum over the involved nodes — the
-/// same methodology as the paper's evaluation ("the parallel execution of
-/// a query was simulated assuming that all fragments are placed at
-/// different sites ... we have used the time spent by the slowest site").
+/// xdb::Database (its own name pool, stores, caches, indexes) behind a
+/// Driver that serializes engine access, so distinct nodes can execute
+/// sub-queries genuinely in parallel (see Executor). The query service
+/// reports both the *modeled* parallel response time — the maximum over
+/// the involved nodes, the paper's methodology ("we have used the time
+/// spent by the slowest site") — and the *measured* wall-clock of the real
+/// fan-out.
+///
+/// Thread-safety contract: the data plane (node(i).Execute via the
+/// executor) is safe from worker threads. The control plane —
+/// SetNodeDown, DropAllCaches, database(i), construction — is
+/// coordinator-thread-only and must not race a Dispatch in flight.
 class ClusterSim {
  public:
   ClusterSim(size_t node_count, xdb::DatabaseOptions node_options,
@@ -41,9 +56,15 @@ class ClusterSim {
   Driver& node(size_t i) { return *nodes_[i]; }
 
   /// Direct access to a node's embedded engine (local drivers only) —
-  /// used by deployment persistence and tests.
+  /// used by deployment persistence and tests. Bypasses the driver's
+  /// serialization: coordinator-thread-only.
   xdb::Database& database(size_t i) { return nodes_[i]->database(); }
   const NetworkModel& network() const { return network_; }
+  NetworkModel& mutable_network() { return network_; }
+
+  /// The sub-query executor for this cluster (shared by query services;
+  /// its worker pool persists across queries).
+  Executor& executor() { return executor_; }
 
   /// Failure injection: a down node rejects every request until brought
   /// back up. Data survives (the node is unreachable, not wiped).
@@ -57,6 +78,7 @@ class ClusterSim {
   std::vector<std::unique_ptr<LocalXdbDriver>> nodes_;
   std::vector<bool> down_;
   NetworkModel network_;
+  Executor executor_{this};
 };
 
 }  // namespace partix::middleware

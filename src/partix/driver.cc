@@ -7,19 +7,25 @@ LocalXdbDriver::LocalXdbDriver(std::string name, xdb::DatabaseOptions options)
 
 Status LocalXdbDriver::CreateCollection(const std::string& name,
                                         xdb::CollectionMeta meta) {
+  std::lock_guard<std::mutex> lock(mu_);
   return db_.CreateCollection(name, std::move(meta));
 }
 
 Status LocalXdbDriver::StoreDocument(const std::string& collection,
                                      const xml::Document& doc) {
+  std::lock_guard<std::mutex> lock(mu_);
   return db_.StoreDocument(collection, doc);
 }
 
 Result<xdb::QueryResult> LocalXdbDriver::Execute(const std::string& query) {
+  std::lock_guard<std::mutex> lock(mu_);
   return db_.Execute(query);
 }
 
-void LocalXdbDriver::DropCaches() { db_.DropCaches(); }
+void LocalXdbDriver::DropCaches() {
+  std::lock_guard<std::mutex> lock(mu_);
+  db_.DropCaches();
+}
 
 std::string LocalXdbDriver::Describe() const {
   return "local-xdb:" + name_;

@@ -2,6 +2,7 @@
 #define PARTIX_PARTIX_DRIVER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -14,6 +15,13 @@ namespace partix::middleware {
 /// processes XQuery can participate; the only build here wraps the
 /// embedded xdb engine (the eXist stand-in), but the query service is
 /// written against this interface.
+///
+/// Thread-safety contract: implementations must tolerate concurrent
+/// Execute/DropCaches calls from executor worker threads — a node is "one
+/// DBMS", and one DBMS accepts requests from many connections at once.
+/// How much actually runs in parallel inside the node is the
+/// implementation's business (LocalXdbDriver serializes, matching the
+/// sequential engines the paper coordinates).
 class Driver {
  public:
   virtual ~Driver() = default;
@@ -32,6 +40,12 @@ class Driver {
 };
 
 /// Driver for an in-process xdb::Database instance.
+///
+/// Thread-safe for the Driver interface: an internal mutex serializes all
+/// engine access, making the node behave like one sequential DBMS process
+/// (the eXist of the paper) no matter how many executor workers talk to
+/// it. True parallelism comes from distinct nodes, which share no mutable
+/// state (each engine has its own name pool, stores, caches, indexes).
 class LocalXdbDriver : public Driver {
  public:
   explicit LocalXdbDriver(std::string name,
@@ -45,10 +59,14 @@ class LocalXdbDriver : public Driver {
   void DropCaches() override;
   std::string Describe() const override;
 
+  /// Unsynchronized access to the embedded engine, for deployment
+  /// persistence and tests: coordinator-thread-only, and only while no
+  /// dispatch is in flight.
   xdb::Database& database() { return db_; }
 
  private:
   std::string name_;
+  mutable std::mutex mu_;  // serializes all engine access
   xdb::Database db_;
 };
 

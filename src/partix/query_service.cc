@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/strings.h"
 #include "engine/database.h"
+#include "partix/executor.h"
 #include "xml/document.h"
 
 namespace partix::middleware {
@@ -149,6 +150,7 @@ Result<DistributedResult> QueryService::Execute(
   // query until final result composition": planning is part of it.
   result.decompose_ms = decompose_ms;
   result.response_ms += decompose_ms;
+  result.wall_ms += decompose_ms;
   return result;
 }
 
@@ -181,34 +183,81 @@ Result<DistributedResult> QueryService::ExecutePlan(
   }
   DistributedResult out;
   out.pruned_fragments = plan.pruned_fragments;
+  Stopwatch wall_watch;
 
   if (options.cold_caches) cluster_->DropAllCaches();
 
-  // Execute each sub-query at its node (sequentially in-process; the
-  // response model treats them as parallel).
+  // Validate routing before dispatching anything, and report *every*
+  // problem at once: an operator restoring a cluster needs the full
+  // picture, not whichever unreachable fragment happened to come first.
+  std::string out_of_range;
+  std::string down;
+  size_t down_count = 0;
+  for (const SubQuery& sub : plan.subqueries) {
+    if (sub.node >= cluster_->node_count()) {
+      if (!out_of_range.empty()) out_of_range += ", ";
+      out_of_range += "node " + std::to_string(sub.node) + " (fragment '" +
+                      sub.fragment + "')";
+    } else if (cluster_->IsNodeDown(sub.node)) {
+      if (!down.empty()) down += ", ";
+      down += "node " + std::to_string(sub.node) + " (fragment '" +
+              sub.fragment + "')";
+      ++down_count;
+    }
+  }
+  if (!out_of_range.empty()) {
+    return Status::OutOfRange("sub-query node(s) out of range: " +
+                              out_of_range);
+  }
+  if (!down.empty()) {
+    return Status::Unavailable(
+        std::to_string(down_count) + " needed node(s) down: " + down);
+  }
+
+  // Fan the sub-queries out across the executor's worker threads (the
+  // response-time *model* stays what it always was; `wall_ms` is what
+  // really elapsed).
+  std::vector<SubQueryOutcome> outcomes;
+  cluster_->executor().Dispatch(plan.subqueries, options.parallelism,
+                                &outcomes);
+  out.parallelism =
+      options.parallelism == 0
+          ? plan.subqueries.size()
+          : std::min(options.parallelism, plan.subqueries.size());
+
+  // Per-sub-query error aggregation: one failed node must not hide the
+  // others' failures.
+  std::string failures;
+  StatusCode failure_code = StatusCode::kOk;
+  size_t failed = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const Result<xdb::QueryResult>& r = outcomes[i].result;
+    if (r.ok()) continue;
+    ++failed;
+    if (failure_code == StatusCode::kOk) failure_code = r.status().code();
+    if (!failures.empty()) failures += "; ";
+    failures += "fragment '" + plan.subqueries[i].fragment + "' (node " +
+                std::to_string(plan.subqueries[i].node) +
+                "): " + r.status().ToString();
+  }
+  if (failed > 0) {
+    return Status(failure_code,
+                  std::to_string(failed) + " of " +
+                      std::to_string(plan.subqueries.size()) +
+                      " sub-queries failed: " + failures);
+  }
+
   std::vector<xdb::QueryResult> partials;
   partials.reserve(plan.subqueries.size());
   uint64_t total_result_bytes = 0;
-  for (const SubQuery& sub : plan.subqueries) {
-    if (sub.node >= cluster_->node_count()) {
-      return Status::OutOfRange("sub-query node out of range");
-    }
-    if (cluster_->IsNodeDown(sub.node)) {
-      return Status::Unavailable(
-          "node " + std::to_string(sub.node) + " holding fragment '" +
-          sub.fragment + "' is down");
-    }
-    Driver& driver = cluster_->node(sub.node);
-    Result<xdb::QueryResult> result = driver.Execute(sub.query);
-    if (!result.ok()) {
-      return Status(result.status().code(),
-                    "sub-query on fragment '" + sub.fragment +
-                        "' failed: " + result.status().message());
-    }
+  for (size_t i = 0; i < plan.subqueries.size(); ++i) {
+    const SubQuery& sub = plan.subqueries[i];
+    Result<xdb::QueryResult>& result = outcomes[i].result;
     SubQueryStats stats;
     stats.fragment = sub.fragment;
     stats.node = sub.node;
     stats.elapsed_ms = result->metrics.elapsed_ms;
+    stats.wall_ms = outcomes[i].wall_ms;
     stats.result_bytes = result->metrics.result_bytes;
     stats.docs_parsed = result->metrics.docs_parsed;
     out.slowest_node_ms = std::max(out.slowest_node_ms, stats.elapsed_ms);
@@ -265,6 +314,7 @@ Result<DistributedResult> QueryService::ExecutePlan(
   out.response_ms = out.slowest_node_ms + out.composition_ms +
                     (options.include_transmission ? out.transmission_ms
                                                   : 0.0);
+  out.wall_ms = wall_watch.ElapsedMillis();
   return out;
 }
 

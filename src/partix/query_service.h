@@ -16,27 +16,38 @@ namespace partix::middleware {
 struct SubQueryStats {
   std::string fragment;
   size_t node = 0;
-  double elapsed_ms = 0.0;
+  double elapsed_ms = 0.0;  // node-side execution time (engine-measured)
+  double wall_ms = 0.0;     // measured on the dispatching worker thread
   uint64_t result_bytes = 0;
   uint64_t docs_parsed = 0;
 };
 
 /// The answer of a distributed execution, with the timing breakdown the
-/// experiments report. The response-time model follows the paper's
-/// methodology: sub-queries run in parallel at distinct sites, so the node
-/// component is the *slowest* site; partial results then flow to the
-/// coordinator over the modeled link; composition is measured for real.
+/// experiments report, in two flavours:
+///
+///   - *modeled* (`response_ms` and its components): the paper's
+///     methodology — sub-queries run in parallel at distinct sites, so the
+///     node component is the *slowest* site; partial results flow to the
+///     coordinator over the modeled link; composition is measured for
+///     real. Independent of `ExecutionOptions::parallelism`.
+///   - *measured* (`wall_ms`): the observed wall-clock of this execution —
+///     planning (Execute only) + the executor's real fan-out across worker
+///     threads + composition. This is what actually elapsed, and it is
+///     what `bench/parallel_speedup` compares across parallelism levels.
 struct DistributedResult {
   std::string serialized;
   uint64_t result_items = 0;
 
-  double response_ms = 0.0;      // decompose + max node + transmission +
-                                 // composition
+  double response_ms = 0.0;      // modeled: decompose + max node +
+                                 // transmission + composition
   double decompose_ms = 0.0;     // middleware planning (Execute only)
   double slowest_node_ms = 0.0;  // max over sub-queries
   double sum_node_ms = 0.0;      // total work across nodes
   double transmission_ms = 0.0;  // dispatch latency + result transfer
   double composition_ms = 0.0;   // union/sum/join at the middleware
+
+  double wall_ms = 0.0;          // measured: real end-to-end wall-clock
+  size_t parallelism = 1;        // executor workers used for this plan
 
   std::vector<SubQueryStats> subqueries;
   size_t pruned_fragments = 0;
@@ -49,11 +60,21 @@ struct ExecutionOptions {
   bool include_transmission = true;
   /// Drop node caches before executing (cold start).
   bool cold_caches = false;
+  /// Number of sub-queries the executor keeps in flight at once. 1 (the
+  /// default) dispatches sequentially on the calling thread; 0 means one
+  /// worker per sub-query. Composition is deterministic: the composed
+  /// result is byte-identical across parallelism levels.
+  size_t parallelism = 1;
 };
 
 /// Distributed XML Query Service (paper §4): analyzes path expressions,
 /// identifies the fragments referenced in each query, ships sub-queries to
-/// the corresponding DBMS nodes, and constructs the result.
+/// the corresponding DBMS nodes through the cluster's Executor, and
+/// constructs the result.
+///
+/// Thread-compatible: one thread drives a QueryService instance at a time
+/// (it is the coordinator of its executions); the parallelism happens
+/// below it, in the executor's worker pool.
 class QueryService {
  public:
   QueryService(ClusterSim* cluster, const DistributionCatalog* catalog)

@@ -37,7 +37,12 @@ struct StoreMetrics {
 /// demand, keeping an LRU cache of parsed trees bounded by approximate
 /// in-memory bytes.
 ///
-/// Not thread-safe; the engine serializes access per collection.
+/// Single-thread-only: Get mutates the LRU list, the cache byte budget,
+/// and the metrics counters even on a hit, so "read" operations are
+/// writes here. The owning xdb::Database is itself single-thread-only and
+/// is made per-node-exclusive by the middleware driver's mutex (see
+/// partix/driver.h) — that lock is what makes executor worker threads safe
+/// against this class.
 class DocumentStore {
  public:
   /// `pool`: name pool used when parsing. `cache_capacity_bytes`: bound on

@@ -12,6 +12,10 @@ namespace partix::storage {
 /// Aggregate statistics over a stored collection, maintained incrementally
 /// as documents are added. Useful for fragmentation design decisions and
 /// reported by the experiment harness.
+///
+/// Thread-compatible: AddDocument requires external synchronization (it
+/// runs under the engine's per-node lock at store time); concurrent reads
+/// of a quiescent instance are safe.
 class CollectionStats {
  public:
   void AddDocument(const xml::Document& doc, size_t serialized_bytes);

@@ -52,6 +52,7 @@ Result<Measurement> Measure(Deployment* deployment, const QuerySpec& query,
   middleware::ExecutionOptions exec;
   exec.include_transmission = options.include_transmission;
   exec.cold_caches = options.cold;
+  exec.parallelism = options.parallelism;
 
   size_t counted = 0;
   for (size_t run = 0; run < options.runs; ++run) {
@@ -61,6 +62,7 @@ Result<Measurement> Measure(Deployment* deployment, const QuerySpec& query,
     if (options.discard_first && run == 0 && options.runs > 1) continue;
     ++counted;
     out.response_ms += result.response_ms;
+    out.wall_ms += result.wall_ms;
     out.slowest_node_ms += result.slowest_node_ms;
     out.transmission_ms += result.transmission_ms;
     out.composition_ms += result.composition_ms;
@@ -70,6 +72,7 @@ Result<Measurement> Measure(Deployment* deployment, const QuerySpec& query,
   }
   if (counted > 0) {
     out.response_ms /= static_cast<double>(counted);
+    out.wall_ms /= static_cast<double>(counted);
     out.slowest_node_ms /= static_cast<double>(counted);
     out.transmission_ms /= static_cast<double>(counted);
     out.composition_ms /= static_cast<double>(counted);

@@ -60,12 +60,16 @@ struct MeasureOptions {
   /// Drop every node cache before each run (cold). The paper's protocol
   /// is warm (the discarded first run warms the caches).
   bool cold = false;
+  /// Executor parallelism (ExecutionOptions::parallelism): sub-queries in
+  /// flight at once. 1 = sequential dispatch, 0 = one worker each.
+  size_t parallelism = 1;
 };
 
 /// Aggregated timings for one query on one deployment.
 struct Measurement {
   std::string query_id;
-  double response_ms = 0.0;       // averaged per the protocol
+  double response_ms = 0.0;       // modeled, averaged per the protocol
+  double wall_ms = 0.0;           // measured wall-clock, averaged
   double slowest_node_ms = 0.0;
   double transmission_ms = 0.0;
   double composition_ms = 0.0;

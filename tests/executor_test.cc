@@ -1,0 +1,325 @@
+// The executor layer: thread-pool/latch primitives, and the property the
+// whole PR hangs on — a distributed plan composes to a byte-identical
+// result no matter how many executor workers dispatch its sub-queries.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "gen/virtual_store.h"
+#include "gen/xbench.h"
+#include "gtest/gtest.h"
+#include "partix/catalog.h"
+#include "partix/cluster.h"
+#include "partix/publisher.h"
+#include "partix/query_service.h"
+#include "xpath/path.h"
+#include "xpath/predicate.h"
+
+namespace partix {
+namespace {
+
+// ---------------------------------------------------------------- Latch
+
+TEST(LatchTest, WaitReturnsOnceCountReachesZero) {
+  Latch latch(3);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    latch.Wait();
+    released.store(true);
+  });
+  latch.CountDown();
+  latch.CountDown();
+  EXPECT_FALSE(released.load());
+  latch.CountDown();
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(LatchTest, ZeroCountWaitsDoNotBlock) {
+  Latch latch(0);
+  latch.Wait();  // must return immediately
+  latch.CountDown();  // extra countdowns are harmless
+  latch.Wait();
+}
+
+// ----------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 1000;
+  std::atomic<size_t> done{0};
+  Latch latch(kTasks);
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      done.fetch_add(1);
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ResultIndependentOfCompletionOrder) {
+  // Tasks finish in whatever order the scheduler picks; each writes only
+  // its own slot, so the gathered state must come out the same every time.
+  constexpr size_t kTasks = 64;
+  for (int round = 0; round < 4; ++round) {
+    ThreadPool pool(8);
+    std::vector<int> slots(kTasks, -1);
+    Latch latch(kTasks);
+    for (size_t i = 0; i < kTasks; ++i) {
+      pool.Submit([&, i] {
+        // Stagger to shuffle completion order between rounds.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds((i * 7919) % 97));
+        slots[i] = static_cast<int>(i * i);
+        latch.CountDown();
+      });
+    }
+    latch.Wait();
+    for (size_t i = 0; i < kTasks; ++i) {
+      EXPECT_EQ(slots[i], static_cast<int>(i * i)) << "slot " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ErrorsPropagateThroughResultSlots) {
+  // Library code is exception-free: a failing task records its Status in
+  // the slot its closure captured, exactly how the executor gathers
+  // per-sub-query failures.
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 40;
+  std::vector<Result<int>> results(kTasks);
+  Latch latch(kTasks);
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.Submit([&results, &latch, i] {
+      if (i % 3 == 0) {
+        results[i] = Status::Unavailable("task " + std::to_string(i));
+      } else {
+        results[i] = static_cast<int>(2 * i);
+      }
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  for (size_t i = 0; i < kTasks; ++i) {
+    if (i % 3 == 0) {
+      ASSERT_FALSE(results[i].ok()) << i;
+      EXPECT_EQ(results[i].status().code(), StatusCode::kUnavailable);
+      EXPECT_NE(results[i].status().message().find(std::to_string(i)),
+                std::string::npos);
+    } else {
+      ASSERT_TRUE(results[i].ok()) << i;
+      EXPECT_EQ(*results[i], static_cast<int>(2 * i));
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownUnderLoadDrainsEveryQueuedTask) {
+  constexpr size_t kTasks = 500;
+  std::atomic<size_t> done{0};
+  {
+    ThreadPool pool(3);
+    for (size_t i = 0; i < kTasks; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        done.fetch_add(1);
+      });
+    }
+    pool.Shutdown();  // must finish all queued work, then join
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsDropped) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran.store(true); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> stage{0};
+  Latch latch(1);
+  pool.Submit([&] {
+    stage.store(1);
+    pool.Submit([&] {
+      stage.store(2);
+      latch.CountDown();
+    });
+  });
+  latch.Wait();
+  EXPECT_EQ(stage.load(), 2);
+}
+
+// ------------------------------------------- QueryService × parallelism
+
+/// Horizontal deployment: 4 section fragments on 4 nodes (union and sum
+/// compositions).
+class ParallelHorizontalTest : public ::testing::Test {
+ protected:
+  ParallelHorizontalTest()
+      : cluster_(4, xdb::DatabaseOptions(), middleware::NetworkModel()),
+        publisher_(&cluster_, &catalog_),
+        service_(&cluster_, &catalog_) {
+    gen::ItemsGenOptions options;
+    options.doc_count = 60;
+    options.seed = 23;
+    options.sections = {"CD", "DVD", "BOOK", "TOY"};
+    auto items = gen::GenerateItems(options, nullptr);
+    EXPECT_TRUE(items.ok()) << items.status();
+    frag::FragmentationSchema schema;
+    schema.collection = "items";
+    for (const std::string& s : options.sections) {
+      auto mu = xpath::Conjunction::Parse("/Item/Section = \"" + s + "\"");
+      EXPECT_TRUE(mu.ok()) << mu.status();
+      schema.fragments.emplace_back(frag::HorizontalDef{"f_" + s, *mu});
+    }
+    EXPECT_TRUE(publisher_.PublishFragmented(*items, schema).ok());
+  }
+
+  middleware::DistributionCatalog catalog_;
+  middleware::ClusterSim cluster_;
+  middleware::DataPublisher publisher_;
+  middleware::QueryService service_;
+};
+
+TEST_F(ParallelHorizontalTest, UnionAndSumAreIdenticalAcrossParallelism) {
+  const std::string queries[] = {
+      // kUnion composition across all four fragments.
+      "for $i in collection(\"items\")/Item return $i/Name",
+      // kSumCounts composition.
+      "count(collection(\"items\")/Item)",
+      // Localized single-sub-query plan (degenerate but must still work).
+      "count(collection(\"items\")/Item[Section = \"CD\"])",
+  };
+  for (const std::string& query : queries) {
+    auto sequential = service_.Execute(query);
+    ASSERT_TRUE(sequential.ok()) << query << ": " << sequential.status();
+    for (size_t parallelism : {size_t{2}, size_t{4}, size_t{0}}) {
+      middleware::ExecutionOptions options;
+      options.parallelism = parallelism;
+      auto parallel = service_.Execute(query, options);
+      ASSERT_TRUE(parallel.ok()) << query << ": " << parallel.status();
+      EXPECT_EQ(parallel->serialized, sequential->serialized)
+          << query << " at parallelism " << parallelism;
+      EXPECT_EQ(parallel->result_items, sequential->result_items);
+      EXPECT_EQ(parallel->subqueries.size(), sequential->subqueries.size());
+    }
+  }
+}
+
+TEST_F(ParallelHorizontalTest, ReportsMeasuredWallAndParallelism) {
+  middleware::ExecutionOptions options;
+  options.parallelism = 4;
+  auto result =
+      service_.Execute("for $i in collection(\"items\")/Item return $i/Name",
+                       options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->wall_ms, 0.0);
+  EXPECT_EQ(result->parallelism, 4u);
+  ASSERT_EQ(result->subqueries.size(), 4u);
+  for (const middleware::SubQueryStats& sub : result->subqueries) {
+    EXPECT_GT(sub.wall_ms, 0.0);
+    // A worker's wall time includes the node execution it wrapped.
+    EXPECT_GE(sub.wall_ms, sub.elapsed_ms);
+  }
+  // The modeled figures must not depend on how the dispatch really ran.
+  EXPECT_GT(result->response_ms, 0.0);
+  EXPECT_GT(result->slowest_node_ms, 0.0);
+}
+
+TEST_F(ParallelHorizontalTest, ParallelismLargerThanPlanIsClamped) {
+  middleware::ExecutionOptions options;
+  options.parallelism = 64;
+  auto result = service_.Execute("count(collection(\"items\")/Item)", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->parallelism, 4u);  // plan has 4 sub-queries
+}
+
+/// Vertical deployment: prolog/body/epilog on 3 nodes, exercising the
+/// kJoinReconstruct composition path under parallel dispatch.
+class ParallelVerticalTest : public ::testing::Test {
+ protected:
+  ParallelVerticalTest()
+      : cluster_(3, xdb::DatabaseOptions(), middleware::NetworkModel()),
+        publisher_(&cluster_, &catalog_),
+        service_(&cluster_, &catalog_) {
+    gen::XBenchGenOptions options;
+    options.doc_count = 10;
+    options.target_doc_bytes = 4000;
+    options.seed = 31;
+    auto articles = gen::GenerateArticles(options, nullptr);
+    EXPECT_TRUE(articles.ok()) << articles.status();
+    frag::FragmentationSchema schema;
+    schema.collection = "papers";
+    auto path = [](const std::string& text) {
+      auto result = xpath::Path::Parse(text);
+      EXPECT_TRUE(result.ok()) << result.status();
+      return *result;
+    };
+    schema.fragments.emplace_back(
+        frag::VerticalDef{"f_prolog", path("/article/prolog"), {}});
+    schema.fragments.emplace_back(
+        frag::VerticalDef{"f_body", path("/article/body"), {}});
+    schema.fragments.emplace_back(
+        frag::VerticalDef{"f_epilog", path("/article/epilog"), {}});
+    EXPECT_TRUE(publisher_.PublishFragmented(*articles, schema).ok());
+  }
+
+  middleware::DistributionCatalog catalog_;
+  middleware::ClusterSim cluster_;
+  middleware::DataPublisher publisher_;
+  middleware::QueryService service_;
+};
+
+TEST_F(ParallelVerticalTest, JoinCompositionIsIdenticalAcrossParallelism) {
+  // Spans prolog + epilog: decomposes to fetch sub-queries joined at the
+  // middleware (kJoinReconstruct).
+  const std::string query =
+      "for $a in collection(\"papers\")/article "
+      "where $a/prolog/genre = \"survey\" "
+      "return count($a/epilog/references/reference)";
+  auto sequential = service_.Execute(query);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  EXPECT_GE(sequential->subqueries.size(), 2u);
+  for (size_t parallelism : {size_t{2}, size_t{3}, size_t{0}}) {
+    middleware::ExecutionOptions options;
+    options.parallelism = parallelism;
+    auto parallel = service_.Execute(query, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel->serialized, sequential->serialized)
+        << "parallelism " << parallelism;
+    EXPECT_EQ(parallel->result_items, sequential->result_items);
+  }
+}
+
+TEST_F(ParallelVerticalTest, RepeatedParallelRunsAreStable) {
+  // Re-running the same parallel query must keep producing the same
+  // bytes: completion order changes run to run, composition order must
+  // not.
+  const std::string query =
+      "for $a in collection(\"papers\")/article "
+      "return <r>{ $a/prolog/title }"
+      "<n>{ count($a/epilog/references/reference) }</n></r>";
+  middleware::ExecutionOptions options;
+  options.parallelism = 3;
+  auto first = service_.Execute(query, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  for (int run = 0; run < 5; ++run) {
+    auto again = service_.Execute(query, options);
+    ASSERT_TRUE(again.ok()) << again.status();
+    EXPECT_EQ(again->serialized, first->serialized) << "run " << run;
+  }
+}
+
+}  // namespace
+}  // namespace partix

@@ -76,6 +76,56 @@ TEST_F(FailureTest, FullScanFailsWhileAnyNeededNodeIsDown) {
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
 }
 
+TEST_F(FailureTest, EveryDownNodeIsReportedInOneError) {
+  // Operators restoring a cluster need the full outage picture at once,
+  // not one node per retry.
+  cluster_.SetNodeDown(1, true);  // f_DVD
+  cluster_.SetNodeDown(3, true);  // f_TOY
+  auto result = service_.Execute("count(collection(\"items\")/Item)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  const std::string& message = result.status().message();
+  EXPECT_TRUE(Contains(message, "node 1")) << message;
+  EXPECT_TRUE(Contains(message, "f_DVD")) << message;
+  EXPECT_TRUE(Contains(message, "node 3")) << message;
+  EXPECT_TRUE(Contains(message, "f_TOY")) << message;
+  // Healthy nodes are not in the report.
+  EXPECT_FALSE(Contains(message, "f_CD")) << message;
+  EXPECT_FALSE(Contains(message, "f_BOOK")) << message;
+}
+
+TEST_F(FailureTest, DownNodesReportedIdenticallyUnderParallelDispatch) {
+  cluster_.SetNodeDown(0, true);  // f_CD
+  cluster_.SetNodeDown(2, true);  // f_BOOK
+  ExecutionOptions options;
+  options.parallelism = 4;
+  auto result =
+      service_.Execute("count(collection(\"items\")/Item)", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(Contains(result.status().message(), "f_CD"));
+  EXPECT_TRUE(Contains(result.status().message(), "f_BOOK"));
+}
+
+TEST_F(FailureTest, SubQueryFailuresAreAggregatedAcrossNodes) {
+  // Break two nodes *behind* the middleware: their fragments vanish from
+  // the engines while the catalog still routes to them. Both failures
+  // must surface in a single error, not just the first.
+  EXPECT_TRUE(cluster_.database(1).DropCollection("f_DVD").ok());
+  EXPECT_TRUE(cluster_.database(3).DropCollection("f_TOY").ok());
+  for (size_t parallelism : {size_t{1}, size_t{4}}) {
+    ExecutionOptions options;
+    options.parallelism = parallelism;
+    auto result =
+        service_.Execute("count(collection(\"items\")/Item)", options);
+    ASSERT_FALSE(result.ok());
+    const std::string& message = result.status().message();
+    EXPECT_TRUE(Contains(message, "2 of 4 sub-queries failed")) << message;
+    EXPECT_TRUE(Contains(message, "f_DVD")) << message;
+    EXPECT_TRUE(Contains(message, "f_TOY")) << message;
+  }
+}
+
 TEST_F(FailureTest, RecoveryRestoresService) {
   cluster_.SetNodeDown(2, true);
   EXPECT_FALSE(service_.Execute("count(collection(\"items\")/Item)").ok());
