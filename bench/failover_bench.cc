@@ -1,0 +1,261 @@
+// Query latency under injected transient faults.
+//
+// The fault-tolerance PR claims failover is cheap: with replicated
+// fragments, retries + replica re-routing absorb transient node errors
+// without changing the answer. This bench quantifies the claim. It
+// deploys the Fig. 7(a) horizontal workload at replication factor 2,
+// injects seeded transient-error rates of 0% / 5% / 20% into every node
+// (ClusterSim::SetFaultProfile), and reports per-query wall-clock,
+// retries, and failovers at each rate — plus a byte-identity check of
+// every composed result against the fault-free baseline.
+//
+// Output goes to stdout as a table and to BENCH_failover.json (schema
+// below) so the perf trajectory is machine-readable:
+//
+//   { "bench": "failover", "replication_factor": 2, "nodes": N,
+//     "fragments": N, "runs": R,
+//     "series": [ { "error_rate": 0.05,
+//                   "queries": [ { "id": "Q1", "wall_ms": 1.2,
+//                                  "retries": 3, "failovers": 1,
+//                                  "ok": true } ],
+//                   "total_wall_ms": ..., "total_retries": ...,
+//                   "total_failovers": ... } ],
+//     "identical_across_rates": true }
+//
+// Set PARTIX_SCALE to grow the database, PARTIX_RUNS for repetitions.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "gen/virtual_store.h"
+#include "partix/query_service.h"
+#include "workload/harness.h"
+#include "workload/queries.h"
+#include "workload/schemas.h"
+
+namespace {
+
+using partix::middleware::DistributedResult;
+using partix::middleware::ExecutionOptions;
+using partix::middleware::FaultProfile;
+
+constexpr size_t kFragments = 4;
+constexpr size_t kReplicationFactor = 2;
+const double kErrorRates[] = {0.0, 0.05, 0.20};
+
+struct QueryCell {
+  std::string id;
+  double wall_ms = 0.0;  // averaged over runs
+  size_t retries = 0;    // summed over runs
+  size_t failovers = 0;  // summed over runs
+  bool ok = true;
+  std::string serialized;  // first successful run (identity check)
+};
+
+struct Series {
+  double error_rate = 0.0;
+  std::vector<QueryCell> queries;
+};
+
+/// Installs `error_rate` on every node with a per-node seed derived from
+/// the series index, so reruns of the bench draw identical fault
+/// sequences.
+void InjectFaults(partix::middleware::ClusterSim* cluster,
+                  double error_rate, size_t series_index) {
+  for (size_t node = 0; node < cluster->node_count(); ++node) {
+    FaultProfile profile;
+    profile.transient_error_rate = error_rate;
+    profile.seed = 9000 + series_index * 131 + node * 17;
+    cluster->SetFaultProfile(node, profile);
+  }
+  cluster->executor().ResetBreakers();
+}
+
+partix::Result<QueryCell> MeasureQuery(
+    partix::workload::Deployment* deployment,
+    const partix::workload::QuerySpec& query, size_t runs) {
+  ExecutionOptions options;
+  options.parallelism = 1;  // sequential: isolates retry/failover cost
+  options.retry.max_attempts = 6;
+  options.retry.base_backoff_ms = 0.05;
+  options.retry.max_backoff_ms = 1.0;
+  options.retry.seed = 20060101;
+
+  QueryCell cell;
+  cell.id = query.id;
+  for (size_t run = 0; run <= runs; ++run) {
+    auto result = deployment->service().Execute(query.text, options);
+    if (run == 0) {
+      // Warm-up primes node caches; its faults still advance the
+      // per-node RNGs, which is fine — series are compared by result
+      // bytes, not by fault placement.
+      if (result.ok()) cell.serialized = result->serialized;
+      continue;
+    }
+    if (!result.ok()) {
+      cell.ok = false;
+      std::fprintf(stderr, "%s failed despite retries: %s\n",
+                   query.id.c_str(),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    if (cell.serialized.empty()) cell.serialized = result->serialized;
+    cell.wall_ms += result->wall_ms;
+    cell.retries += result->retries;
+    cell.failovers += result->failovers;
+  }
+  cell.wall_ms /= static_cast<double>(runs);
+  return cell;
+}
+
+void AppendJsonSeries(const Series& series, std::string* out) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "    { \"error_rate\": %.2f,\n      \"queries\": [\n",
+                series.error_rate);
+  *out += buffer;
+  double total_wall = 0.0;
+  size_t total_retries = 0;
+  size_t total_failovers = 0;
+  for (size_t q = 0; q < series.queries.size(); ++q) {
+    const QueryCell& cell = series.queries[q];
+    total_wall += cell.wall_ms;
+    total_retries += cell.retries;
+    total_failovers += cell.failovers;
+    std::snprintf(buffer, sizeof(buffer),
+                  "        { \"id\": \"%s\", \"wall_ms\": %.3f, "
+                  "\"retries\": %zu, \"failovers\": %zu, \"ok\": %s }%s\n",
+                  cell.id.c_str(), cell.wall_ms, cell.retries,
+                  cell.failovers, cell.ok ? "true" : "false",
+                  q + 1 < series.queries.size() ? "," : "");
+    *out += buffer;
+  }
+  std::snprintf(buffer, sizeof(buffer),
+                "      ],\n      \"total_wall_ms\": %.3f, "
+                "\"total_retries\": %zu, \"total_failovers\": %zu }",
+                total_wall, total_retries, total_failovers);
+  *out += buffer;
+}
+
+}  // namespace
+
+int main() {
+  using namespace partix;
+
+  const double scale = workload::ScaleFromEnv();
+  const uint64_t target_bytes =
+      static_cast<uint64_t>((uint64_t{1} << 20) * scale);
+  const size_t runs = workload::RunsFromEnv(3);
+
+  gen::ItemsGenOptions gen_options;
+  gen_options.seed = 20060101;
+  auto items = gen::GenerateItemsBySize(gen_options, target_bytes, nullptr);
+  if (!items.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 items.status().ToString().c_str());
+    return 1;
+  }
+  auto schema = workload::SectionHorizontalSchema(
+      items->name(), gen_options.sections, kFragments);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "schema failed: %s\n",
+                 schema.status().ToString().c_str());
+    return 1;
+  }
+  auto deployment = workload::Deployment::Fragmented(
+      *items, *schema, xdb::DatabaseOptions(), middleware::NetworkModel(),
+      kReplicationFactor);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 deployment.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "Failover bench - %zu fragments rf=%zu on %zu nodes\n"
+      "database: %zu documents, %s serialized; runs: %zu\n",
+      kFragments, kReplicationFactor, deployment->get()->node_count(),
+      items->size(), HumanBytes(items->ApproxBytes()).c_str(), runs);
+
+  const std::vector<workload::QuerySpec> queries =
+      workload::HorizontalQueries(items->name());
+
+  std::vector<Series> series;
+  bool identical = true;
+  for (size_t s = 0; s < std::size(kErrorRates); ++s) {
+    Series current;
+    current.error_rate = kErrorRates[s];
+    InjectFaults(&deployment->get()->cluster(), kErrorRates[s], s);
+    for (const auto& query : queries) {
+      auto cell = MeasureQuery(deployment->get(), query, runs);
+      if (!cell.ok()) {
+        std::fprintf(stderr, "measurement failed: %s\n",
+                     cell.status().ToString().c_str());
+        return 1;
+      }
+      if (!series.empty()) {
+        const QueryCell& baseline =
+            series.front().queries[current.queries.size()];
+        if (cell->ok && cell->serialized != baseline.serialized) {
+          identical = false;
+          std::fprintf(stderr,
+                       "MISMATCH: %s composed differently at rate %.2f\n",
+                       query.id.c_str(), kErrorRates[s]);
+        }
+      }
+      current.queries.push_back(std::move(*cell));
+    }
+    series.push_back(std::move(current));
+  }
+  // Leave the cluster healthy.
+  InjectFaults(&deployment->get()->cluster(), 0.0, 0);
+
+  std::printf("\n%-5s", "query");
+  for (double rate : kErrorRates)
+    std::printf("  %8s%.0f%%  %5s  %5s", "wall@", rate * 100, "retry",
+                "failo");
+  std::printf("\n");
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::printf("%-5s", queries[q].id.c_str());
+    for (const Series& s : series) {
+      const QueryCell& cell = s.queries[q];
+      std::printf("  %8.2f ms  %5zu  %5zu", cell.wall_ms, cell.retries,
+                  cell.failovers);
+    }
+    std::printf("\n");
+  }
+  std::printf("results byte-identical across fault rates: %s\n",
+              identical ? "yes" : "NO");
+
+  std::string json;
+  json += "{\n  \"bench\": \"failover\",\n";
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"replication_factor\": %zu,\n  \"nodes\": %zu,\n"
+                "  \"fragments\": %zu,\n  \"runs\": %zu,\n  \"series\": [\n",
+                kReplicationFactor, deployment->get()->node_count(),
+                kFragments, runs);
+  json += buffer;
+  for (size_t s = 0; s < series.size(); ++s) {
+    AppendJsonSeries(series[s], &json);
+    json += s + 1 < series.size() ? ",\n" : "\n";
+  }
+  std::snprintf(buffer, sizeof(buffer),
+                "  ],\n  \"identical_across_rates\": %s\n}\n",
+                identical ? "true" : "false");
+  json += buffer;
+
+  std::FILE* file = std::fopen("BENCH_failover.json", "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_failover.json\n");
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::printf("\nwrote BENCH_failover.json\n");
+  return identical ? 0 : 1;
+}

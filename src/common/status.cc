@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "corruption";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kParseError,
   kCorruption,
   kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
@@ -71,6 +72,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

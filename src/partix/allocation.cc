@@ -7,12 +7,20 @@ namespace partix::middleware {
 
 Result<std::vector<FragmentPlacement>> ComputePlacements(
     const std::vector<xml::Collection>& fragments, size_t node_count,
-    PlacementStrategy strategy) {
+    PlacementStrategy strategy, size_t replication_factor) {
   if (node_count == 0) {
     return Status::InvalidArgument("cluster has no nodes");
   }
   if (fragments.empty()) {
     return Status::InvalidArgument("no fragments to place");
+  }
+  if (replication_factor == 0) {
+    return Status::InvalidArgument("replication_factor must be >= 1");
+  }
+  if (replication_factor > node_count) {
+    return Status::InvalidArgument(
+        "replication_factor " + std::to_string(replication_factor) +
+        " exceeds node count " + std::to_string(node_count));
   }
   std::vector<FragmentPlacement> placements;
   placements.reserve(fragments.size());
@@ -20,13 +28,18 @@ Result<std::vector<FragmentPlacement>> ComputePlacements(
   switch (strategy) {
     case PlacementStrategy::kRoundRobin: {
       for (size_t i = 0; i < fragments.size(); ++i) {
-        placements.push_back(
-            FragmentPlacement{fragments[i].name(), i % node_count});
+        FragmentPlacement p{fragments[i].name(), i % node_count};
+        for (size_t r = 1; r < replication_factor; ++r) {
+          p.backups.push_back((i + r) % node_count);
+        }
+        placements.push_back(std::move(p));
       }
       return placements;
     }
     case PlacementStrategy::kSizeBalanced: {
-      // LPT greedy: biggest fragment first onto the lightest node.
+      // LPT greedy: biggest fragment first onto the lightest node; each
+      // backup replica then goes to the lightest node not already holding
+      // a copy of the fragment.
       std::vector<size_t> order(fragments.size());
       std::iota(order.begin(), order.end(), 0);
       std::stable_sort(order.begin(), order.end(),
@@ -37,13 +50,25 @@ Result<std::vector<FragmentPlacement>> ComputePlacements(
       std::vector<uint64_t> load(node_count, 0);
       placements.resize(fragments.size());
       for (size_t idx : order) {
-        size_t lightest = 0;
-        for (size_t n = 1; n < node_count; ++n) {
-          if (load[n] < load[lightest]) lightest = n;
+        std::vector<bool> holds(node_count, false);
+        FragmentPlacement p{fragments[idx].name(), 0};
+        for (size_t r = 0; r < replication_factor; ++r) {
+          size_t lightest = node_count;
+          for (size_t n = 0; n < node_count; ++n) {
+            if (holds[n]) continue;
+            if (lightest == node_count || load[n] < load[lightest]) {
+              lightest = n;
+            }
+          }
+          holds[lightest] = true;
+          load[lightest] += fragments[idx].ApproxBytes();
+          if (r == 0) {
+            p.node = lightest;
+          } else {
+            p.backups.push_back(lightest);
+          }
         }
-        placements[idx] =
-            FragmentPlacement{fragments[idx].name(), lightest};
-        load[lightest] += fragments[idx].ApproxBytes();
+        placements[idx] = std::move(p);
       }
       return placements;
     }
@@ -57,8 +82,9 @@ std::vector<uint64_t> PlacementLoads(
   std::vector<uint64_t> load(node_count, 0);
   for (const FragmentPlacement& p : placements) {
     for (const xml::Collection& frag : fragments) {
-      if (frag.name() == p.fragment && p.node < node_count) {
-        load[p.node] += frag.ApproxBytes();
+      if (frag.name() != p.fragment) continue;
+      for (size_t node : p.AllNodes()) {
+        if (node < node_count) load[node] += frag.ApproxBytes();
       }
     }
   }

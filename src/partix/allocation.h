@@ -26,13 +26,21 @@ enum class PlacementStrategy {
 };
 
 /// Computes placements for materialized fragment collections over
-/// `node_count` nodes.
+/// `node_count` nodes. `replication_factor` is the number of distinct
+/// nodes each fragment is placed on (1 = no replication); the first
+/// replica is the primary, the rest are failover backups. Requires
+/// `replication_factor >= 1` and `replication_factor <= node_count`.
+///
+///   - kRoundRobin: replica r of fragment i lands on node (i + r) mod n.
+///   - kSizeBalanced: the primary is placed by LPT; each backup goes to
+///     the least-loaded node not already holding that fragment (replicas
+///     consume space, so loads account for every copy).
 Result<std::vector<FragmentPlacement>> ComputePlacements(
     const std::vector<xml::Collection>& fragments, size_t node_count,
-    PlacementStrategy strategy);
+    PlacementStrategy strategy, size_t replication_factor = 1);
 
-/// The resulting per-node loads (bytes) of a placement, for reporting and
-/// tests.
+/// The resulting per-node loads (bytes) of a placement — every replica of
+/// every fragment counts — for reporting and tests.
 std::vector<uint64_t> PlacementLoads(
     const std::vector<xml::Collection>& fragments,
     const std::vector<FragmentPlacement>& placements, size_t node_count);

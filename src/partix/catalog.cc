@@ -30,9 +30,25 @@ std::vector<std::string> SchemaCatalog::Names() const {
   return out;
 }
 
+std::vector<size_t> FragmentPlacement::AllNodes() const {
+  std::vector<size_t> out;
+  out.reserve(1 + backups.size());
+  out.push_back(node);
+  for (size_t b : backups) out.push_back(b);
+  return out;
+}
+
 Result<size_t> DistributionEntry::NodeOf(const std::string& fragment) const {
   for (const FragmentPlacement& p : placements) {
     if (p.fragment == fragment) return p.node;
+  }
+  return Status::NotFound("fragment '" + fragment + "' has no placement");
+}
+
+Result<std::vector<size_t>> DistributionEntry::ReplicasOf(
+    const std::string& fragment) const {
+  for (const FragmentPlacement& p : placements) {
+    if (p.fragment == fragment) return p.AllNodes();
   }
   return Status::NotFound("fragment '" + fragment + "' has no placement");
 }
@@ -48,7 +64,17 @@ Status DistributionCatalog::Register(
                                  "' already registered");
   }
   std::set<std::string> placed;
-  for (const FragmentPlacement& p : placements) placed.insert(p.fragment);
+  for (const FragmentPlacement& p : placements) {
+    std::set<size_t> nodes;
+    for (size_t n : p.AllNodes()) {
+      if (!nodes.insert(n).second) {
+        return Status::InvalidArgument(
+            "fragment '" + p.fragment + "' lists node " + std::to_string(n) +
+            " as more than one replica");
+      }
+    }
+    placed.insert(p.fragment);
+  }
   for (const frag::FragmentDef& def : schema.fragments) {
     if (placed.count(def.name()) == 0) {
       return Status::InvalidArgument("fragment '" + def.name() +

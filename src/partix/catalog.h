@@ -23,10 +23,17 @@ class SchemaCatalog {
   std::map<std::string, xml::SchemaPtr> schemas_;
 };
 
-/// Where one fragment lives: the index of a cluster node.
+/// Where one fragment lives: a primary cluster node plus zero or more
+/// backup replicas (failover order). Every listed node holds a full copy
+/// of the fragment; the query service prefers the primary and the
+/// executor fails over along `backups` when nodes are unreachable.
 struct FragmentPlacement {
   std::string fragment;
-  size_t node = 0;
+  size_t node = 0;              // primary replica
+  std::vector<size_t> backups;  // additional replicas, in failover order
+
+  /// All replica nodes, primary first.
+  std::vector<size_t> AllNodes() const;
 };
 
 /// Everything the middleware knows about one distributed collection: its
@@ -35,7 +42,11 @@ struct DistributionEntry {
   frag::FragmentationSchema schema;
   std::vector<FragmentPlacement> placements;
 
+  /// Primary node of `fragment`.
   Result<size_t> NodeOf(const std::string& fragment) const;
+
+  /// Every replica of `fragment`, primary first.
+  Result<std::vector<size_t>> ReplicasOf(const std::string& fragment) const;
 };
 
 /// XML Distribution Catalog Service (paper §4): stores fragment

@@ -1,24 +1,99 @@
 #include "partix/cluster.h"
 
+#include <chrono>
+#include <thread>
+
 namespace partix::middleware {
 
 ClusterSim::ClusterSim(size_t node_count, xdb::DatabaseOptions node_options,
                        NetworkModel network)
     : network_(network) {
   nodes_.reserve(node_count);
+  faults_.reserve(node_count);
   for (size_t i = 0; i < node_count; ++i) {
     nodes_.push_back(std::make_unique<LocalXdbDriver>(
         "node" + std::to_string(i), node_options));
+    faults_.push_back(std::make_unique<NodeFaultState>(FaultProfile{}));
   }
-  down_.assign(node_count, false);
+}
+
+Result<xdb::QueryResult> ClusterSim::ExecuteOnNode(size_t i,
+                                                   const std::string& query) {
+  if (i >= nodes_.size()) {
+    return Status::OutOfRange("node " + std::to_string(i) +
+                              " out of range");
+  }
+  double spike_ms = 0.0;
+  {
+    NodeFaultState& f = *faults_[i];
+    std::lock_guard<std::mutex> lock(f.mu);
+    if (f.profile.down) {
+      return Status::Unavailable("node" + std::to_string(i) + " is down");
+    }
+    if (f.profile.fail_after_requests >= 0 &&
+        f.engine_requests >=
+            static_cast<uint64_t>(f.profile.fail_after_requests)) {
+      return Status::Unavailable(
+          "node" + std::to_string(i) + " failed after " +
+          std::to_string(f.profile.fail_after_requests) + " request(s)");
+    }
+    if (f.profile.fail_first_requests > 0 &&
+        f.engine_requests <
+            static_cast<uint64_t>(f.profile.fail_first_requests)) {
+      ++f.engine_requests;
+      return Status::Unavailable("injected transient error at node" +
+                                 std::to_string(i) + " (fail-first)");
+    }
+    if (f.profile.transient_error_rate > 0.0 &&
+        f.rng.Bernoulli(f.profile.transient_error_rate)) {
+      return Status::Unavailable("injected transient error at node" +
+                                 std::to_string(i));
+    }
+    if (f.profile.latency_spike_rate > 0.0 &&
+        f.rng.Bernoulli(f.profile.latency_spike_rate)) {
+      spike_ms = f.profile.latency_spike_ms;
+    }
+    ++f.engine_requests;
+  }
+  if (spike_ms > 0.0) {
+    // Stall outside the fault mutex: a slow node must not block fault
+    // draws for concurrent requests to the same node.
+    std::this_thread::sleep_for(std::chrono::duration<double>(spike_ms / 1e3));
+  }
+  return nodes_[i]->Execute(query);
+}
+
+void ClusterSim::SetFaultProfile(size_t i, FaultProfile profile) {
+  if (i >= faults_.size()) return;
+  NodeFaultState& f = *faults_[i];
+  std::lock_guard<std::mutex> lock(f.mu);
+  f.profile = profile;
+  f.engine_requests = 0;
+  f.rng = Rng(profile.seed);
 }
 
 void ClusterSim::SetNodeDown(size_t i, bool down) {
-  if (i < down_.size()) down_[i] = down;
+  if (i >= faults_.size()) return;
+  NodeFaultState& f = *faults_[i];
+  std::lock_guard<std::mutex> lock(f.mu);
+  f.profile.down = down;
 }
 
 bool ClusterSim::IsNodeDown(size_t i) const {
-  return i < down_.size() && down_[i];
+  if (i >= faults_.size()) return false;
+  NodeFaultState& f = *faults_[i];
+  std::lock_guard<std::mutex> lock(f.mu);
+  return f.profile.down ||
+         (f.profile.fail_after_requests >= 0 &&
+          f.engine_requests >=
+              static_cast<uint64_t>(f.profile.fail_after_requests));
+}
+
+uint64_t ClusterSim::NodeRequestCount(size_t i) const {
+  if (i >= faults_.size()) return 0;
+  NodeFaultState& f = *faults_[i];
+  std::lock_guard<std::mutex> lock(f.mu);
+  return f.engine_requests;
 }
 
 void ClusterSim::DropAllCaches() {

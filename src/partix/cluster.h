@@ -1,10 +1,13 @@
 #ifndef PARTIX_PARTIX_CLUSTER_H_
 #define PARTIX_PARTIX_CLUSTER_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "partix/driver.h"
 #include "partix/executor.h"
 
@@ -34,6 +37,34 @@ struct NetworkModel {
   }
 };
 
+/// Per-node fault-injection profile. All knobs compose; the default is a
+/// healthy node. Every stochastic knob draws from a per-node RNG seeded
+/// with `seed`, so a given profile produces the same fault sequence on
+/// every run (requests arriving from concurrent workers consume draws in
+/// arrival order — use sequential dispatch when a test needs the exact
+/// per-request sequence).
+struct FaultProfile {
+  /// Permanently unreachable: every request is rejected with
+  /// kUnavailable until the profile is replaced.
+  bool down = false;
+  /// Probability that a request is rejected with a transient
+  /// kUnavailable error (the node stays up).
+  double transient_error_rate = 0.0;
+  /// Probability that a served request stalls for `latency_spike_ms`
+  /// before executing (emulates GC pauses / IO stalls).
+  double latency_spike_rate = 0.0;
+  double latency_spike_ms = 0.0;
+  /// The node serves this many engine requests, then becomes permanently
+  /// down (-1 = never). Transient rejections do not count.
+  int64_t fail_after_requests = -1;
+  /// The first `fail_first_requests` engine requests are rejected with a
+  /// transient kUnavailable, then the node is healthy. Deterministic
+  /// counterpart of `transient_error_rate` for retry tests.
+  int64_t fail_first_requests = 0;
+  /// Seed of this node's fault RNG.
+  uint64_t seed = 0;
+};
+
 /// A simulated cluster of DBMS nodes. Each node is an independent
 /// xdb::Database (its own name pool, stores, caches, indexes) behind a
 /// Driver that serializes engine access, so distinct nodes can execute
@@ -43,10 +74,12 @@ struct NetworkModel {
 /// spent by the slowest site") — and the *measured* wall-clock of the real
 /// fan-out.
 ///
-/// Thread-safety contract: the data plane (node(i).Execute via the
-/// executor) is safe from worker threads. The control plane —
-/// SetNodeDown, DropAllCaches, database(i), construction — is
-/// coordinator-thread-only and must not race a Dispatch in flight.
+/// Thread-safety contract: the data plane (ExecuteOnNode / IsNodeDown /
+/// NodeRequestCount, used by executor workers) is thread-safe — each
+/// node's fault state is guarded by its own mutex. The control plane —
+/// SetFaultProfile, SetNodeDown, DropAllCaches, database(i),
+/// mutable_network, construction — is coordinator-thread-only and must
+/// not race a Dispatch in flight.
 class ClusterSim {
  public:
   ClusterSim(size_t node_count, xdb::DatabaseOptions node_options,
@@ -66,17 +99,47 @@ class ClusterSim {
   /// its worker pool persists across queries).
   Executor& executor() { return executor_; }
 
-  /// Failure injection: a down node rejects every request until brought
-  /// back up. Data survives (the node is unreachable, not wiped).
+  /// The data plane: runs `query` on node `i` through its fault profile —
+  /// a down (or fail-after-exhausted) node rejects with kUnavailable,
+  /// transient faults reject without touching the engine, latency spikes
+  /// stall the calling worker — then delegates to the node's driver.
+  /// Thread-safe; this is what the executor dispatches through.
+  Result<xdb::QueryResult> ExecuteOnNode(size_t i, const std::string& query);
+
+  /// Failure injection: replaces node `i`'s fault profile, resetting its
+  /// request counter and reseeding its RNG from `profile.seed`. Data
+  /// survives (the node is unreachable, not wiped). Out-of-range `i` is a
+  /// no-op. Control plane: must not race a Dispatch in flight.
+  void SetFaultProfile(size_t i, FaultProfile profile);
+
+  /// Shorthand for the permanent-down bit of the fault profile (other
+  /// knobs are preserved).
   void SetNodeDown(size_t i, bool down);
+
+  /// True when node `i` rejects every request: explicitly down, or its
+  /// fail-after-N budget is exhausted. Thread-safe.
   bool IsNodeDown(size_t i) const;
+
+  /// Engine requests node `i` has served or attempted (excludes requests
+  /// rejected by the fault gate). Thread-safe; used by tests to prove a
+  /// breaker-opened node is no longer contacted.
+  uint64_t NodeRequestCount(size_t i) const;
 
   /// Cold-start all nodes.
   void DropAllCaches();
 
  private:
+  /// Fault state of one node; `mu` guards every field.
+  struct NodeFaultState {
+    explicit NodeFaultState(FaultProfile p) : profile(p), rng(p.seed) {}
+    mutable std::mutex mu;
+    FaultProfile profile;
+    uint64_t engine_requests = 0;
+    Rng rng;
+  };
+
   std::vector<std::unique_ptr<LocalXdbDriver>> nodes_;
-  std::vector<bool> down_;
+  std::vector<std::unique_ptr<NodeFaultState>> faults_;
   NetworkModel network_;
   Executor executor_{this};
 };

@@ -674,6 +674,21 @@ bool ProjectionNeeded(const xpath::Path& touched, const xpath::Path& p,
   return true;
 }
 
+/// Builds a SubQuery routed to every replica of `fragment` (primary
+/// first), so the executor can fail over without re-planning.
+Result<SubQuery> MakeSubQuery(const DistributionEntry& entry,
+                              const std::string& fragment,
+                              std::string text) {
+  PARTIX_ASSIGN_OR_RETURN(std::vector<size_t> replicas,
+                          entry.ReplicasOf(fragment));
+  SubQuery sub;
+  sub.fragment = fragment;
+  sub.node = replicas.front();
+  sub.replicas = std::move(replicas);
+  sub.query = std::move(text);
+  return sub;
+}
+
 }  // namespace
 
 const char* CompositionName(Composition c) {
@@ -720,7 +735,12 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
     PARTIX_ASSIGN_OR_RETURN(size_t node, catalog_->CentralizedNode(coll));
     plan.collection = coll;
     plan.composition = Composition::kUnion;
-    plan.subqueries.push_back(SubQuery{coll, node, query});
+    SubQuery sub;
+    sub.fragment = coll;
+    sub.node = node;
+    sub.replicas = {node};
+    sub.query = query;
+    plan.subqueries.push_back(std::move(sub));
     plan.notes.push_back("collection is centralized; no decomposition");
     return plan;
   }
@@ -743,10 +763,11 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
   auto add_fetch_subqueries =
       [&](const std::vector<const FragmentDef*>& defs) -> Status {
     for (const FragmentDef* def : defs) {
-      PARTIX_ASSIGN_OR_RETURN(size_t node, entry->NodeOf(def->name()));
-      plan.subqueries.push_back(
-          SubQuery{def->name(), node,
-                   "collection(\"" + def->name() + "\")"});
+      PARTIX_ASSIGN_OR_RETURN(
+          SubQuery sub,
+          MakeSubQuery(*entry, def->name(),
+                       "collection(\"" + def->name() + "\")"));
+      plan.subqueries.push_back(std::move(sub));
     }
     plan.composition = Composition::kJoinReconstruct;
     return Status::Ok();
@@ -776,12 +797,12 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
         return plan;
       }
       for (const FragmentDef* def : targets) {
-        PARTIX_ASSIGN_OR_RETURN(size_t node, entry->NodeOf(def->name()));
         PARTIX_ASSIGN_OR_RETURN(
             std::string text,
             RewriteQueryText(*ast, fragmented, def->name(), 0));
-        plan.subqueries.push_back(
-            SubQuery{def->name(), node, std::move(text)});
+        PARTIX_ASSIGN_OR_RETURN(
+            SubQuery sub, MakeSubQuery(*entry, def->name(), std::move(text)));
+        plan.subqueries.push_back(std::move(sub));
       }
       plan.composition = decomposable_aggregate && plan.subqueries.size() > 1
                              ? Composition::kSumCounts
@@ -811,10 +832,10 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
         Result<std::string> text = RewriteQueryText(
             *ast, fragmented, needed[0]->name(), v.path.size() - 1);
         if (text.ok()) {
-          PARTIX_ASSIGN_OR_RETURN(size_t node,
-                                  entry->NodeOf(needed[0]->name()));
-          plan.subqueries.push_back(
-              SubQuery{needed[0]->name(), node, std::move(*text)});
+          PARTIX_ASSIGN_OR_RETURN(
+              SubQuery sub,
+              MakeSubQuery(*entry, needed[0]->name(), std::move(*text)));
+          plan.subqueries.push_back(std::move(sub));
           plan.composition = Composition::kUnion;
           plan.pruned_fragments = schema.fragments.size() - 1;
           plan.notes.push_back("single-fragment vertical rewrite");
@@ -910,8 +931,10 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
             ok = false;
             break;
           }
-          PARTIX_ASSIGN_OR_RETURN(size_t node, entry->NodeOf(def->name()));
-          subs.push_back(SubQuery{def->name(), node, std::move(*text)});
+          PARTIX_ASSIGN_OR_RETURN(
+              SubQuery sub,
+              MakeSubQuery(*entry, def->name(), std::move(*text)));
+          subs.push_back(std::move(sub));
         }
         if (ok) {
           plan.subqueries = std::move(subs);
@@ -928,9 +951,10 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
         Result<std::string> text = RewriteQueryText(
             *ast, fragmented, def->name(), def_path(def).size() - 1);
         if (text.ok()) {
-          PARTIX_ASSIGN_OR_RETURN(size_t node, entry->NodeOf(def->name()));
-          plan.subqueries.push_back(
-              SubQuery{def->name(), node, std::move(*text)});
+          PARTIX_ASSIGN_OR_RETURN(
+              SubQuery sub,
+              MakeSubQuery(*entry, def->name(), std::move(*text)));
+          plan.subqueries.push_back(std::move(sub));
           plan.composition = Composition::kUnion;
           plan.notes.push_back("single pure-projection fragment");
           return plan;

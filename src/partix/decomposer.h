@@ -26,11 +26,14 @@ enum class Composition {
 
 const char* CompositionName(Composition c);
 
-/// One sub-query routed to one fragment's node.
+/// One sub-query routed to one fragment's replica set.
 struct SubQuery {
   std::string fragment;  // fragment (= collection) name at the node
-  size_t node = 0;
+  size_t node = 0;       // primary replica
   std::string query;
+  /// Every node holding this fragment, primary first, in failover order.
+  /// Empty means "primary only" — the executor treats it as {node}.
+  std::vector<size_t> replicas;
 };
 
 /// A decomposed distributed execution plan.

@@ -58,8 +58,12 @@ Status SaveDeployment(const std::string& dir,
                             catalog.Get(name));
     manifest += "fragmented\t" + name + "\n";
     for (const FragmentPlacement& p : entry->placements) {
+      // Primary first, then any backup replicas as trailing fields (a
+      // replica-free manifest stays byte-identical to the old format).
       manifest += "placement\t" + name + "\t" + p.fragment + "\t" +
-                  std::to_string(p.node) + "\n";
+                  std::to_string(p.node);
+      for (size_t b : p.backups) manifest += "\t" + std::to_string(b);
+      manifest += "\n";
     }
     PARTIX_RETURN_IF_ERROR(WriteFile(
         fs::path(dir) / ("schema_" + name + ".txt"),
@@ -122,11 +126,19 @@ Result<LoadedDeployment> LoadDeployment(const std::string& dir,
       fragmented.emplace_back(fields[1]);
     } else if (tag == "placement") {
       int64_t node = 0;
-      if (fields.size() != 4 || !ParseInt64(fields[3], &node)) {
+      if (fields.size() < 4 || !ParseInt64(fields[3], &node)) {
         return Status::Corruption("bad placement line in catalog.txt");
       }
-      placements[std::string(fields[1])].push_back(FragmentPlacement{
-          std::string(fields[2]), static_cast<size_t>(node)});
+      FragmentPlacement p{std::string(fields[2]),
+                          static_cast<size_t>(node)};
+      for (size_t f = 4; f < fields.size(); ++f) {
+        int64_t backup = 0;
+        if (!ParseInt64(fields[f], &backup) || backup < 0) {
+          return Status::Corruption("bad replica in placement line");
+        }
+        p.backups.push_back(static_cast<size_t>(backup));
+      }
+      placements[std::string(fields[1])].push_back(std::move(p));
     } else {
       return Status::Corruption("unknown tag '" + tag +
                                 "' in catalog.txt");

@@ -3,56 +3,267 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 
-#include "common/clock.h"
+#include "common/rng.h"
 #include "partix/cluster.h"
 
 namespace partix::middleware {
 
-void Executor::RunOne(const SubQuery& sub, SubQueryOutcome* out) {
-  Stopwatch watch;
-  const double rpc_sec = cluster_->network().emulated_rpc_sec;
-  if (rpc_sec > 0.0) {
-    // Emulate the synchronous round trip to a remote DBMS node: the worker
-    // blocks (holding no core) the way a real driver would block on the
-    // wire. Overlapping these waits is the first win of real parallelism.
-    std::this_thread::sleep_for(std::chrono::duration<double>(rpc_sec));
+namespace {
+
+/// Decorrelates per-sub-query jitter streams (splitmix64 finalizer).
+uint64_t MixSeed(uint64_t seed, size_t index) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+bool Retryable(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
+
+void Executor::set_breaker_policy(CircuitBreakerPolicy policy) {
+  breaker_policy_ = policy;
+  ResetBreakers();
+}
+
+void Executor::ResetBreakers() {
+  for (auto& b : breakers_) {
+    if (b == nullptr) continue;
+    std::lock_guard<std::mutex> lock(b->mu);
+    b->consecutive_failures = 0;
+    b->open = false;
+    b->probing = false;
   }
-  out->result = cluster_->node(sub.node).Execute(sub.query);
+}
+
+bool Executor::breaker_open(size_t node) const {
+  if (node >= breakers_.size() || breakers_[node] == nullptr) return false;
+  NodeBreakerState& b = *breakers_[node];
+  std::lock_guard<std::mutex> lock(b.mu);
+  return b.open;
+}
+
+void Executor::EnsureBreakers(const std::vector<SubQuery>& subqueries) {
+  size_t max_node = 0;
+  for (const SubQuery& sub : subqueries) {
+    max_node = std::max(max_node, sub.node);
+    for (size_t r : sub.replicas) max_node = std::max(max_node, r);
+  }
+  if (breakers_.size() < max_node + 1) breakers_.resize(max_node + 1);
+  for (size_t i = 0; i <= max_node; ++i) {
+    if (breakers_[i] == nullptr) {
+      breakers_[i] = std::make_unique<NodeBreakerState>();
+    }
+  }
+}
+
+bool Executor::BreakerAllows(size_t node) {
+  if (breaker_policy_.failure_threshold == 0) return true;
+  if (node >= breakers_.size() || breakers_[node] == nullptr) return true;
+  NodeBreakerState& b = *breakers_[node];
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (!b.open) return true;
+  if (!b.probing &&
+      b.opened_at.ElapsedMillis() >= breaker_policy_.open_ms) {
+    b.probing = true;  // hand out the single half-open probe
+    return true;
+  }
+  return false;
+}
+
+void Executor::RecordSuccess(size_t node) {
+  if (node >= breakers_.size() || breakers_[node] == nullptr) return;
+  NodeBreakerState& b = *breakers_[node];
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.consecutive_failures = 0;
+  b.open = false;
+  b.probing = false;
+}
+
+void Executor::RecordFailure(size_t node) {
+  if (breaker_policy_.failure_threshold == 0) return;
+  if (node >= breakers_.size() || breakers_[node] == nullptr) return;
+  NodeBreakerState& b = *breakers_[node];
+  std::lock_guard<std::mutex> lock(b.mu);
+  ++b.consecutive_failures;
+  if (b.probing || b.consecutive_failures >= breaker_policy_.failure_threshold) {
+    b.open = true;
+    b.probing = false;
+    b.opened_at.Restart();
+  }
+}
+
+void Executor::RunOne(const SubQuery& sub, size_t index,
+                      const RetryPolicy& retry, SubQueryOutcome* out) {
+  Stopwatch watch;
+  const std::vector<size_t> candidates =
+      sub.replicas.empty() ? std::vector<size_t>{sub.node} : sub.replicas;
+  out->node = candidates.front();
+  Rng rng(MixSeed(retry.seed, index));
+
+  const size_t max_attempts = std::max<size_t>(1, retry.max_attempts);
+  const double rpc_sec = cluster_->network().emulated_rpc_sec;
+  double backoff_ms = retry.base_backoff_ms;
+  size_t cursor = 0;  // next candidate to consider
+  Status last_error = Status::Unavailable("not attempted");
+
+  while (out->attempts < max_attempts) {
+    if (retry.subquery_deadline_ms > 0.0 &&
+        watch.ElapsedMillis() >= retry.subquery_deadline_ms) {
+      out->timed_out = true;
+      out->result = Status::DeadlineExceeded(
+          "sub-query deadline (" + std::to_string(retry.subquery_deadline_ms) +
+          " ms) exceeded after " + std::to_string(out->attempts) +
+          " attempt(s): " + last_error.message());
+      out->wall_ms = watch.ElapsedMillis();
+      return;
+    }
+
+    // Pick the next candidate replica that is up and whose breaker admits
+    // traffic, scanning at most one full cycle from the cursor.
+    size_t node = candidates.front();
+    bool found = false;
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      size_t cand = candidates[(cursor + k) % candidates.size()];
+      if (cluster_->IsNodeDown(cand)) continue;
+      if (!BreakerAllows(cand)) continue;
+      node = cand;
+      cursor = (cursor + k) % candidates.size();
+      found = true;
+      break;
+    }
+    if (!found) {
+      out->result = Status::Unavailable(
+          "all " + std::to_string(candidates.size()) +
+          " replica(s) unreachable (down or circuit open); last error: " +
+          last_error.message());
+      out->wall_ms = watch.ElapsedMillis();
+      return;
+    }
+    // A failover is any move off the node the sub-query last targeted —
+    // including a first attempt routed around a down primary.
+    if (node != out->node || (out->attempts == 0 && node != sub.node)) {
+      ++out->failovers;
+    }
+    out->node = node;
+    ++out->attempts;
+
+    Stopwatch attempt_watch;
+    if (rpc_sec > 0.0) {
+      // Emulate the synchronous round trip to a remote DBMS node: the
+      // worker blocks (holding no core) the way a real driver would block
+      // on the wire. Overlapping these waits is the first win of real
+      // parallelism.
+      std::this_thread::sleep_for(std::chrono::duration<double>(rpc_sec));
+    }
+    Result<xdb::QueryResult> result = cluster_->ExecuteOnNode(node, sub.query);
+    const double attempt_ms = attempt_watch.ElapsedMillis();
+
+    if (result.ok() && retry.attempt_timeout_ms > 0.0 &&
+        attempt_ms > retry.attempt_timeout_ms) {
+      // The node answered, but past its budget: a real client would have
+      // hung up. Discard the result and treat as a timeout.
+      result = Status::DeadlineExceeded(
+          "attempt to node" + std::to_string(node) + " took " +
+          std::to_string(attempt_ms) + " ms (budget " +
+          std::to_string(retry.attempt_timeout_ms) + " ms)");
+    }
+
+    if (result.ok()) {
+      RecordSuccess(node);
+      out->result = std::move(result);
+      out->wall_ms = watch.ElapsedMillis();
+      return;
+    }
+
+    RecordFailure(node);
+    last_error = result.status();
+    if (last_error.code() == StatusCode::kDeadlineExceeded) {
+      out->timed_out = true;
+    }
+    if (!Retryable(last_error)) {
+      // Deterministic engine errors (parse failure, missing collection,
+      // ...) would fail identically on every replica: fail fast.
+      out->result = std::move(result);
+      out->wall_ms = watch.ElapsedMillis();
+      return;
+    }
+    cursor = (cursor + 1) % candidates.size();
+
+    if (out->attempts < max_attempts && retry.base_backoff_ms > 0.0) {
+      double sleep_ms =
+          backoff_ms * (1.0 + rng.UniformDouble(-retry.jitter, retry.jitter));
+      sleep_ms = std::max(0.0, sleep_ms);
+      if (retry.subquery_deadline_ms > 0.0) {
+        const double remaining =
+            retry.subquery_deadline_ms - watch.ElapsedMillis();
+        sleep_ms = std::min(sleep_ms, std::max(0.0, remaining));
+      }
+      if (sleep_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleep_ms / 1e3));
+      }
+      backoff_ms =
+          std::min(backoff_ms * retry.backoff_multiplier, retry.max_backoff_ms);
+    }
+  }
+
+  out->result = Status(last_error.code(),
+                       "sub-query failed after " +
+                           std::to_string(out->attempts) +
+                           " attempt(s): " + last_error.message());
   out->wall_ms = watch.ElapsedMillis();
 }
 
 double Executor::Dispatch(const std::vector<SubQuery>& subqueries,
-                          size_t parallelism,
+                          const DispatchOptions& options,
                           std::vector<SubQueryOutcome>* outcomes) {
   outcomes->clear();
   outcomes->resize(subqueries.size());
   const size_t n = subqueries.size();
   if (n == 0) return 0.0;
+  EnsureBreakers(subqueries);
   Stopwatch watch;
 
-  const size_t workers =
-      parallelism == 0 ? n : std::min(parallelism, n);
+  const size_t parallelism = options.parallelism;
+  const size_t workers = parallelism == 0 ? n : std::min(parallelism, n);
   if (workers <= 1) {
-    for (size_t i = 0; i < n; ++i) RunOne(subqueries[i], &(*outcomes)[i]);
+    for (size_t i = 0; i < n; ++i) {
+      RunOne(subqueries[i], i, options.retry, &(*outcomes)[i]);
+    }
     return watch.ElapsedMillis();
   }
 
-  if (pool_ == nullptr || pool_->thread_count() < workers) {
+  // Pool-sizing policy (see executor.h): the pool is bounded by
+  // max(hardware threads, cluster nodes), not by the requested
+  // parallelism. The index-claiming loop below lets a smaller pool
+  // drain any number of sub-queries.
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t cap = std::max(hw, cluster_->node_count());
+  const size_t pool_size = std::min(workers, cap);
+  if (pool_ == nullptr || pool_->thread_count() < pool_size) {
     if (pool_ != nullptr) pool_->Shutdown();
-    pool_ = std::make_unique<ThreadPool>(workers);
+    pool_ = std::make_unique<ThreadPool>(pool_size);
   }
+  const size_t tasks = std::min(workers, pool_->thread_count());
 
-  // Exactly `workers` tasks, each pulling the next unclaimed sub-query
-  // index: concurrency is capped at `workers` even when the pool is
-  // larger, and every outcome slot is written by exactly one thread.
+  // `tasks` pool tasks, each pulling the next unclaimed sub-query index:
+  // every outcome slot is written by exactly one thread, and concurrency
+  // is capped at min(workers, pool size).
   std::atomic<size_t> next{0};
-  Latch done(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    pool_->Submit([this, &subqueries, &next, &done, outcomes, n] {
+  Latch done(tasks);
+  const RetryPolicy& retry = options.retry;
+  for (size_t w = 0; w < tasks; ++w) {
+    pool_->Submit([this, &subqueries, &next, &done, &retry, outcomes, n] {
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        RunOne(subqueries[i], &(*outcomes)[i]);
+        RunOne(subqueries[i], i, retry, &(*outcomes)[i]);
       }
       done.CountDown();
     });

@@ -2,9 +2,12 @@
 #define PARTIX_PARTIX_EXECUTOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "engine/database.h"
@@ -14,49 +17,184 @@ namespace partix::middleware {
 
 class ClusterSim;
 
+/// Retry/timeout policy applied to every sub-query of a Dispatch. All
+/// randomness (backoff jitter) comes from a per-sub-query RNG derived
+/// from `seed` and the sub-query's index, so a fixed seed reproduces the
+/// exact retry schedule.
+struct RetryPolicy {
+  /// Total tries per sub-query, including the first (0 behaves as 1).
+  size_t max_attempts = 3;
+  /// Exponential backoff between tries: sleep
+  /// `min(base * multiplier^k, max) * (1 + U(-jitter, jitter))` ms before
+  /// retry k+1. base <= 0 disables the sleep (still counts attempts).
+  double base_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 64.0;
+  /// Jitter fraction in [0, 1): each backoff is scaled by a uniform
+  /// factor in [1-jitter, 1+jitter].
+  double jitter = 0.5;
+  /// Per-attempt budget (ms). An attempt whose measured wall time exceeds
+  /// this is treated as kDeadlineExceeded — its result is discarded even
+  /// if the node eventually answered — and retried/failed over like any
+  /// transient error. 0 = no per-attempt timeout.
+  double attempt_timeout_ms = 0.0;
+  /// Total budget (ms) across all attempts of one sub-query, including
+  /// backoff sleeps. Once exhausted, the sub-query fails with
+  /// kDeadlineExceeded and `SubQueryOutcome::timed_out` is set.
+  /// 0 = no deadline.
+  double subquery_deadline_ms = 0.0;
+  /// Seed for backoff jitter. Sub-query i draws from
+  /// Rng(seed ^ golden(i)), so concurrent sub-queries never share a
+  /// stream and runs are reproducible.
+  uint64_t seed = 0;
+};
+
+/// Per-node circuit breaker: after `failure_threshold` consecutive
+/// failures a node's breaker opens and the executor stops sending it
+/// work. After `open_ms`, exactly one half-open probe request is let
+/// through; success closes the breaker, failure re-opens it for another
+/// `open_ms`. failure_threshold == 0 disables breakers.
+struct CircuitBreakerPolicy {
+  size_t failure_threshold = 3;
+  double open_ms = 100.0;
+};
+
+/// Knobs for one Dispatch call.
+struct DispatchOptions {
+  /// Caps sub-queries in flight at once: 1 runs them sequentially on the
+  /// calling thread, 0 means one worker per sub-query.
+  size_t parallelism = 1;
+  RetryPolicy retry;
+};
+
 /// Outcome of one dispatched sub-query, index-aligned with the plan's
 /// sub-query list.
 struct SubQueryOutcome {
   Result<xdb::QueryResult> result;
-  /// Measured wall-clock of this dispatch on its worker: RPC emulation
-  /// (if configured on the cluster's NetworkModel) + node execution.
+  /// Measured wall-clock of this dispatch on its worker, across every
+  /// attempt: RPC emulation (if configured on the cluster's NetworkModel),
+  /// node execution, and backoff sleeps.
   double wall_ms = 0.0;
+  /// Tries actually made (>= 1 whenever a candidate node was reachable).
+  size_t attempts = 0;
+  /// Times execution moved to a different node than the previous attempt
+  /// targeted (0 when the primary answered, or when there was nowhere
+  /// else to go).
+  size_t failovers = 0;
+  /// The node that produced `result` (last node targeted on failure).
+  /// Defaults to the sub-query's primary when nothing was reachable.
+  size_t node = 0;
+  /// True when the sub-query failed due to a per-attempt timeout or the
+  /// overall sub-query deadline, i.e. `result` is kDeadlineExceeded.
+  bool timed_out = false;
 };
 
 /// The middleware's sub-query executor: dispatches each SubQuery of a
-/// distributed plan to its node on a worker thread, gathers the per-node
+/// distributed plan on a worker thread, gathers the per-node
 /// `Result<xdb::QueryResult>`s, and reports the measured wall-clock time
 /// of the whole fan-out/fan-in. This is what turns the paper's *modeled*
 /// parallel response time (max over sites) into an observable property:
 /// `DistributedResult` carries both figures.
 ///
-/// Thread-compatible: one Dispatch call at a time per Executor (the query
+/// Fault tolerance: each sub-query is tried against its replica list in
+/// order (primary first). A kUnavailable or kDeadlineExceeded attempt is
+/// retried — after exponential backoff — against the next live replica
+/// whose circuit breaker admits traffic, wrapping around; any other
+/// status is treated as non-retryable and fails the sub-query
+/// immediately. Per-node circuit breakers persist across Dispatch calls,
+/// so a flapping node stops receiving traffic until its open window
+/// elapses and a half-open probe succeeds.
+///
+/// Worker-pool sizing: the pool holds at most
+/// `max(hardware_concurrency, cluster node_count)` threads regardless
+/// of the requested parallelism, so the pool no longer grows without
+/// bound to the largest parallelism ever requested. Why that cap and
+/// not plain `hardware_concurrency`: same-node sub-queries serialize at
+/// the per-node driver mutex, so threads beyond one-per-node cannot add
+/// concurrency; but workers *block* (driver mutex, emulated RPC,
+/// injected latency) holding no core, so one-per-node must stay
+/// available even when the host has fewer cores than the cluster has
+/// nodes — otherwise blocking waits serialize and the overlap
+/// `bench/parallel_speedup` measures disappears. Requests beyond the
+/// cap still all complete: tasks claim sub-query indices from a shared
+/// counter, so a smaller pool simply drains the same work with fewer
+/// threads. The pool is lazily created and grown (never shrunk) up to
+/// the cap, so repeated queries reuse warm threads.
+///
+/// Thread-safety: one Dispatch call at a time per Executor (the query
 /// service drives it from its coordinator thread). Internally, worker
-/// threads write only to disjoint outcome slots and call the per-node
-/// drivers, which serialize access to their engines (see driver.h).
+/// threads write only to disjoint outcome slots, share the per-node
+/// breaker states (each guarded by its own mutex), and call the cluster
+/// data plane, which is thread-safe (see cluster.h). set_breaker_policy
+/// and ResetBreakers are coordinator-only.
 class Executor {
  public:
   explicit Executor(ClusterSim* cluster) : cluster_(cluster) {}
 
-  /// Runs every sub-query against its node. `parallelism` caps the number
-  /// of sub-queries in flight at once: 1 runs them sequentially on the
-  /// calling thread (the pre-executor prototype behaviour), 0 means one
-  /// worker per sub-query. `outcomes` is resized and index-aligned with
-  /// `subqueries`, so downstream result composition is deterministic
-  /// regardless of completion order. Returns the measured wall-clock
-  /// milliseconds of the fan-out.
+  /// Runs every sub-query against its replica set. `outcomes` is resized
+  /// and index-aligned with `subqueries`, so downstream result
+  /// composition is deterministic regardless of completion order.
+  /// Returns the measured wall-clock milliseconds of the fan-out.
   ///
-  /// Pre: every sub-query's node index is in range (the query service
-  /// validates routing — including down nodes — before dispatching).
-  double Dispatch(const std::vector<SubQuery>& subqueries, size_t parallelism,
+  /// Pre: every node index in every sub-query's replica list is in range
+  /// (the query service validates routing before dispatching).
+  double Dispatch(const std::vector<SubQuery>& subqueries,
+                  const DispatchOptions& options,
                   std::vector<SubQueryOutcome>* outcomes);
 
+  /// Back-compat convenience: Dispatch with default retry policy.
+  double Dispatch(const std::vector<SubQuery>& subqueries, size_t parallelism,
+                  std::vector<SubQueryOutcome>* outcomes) {
+    DispatchOptions options;
+    options.parallelism = parallelism;
+    return Dispatch(subqueries, options, outcomes);
+  }
+
+  /// Replaces the breaker policy and resets all breaker state.
+  /// Coordinator-only.
+  void set_breaker_policy(CircuitBreakerPolicy policy);
+  const CircuitBreakerPolicy& breaker_policy() const {
+    return breaker_policy_;
+  }
+
+  /// Closes every breaker and zeroes failure counters. Coordinator-only.
+  void ResetBreakers();
+
+  /// True when node `i`'s breaker is currently open (no traffic admitted,
+  /// half-open probe not yet due or in flight). Introspection for tests.
+  bool breaker_open(size_t node) const;
+
  private:
-  void RunOne(const SubQuery& sub, SubQueryOutcome* out);
+  /// Breaker state of one node; `mu` guards every field. Workers touching
+  /// different nodes never contend.
+  struct NodeBreakerState {
+    mutable std::mutex mu;
+    size_t consecutive_failures = 0;
+    bool open = false;
+    /// An open breaker whose window elapsed admits exactly one probe;
+    /// `probing` marks that the probe has been handed out.
+    bool probing = false;
+    Stopwatch opened_at;
+  };
+
+  void RunOne(const SubQuery& sub, size_t index, const RetryPolicy& retry,
+              SubQueryOutcome* out);
+
+  /// Grows `breakers_` to cover every node index in `subqueries`.
+  /// Called from the coordinator before workers start.
+  void EnsureBreakers(const std::vector<SubQuery>& subqueries);
+
+  /// Whether the breaker currently admits a request to `node` (may hand
+  /// out the half-open probe as a side effect).
+  bool BreakerAllows(size_t node);
+  void RecordSuccess(size_t node);
+  void RecordFailure(size_t node);
 
   ClusterSim* cluster_;
-  /// Lazily created; grown (never shrunk) to the largest parallelism
-  /// requested, so repeated queries reuse warm threads.
+  CircuitBreakerPolicy breaker_policy_;
+  std::vector<std::unique_ptr<NodeBreakerState>> breakers_;
+  /// Lazily created; grown (never shrunk) toward the hardware-concurrency
+  /// cap documented above, so repeated queries reuse warm threads.
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -48,26 +48,37 @@ Status DataPublisher::StoreFragments(
     const std::vector<xml::Collection>& fragments,
     const std::vector<FragmentPlacement>& placements) {
   for (const xml::Collection& frag_coll : fragments) {
-    size_t node = cluster_->node_count();
+    const FragmentPlacement* placement = nullptr;
     for (const FragmentPlacement& p : placements) {
       if (p.fragment == frag_coll.name()) {
-        node = p.node;
+        placement = &p;
         break;
       }
     }
-    if (node >= cluster_->node_count()) {
+    if (placement == nullptr) {
       return Status::InvalidArgument("fragment '" + frag_coll.name() +
                                      "' has no valid placement");
     }
-    Driver& driver = cluster_->node(node);
-    xdb::CollectionMeta meta;
-    meta.schema = frag_coll.schema();
-    meta.root_path = frag_coll.root_path();
-    meta.kind = frag_coll.kind();
-    PARTIX_RETURN_IF_ERROR(driver.CreateCollection(frag_coll.name(), meta));
-    for (const DocumentPtr& doc : frag_coll.docs()) {
+    // Every replica gets a full copy, so the query service can fail over
+    // without data movement.
+    for (size_t node : placement->AllNodes()) {
+      if (node >= cluster_->node_count()) {
+        return Status::InvalidArgument(
+            "fragment '" + frag_coll.name() + "' placed at node " +
+            std::to_string(node) + ", but the cluster has " +
+            std::to_string(cluster_->node_count()) + " node(s)");
+      }
+      Driver& driver = cluster_->node(node);
+      xdb::CollectionMeta meta;
+      meta.schema = frag_coll.schema();
+      meta.root_path = frag_coll.root_path();
+      meta.kind = frag_coll.kind();
       PARTIX_RETURN_IF_ERROR(
-          driver.StoreDocument(frag_coll.name(), *ToWireFormat(doc)));
+          driver.CreateCollection(frag_coll.name(), meta));
+      for (const DocumentPtr& doc : frag_coll.docs()) {
+        PARTIX_RETURN_IF_ERROR(
+            driver.StoreDocument(frag_coll.name(), *ToWireFormat(doc)));
+      }
     }
   }
   return Status::Ok();
@@ -75,16 +86,27 @@ Status DataPublisher::StoreFragments(
 
 Status DataPublisher::PublishFragmented(
     const xml::Collection& c, const frag::FragmentationSchema& schema,
-    std::vector<FragmentPlacement> placements) {
+    std::vector<FragmentPlacement> placements, size_t replication_factor) {
   if (schema.collection != c.name()) {
     return Status::InvalidArgument(
         "fragmentation schema is for collection '" + schema.collection +
         "', publishing '" + c.name() + "'");
   }
   if (placements.empty()) {
+    if (replication_factor == 0 ||
+        replication_factor > cluster_->node_count()) {
+      return Status::InvalidArgument(
+          "replication_factor " + std::to_string(replication_factor) +
+          " must be in [1, " + std::to_string(cluster_->node_count()) +
+          "]");
+    }
+    const size_t n = cluster_->node_count();
     for (size_t i = 0; i < schema.fragments.size(); ++i) {
-      placements.push_back(FragmentPlacement{
-          schema.fragments[i].name(), i % cluster_->node_count()});
+      FragmentPlacement p{schema.fragments[i].name(), i % n};
+      for (size_t r = 1; r < replication_factor; ++r) {
+        p.backups.push_back((i + r) % n);
+      }
+      placements.push_back(std::move(p));
     }
   }
   PARTIX_ASSIGN_OR_RETURN(std::vector<xml::Collection> fragments,

@@ -29,12 +29,16 @@ class DataPublisher {
   /// centralized.
   Status PublishCentralized(const xml::Collection& c, size_t node);
 
-  /// Fragments `c` per `schema`, stores each fragment at its placement
-  /// (round-robin over the cluster when `placements` is empty), and
-  /// registers the design.
+  /// Fragments `c` per `schema`, stores each fragment at *every* node of
+  /// its placement's replica set, and registers the design. When
+  /// `placements` is empty, replica r of fragment i goes to node
+  /// (i + r) mod node_count for r in [0, replication_factor);
+  /// `replication_factor` is ignored when explicit placements are given
+  /// (their backup lists already encode it).
   Status PublishFragmented(const xml::Collection& c,
                            const frag::FragmentationSchema& schema,
-                           std::vector<FragmentPlacement> placements = {});
+                           std::vector<FragmentPlacement> placements = {},
+                           size_t replication_factor = 1);
 
  private:
   Status StoreFragments(const std::vector<xml::Collection>& fragments,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "common/clock.h"
 #include "common/strings.h"
@@ -136,6 +137,18 @@ Result<DocumentPtr> JoinGroup(const std::string& source,
   return DocumentPtr(out);
 }
 
+/// Canonical "fragment at node" token used by every error message and
+/// missing-fragment report: `fragment@node<i>`.
+std::string FragAtNode(const std::string& fragment, size_t node) {
+  return fragment + "@node" + std::to_string(node);
+}
+
+/// The replica list of a sub-query (primary-only when unset).
+std::vector<size_t> ReplicasOrPrimary(const SubQuery& sub) {
+  if (!sub.replicas.empty()) return sub.replicas;
+  return {sub.node};
+}
+
 }  // namespace
 
 Result<DistributedResult> QueryService::Execute(
@@ -167,8 +180,35 @@ Result<std::string> QueryService::Explain(const std::string& query) const {
   }
   out += "\n";
   for (const SubQuery& sub : plan.subqueries) {
-    out += "  node " + std::to_string(sub.node) + "  " + sub.fragment +
-           "\n    " + sub.query + "\n";
+    const std::vector<size_t> replicas = ReplicasOrPrimary(sub);
+    size_t route = sub.node;
+    std::string annotation;
+    if (replicas.size() > 1) {
+      bool found = false;
+      for (size_t r : replicas) {
+        if (r < cluster_->node_count() && !cluster_->IsNodeDown(r)) {
+          route = r;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        annotation = "  [all replicas down]";
+      } else if (route != sub.node) {
+        annotation = "  [primary node" + std::to_string(sub.node) +
+                     " down -> failover]";
+      }
+    }
+    out += "  node " + std::to_string(route) + "  " + sub.fragment;
+    if (replicas.size() > 1) {
+      out += "  [replicas:";
+      for (size_t i = 0; i < replicas.size(); ++i) {
+        out += (i == 0 ? " " : ",") + std::string("node") +
+               std::to_string(replicas[i]);
+      }
+      out += "]";
+    }
+    out += annotation + "\n    " + sub.query + "\n";
   }
   for (const std::string& note : plan.notes) {
     out += "note: " + note + "\n";
@@ -190,43 +230,79 @@ Result<DistributedResult> QueryService::ExecutePlan(
   // Validate routing before dispatching anything, and report *every*
   // problem at once: an operator restoring a cluster needs the full
   // picture, not whichever unreachable fragment happened to come first.
+  // Tokens are `fragment@node<i>` in every error path.
   std::string out_of_range;
-  std::string down;
-  size_t down_count = 0;
   for (const SubQuery& sub : plan.subqueries) {
-    if (sub.node >= cluster_->node_count()) {
-      if (!out_of_range.empty()) out_of_range += ", ";
-      out_of_range += "node " + std::to_string(sub.node) + " (fragment '" +
-                      sub.fragment + "')";
-    } else if (cluster_->IsNodeDown(sub.node)) {
-      if (!down.empty()) down += ", ";
-      down += "node " + std::to_string(sub.node) + " (fragment '" +
-              sub.fragment + "')";
-      ++down_count;
+    for (size_t node : ReplicasOrPrimary(sub)) {
+      if (node >= cluster_->node_count()) {
+        if (!out_of_range.empty()) out_of_range += ", ";
+        out_of_range += FragAtNode(sub.fragment, node);
+      }
     }
   }
   if (!out_of_range.empty()) {
     return Status::OutOfRange("sub-query node(s) out of range: " +
                               out_of_range);
   }
-  if (!down.empty()) {
-    return Status::Unavailable(
-        std::to_string(down_count) + " needed node(s) down: " + down);
+
+  // Liveness: a fragment is unreachable only when *every* replica is
+  // down — the executor routes around individual down nodes.
+  std::vector<const SubQuery*> dispatched;
+  std::string unreachable;
+  size_t unreachable_count = 0;
+  for (const SubQuery& sub : plan.subqueries) {
+    bool any_live = false;
+    for (size_t node : ReplicasOrPrimary(sub)) {
+      if (!cluster_->IsNodeDown(node)) {
+        any_live = true;
+        break;
+      }
+    }
+    if (any_live) {
+      dispatched.push_back(&sub);
+      continue;
+    }
+    ++unreachable_count;
+    for (size_t node : ReplicasOrPrimary(sub)) {
+      if (!unreachable.empty()) unreachable += ", ";
+      unreachable += FragAtNode(sub.fragment, node);
+    }
+    out.missing_fragments.push_back(sub.fragment);
+  }
+  if (unreachable_count > 0 &&
+      options.partial_results == PartialResultPolicy::kFail) {
+    return Status::Unavailable(std::to_string(unreachable_count) +
+                               " needed fragment(s) unreachable: " +
+                               unreachable);
   }
 
-  // Fan the sub-queries out across the executor's worker threads (the
-  // response-time *model* stays what it always was; `wall_ms` is what
-  // really elapsed).
+  // Fan the live sub-queries out across the executor's worker threads
+  // (the response-time *model* stays what it always was; `wall_ms` is
+  // what really elapsed).
+  std::vector<SubQuery> live;
+  live.reserve(dispatched.size());
+  for (const SubQuery* sub : dispatched) live.push_back(*sub);
+  DispatchOptions dispatch_options;
+  dispatch_options.parallelism = options.parallelism;
+  dispatch_options.retry = options.retry;
   std::vector<SubQueryOutcome> outcomes;
-  cluster_->executor().Dispatch(plan.subqueries, options.parallelism,
-                                &outcomes);
-  out.parallelism =
-      options.parallelism == 0
-          ? plan.subqueries.size()
-          : std::min(options.parallelism, plan.subqueries.size());
+  cluster_->executor().Dispatch(live, dispatch_options, &outcomes);
+  out.parallelism = options.parallelism == 0
+                        ? std::max<size_t>(1, live.size())
+                        : std::max<size_t>(
+                              1, std::min(options.parallelism, live.size()));
+
+  // Fault-tolerance accounting, over every dispatched sub-query (failed
+  // ones included: their retries happened).
+  for (const SubQueryOutcome& o : outcomes) {
+    if (o.attempts > 1) out.retries += o.attempts - 1;
+    out.failovers += o.failovers;
+    if (o.timed_out) ++out.timed_out_subqueries;
+  }
 
   // Per-sub-query error aggregation: one failed node must not hide the
-  // others' failures.
+  // others' failures. Each entry names the fragment at the node that
+  // produced (or last refused) the result.
   std::string failures;
   StatusCode failure_code = StatusCode::kOk;
   size_t failed = 0;
@@ -236,42 +312,63 @@ Result<DistributedResult> QueryService::ExecutePlan(
     ++failed;
     if (failure_code == StatusCode::kOk) failure_code = r.status().code();
     if (!failures.empty()) failures += "; ";
-    failures += "fragment '" + plan.subqueries[i].fragment + "' (node " +
-                std::to_string(plan.subqueries[i].node) +
-                "): " + r.status().ToString();
+    failures += FragAtNode(live[i].fragment, outcomes[i].node) + ": " +
+                r.status().ToString();
   }
   if (failed > 0) {
-    return Status(failure_code,
-                  std::to_string(failed) + " of " +
-                      std::to_string(plan.subqueries.size()) +
-                      " sub-queries failed: " + failures);
+    if (options.partial_results == PartialResultPolicy::kFail) {
+      return Status(failure_code,
+                    std::to_string(failed) + " of " +
+                        std::to_string(live.size()) +
+                        " sub-queries failed: " + failures);
+    }
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (!outcomes[i].result.ok()) {
+        out.missing_fragments.push_back(live[i].fragment);
+      }
+    }
   }
 
   std::vector<xdb::QueryResult> partials;
-  partials.reserve(plan.subqueries.size());
+  partials.reserve(live.size());
   uint64_t total_result_bytes = 0;
-  for (size_t i = 0; i < plan.subqueries.size(); ++i) {
-    const SubQuery& sub = plan.subqueries[i];
+  for (size_t i = 0; i < live.size(); ++i) {
     Result<xdb::QueryResult>& result = outcomes[i].result;
+    if (!result.ok()) continue;
     SubQueryStats stats;
-    stats.fragment = sub.fragment;
-    stats.node = sub.node;
+    stats.fragment = live[i].fragment;
+    stats.node = outcomes[i].node;
     stats.elapsed_ms = result->metrics.elapsed_ms;
     stats.wall_ms = outcomes[i].wall_ms;
     stats.result_bytes = result->metrics.result_bytes;
     stats.docs_parsed = result->metrics.docs_parsed;
+    stats.attempts = outcomes[i].attempts;
+    stats.failovers = outcomes[i].failovers;
     out.slowest_node_ms = std::max(out.slowest_node_ms, stats.elapsed_ms);
     out.sum_node_ms += stats.elapsed_ms;
     total_result_bytes += stats.result_bytes;
     out.subqueries.push_back(std::move(stats));
     partials.push_back(std::move(*result));
   }
+  if (!out.missing_fragments.empty()) {
+    // Report missing fragments in plan order regardless of whether they
+    // were skipped (unreachable) or failed after dispatch.
+    std::set<std::string> missing(out.missing_fragments.begin(),
+                                  out.missing_fragments.end());
+    out.missing_fragments.clear();
+    for (const SubQuery& sub : plan.subqueries) {
+      if (missing.count(sub.fragment) != 0) {
+        out.missing_fragments.push_back(sub.fragment);
+      }
+    }
+  }
+  out.complete = out.missing_fragments.empty();
 
   // Transmission: dispatching the sub-queries + shipping partial results
   // to the coordinator.
   const NetworkModel& net = cluster_->network();
   out.transmission_ms =
-      1e3 * (static_cast<double>(plan.subqueries.size()) * net.latency_sec +
+      1e3 * (static_cast<double>(live.size()) * net.latency_sec +
              static_cast<double>(total_result_bytes) /
                  net.bandwidth_bytes_per_sec);
 

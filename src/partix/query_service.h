@@ -9,17 +9,35 @@
 #include "partix/catalog.h"
 #include "partix/cluster.h"
 #include "partix/decomposer.h"
+#include "partix/executor.h"
 
 namespace partix::middleware {
+
+/// What ExecutePlan does when some sub-queries cannot produce a result
+/// (every replica down, retries exhausted, deadline exceeded).
+enum class PartialResultPolicy {
+  /// Fail the whole query (default). The error message names every
+  /// failed fragment as `fragment@node<i>`.
+  kFail,
+  /// Compose the result from the sub-queries that succeeded and report
+  /// the rest in `DistributedResult::missing_fragments` with
+  /// `complete == false`. The caller decides whether a partial answer is
+  /// acceptable (e.g. search-style workloads degrading gracefully).
+  kReturnPartial,
+};
 
 /// Per-sub-query execution record.
 struct SubQueryStats {
   std::string fragment;
+  /// The node that produced the result — differs from the plan's primary
+  /// when the executor failed over to a replica.
   size_t node = 0;
   double elapsed_ms = 0.0;  // node-side execution time (engine-measured)
   double wall_ms = 0.0;     // measured on the dispatching worker thread
   uint64_t result_bytes = 0;
   uint64_t docs_parsed = 0;
+  size_t attempts = 1;      // tries made (1 = first attempt succeeded)
+  size_t failovers = 0;     // replica switches
 };
 
 /// The answer of a distributed execution, with the timing breakdown the
@@ -51,6 +69,20 @@ struct DistributedResult {
 
   std::vector<SubQueryStats> subqueries;
   size_t pruned_fragments = 0;
+
+  // --- fault-tolerance accounting (see docs/fault-tolerance.md) ---
+  /// Extra tries beyond each sub-query's first attempt, summed.
+  size_t retries = 0;
+  /// Replica switches across all sub-queries (routing around a down
+  /// primary counts).
+  size_t failovers = 0;
+  /// Sub-queries that hit a per-attempt timeout or their deadline.
+  size_t timed_out_subqueries = 0;
+  /// Fragments with no result, in plan order (kReturnPartial only; under
+  /// kFail the query errors instead).
+  std::vector<std::string> missing_fragments;
+  /// True when every planned fragment contributed to the answer.
+  bool complete = true;
 };
 
 /// Execution knobs for experiments.
@@ -65,12 +97,22 @@ struct ExecutionOptions {
   /// worker per sub-query. Composition is deterministic: the composed
   /// result is byte-identical across parallelism levels.
   size_t parallelism = 1;
+  /// Retry/backoff/timeout policy applied to every sub-query.
+  RetryPolicy retry;
+  /// What to do when sub-queries fail despite retries and failover.
+  PartialResultPolicy partial_results = PartialResultPolicy::kFail;
 };
 
 /// Distributed XML Query Service (paper §4): analyzes path expressions,
 /// identifies the fragments referenced in each query, ships sub-queries to
 /// the corresponding DBMS nodes through the cluster's Executor, and
 /// constructs the result.
+///
+/// Fault tolerance: sub-queries carry their fragment's full replica set,
+/// the executor retries transient failures and fails over between
+/// replicas (see executor.h), and a fragment is only *unreachable* when
+/// every replica is down. Whether an unreachable fragment fails the query
+/// or degrades it is the caller's choice via PartialResultPolicy.
 ///
 /// Thread-compatible: one thread drives a QueryService instance at a time
 /// (it is the coordinator of its executions); the parallelism happens
@@ -95,7 +137,9 @@ class QueryService {
 
   /// EXPLAIN: decomposes `query` and renders the plan (routing, pruning,
   /// composition, rewritten sub-queries) as human-readable text without
-  /// executing anything.
+  /// executing anything. Replicated fragments list their replica sets,
+  /// and routing reflects current node liveness (a down primary shows
+  /// the replica that would serve the sub-query).
   Result<std::string> Explain(const std::string& query) const;
 
  private:

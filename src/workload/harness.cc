@@ -25,18 +25,28 @@ Result<std::unique_ptr<Deployment>> Deployment::Centralized(
 
 Result<std::unique_ptr<Deployment>> Deployment::Fragmented(
     const xml::Collection& data, const frag::FragmentationSchema& schema,
-    xdb::DatabaseOptions node_options, middleware::NetworkModel network) {
+    xdb::DatabaseOptions node_options, middleware::NetworkModel network,
+    size_t replication_factor) {
   auto deployment = std::unique_ptr<Deployment>(new Deployment());
   deployment->catalog_ = std::make_unique<middleware::DistributionCatalog>();
   deployment->cluster_ = std::make_unique<middleware::ClusterSim>(
       schema.fragments.size(), node_options, network);
   deployment->publisher_ = std::make_unique<middleware::DataPublisher>(
       deployment->cluster_.get(), deployment->catalog_.get());
-  // One fragment per node: fragment i -> node i.
+  const size_t node_count = schema.fragments.size();
+  if (replication_factor == 0 || replication_factor > node_count) {
+    return Status::InvalidArgument(
+        "replication_factor " + std::to_string(replication_factor) +
+        " must be in [1, " + std::to_string(node_count) + "]");
+  }
+  // One fragment per node: replica r of fragment i -> node (i + r) mod n.
   std::vector<middleware::FragmentPlacement> placements;
-  for (size_t i = 0; i < schema.fragments.size(); ++i) {
-    placements.push_back(
-        middleware::FragmentPlacement{schema.fragments[i].name(), i});
+  for (size_t i = 0; i < node_count; ++i) {
+    middleware::FragmentPlacement p{schema.fragments[i].name(), i};
+    for (size_t r = 1; r < replication_factor; ++r) {
+      p.backups.push_back((i + r) % node_count);
+    }
+    placements.push_back(std::move(p));
   }
   PARTIX_RETURN_IF_ERROR(deployment->publisher_->PublishFragmented(
       data, schema, std::move(placements)));

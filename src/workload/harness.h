@@ -31,11 +31,14 @@ class Deployment {
       middleware::NetworkModel network);
 
   /// Fragmented: one node per fragment (as the paper simulates), each
-  /// holding its fragment.
+  /// holding its fragment. `replication_factor` > 1 additionally stores
+  /// replica r of fragment i at node (i + r) mod node_count, giving the
+  /// executor failover targets (see docs/fault-tolerance.md).
   static Result<std::unique_ptr<Deployment>> Fragmented(
       const xml::Collection& data,
       const frag::FragmentationSchema& schema,
-      xdb::DatabaseOptions node_options, middleware::NetworkModel network);
+      xdb::DatabaseOptions node_options, middleware::NetworkModel network,
+      size_t replication_factor = 1);
 
   middleware::QueryService& service() { return *service_; }
   middleware::ClusterSim& cluster() { return *cluster_; }

@@ -82,6 +82,51 @@ TEST(AllocationTest, RejectsDegenerateInputs) {
           .ok());
   EXPECT_FALSE(ComputePlacements({}, 3, PlacementStrategy::kRoundRobin)
                    .ok());
+  // Replication must fit the cluster: rf = 0 and rf > node_count fail.
+  EXPECT_FALSE(
+      ComputePlacements(fragments, 3, PlacementStrategy::kRoundRobin, 0)
+          .ok());
+  EXPECT_FALSE(
+      ComputePlacements(fragments, 3, PlacementStrategy::kRoundRobin, 4)
+          .ok());
+}
+
+TEST(AllocationTest, RoundRobinReplicasLandOnDistinctConsecutiveNodes) {
+  auto fragments = MakeFragments();
+  auto placements =
+      ComputePlacements(fragments, 4, PlacementStrategy::kRoundRobin, 3);
+  ASSERT_TRUE(placements.ok());
+  for (size_t i = 0; i < placements->size(); ++i) {
+    const FragmentPlacement& p = (*placements)[i];
+    EXPECT_EQ(p.node, i % 4);
+    ASSERT_EQ(p.backups.size(), 2u);
+    EXPECT_EQ(p.backups[0], (i + 1) % 4);
+    EXPECT_EQ(p.backups[1], (i + 2) % 4);
+    // AllNodes(): primary first, all distinct.
+    std::vector<size_t> all = p.AllNodes();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0], p.node);
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  }
+}
+
+TEST(AllocationTest, SizeBalancedReplicasAreDistinctAndCountedInLoads) {
+  auto fragments = MakeFragments();
+  auto placements =
+      ComputePlacements(fragments, 3, PlacementStrategy::kSizeBalanced, 2);
+  ASSERT_TRUE(placements.ok());
+  uint64_t total = 0;
+  for (const xml::Collection& frag : fragments) total += frag.ApproxBytes();
+  for (const FragmentPlacement& p : *placements) {
+    ASSERT_EQ(p.backups.size(), 1u);
+    EXPECT_NE(p.node, p.backups[0]) << p.fragment;
+  }
+  // Every replica consumes space: loads sum to rf * total bytes.
+  auto loads = PlacementLoads(fragments, *placements, 3);
+  uint64_t placed = 0;
+  for (uint64_t l : loads) placed += l;
+  EXPECT_EQ(placed, 2 * total);
 }
 
 TEST(AllocationTest, FewerNodesThanFragmentsStillAnswersQueries) {

@@ -228,6 +228,45 @@ TEST(ExplainTest, RendersPlanWithoutExecuting) {
   EXPECT_EQ(text->find("f_rest\n"), std::string::npos);
 }
 
+TEST(ExplainTest, RendersReplicaSetsAndPlanReplicas) {
+  // Replicated placements: fragment i primary on node i, backup on the
+  // next node.
+  DistributionCatalog catalog;
+  frag::FragmentationSchema schema;
+  schema.collection = "c";
+  std::vector<FragmentPlacement> placements;
+  const std::vector<std::pair<std::string, std::string>> defs = {
+      {"f_cd", "/Item/Section = \"CD\""},
+      {"f_rest", "/Item/Section != \"CD\""},
+  };
+  for (size_t i = 0; i < defs.size(); ++i) {
+    schema.fragments.emplace_back(
+        frag::HorizontalDef{defs[i].first, Mu(defs[i].second)});
+    FragmentPlacement p{defs[i].first, i};
+    p.backups.push_back((i + 1) % defs.size());
+    placements.push_back(std::move(p));
+  }
+  ASSERT_TRUE(catalog.Register(std::move(schema), std::move(placements))
+                  .ok());
+  QueryDecomposer decomposer(&catalog);
+  auto plan = decomposer.Decompose("count(collection(\"c\")/Item)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->subqueries.size(), 2u);
+  EXPECT_EQ(plan->subqueries[0].replicas, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(plan->subqueries[1].replicas, (std::vector<size_t>{1, 0}));
+
+  ClusterSim cluster(2, xdb::DatabaseOptions(), NetworkModel());
+  QueryService service(&cluster, &catalog);
+  auto text = service.Explain("count(collection(\"c\")/Item)");
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("[replicas: node0,node1]"), std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("[replicas: node1,node0]"), std::string::npos)
+      << *text;
+  // All nodes healthy: no failover annotations.
+  EXPECT_EQ(text->find("failover"), std::string::npos) << *text;
+}
+
 TEST(DecomposerErrorsTest, UnknownCollection) {
   DistributionCatalog catalog;
   QueryDecomposer decomposer(&catalog);

@@ -147,6 +147,43 @@ TEST_F(DeploymentIoTest, VerticalDeploymentKeepsReconstructionIds) {
   EXPECT_EQ(result->serialized, expected->serialized);
 }
 
+TEST_F(DeploymentIoTest, ReplicaSetsSurviveSaveAndLoad) {
+  gen::ItemsGenOptions options;
+  options.doc_count = 24;
+  options.seed = 79;
+  auto items = gen::GenerateItems(options, nullptr);
+  ASSERT_TRUE(items.ok());
+  auto schema =
+      workload::SectionHorizontalSchema("items", options.sections, 4);
+  ASSERT_TRUE(schema.ok());
+
+  DistributionCatalog catalog;
+  ClusterSim cluster(4, xdb::DatabaseOptions(), NetworkModel());
+  DataPublisher publisher(&cluster, &catalog);
+  ASSERT_TRUE(
+      publisher.PublishFragmented(*items, *schema, {}, 2).ok());
+  ASSERT_TRUE(SaveDeployment(dir_.string(), catalog, &cluster).ok());
+
+  auto restored = LoadDeployment(dir_.string(), xdb::DatabaseOptions(),
+                                 NetworkModel());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  auto entry = restored->catalog->Get("items");
+  ASSERT_TRUE(entry.ok());
+  for (const FragmentPlacement& p : (*entry)->placements) {
+    ASSERT_EQ(p.backups.size(), 1u) << p.fragment;
+    EXPECT_EQ(p.backups[0], (p.node + 1) % 4) << p.fragment;
+  }
+
+  // The restored deployment fails over just like the original: kill a
+  // primary and the query still answers.
+  restored->cluster->SetNodeDown(0, true);
+  QueryService service(restored->cluster.get(), restored->catalog.get());
+  auto result = service.Execute("count(collection(\"items\")/Item)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->serialized, std::to_string(items->size()));
+  EXPECT_GE(result->failovers, 1u);
+}
+
 TEST_F(DeploymentIoTest, RefusesToOverwrite) {
   DistributionCatalog catalog;
   ClusterSim cluster(1, xdb::DatabaseOptions(), NetworkModel());

@@ -1,0 +1,337 @@
+// Fault-tolerant distributed execution: replica failover, bounded
+// retries with deterministic backoff, circuit breakers, timeouts, and
+// the PartialResultPolicy degraded-execution contract.
+
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "gen/virtual_store.h"
+#include "gtest/gtest.h"
+#include "partix/catalog.h"
+#include "partix/cluster.h"
+#include "partix/publisher.h"
+#include "partix/query_service.h"
+
+namespace partix::middleware {
+namespace {
+
+/// Fast retry policy for tests: real backoff shape, negligible sleeps.
+RetryPolicy FastRetry(size_t max_attempts) {
+  RetryPolicy retry;
+  retry.max_attempts = max_attempts;
+  retry.base_backoff_ms = 0.01;
+  retry.max_backoff_ms = 0.1;
+  retry.seed = 42;
+  return retry;
+}
+
+/// Items collection fragmented by Section over a 4-node cluster with a
+/// configurable replication factor (replica r of fragment i at node
+/// (i + r) mod 4).
+class FailoverTestBase : public ::testing::Test {
+ protected:
+  explicit FailoverTestBase(size_t replication_factor)
+      : cluster_(4, xdb::DatabaseOptions(), NetworkModel()),
+        publisher_(&cluster_, &catalog_),
+        service_(&cluster_, &catalog_) {
+    gen::ItemsGenOptions options;
+    options.doc_count = 40;
+    options.seed = 11;
+    options.sections = {"CD", "DVD", "BOOK", "TOY"};
+    auto items = gen::GenerateItems(options, nullptr);
+    EXPECT_TRUE(items.ok());
+    frag::FragmentationSchema schema;
+    schema.collection = "items";
+    for (const std::string& s : options.sections) {
+      auto mu = xpath::Conjunction::Parse("/Item/Section = \"" + s + "\"");
+      EXPECT_TRUE(mu.ok());
+      schema.fragments.emplace_back(frag::HorizontalDef{"f_" + s, *mu});
+    }
+    EXPECT_TRUE(publisher_
+                    .PublishFragmented(*items, schema, {},
+                                       replication_factor)
+                    .ok());
+    // f_CD -> node 0, f_DVD -> node 1, f_BOOK -> node 2, f_TOY -> node 3
+    // (+ backups on the next node(s) when replicated).
+  }
+
+  DistributionCatalog catalog_;
+  ClusterSim cluster_;
+  DataPublisher publisher_;
+  QueryService service_;
+};
+
+class ReplicatedFailoverTest : public FailoverTestBase {
+ protected:
+  ReplicatedFailoverTest() : FailoverTestBase(2) {}
+};
+
+class UnreplicatedFailoverTest : public FailoverTestBase {
+ protected:
+  UnreplicatedFailoverTest() : FailoverTestBase(1) {}
+};
+
+const char* const kWorkload[] = {
+    "count(collection(\"items\")/Item)",
+    "for $i in collection(\"items\")/Item where $i/Section = \"DVD\" "
+    "return $i/Name",
+    "for $i in collection(\"items\")/Item "
+    "where contains($i/Description, \"good\") return $i/Name",
+};
+
+TEST_F(ReplicatedFailoverTest, FailoverSurvivesPermanentNodeLoss) {
+  ExecutionOptions options;
+  options.retry = FastRetry(3);
+
+  // Healthy baseline for every workload query.
+  std::vector<std::string> baseline;
+  for (const char* q : kWorkload) {
+    auto result = service_.Execute(q, options);
+    ASSERT_TRUE(result.ok()) << q << ": " << result.status();
+    EXPECT_EQ(result->failovers, 0u) << q;
+    baseline.push_back(result->serialized);
+  }
+
+  // Node 1 (f_DVD primary, f_CD backup) dies permanently. Every query
+  // still succeeds, byte-identically, via f_DVD's replica on node 2.
+  cluster_.SetNodeDown(1, true);
+  for (size_t i = 0; i < std::size(kWorkload); ++i) {
+    auto result = service_.Execute(kWorkload[i], options);
+    ASSERT_TRUE(result.ok()) << kWorkload[i] << ": " << result.status();
+    EXPECT_EQ(result->serialized, baseline[i]) << kWorkload[i];
+    EXPECT_TRUE(result->complete);
+    EXPECT_GE(result->failovers, 1u) << kWorkload[i];
+    // The failed-over sub-query records where it actually ran.
+    for (const SubQueryStats& stats : result->subqueries) {
+      if (stats.fragment == "f_DVD") EXPECT_EQ(stats.node, 2u);
+    }
+  }
+}
+
+TEST_F(ReplicatedFailoverTest, AllReplicasDownFailsWithCanonicalTokens) {
+  cluster_.SetNodeDown(1, true);  // f_DVD primary
+  cluster_.SetNodeDown(2, true);  // f_DVD backup (and f_BOOK primary)
+  auto result = service_.Execute("count(collection(\"items\")/Item)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  const std::string& message = result.status().message();
+  EXPECT_TRUE(Contains(message, "f_DVD@node1")) << message;
+  EXPECT_TRUE(Contains(message, "f_DVD@node2")) << message;
+  // f_BOOK survives on its backup (node 3): not reported.
+  EXPECT_FALSE(Contains(message, "f_BOOK")) << message;
+  EXPECT_TRUE(
+      std::regex_search(message, std::regex("f_[A-Z]+@node[0-9]+")))
+      << message;
+}
+
+TEST_F(UnreplicatedFailoverTest, PartialPolicyListsExactlyMissingFragments) {
+  cluster_.SetNodeDown(1, true);  // f_DVD
+  cluster_.SetNodeDown(3, true);  // f_TOY
+
+  ExecutionOptions fail_options;
+  EXPECT_FALSE(
+      service_.Execute(kWorkload[0], fail_options).ok());
+
+  ExecutionOptions partial;
+  partial.partial_results = PartialResultPolicy::kReturnPartial;
+  auto result = service_.Execute(
+      "for $i in collection(\"items\")/Item return $i/Name", partial);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->complete);
+  EXPECT_EQ(result->missing_fragments,
+            (std::vector<std::string>{"f_DVD", "f_TOY"}));
+  // Exactly the reachable fragments contributed.
+  ASSERT_EQ(result->subqueries.size(), 2u);
+  EXPECT_EQ(result->subqueries[0].fragment, "f_CD");
+  EXPECT_EQ(result->subqueries[1].fragment, "f_BOOK");
+  EXPECT_FALSE(result->serialized.empty());
+
+  // A healthy cluster reports complete results and no missing fragments.
+  cluster_.SetNodeDown(1, false);
+  cluster_.SetNodeDown(3, false);
+  auto healthy = service_.Execute(
+      "for $i in collection(\"items\")/Item return $i/Name", partial);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_TRUE(healthy->complete);
+  EXPECT_TRUE(healthy->missing_fragments.empty());
+}
+
+TEST_F(UnreplicatedFailoverTest, TransientErrorsAreRetriedDeterministically) {
+  // The node rejects its first two engine requests, then heals: the
+  // executor's bounded retry rides it out.
+  FaultProfile profile;
+  profile.fail_first_requests = 2;
+  cluster_.SetFaultProfile(1, profile);  // f_DVD
+
+  ExecutionOptions options;
+  options.retry = FastRetry(4);
+  auto result = service_.Execute(kWorkload[1], options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->retries, 2u);
+  EXPECT_EQ(result->failovers, 0u);
+  ASSERT_EQ(result->subqueries.size(), 1u);
+  EXPECT_EQ(result->subqueries[0].attempts, 3u);
+
+  // Retries exhausted before the node heals -> the query fails, naming
+  // the fragment at its node.
+  cluster_.SetFaultProfile(1, profile);
+  options.retry = FastRetry(2);
+  auto failed = service_.Execute(kWorkload[1], options);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(Contains(failed.status().message(), "f_DVD@node1"))
+      << failed.status().message();
+}
+
+TEST_F(UnreplicatedFailoverTest, CircuitBreakerOpensAndStopsTraffic) {
+  CircuitBreakerPolicy policy;
+  policy.failure_threshold = 2;
+  policy.open_ms = 1e9;  // stays open for the whole test
+  cluster_.executor().set_breaker_policy(policy);
+
+  // Every request is rejected (but still counted by the fault gate).
+  FaultProfile profile;
+  profile.fail_first_requests = 1000000;
+  cluster_.SetFaultProfile(1, profile);  // f_DVD
+
+  ExecutionOptions options;
+  options.retry = FastRetry(2);
+  EXPECT_FALSE(service_.Execute(kWorkload[1], options).ok());
+  EXPECT_EQ(cluster_.NodeRequestCount(1), 2u);
+  EXPECT_TRUE(cluster_.executor().breaker_open(1));
+
+  // With the breaker open the node is not contacted at all.
+  auto blocked = service_.Execute(kWorkload[1], options);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(Contains(blocked.status().message(), "circuit open"))
+      << blocked.status().message();
+  EXPECT_EQ(cluster_.NodeRequestCount(1), 2u);
+
+  // Healthy nodes are unaffected by node 1's breaker.
+  auto cd = service_.Execute(
+      "for $i in collection(\"items\")/Item where $i/Section = \"CD\" "
+      "return $i/Name",
+      options);
+  EXPECT_TRUE(cd.ok()) << cd.status();
+}
+
+TEST_F(UnreplicatedFailoverTest, CircuitBreakerHalfOpenProbeRecovers) {
+  CircuitBreakerPolicy policy;
+  policy.failure_threshold = 1;
+  policy.open_ms = 0.0;  // probe due immediately
+  cluster_.executor().set_breaker_policy(policy);
+
+  FaultProfile profile;
+  profile.fail_first_requests = 1;  // one rejection, then healthy
+  cluster_.SetFaultProfile(1, profile);
+
+  ExecutionOptions options;
+  options.retry = FastRetry(1);
+  EXPECT_FALSE(service_.Execute(kWorkload[1], options).ok());
+  EXPECT_TRUE(cluster_.executor().breaker_open(1));
+
+  // The half-open probe goes through, succeeds, and closes the breaker.
+  auto recovered = service_.Execute(kWorkload[1], options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(cluster_.executor().breaker_open(1));
+}
+
+TEST_F(ReplicatedFailoverTest, AttemptTimeoutFailsOverToReplica) {
+  // Node 1 answers, but only after a 100 ms stall — slower than the
+  // 30 ms per-attempt budget, so the executor hangs up and the replica
+  // (node 2, no stall) serves the sub-query.
+  FaultProfile profile;
+  profile.latency_spike_rate = 1.0;
+  profile.latency_spike_ms = 100.0;
+  cluster_.SetFaultProfile(1, profile);
+
+  ExecutionOptions options;
+  options.retry = FastRetry(3);
+  options.retry.attempt_timeout_ms = 30.0;
+  auto result = service_.Execute(kWorkload[1], options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->failovers, 1u);
+  EXPECT_EQ(result->timed_out_subqueries, 1u);
+  ASSERT_EQ(result->subqueries.size(), 1u);
+  EXPECT_EQ(result->subqueries[0].node, 2u);
+}
+
+TEST_F(UnreplicatedFailoverTest, SubQueryDeadlineBoundsTotalTime) {
+  FaultProfile profile;
+  profile.latency_spike_rate = 1.0;
+  profile.latency_spike_ms = 100.0;
+  cluster_.SetFaultProfile(1, profile);
+
+  ExecutionOptions options;
+  options.retry = FastRetry(10);
+  options.retry.attempt_timeout_ms = 30.0;
+  options.retry.subquery_deadline_ms = 50.0;
+  auto result = service_.Execute(kWorkload[1], options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(Contains(result.status().message(), "f_DVD@node1"))
+      << result.status().message();
+
+  // Under the degraded policy the same deadline yields a partial result
+  // naming exactly the timed-out fragment.
+  cluster_.SetFaultProfile(1, profile);
+  options.partial_results = PartialResultPolicy::kReturnPartial;
+  auto partial = service_.Execute(kWorkload[1], options);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_FALSE(partial->complete);
+  EXPECT_EQ(partial->missing_fragments,
+            (std::vector<std::string>{"f_DVD"}));
+  EXPECT_EQ(partial->timed_out_subqueries, 1u);
+}
+
+TEST_F(UnreplicatedFailoverTest, FaultInjectionIsDeterministicUnderSeed) {
+  FaultProfile profile;
+  profile.transient_error_rate = 0.5;
+  profile.seed = 7;
+
+  auto run = [&]() -> Result<DistributedResult> {
+    for (size_t node = 0; node < cluster_.node_count(); ++node) {
+      FaultProfile p = profile;
+      p.seed = profile.seed + node;
+      cluster_.SetFaultProfile(node, p);  // resets counters + reseeds
+    }
+    cluster_.executor().ResetBreakers();
+    ExecutionOptions options;
+    options.retry = FastRetry(8);
+    options.parallelism = 1;  // sequential: fault draws in plan order
+    return service_.Execute(kWorkload[0], options);
+  };
+
+  auto first = run();
+  auto second = run();
+  ASSERT_EQ(first.ok(), second.ok());
+  if (first.ok()) {
+    EXPECT_EQ(first->serialized, second->serialized);
+    EXPECT_EQ(first->retries, second->retries);
+    EXPECT_EQ(first->failovers, second->failovers);
+  } else {
+    EXPECT_EQ(first.status().ToString(), second.status().ToString());
+  }
+}
+
+TEST_F(ReplicatedFailoverTest, ReplicatedAndPrimaryResultsAgree) {
+  // Replication must be invisible when everything is healthy: rf=2
+  // results equal an unreplicated deployment's (both equal the healthy
+  // baseline by construction, so compare across parallelism too).
+  ExecutionOptions sequential;
+  ExecutionOptions parallel;
+  parallel.parallelism = 0;
+  for (const char* q : kWorkload) {
+    auto a = service_.Execute(q, sequential);
+    auto b = service_.Execute(q, parallel);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(a->serialized, b->serialized) << q;
+  }
+}
+
+}  // namespace
+}  // namespace partix::middleware

@@ -3,6 +3,8 @@
 // tests: queries that are pruned away from a dead node's fragment keep
 // working.
 
+#include <regex>
+
 #include "common/strings.h"
 #include "gen/virtual_store.h"
 #include "gtest/gtest.h"
@@ -85,13 +87,37 @@ TEST_F(FailureTest, EveryDownNodeIsReportedInOneError) {
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
   const std::string& message = result.status().message();
-  EXPECT_TRUE(Contains(message, "node 1")) << message;
-  EXPECT_TRUE(Contains(message, "f_DVD")) << message;
-  EXPECT_TRUE(Contains(message, "node 3")) << message;
-  EXPECT_TRUE(Contains(message, "f_TOY")) << message;
+  // Every unreachable fragment is named in the canonical
+  // `fragment@node<i>` form.
+  EXPECT_TRUE(Contains(message, "f_DVD@node1")) << message;
+  EXPECT_TRUE(Contains(message, "f_TOY@node3")) << message;
   // Healthy nodes are not in the report.
   EXPECT_FALSE(Contains(message, "f_CD")) << message;
   EXPECT_FALSE(Contains(message, "f_BOOK")) << message;
+}
+
+TEST_F(FailureTest, ErrorTokensUseCanonicalFragmentAtNodeFormat) {
+  // Both error paths — unreachable fragments and post-dispatch sub-query
+  // failures — must name fragments as `fragment@node<i>`, nothing else.
+  const std::regex token("f_[A-Z]+@node[0-9]+");
+
+  cluster_.SetNodeDown(1, true);
+  auto unreachable = service_.Execute("count(collection(\"items\")/Item)");
+  ASSERT_FALSE(unreachable.ok());
+  EXPECT_TRUE(std::regex_search(unreachable.status().message(), token))
+      << unreachable.status().message();
+  // The legacy "node 1 (fragment ...)" spelling is gone.
+  EXPECT_FALSE(Contains(unreachable.status().message(), "(fragment"))
+      << unreachable.status().message();
+  cluster_.SetNodeDown(1, false);
+
+  EXPECT_TRUE(cluster_.database(2).DropCollection("f_BOOK").ok());
+  auto failed = service_.Execute("count(collection(\"items\")/Item)");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(std::regex_search(failed.status().message(), token))
+      << failed.status().message();
+  EXPECT_TRUE(Contains(failed.status().message(), "f_BOOK@node2"))
+      << failed.status().message();
 }
 
 TEST_F(FailureTest, DownNodesReportedIdenticallyUnderParallelDispatch) {
@@ -132,6 +158,42 @@ TEST_F(FailureTest, RecoveryRestoresService) {
   cluster_.SetNodeDown(2, false);
   auto result = service_.Execute("count(collection(\"items\")/Item)");
   EXPECT_TRUE(result.ok()) << result.status();
+}
+
+TEST_F(FailureTest, ExplainRoutesAroundDownPrimary) {
+  // Explain consults liveness but never executes, so a replicated catalog
+  // over the same cluster is enough to show failover routing.
+  frag::FragmentationSchema schema;
+  schema.collection = "items_rf2";
+  std::vector<FragmentPlacement> placements;
+  const std::vector<std::string> sections = {"CD", "DVD", "BOOK", "TOY"};
+  for (size_t i = 0; i < sections.size(); ++i) {
+    auto mu =
+        xpath::Conjunction::Parse("/Item/Section = \"" + sections[i] + "\"");
+    ASSERT_TRUE(mu.ok());
+    schema.fragments.emplace_back(
+        frag::HorizontalDef{"r_" + sections[i], *mu});
+    FragmentPlacement p{"r_" + sections[i], i};
+    p.backups.push_back((i + 1) % 4);
+    placements.push_back(std::move(p));
+  }
+  DistributionCatalog replicated;
+  ASSERT_TRUE(replicated.Register(schema, placements).ok());
+  QueryService service(&cluster_, &replicated);
+
+  auto healthy = service.Explain("count(collection(\"items_rf2\")/Item)");
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_TRUE(Contains(*healthy, "node 1  r_DVD")) << *healthy;
+  EXPECT_TRUE(Contains(*healthy, "[replicas: node1,node2]")) << *healthy;
+  EXPECT_FALSE(Contains(*healthy, "failover")) << *healthy;
+
+  cluster_.SetNodeDown(1, true);  // r_DVD primary
+  auto routed = service.Explain("count(collection(\"items_rf2\")/Item)");
+  ASSERT_TRUE(routed.ok()) << routed.status();
+  // The DVD sub-query now shows its backup as the serving node.
+  EXPECT_TRUE(Contains(*routed, "node 2  r_DVD")) << *routed;
+  EXPECT_TRUE(Contains(*routed, "[primary node1 down -> failover]"))
+      << *routed;
 }
 
 TEST_F(FailureTest, OutOfRangeIndexIsHarmless) {
