@@ -33,6 +33,7 @@
 #include "common/strings.h"
 #include "gen/virtual_store.h"
 #include "partix/query_service.h"
+#include "telemetry/metrics.h"
 #include "workload/harness.h"
 #include "workload/queries.h"
 #include "workload/schemas.h"
@@ -184,6 +185,12 @@ int main() {
   const std::vector<workload::QuerySpec> queries =
       workload::HorizontalQueries(items->name());
 
+  // Record the whole bench in the global metrics registry; the snapshot
+  // written at the end carries the aggregate retry/failover/breaker and
+  // parse-cache story alongside the per-query table.
+  telemetry::MetricsRegistry::Global().set_enabled(true);
+  telemetry::MetricsRegistry::Global().Reset();
+
   std::vector<Series> series;
   bool identical = true;
   for (size_t s = 0; s < std::size(kErrorRates); ++s) {
@@ -257,5 +264,42 @@ int main() {
   std::fwrite(json.data(), 1, json.size(), file);
   std::fclose(file);
   std::printf("\nwrote BENCH_failover.json\n");
+
+  // Metrics snapshot (JSON + Prometheus text exposition) of everything
+  // the bench just did: attempts/retries/failovers, breaker transitions,
+  // backoff sleeps, engine time, parse-cache traffic.
+  const telemetry::MetricsSnapshot snapshot =
+      telemetry::MetricsRegistry::Global().Snapshot();
+  const struct {
+    const char* path;
+    std::string body;
+  } exports[] = {
+      {"BENCH_failover_metrics.json", snapshot.ToJson()},
+      {"BENCH_failover_metrics.prom", snapshot.ToPrometheus()},
+  };
+  for (const auto& e : exports) {
+    std::FILE* out = std::fopen(e.path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", e.path);
+      return 1;
+    }
+    std::fwrite(e.body.data(), 1, e.body.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", e.path);
+  }
+  const char* const headline[] = {
+      "partix_subquery_attempts_total", "partix_subquery_retries_total",
+      "partix_subquery_failovers_total", "partix_breaker_opens_total",
+      "partix_breaker_half_open_probes_total",
+      "partix_store_cache_hits_total", "partix_store_cache_misses_total",
+  };
+  std::printf("\nkey counters:\n");
+  for (const char* name : headline) {
+    auto it = snapshot.counters.find(name);
+    std::printf("  %-40s %llu\n", name,
+                it == snapshot.counters.end()
+                    ? 0ull
+                    : static_cast<unsigned long long>(it->second));
+  }
   return identical ? 0 : 1;
 }

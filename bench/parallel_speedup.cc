@@ -32,6 +32,8 @@
 #include "common/strings.h"
 #include "gen/virtual_store.h"
 #include "partix/query_service.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "workload/harness.h"
 #include "workload/queries.h"
 #include "workload/schemas.h"
@@ -240,5 +242,81 @@ int main() {
         "remote-emulation series overlaps blocking waits on any host.\n",
         std::thread::hardware_concurrency());
   }
-  return identical ? 0 : 1;
+
+  // --- traced fault-injected execution ------------------------------
+  // The perf series above ran with telemetry disabled (the registry's
+  // default), so they measure the honest instrumented-but-off cost. Now
+  // turn everything on and run one parallelism-4 query on a replicated
+  // deployment with a flaky primary: the rendered span tree shows the
+  // retry + failover structure, and the span phases must account for
+  // (almost) the whole measured wall time.
+  telemetry::MetricsRegistry::Global().set_enabled(true);
+  telemetry::MetricsRegistry::Global().Reset();
+  auto traced_deployment = workload::Deployment::Fragmented(
+      *items, *schema, node_options, network, /*replication_factor=*/2);
+  if (!traced_deployment.ok()) {
+    std::fprintf(stderr, "traced deploy failed: %s\n",
+                 traced_deployment.status().ToString().c_str());
+    return 1;
+  }
+  middleware::FaultProfile flaky;
+  flaky.fail_first_requests = 2;  // primary of fragment 1 rejects, then heals
+  traced_deployment->get()->cluster().SetFaultProfile(1, flaky);
+
+  ExecutionOptions traced_options;
+  traced_options.parallelism = 4;
+  traced_options.trace = true;
+  traced_options.retry.max_attempts = 4;
+  traced_options.retry.base_backoff_ms = 0.05;
+  traced_options.retry.max_backoff_ms = 1.0;
+  traced_options.retry.seed = 20060101;
+  const std::string traced_query =
+      "count(collection(\"" + items->name() + "\")/Item)";
+  auto traced = traced_deployment->get()->service().Execute(traced_query,
+                                                            traced_options);
+  if (!traced.ok()) {
+    std::fprintf(stderr, "traced execution failed: %s\n",
+                 traced.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n== traced fault-injected execution (parallelism 4) ==\n");
+  std::printf("%s\n", telemetry::RenderSpanTree(traced->trace).c_str());
+  double covered_ms = 0.0;
+  for (const telemetry::TraceSpan& phase : traced->trace.children) {
+    covered_ms += phase.duration_ms;
+  }
+  const double coverage =
+      traced->wall_ms > 0.0 ? covered_ms / traced->wall_ms : 1.0;
+  std::printf(
+      "retries %zu, failovers %zu; phase spans cover %.2f of %.2f ms "
+      "wall (%.1f%%)\n",
+      traced->retries, traced->failovers, covered_ms, traced->wall_ms,
+      coverage * 100.0);
+  const bool coverage_ok = coverage >= 0.95;
+  if (!coverage_ok) {
+    std::fprintf(stderr, "span coverage below 95%% of wall_ms\n");
+  }
+
+  // Metrics snapshot of the traced run, in both exposition formats.
+  const telemetry::MetricsSnapshot snapshot =
+      telemetry::MetricsRegistry::Global().Snapshot();
+  const struct {
+    const char* path;
+    std::string body;
+  } exports[] = {
+      {"BENCH_parallel_speedup_metrics.json", snapshot.ToJson()},
+      {"BENCH_parallel_speedup_metrics.prom", snapshot.ToPrometheus()},
+  };
+  for (const auto& e : exports) {
+    std::FILE* out = std::fopen(e.path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", e.path);
+      return 1;
+    }
+    std::fwrite(e.body.data(), 1, e.body.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", e.path);
+  }
+  telemetry::MetricsRegistry::Global().set_enabled(false);
+  return identical && coverage_ok ? 0 : 1;
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 verification across sanitizer configurations.
+#
+# Runs the full test suite three times:
+#   plain    - the default RelWithDebInfo build (the tier-1 gate)
+#   thread   - ThreadSanitizer        (-DPARTIX_SANITIZE=thread)
+#   address  - ASan + UBSan composite (-DPARTIX_SANITIZE=address)
+#
+# Usage: scripts/check.sh [plain|thread|address]...
+#   No arguments runs all three. Build trees are build-check-<config>/
+#   so an existing build/ directory is left untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+configs=("$@")
+if [ ${#configs[@]} -eq 0 ]; then
+  configs=(plain thread address)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+for config in "${configs[@]}"; do
+  dir="build-check-${config}"
+  flags=()
+  case "$config" in
+    plain) ;;
+    thread) flags+=(-DPARTIX_SANITIZE=thread) ;;
+    address) flags+=(-DPARTIX_SANITIZE=address) ;;
+    *)
+      echo "unknown config: $config (want plain|thread|address)" >&2
+      exit 2
+      ;;
+  esac
+  echo "== ${config}: configure + build (${dir}) =="
+  cmake -B "$dir" -S . "${flags[@]}" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+  echo "== ${config}: ctest =="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+done
+
+echo "== all configs passed: ${configs[*]} =="

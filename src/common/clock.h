@@ -1,22 +1,83 @@
 #ifndef PARTIX_COMMON_CLOCK_H_
 #define PARTIX_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
 namespace partix {
 
-/// Monotonic wall-clock stopwatch used for all experiment timing.
+/// A monotonic time source. The default implementation reads
+/// std::chrono::steady_clock; tests and deterministic simulations inject a
+/// ManualClock so that every timing the system reports (executor wall
+/// times, trace spans, breaker windows) is reproducible.
+///
+/// Implementations must be thread-safe: executor workers read the clock
+/// concurrently.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since an arbitrary epoch.
+  virtual int64_t NowNanos() const = 0;
+
+  /// The process-wide steady_clock-backed instance.
+  static const Clock* Monotonic();
+};
+
+/// The real monotonic clock (steady_clock).
+class MonotonicClock : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+inline const Clock* Clock::Monotonic() {
+  static const MonotonicClock clock;
+  return &clock;
+}
+
+/// A clock that only moves when told to. Thread-safe (atomic time value),
+/// so executor workers may read it while a test thread advances it.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_nanos = 0) : nanos_(start_nanos) {}
+
+  int64_t NowNanos() const override {
+    return nanos_.load(std::memory_order_relaxed);
+  }
+
+  void AdvanceNanos(int64_t delta) {
+    nanos_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void AdvanceMicros(int64_t delta) { AdvanceNanos(delta * 1000); }
+  void AdvanceMillis(double delta) {
+    AdvanceNanos(static_cast<int64_t>(delta * 1e6));
+  }
+
+ private:
+  std::atomic<int64_t> nanos_;
+};
+
+/// Monotonic wall-clock stopwatch used for all experiment timing. By
+/// default it reads steady_clock directly; constructed with a Clock it
+/// reads that instead, so injected time flows through every elapsed-time
+/// figure. Copyable; a copy shares the clock and the start point.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Now()) {}
+  Stopwatch() : clock_(nullptr), start_nanos_(SteadyNanos()) {}
+  explicit Stopwatch(const Clock* clock)
+      : clock_(clock), start_nanos_(NowNanos()) {}
 
   /// Resets the start point.
-  void Restart() { start_ = Now(); }
+  void Restart() { start_nanos_ = NowNanos(); }
 
   /// Elapsed time since construction/Restart, in seconds.
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Now() - start_).count();
+    return static_cast<double>(NowNanos() - start_nanos_) * 1e-9;
   }
 
   /// Elapsed time in milliseconds.
@@ -26,9 +87,17 @@ class Stopwatch {
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
  private:
-  using TimePoint = std::chrono::steady_clock::time_point;
-  static TimePoint Now() { return std::chrono::steady_clock::now(); }
-  TimePoint start_;
+  static int64_t SteadyNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  int64_t NowNanos() const {
+    return clock_ != nullptr ? clock_->NowNanos() : SteadyNanos();
+  }
+
+  const Clock* clock_;
+  int64_t start_nanos_;
 };
 
 }  // namespace partix

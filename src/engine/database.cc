@@ -306,7 +306,9 @@ Result<QueryResult> Database::Execute(const std::string& query) {
   Result<xquery::Sequence> result = evaluator.Eval(*ast);
   if (!result.ok()) return result.status();
 
-  // Collect metrics.
+  // Collect metrics, and fold each collection's access delta into its
+  // stats — the per-fragment access counts the fragmentation advisor and
+  // EXPERIMENTS.md's SD-vs-MD cost story consume.
   for (const auto& [name, plan] : plans) {
     auto it = collections_.find(name);
     if (it == collections_.end()) continue;
@@ -314,6 +316,7 @@ Result<QueryResult> Database::Execute(const std::string& query) {
     metrics.docs_parsed += sm.parses;
     metrics.bytes_parsed += sm.bytes_parsed;
     metrics.cache_hits += sm.cache_hits;
+    it->second.stats.RecordAccess(sm);
   }
   metrics.nodes_visited = evaluator.stats().nodes_visited;
 

@@ -1,6 +1,35 @@
 #include "partix/driver.h"
 
+#include "common/clock.h"
+#include "telemetry/metrics.h"
+
 namespace partix::middleware {
+
+namespace {
+
+/// Per-sub-query engine timing, recorded at the driver boundary — the
+/// point where the middleware hands work to "one DBMS node". Lock wait is
+/// reported separately: same-node sub-queries serialize at this mutex, so
+/// the wait is the queueing a real busy node would exhibit.
+struct DriverTelemetry {
+  telemetry::Counter* executes;
+  telemetry::Histogram* engine_ms;
+  telemetry::Histogram* lock_wait_ms;
+
+  static const DriverTelemetry& Get() {
+    static const DriverTelemetry t = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      DriverTelemetry out;
+      out.executes = registry.GetCounter("partix_driver_executes_total");
+      out.engine_ms = registry.GetHistogram("partix_engine_execute_ms");
+      out.lock_wait_ms = registry.GetHistogram("partix_driver_lock_wait_ms");
+      return out;
+    }();
+    return t;
+  }
+};
+
+}  // namespace
 
 LocalXdbDriver::LocalXdbDriver(std::string name, xdb::DatabaseOptions options)
     : name_(std::move(name)), db_(options) {}
@@ -18,8 +47,15 @@ Status LocalXdbDriver::StoreDocument(const std::string& collection,
 }
 
 Result<xdb::QueryResult> LocalXdbDriver::Execute(const std::string& query) {
+  const DriverTelemetry& telemetry = DriverTelemetry::Get();
+  Stopwatch wait_watch;
   std::lock_guard<std::mutex> lock(mu_);
-  return db_.Execute(query);
+  telemetry.lock_wait_ms->Observe(wait_watch.ElapsedMillis());
+  telemetry.executes->Add();
+  Stopwatch engine_watch;
+  Result<xdb::QueryResult> result = db_.Execute(query);
+  telemetry.engine_ms->Observe(engine_watch.ElapsedMillis());
+  return result;
 }
 
 void LocalXdbDriver::DropCaches() {

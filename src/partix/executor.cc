@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "partix/cluster.h"
+#include "telemetry/metrics.h"
 
 namespace partix::middleware {
 
@@ -25,6 +26,53 @@ bool Retryable(const Status& s) {
   return s.code() == StatusCode::kUnavailable ||
          s.code() == StatusCode::kDeadlineExceeded;
 }
+
+/// Dispatch/retry/breaker counters and latency histograms, process-wide
+/// (the per-query figures stay on SubQueryOutcome/DistributedResult).
+/// Registered once; the record path is a relaxed atomic add.
+struct ExecutorTelemetry {
+  telemetry::Counter* dispatches;
+  telemetry::Counter* subqueries;
+  telemetry::Counter* attempts;
+  telemetry::Counter* retries;
+  telemetry::Counter* failovers;
+  telemetry::Counter* timeouts;
+  telemetry::Counter* failures;
+  telemetry::Counter* backoff_sleeps;
+  telemetry::Counter* backoff_sleep_us;
+  telemetry::Counter* breaker_opens;
+  telemetry::Counter* breaker_closes;
+  telemetry::Counter* breaker_probes;
+  telemetry::Histogram* subquery_wall_ms;
+  telemetry::Histogram* queue_wait_ms;
+  telemetry::Gauge* pool_threads;
+
+  static const ExecutorTelemetry& Get() {
+    static const ExecutorTelemetry t = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      ExecutorTelemetry out;
+      out.dispatches = registry.GetCounter("partix_dispatches_total");
+      out.subqueries = registry.GetCounter("partix_subqueries_total");
+      out.attempts = registry.GetCounter("partix_subquery_attempts_total");
+      out.retries = registry.GetCounter("partix_subquery_retries_total");
+      out.failovers = registry.GetCounter("partix_subquery_failovers_total");
+      out.timeouts = registry.GetCounter("partix_subquery_timeouts_total");
+      out.failures = registry.GetCounter("partix_subquery_failures_total");
+      out.backoff_sleeps = registry.GetCounter("partix_backoff_sleeps_total");
+      out.backoff_sleep_us =
+          registry.GetCounter("partix_backoff_sleep_us_total");
+      out.breaker_opens = registry.GetCounter("partix_breaker_opens_total");
+      out.breaker_closes = registry.GetCounter("partix_breaker_closes_total");
+      out.breaker_probes =
+          registry.GetCounter("partix_breaker_half_open_probes_total");
+      out.subquery_wall_ms = registry.GetHistogram("partix_subquery_wall_ms");
+      out.queue_wait_ms = registry.GetHistogram("partix_queue_wait_ms");
+      out.pool_threads = registry.GetGauge("partix_executor_pool_threads");
+      return out;
+    }();
+    return t;
+  }
+};
 
 }  // namespace
 
@@ -73,6 +121,7 @@ bool Executor::BreakerAllows(size_t node) {
   if (!b.probing &&
       b.opened_at.ElapsedMillis() >= breaker_policy_.open_ms) {
     b.probing = true;  // hand out the single half-open probe
+    ExecutorTelemetry::Get().breaker_probes->Add();
     return true;
   }
   return false;
@@ -82,6 +131,7 @@ void Executor::RecordSuccess(size_t node) {
   if (node >= breakers_.size() || breakers_[node] == nullptr) return;
   NodeBreakerState& b = *breakers_[node];
   std::lock_guard<std::mutex> lock(b.mu);
+  if (b.open) ExecutorTelemetry::Get().breaker_closes->Add();
   b.consecutive_failures = 0;
   b.open = false;
   b.probing = false;
@@ -94,19 +144,51 @@ void Executor::RecordFailure(size_t node) {
   std::lock_guard<std::mutex> lock(b.mu);
   ++b.consecutive_failures;
   if (b.probing || b.consecutive_failures >= breaker_policy_.failure_threshold) {
+    if (!b.open) ExecutorTelemetry::Get().breaker_opens->Add();
     b.open = true;
     b.probing = false;
-    b.opened_at.Restart();
+    b.opened_at = Stopwatch(clock_);
   }
 }
 
 void Executor::RunOne(const SubQuery& sub, size_t index,
-                      const RetryPolicy& retry, SubQueryOutcome* out) {
-  Stopwatch watch;
+                      const DispatchOptions& options,
+                      const Stopwatch& dispatch_watch, SubQueryOutcome* out) {
+  const ExecutorTelemetry& counters = ExecutorTelemetry::Get();
+  const RetryPolicy& retry = options.retry;
+  const telemetry::Tracer* tracer = options.tracer;
+
+  out->queue_wait_ms = dispatch_watch.ElapsedMillis();
+  counters.subqueries->Add();
+  counters.queue_wait_ms->Observe(out->queue_wait_ms);
+  if (tracer != nullptr) out->span.start_ms = tracer->NowMs();
+
+  Stopwatch watch(clock_);
   const std::vector<size_t> candidates =
       sub.replicas.empty() ? std::vector<size_t>{sub.node} : sub.replicas;
   out->node = candidates.front();
   Rng rng(MixSeed(retry.seed, index));
+
+  // Finalizes the per-sub-query bookkeeping every return path shares:
+  // wall time, aggregate counters, and the span's canonical
+  // `fragment@node<i>` name plus summary tags.
+  auto finish = [&] {
+    out->wall_ms = watch.ElapsedMillis();
+    counters.subquery_wall_ms->Observe(out->wall_ms);
+    if (out->attempts > 1) counters.retries->Add(out->attempts - 1);
+    if (out->timed_out) counters.timeouts->Add();
+    if (!out->result.ok()) counters.failures->Add();
+    if (tracer != nullptr) {
+      out->span.name = sub.fragment + "@node" + std::to_string(out->node);
+      out->span.duration_ms = tracer->NowMs() - out->span.start_ms;
+      out->span.AddTag("attempts", std::to_string(out->attempts));
+      out->span.AddTag("failovers", std::to_string(out->failovers));
+      out->span.AddTag("status",
+                       StatusCodeName(out->result.ok()
+                                          ? StatusCode::kOk
+                                          : out->result.status().code()));
+    }
+  };
 
   const size_t max_attempts = std::max<size_t>(1, retry.max_attempts);
   const double rpc_sec = cluster_->network().emulated_rpc_sec;
@@ -122,7 +204,7 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
           "sub-query deadline (" + std::to_string(retry.subquery_deadline_ms) +
           " ms) exceeded after " + std::to_string(out->attempts) +
           " attempt(s): " + last_error.message());
-      out->wall_ms = watch.ElapsedMillis();
+      finish();
       return;
     }
 
@@ -144,18 +226,32 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
           "all " + std::to_string(candidates.size()) +
           " replica(s) unreachable (down or circuit open); last error: " +
           last_error.message());
-      out->wall_ms = watch.ElapsedMillis();
+      finish();
       return;
     }
     // A failover is any move off the node the sub-query last targeted —
     // including a first attempt routed around a down primary.
-    if (node != out->node || (out->attempts == 0 && node != sub.node)) {
+    const bool failover =
+        node != out->node || (out->attempts == 0 && node != sub.node);
+    if (failover) {
       ++out->failovers;
+      counters.failovers->Add();
     }
     out->node = node;
     ++out->attempts;
+    counters.attempts->Add();
 
-    Stopwatch attempt_watch;
+    telemetry::TraceSpan* attempt_span = nullptr;
+    if (tracer != nullptr) {
+      out->span.children.emplace_back(
+          "attempt " + std::to_string(out->attempts) + "@node" +
+          std::to_string(node));
+      attempt_span = &out->span.children.back();
+      attempt_span->start_ms = tracer->NowMs();
+      if (failover) attempt_span->AddTag("failover", "true");
+    }
+
+    Stopwatch attempt_watch(clock_);
     if (rpc_sec > 0.0) {
       // Emulate the synchronous round trip to a remote DBMS node: the
       // worker blocks (holding no core) the way a real driver would block
@@ -176,10 +272,17 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
           std::to_string(retry.attempt_timeout_ms) + " ms)");
     }
 
+    if (attempt_span != nullptr) {
+      attempt_span->duration_ms = tracer->NowMs() - attempt_span->start_ms;
+      attempt_span->AddTag(
+          "status", StatusCodeName(result.ok() ? StatusCode::kOk
+                                               : result.status().code()));
+    }
+
     if (result.ok()) {
       RecordSuccess(node);
       out->result = std::move(result);
-      out->wall_ms = watch.ElapsedMillis();
+      finish();
       return;
     }
 
@@ -192,7 +295,7 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
       // Deterministic engine errors (parse failure, missing collection,
       // ...) would fail identically on every replica: fail fast.
       out->result = std::move(result);
-      out->wall_ms = watch.ElapsedMillis();
+      finish();
       return;
     }
     cursor = (cursor + 1) % candidates.size();
@@ -207,6 +310,16 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
         sleep_ms = std::min(sleep_ms, std::max(0.0, remaining));
       }
       if (sleep_ms > 0.0) {
+        counters.backoff_sleeps->Add();
+        counters.backoff_sleep_us->Add(
+            static_cast<uint64_t>(sleep_ms * 1e3));
+        if (tracer != nullptr) {
+          out->span.children.emplace_back("backoff");
+          telemetry::TraceSpan& backoff_span = out->span.children.back();
+          backoff_span.start_ms = tracer->NowMs();
+          backoff_span.duration_ms = sleep_ms;  // scheduled, not measured
+          backoff_span.AddTag("sleep_ms", std::to_string(sleep_ms));
+        }
         std::this_thread::sleep_for(
             std::chrono::duration<double>(sleep_ms / 1e3));
       }
@@ -219,7 +332,7 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
                        "sub-query failed after " +
                            std::to_string(out->attempts) +
                            " attempt(s): " + last_error.message());
-  out->wall_ms = watch.ElapsedMillis();
+  finish();
 }
 
 double Executor::Dispatch(const std::vector<SubQuery>& subqueries,
@@ -230,13 +343,14 @@ double Executor::Dispatch(const std::vector<SubQuery>& subqueries,
   const size_t n = subqueries.size();
   if (n == 0) return 0.0;
   EnsureBreakers(subqueries);
-  Stopwatch watch;
+  ExecutorTelemetry::Get().dispatches->Add();
+  Stopwatch watch(clock_);
 
   const size_t parallelism = options.parallelism;
   const size_t workers = parallelism == 0 ? n : std::min(parallelism, n);
   if (workers <= 1) {
     for (size_t i = 0; i < n; ++i) {
-      RunOne(subqueries[i], i, options.retry, &(*outcomes)[i]);
+      RunOne(subqueries[i], i, options, watch, &(*outcomes)[i]);
     }
     return watch.ElapsedMillis();
   }
@@ -251,6 +365,8 @@ double Executor::Dispatch(const std::vector<SubQuery>& subqueries,
   if (pool_ == nullptr || pool_->thread_count() < pool_size) {
     if (pool_ != nullptr) pool_->Shutdown();
     pool_ = std::make_unique<ThreadPool>(pool_size);
+    ExecutorTelemetry::Get().pool_threads->Set(
+        static_cast<double>(pool_size));
   }
   const size_t tasks = std::min(workers, pool_->thread_count());
 
@@ -259,11 +375,11 @@ double Executor::Dispatch(const std::vector<SubQuery>& subqueries,
   // is capped at min(workers, pool size).
   std::atomic<size_t> next{0};
   Latch done(tasks);
-  const RetryPolicy& retry = options.retry;
   for (size_t w = 0; w < tasks; ++w) {
-    pool_->Submit([this, &subqueries, &next, &done, &retry, outcomes, n] {
+    pool_->Submit([this, &subqueries, &next, &done, &options, &watch,
+                   outcomes, n] {
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        RunOne(subqueries[i], i, retry, &(*outcomes)[i]);
+        RunOne(subqueries[i], i, options, watch, &(*outcomes)[i]);
       }
       done.CountDown();
     });

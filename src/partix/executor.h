@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "engine/database.h"
 #include "partix/decomposer.h"
+#include "telemetry/trace.h"
 
 namespace partix::middleware {
 
@@ -65,6 +66,11 @@ struct DispatchOptions {
   /// calling thread, 0 means one worker per sub-query.
   size_t parallelism = 1;
   RetryPolicy retry;
+  /// When set, every sub-query fills `SubQueryOutcome::span` with its
+  /// span subtree (attempts, backoffs, failovers), timed against the
+  /// tracer's epoch/clock. Null (the default) records nothing. The
+  /// tracer must outlive the Dispatch call; workers only read it.
+  const telemetry::Tracer* tracer = nullptr;
 };
 
 /// Outcome of one dispatched sub-query, index-aligned with the plan's
@@ -87,6 +93,14 @@ struct SubQueryOutcome {
   /// True when the sub-query failed due to a per-attempt timeout or the
   /// overall sub-query deadline, i.e. `result` is kDeadlineExceeded.
   bool timed_out = false;
+  /// Milliseconds between Dispatch admitting the sub-query and a worker
+  /// starting it (pool queueing; ~0 under sequential dispatch).
+  double queue_wait_ms = 0.0;
+  /// Filled only when DispatchOptions::tracer was set: this sub-query's
+  /// span subtree, named with the canonical `fragment@node<i>` token of
+  /// the node that served (or last refused) it, with one child span per
+  /// attempt and backoff sleep.
+  telemetry::TraceSpan span;
 };
 
 /// The middleware's sub-query executor: dispatches each SubQuery of a
@@ -164,6 +178,14 @@ class Executor {
   /// half-open probe not yet due or in flight). Introspection for tests.
   bool breaker_open(size_t node) const;
 
+  /// Replaces the time source for every measurement this executor takes
+  /// (wall times, backoff deadlines, breaker windows, trace spans when
+  /// the dispatch's tracer shares the clock). Deterministic tests inject
+  /// a ManualClock; the default is the real monotonic clock. The clock
+  /// must outlive the executor. Coordinator-only, between dispatches.
+  void set_clock(const Clock* clock) { clock_ = clock; }
+  const Clock* clock() const { return clock_; }
+
  private:
   /// Breaker state of one node; `mu` guards every field. Workers touching
   /// different nodes never contend.
@@ -177,8 +199,8 @@ class Executor {
     Stopwatch opened_at;
   };
 
-  void RunOne(const SubQuery& sub, size_t index, const RetryPolicy& retry,
-              SubQueryOutcome* out);
+  void RunOne(const SubQuery& sub, size_t index, const DispatchOptions& options,
+              const Stopwatch& dispatch_watch, SubQueryOutcome* out);
 
   /// Grows `breakers_` to cover every node index in `subqueries`.
   /// Called from the coordinator before workers start.
@@ -191,6 +213,7 @@ class Executor {
   void RecordFailure(size_t node);
 
   ClusterSim* cluster_;
+  const Clock* clock_ = Clock::Monotonic();
   CircuitBreakerPolicy breaker_policy_;
   std::vector<std::unique_ptr<NodeBreakerState>> breakers_;
   /// Lazily created; grown (never shrunk) toward the hardware-concurrency

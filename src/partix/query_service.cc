@@ -8,6 +8,7 @@
 #include "common/strings.h"
 #include "engine/database.h"
 #include "partix/executor.h"
+#include "telemetry/metrics.h"
 #include "xml/document.h"
 
 namespace partix::middleware {
@@ -49,8 +50,11 @@ Result<FetchedDoc> ParseWireDoc(DocumentPtr doc) {
                                 d.doc_name() + "'");
     }
     out.root_id = static_cast<uint64_t>(v);
-    for (std::string_view entry :
-         SplitSkipEmpty(d.GetMetadata("px-anc"), ',')) {
+    // Materialize the metadata string: SplitSkipEmpty returns views into
+    // it, and a temporary would die at the end of the range-init
+    // expression, leaving them dangling.
+    const std::string ancestors = d.GetMetadata("px-anc");
+    for (std::string_view entry : SplitSkipEmpty(ancestors, ',')) {
       size_t colon = entry.find(':');
       if (colon == std::string_view::npos) {
         return Status::Corruption("bad px-anc metadata");
@@ -149,14 +153,50 @@ std::vector<size_t> ReplicasOrPrimary(const SubQuery& sub) {
   return {sub.node};
 }
 
+/// Coordinator-side counters and phase latency histograms.
+struct ServiceTelemetry {
+  telemetry::Counter* queries;
+  telemetry::Counter* query_failures;
+  telemetry::Counter* partial_results;
+  telemetry::Histogram* decompose_ms;
+  telemetry::Histogram* compose_ms;
+  telemetry::Histogram* query_wall_ms;
+
+  static const ServiceTelemetry& Get() {
+    static const ServiceTelemetry t = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      ServiceTelemetry out;
+      out.queries = registry.GetCounter("partix_queries_total");
+      out.query_failures = registry.GetCounter("partix_query_failures_total");
+      out.partial_results =
+          registry.GetCounter("partix_partial_results_total");
+      out.decompose_ms = registry.GetHistogram("partix_decompose_ms");
+      out.compose_ms = registry.GetHistogram("partix_compose_ms");
+      out.query_wall_ms = registry.GetHistogram("partix_query_wall_ms");
+      return out;
+    }();
+    return t;
+  }
+};
+
+/// Shifts every span start in a subtree by `delta_ms` (used to splice the
+/// decompose phase in front of a span tree recorded by ExecutePlan).
+void ShiftSpans(telemetry::TraceSpan* span, double delta_ms) {
+  span->start_ms += delta_ms;
+  for (telemetry::TraceSpan& child : span->children) {
+    ShiftSpans(&child, delta_ms);
+  }
+}
+
 }  // namespace
 
 Result<DistributedResult> QueryService::Execute(
     const std::string& query, const ExecutionOptions& options) {
-  Stopwatch watch;
+  Stopwatch watch(clock_);
   PARTIX_ASSIGN_OR_RETURN(DistributedPlan plan,
                           decomposer_.Decompose(query));
   const double decompose_ms = watch.ElapsedMillis();
+  ServiceTelemetry::Get().decompose_ms->Observe(decompose_ms);
   PARTIX_ASSIGN_OR_RETURN(DistributedResult result,
                           ExecutePlan(plan, options));
   // The paper measures "the time between the moment PartiX receives the
@@ -164,6 +204,22 @@ Result<DistributedResult> QueryService::Execute(
   result.decompose_ms = decompose_ms;
   result.response_ms += decompose_ms;
   result.wall_ms += decompose_ms;
+  if (result.traced) {
+    // Splice the decompose phase in front of the span tree ExecutePlan
+    // recorded: shift its phases right, prepend a decompose span.
+    for (telemetry::TraceSpan& child : result.trace.children) {
+      ShiftSpans(&child, decompose_ms);
+    }
+    telemetry::TraceSpan decompose_span;
+    decompose_span.name = "decompose";
+    decompose_span.start_ms = 0.0;
+    decompose_span.duration_ms = decompose_ms;
+    decompose_span.AddTag("subqueries",
+                          std::to_string(plan.subqueries.size()));
+    result.trace.children.insert(result.trace.children.begin(),
+                                 std::move(decompose_span));
+    result.trace.duration_ms = result.wall_ms;
+  }
   return result;
 }
 
@@ -216,14 +272,52 @@ Result<std::string> QueryService::Explain(const std::string& query) const {
   return out;
 }
 
+Result<std::string> QueryService::ExplainAnalyze(
+    const std::string& query, const ExecutionOptions& options) {
+  PARTIX_ASSIGN_OR_RETURN(std::string plan_text, Explain(query));
+  ExecutionOptions traced = options;
+  traced.trace = true;
+  PARTIX_ASSIGN_OR_RETURN(DistributedResult result, Execute(query, traced));
+  std::string out = std::move(plan_text);
+  out += "\nexecution (wall " + FormatNumber(result.wall_ms) + " ms, " +
+         std::to_string(result.result_items) + " item(s), retries " +
+         std::to_string(result.retries) + ", failovers " +
+         std::to_string(result.failovers) + "):\n";
+  out += telemetry::RenderSpanTree(result.trace);
+  return out;
+}
+
 Result<DistributedResult> QueryService::ExecutePlan(
     const DistributedPlan& plan, const ExecutionOptions& options) {
   if (plan.subqueries.empty()) {
     return Status::InvalidArgument("plan has no sub-queries");
   }
+  const ServiceTelemetry& counters = ServiceTelemetry::Get();
+  counters.queries->Add();
   DistributedResult out;
   out.pruned_fragments = plan.pruned_fragments;
-  Stopwatch wall_watch;
+  Stopwatch wall_watch(clock_);
+
+  // The tracer (when tracing) anchors every span of this execution to one
+  // epoch on the service's clock; the executor's workers time their spans
+  // against the same tracer.
+  telemetry::Tracer tracer(clock_);
+  if (options.trace) {
+    out.traced = true;
+    out.trace.name = "query";
+    out.trace.start_ms = 0.0;
+    out.trace.AddTag("composition",
+                     std::string(CompositionName(plan.composition)));
+  }
+  // Finalizes the root span and coordinator metrics on every return path
+  // that produced a DistributedResult.
+  auto finish = [&] {
+    counters.query_wall_ms->Observe(out.wall_ms);
+    if (out.traced) {
+      out.trace.duration_ms = tracer.NowMs();
+      out.trace.AddTag("complete", out.complete ? "true" : "false");
+    }
+  };
 
   if (options.cold_caches) cluster_->DropAllCaches();
 
@@ -241,6 +335,7 @@ Result<DistributedResult> QueryService::ExecutePlan(
     }
   }
   if (!out_of_range.empty()) {
+    counters.query_failures->Add();
     return Status::OutOfRange("sub-query node(s) out of range: " +
                               out_of_range);
   }
@@ -271,6 +366,7 @@ Result<DistributedResult> QueryService::ExecutePlan(
   }
   if (unreachable_count > 0 &&
       options.partial_results == PartialResultPolicy::kFail) {
+    counters.query_failures->Add();
     return Status::Unavailable(std::to_string(unreachable_count) +
                                " needed fragment(s) unreachable: " +
                                unreachable);
@@ -285,8 +381,24 @@ Result<DistributedResult> QueryService::ExecutePlan(
   DispatchOptions dispatch_options;
   dispatch_options.parallelism = options.parallelism;
   dispatch_options.retry = options.retry;
+  if (options.trace) dispatch_options.tracer = &tracer;
+  const double dispatch_start_ms = options.trace ? tracer.NowMs() : 0.0;
   std::vector<SubQueryOutcome> outcomes;
   cluster_->executor().Dispatch(live, dispatch_options, &outcomes);
+  if (options.trace) {
+    // Workers filled disjoint outcome slots; assemble them under one
+    // dispatch phase span in plan order.
+    telemetry::TraceSpan dispatch_span;
+    dispatch_span.name = "dispatch";
+    dispatch_span.start_ms = dispatch_start_ms;
+    dispatch_span.duration_ms = tracer.NowMs() - dispatch_start_ms;
+    dispatch_span.AddTag("parallelism", std::to_string(options.parallelism));
+    dispatch_span.children.reserve(outcomes.size());
+    for (SubQueryOutcome& o : outcomes) {
+      dispatch_span.children.push_back(std::move(o.span));
+    }
+    out.trace.children.push_back(std::move(dispatch_span));
+  }
   out.parallelism = options.parallelism == 0
                         ? std::max<size_t>(1, live.size())
                         : std::max<size_t>(
@@ -317,6 +429,7 @@ Result<DistributedResult> QueryService::ExecutePlan(
   }
   if (failed > 0) {
     if (options.partial_results == PartialResultPolicy::kFail) {
+      counters.query_failures->Add();
       return Status(failure_code,
                     std::to_string(failed) + " of " +
                         std::to_string(live.size()) +
@@ -363,6 +476,7 @@ Result<DistributedResult> QueryService::ExecutePlan(
     }
   }
   out.complete = out.missing_fragments.empty();
+  if (!out.complete) counters.partial_results->Add();
 
   // Transmission: dispatching the sub-queries + shipping partial results
   // to the coordinator.
@@ -373,7 +487,8 @@ Result<DistributedResult> QueryService::ExecutePlan(
                  net.bandwidth_bytes_per_sec);
 
   // Composition.
-  Stopwatch compose_watch;
+  Stopwatch compose_watch(clock_);
+  const double compose_start_ms = options.trace ? tracer.NowMs() : 0.0;
   switch (plan.composition) {
     case Composition::kUnion: {
       for (const xdb::QueryResult& partial : partials) {
@@ -407,11 +522,22 @@ Result<DistributedResult> QueryService::ExecutePlan(
     }
   }
   out.composition_ms = compose_watch.ElapsedMillis();
+  counters.compose_ms->Observe(out.composition_ms);
+  if (options.trace) {
+    telemetry::TraceSpan compose_span;
+    compose_span.name = "compose";
+    compose_span.start_ms = compose_start_ms;
+    compose_span.duration_ms = tracer.NowMs() - compose_start_ms;
+    compose_span.AddTag("kind",
+                        std::string(CompositionName(plan.composition)));
+    out.trace.children.push_back(std::move(compose_span));
+  }
 
   out.response_ms = out.slowest_node_ms + out.composition_ms +
                     (options.include_transmission ? out.transmission_ms
                                                   : 0.0);
   out.wall_ms = wall_watch.ElapsedMillis();
+  finish();
   return out;
 }
 

@@ -5,11 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "partix/catalog.h"
 #include "partix/cluster.h"
 #include "partix/decomposer.h"
 #include "partix/executor.h"
+#include "telemetry/trace.h"
 
 namespace partix::middleware {
 
@@ -83,6 +85,17 @@ struct DistributedResult {
   std::vector<std::string> missing_fragments;
   /// True when every planned fragment contributed to the answer.
   bool complete = true;
+
+  // --- tracing (see docs/observability.md) ---
+  /// Filled only when `ExecutionOptions::trace` was set: the span tree of
+  /// this execution — `query` at the root, `decompose` (Execute only) /
+  /// `dispatch` / `compose` phases below it, one `fragment@node<i>` span
+  /// per dispatched sub-query with its attempt/backoff children. Span
+  /// times come from the service's injected clock, so traces are
+  /// deterministic under ManualClock.
+  telemetry::TraceSpan trace;
+  /// True when `trace` holds a recorded span tree.
+  bool traced = false;
 };
 
 /// Execution knobs for experiments.
@@ -101,6 +114,10 @@ struct ExecutionOptions {
   RetryPolicy retry;
   /// What to do when sub-queries fail despite retries and failover.
   PartialResultPolicy partial_results = PartialResultPolicy::kFail;
+  /// Record a per-query span tree on `DistributedResult::trace`. Tracing
+  /// allocates span nodes on the coordinator and in each worker's outcome
+  /// slot; leave off (the default) for benchmark series.
+  bool trace = false;
 };
 
 /// Distributed XML Query Service (paper §4): analyzes path expressions,
@@ -142,6 +159,25 @@ class QueryService {
   /// the replica that would serve the sub-query).
   Result<std::string> Explain(const std::string& query) const;
 
+  /// EXPLAIN ANALYZE: executes `query` with tracing forced on and renders
+  /// the static plan followed by the recorded span tree (what actually
+  /// ran: attempts, backoffs, failovers, phase timings). `options.trace`
+  /// is implied; other options apply as given.
+  Result<std::string> ExplainAnalyze(const std::string& query,
+                                     const ExecutionOptions& options =
+                                         ExecutionOptions());
+
+  /// Replaces the time source used for this service's own measurements
+  /// (wall/decompose/compose watches, trace spans) *and* for the
+  /// cluster's executor, so a whole traced execution shares one clock.
+  /// Deterministic tests inject a ManualClock. Coordinator-only, between
+  /// executions; the clock must outlive the service.
+  void set_clock(const Clock* clock) {
+    clock_ = clock;
+    cluster_->executor().set_clock(clock);
+  }
+  const Clock* clock() const { return clock_; }
+
  private:
   Result<std::string> ComposeJoin(const DistributedPlan& plan,
                                   std::vector<xdb::QueryResult> partials,
@@ -150,6 +186,7 @@ class QueryService {
   ClusterSim* cluster_;
   const DistributionCatalog* catalog_;
   QueryDecomposer decomposer_;
+  const Clock* clock_ = Clock::Monotonic();
 };
 
 }  // namespace partix::middleware

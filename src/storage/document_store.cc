@@ -1,9 +1,42 @@
 #include "storage/document_store.h"
 
+#include "telemetry/metrics.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
 namespace partix::storage {
+
+namespace {
+
+/// Process-wide parse/cache counters, aggregated across every store (the
+/// per-store figures stay in StoreMetrics). Registered once; the record
+/// path is a relaxed atomic add (see telemetry/metrics.h).
+struct StoreTelemetry {
+  telemetry::Counter* parses;
+  telemetry::Counter* bytes_parsed;
+  telemetry::Counter* cache_hits;
+  telemetry::Counter* cache_misses;
+  telemetry::Counter* cache_evictions;
+
+  static const StoreTelemetry& Get() {
+    static const StoreTelemetry t = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      StoreTelemetry out;
+      out.parses = registry.GetCounter("partix_store_parses_total");
+      out.bytes_parsed =
+          registry.GetCounter("partix_store_parse_bytes_total");
+      out.cache_hits = registry.GetCounter("partix_store_cache_hits_total");
+      out.cache_misses =
+          registry.GetCounter("partix_store_cache_misses_total");
+      out.cache_evictions =
+          registry.GetCounter("partix_store_cache_evictions_total");
+      return out;
+    }();
+    return t;
+  }
+};
+
+}  // namespace
 
 DocumentStore::DocumentStore(std::shared_ptr<xml::NamePool> pool,
                              size_t cache_capacity_bytes)
@@ -39,12 +72,16 @@ Result<xml::DocumentPtr> DocumentStore::Get(DocSlot slot) {
   Entry& entry = docs_[slot];
   if (entry.cached) {
     ++metrics_.cache_hits;
+    StoreTelemetry::Get().cache_hits->Add();
     Touch(slot);
     return entry.parsed;
   }
   ++metrics_.cache_misses;
   ++metrics_.parses;
   metrics_.bytes_parsed += entry.xml.size();
+  StoreTelemetry::Get().cache_misses->Add();
+  StoreTelemetry::Get().parses->Add();
+  StoreTelemetry::Get().bytes_parsed->Add(entry.xml.size());
   PARTIX_ASSIGN_OR_RETURN(std::shared_ptr<xml::Document> doc,
                           xml::ParseXml(pool_, entry.name, entry.xml));
   for (const auto& [key, value] : entry.metadata) {
@@ -94,6 +131,8 @@ void DocumentStore::EvictIfNeeded() {
     entry.parsed.reset();
     entry.parsed_bytes = 0;
     entry.cached = false;
+    ++metrics_.cache_evictions;
+    StoreTelemetry::Get().cache_evictions->Add();
   }
 }
 

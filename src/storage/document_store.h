@@ -29,6 +29,9 @@ struct StoreMetrics {
   uint64_t bytes_parsed = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Parsed trees pushed out by LRU pressure (deliberate DropCache calls
+  /// are not evictions — cold-start emulation would drown the signal).
+  uint64_t cache_evictions = 0;
 
   void Reset() { *this = StoreMetrics(); }
 };

@@ -3,10 +3,41 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "telemetry/metrics.h"
 
 namespace partix::storage {
 
 namespace {
+
+/// Index probe counters, process-wide across every index instance. One
+/// probe = one Lookup call; hits additionally count into *_hits_total, so
+/// the hit ratio (the planner's pruning effectiveness) is observable.
+struct IndexTelemetry {
+  telemetry::Counter* element_probes;
+  telemetry::Counter* element_hits;
+  telemetry::Counter* text_probes;
+  telemetry::Counter* text_hits;
+  telemetry::Counter* value_probes;
+  telemetry::Counter* value_hits;
+
+  static const IndexTelemetry& Get() {
+    static const IndexTelemetry t = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      IndexTelemetry out;
+      out.element_probes =
+          registry.GetCounter("partix_index_element_probes_total");
+      out.element_hits =
+          registry.GetCounter("partix_index_element_hits_total");
+      out.text_probes = registry.GetCounter("partix_index_text_probes_total");
+      out.text_hits = registry.GetCounter("partix_index_text_hits_total");
+      out.value_probes =
+          registry.GetCounter("partix_index_value_probes_total");
+      out.value_hits = registry.GetCounter("partix_index_value_hits_total");
+      return out;
+    }();
+    return t;
+  }
+};
 
 /// Appends `slot` to the posting list for `key` unless it is already the
 /// last entry (slots are added in increasing order, so lists stay sorted
@@ -44,8 +75,11 @@ void ElementIndex::AddDocument(DocSlot slot, const xml::Document& doc) {
 }
 
 const PostingList* ElementIndex::Lookup(std::string_view name) const {
+  IndexTelemetry::Get().element_probes->Add();
   auto it = postings_.find(std::string(name));
-  return it == postings_.end() ? nullptr : &it->second;
+  if (it == postings_.end()) return nullptr;
+  IndexTelemetry::Get().element_hits->Add();
+  return &it->second;
 }
 
 void TextIndex::AddDocument(DocSlot slot, const xml::Document& doc) {
@@ -59,8 +93,11 @@ void TextIndex::AddDocument(DocSlot slot, const xml::Document& doc) {
 }
 
 const PostingList* TextIndex::Lookup(std::string_view token) const {
+  IndexTelemetry::Get().text_probes->Add();
   auto it = postings_.find(AsciiLower(token));
-  return it == postings_.end() ? nullptr : &it->second;
+  if (it == postings_.end()) return nullptr;
+  IndexTelemetry::Get().text_hits->Add();
+  return &it->second;
 }
 
 std::optional<PostingList> TextIndex::CandidatesForContains(
@@ -137,8 +174,11 @@ void ValueIndex::AddDocument(DocSlot slot, const xml::Document& doc) {
 
 const PostingList* ValueIndex::Lookup(std::string_view name,
                                       std::string_view value) const {
+  IndexTelemetry::Get().value_probes->Add();
   auto it = postings_.find(Key(name, value));
-  return it == postings_.end() ? nullptr : &it->second;
+  if (it == postings_.end()) return nullptr;
+  IndexTelemetry::Get().value_hits->Add();
+  return &it->second;
 }
 
 }  // namespace partix::storage

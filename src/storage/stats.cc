@@ -1,5 +1,7 @@
 #include "storage/stats.h"
 
+#include <cstdio>
+
 #include "common/strings.h"
 
 namespace partix::storage {
@@ -19,11 +21,30 @@ void CollectionStats::AddDocument(const xml::Document& doc,
   });
 }
 
+void CollectionStats::RecordAccess(const StoreMetrics& delta) {
+  ++access_.queries;
+  access_.parses += delta.parses;
+  access_.bytes_parsed += delta.bytes_parsed;
+  access_.cache_hits += delta.cache_hits;
+  access_.cache_misses += delta.cache_misses;
+  access_.cache_evictions += delta.cache_evictions;
+}
+
 std::string CollectionStats::Summary() const {
-  return std::to_string(document_count_) + " docs, " +
-         HumanBytes(total_serialized_bytes_) + " serialized, " +
-         std::to_string(total_nodes_) + " nodes, avg doc " +
-         HumanBytes(static_cast<uint64_t>(AvgDocBytes()));
+  std::string out = std::to_string(document_count_) + " docs, " +
+                    HumanBytes(total_serialized_bytes_) + " serialized, " +
+                    std::to_string(total_nodes_) + " nodes, avg doc " +
+                    HumanBytes(static_cast<uint64_t>(AvgDocBytes()));
+  if (access_.queries > 0) {
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.0f%%",
+                  access_.CacheHitRatio() * 100.0);
+    out += "; accessed by " + std::to_string(access_.queries) +
+           " queries (" + std::to_string(access_.parses) + " parses, " +
+           HumanBytes(access_.bytes_parsed) + " parsed, cache hit " +
+           ratio + ")";
+  }
+  return out;
 }
 
 }  // namespace partix::storage

@@ -5,20 +5,49 @@
 #include <map>
 #include <string>
 
+#include "storage/document_store.h"
 #include "xml/document.h"
 
 namespace partix::storage {
+
+/// Cumulative access-side counters of one collection: how queries
+/// actually touched it, as opposed to what it statically contains. The
+/// engine folds each query's StoreMetrics delta in after evaluation, so
+/// fragmentation decisions (see fragmentation/advisor.h) can weigh real
+/// access frequencies instead of guessing from the schema.
+struct AccessStats {
+  uint64_t queries = 0;  // queries that touched this collection
+  uint64_t parses = 0;
+  uint64_t bytes_parsed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+
+  /// Fraction of document materializations served from cache (0 when the
+  /// collection was never read).
+  double CacheHitRatio() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+};
 
 /// Aggregate statistics over a stored collection, maintained incrementally
 /// as documents are added. Useful for fragmentation design decisions and
 /// reported by the experiment harness.
 ///
-/// Thread-compatible: AddDocument requires external synchronization (it
-/// runs under the engine's per-node lock at store time); concurrent reads
-/// of a quiescent instance are safe.
+/// Thread-compatible: AddDocument and RecordAccess require external
+/// synchronization (they run under the engine's per-node lock); concurrent
+/// reads of a quiescent instance are safe.
 class CollectionStats {
  public:
   void AddDocument(const xml::Document& doc, size_t serialized_bytes);
+
+  /// Folds one query's store-metrics delta into the access counters.
+  void RecordAccess(const StoreMetrics& delta);
+
+  const AccessStats& access() const { return access_; }
 
   uint64_t document_count() const { return document_count_; }
   uint64_t total_serialized_bytes() const { return total_serialized_bytes_; }
@@ -46,6 +75,7 @@ class CollectionStats {
   uint64_t total_nodes_ = 0;
   uint64_t total_text_bytes_ = 0;
   std::map<std::string, uint64_t> element_counts_;
+  AccessStats access_;
 };
 
 }  // namespace partix::storage

@@ -1,0 +1,219 @@
+#include "telemetry/metrics.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+namespace partix::telemetry {
+
+namespace {
+
+/// Formats a double the way both exporters need it: plain decimal,
+/// trailing zeros trimmed, never scientific notation.
+std::string FormatDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", v);
+  std::string s(buffer);
+  size_t dot = s.find('.');
+  if (dot != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (last == dot) last -= 1;  // keep one digit before the dot
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+std::string JsonKey(const std::string& name) { return "\"" + name + "\""; }
+
+}  // namespace
+
+size_t ThreadShardIndex() {
+  // Distinct threads land on distinct shards round-robin; the index is
+  // computed once per thread and then read from a thread_local.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+// ------------------------------------------------------------- Histogram
+
+const std::vector<double>& Histogram::DefaultLatencyBoundsMs() {
+  static const std::vector<double> bounds = {
+      0.05, 0.1, 0.25, 0.5, 1.0,    2.5,    5.0,    10.0,
+      25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0};
+  return bounds;
+}
+
+Histogram::Histogram(const std::atomic<bool>* enabled,
+                     std::vector<double> bounds)
+    : enabled_(enabled), bounds_(std::move(bounds)) {
+  cells_ = std::make_unique<internal::ShardCell[]>(
+      (bounds_.size() + 1) * kMetricShards);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1, 0);
+  for (size_t bucket = 0; bucket <= bounds_.size(); ++bucket) {
+    for (size_t shard = 0; shard < kMetricShards; ++shard) {
+      snap.counts[bucket] +=
+          cells_[bucket * kMetricShards + shard].value.load(
+              std::memory_order_relaxed);
+    }
+    snap.count += snap.counts[bucket];
+  }
+  uint64_t sum_units = 0;
+  for (const internal::ShardCell& cell : sum_cells_) {
+    sum_units += cell.value.load(std::memory_order_relaxed);
+  }
+  snap.sum = static_cast<double>(sum_units) / 1e6;
+  return snap;
+}
+
+// -------------------------------------------------------------- Registry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(
+                                     &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(&enabled_, bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    for (internal::ShardCell& cell : counter->cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    const size_t cells = (histogram->bounds_.size() + 1) * kMetricShards;
+    for (size_t i = 0; i < cells; ++i) {
+      histogram->cells_[i].value.store(0, std::memory_order_relaxed);
+    }
+    for (internal::ShardCell& cell : histogram->sum_cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
+  }
+  return snap;
+}
+
+// ------------------------------------------------------------- Exporters
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonKey(name) + ": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonKey(name) + ": " + FormatDouble(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonKey(name) + ": { \"count\": " +
+           std::to_string(hist.count) + ", \"sum\": " +
+           FormatDouble(hist.sum) + ", \"buckets\": [";
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{ \"le\": ";
+      out += i < hist.bounds.size() ? FormatDouble(hist.bounds[i])
+                                    : std::string("\"+Inf\"");
+      out += ", \"count\": " + std::to_string(hist.counts[i]) + " }";
+    }
+    out += "] }";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatDouble(value) + "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      cumulative += hist.counts[i];
+      const std::string le = i < hist.bounds.size()
+                                 ? FormatDouble(hist.bounds[i])
+                                 : std::string("+Inf");
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + FormatDouble(hist.sum) + "\n";
+    out += name + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace partix::telemetry

@@ -1,0 +1,231 @@
+#ifndef PARTIX_TELEMETRY_METRICS_H_
+#define PARTIX_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace partix::telemetry {
+
+/// Compile-time kill switch: building with -DPARTIX_TELEMETRY=OFF defines
+/// PARTIX_TELEMETRY_DISABLED, turning every hot-path record operation into
+/// an empty inline function the optimizer erases. The API (registration,
+/// snapshots, export) stays available so instrumented code compiles
+/// unchanged; snapshots simply report zeros.
+///
+/// At runtime, recording is additionally gated by the owning registry's
+/// enabled flag (a single relaxed atomic load on the hot path). The
+/// default registry starts *disabled*: a process that never calls
+/// MetricsRegistry::Global().set_enabled(true) pays one predictable
+/// branch per instrumented event.
+
+/// Shard count for the hot counters. Each shard lives on its own cache
+/// line so concurrent writers (executor workers, per-node drivers) do not
+/// bounce a shared line; reads sum the shards.
+inline constexpr size_t kMetricShards = 8;
+
+/// Returns this thread's stable shard index in [0, kMetricShards).
+size_t ThreadShardIndex();
+
+namespace internal {
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+}  // namespace internal
+
+/// A monotonically increasing counter. Add is a relaxed atomic add on a
+/// per-thread shard; Value sums the shards. Thread-safe.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+#ifndef PARTIX_TELEMETRY_DISABLED
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    cells_[ThreadShardIndex()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const internal::ShardCell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  const std::atomic<bool>* enabled_;
+  internal::ShardCell cells_[kMetricShards];
+};
+
+/// A last-write-wins instantaneous value (pool sizes, open breakers).
+/// Thread-safe; Set/Add use atomics on a single cell (gauges are not hot).
+class Gauge {
+ public:
+  void Set(double value) {
+#ifndef PARTIX_TELEMETRY_DISABLED
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  void Add(double delta) {
+#ifndef PARTIX_TELEMETRY_DISABLED
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+#else
+    (void)delta;
+#endif
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time view of one histogram.
+struct HistogramSnapshot {
+  /// Upper bounds of the finite buckets; an implicit +Inf bucket follows.
+  std::vector<double> bounds;
+  /// Per-bucket observation counts, size bounds.size() + 1 (last = +Inf).
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;   // total observations
+  double sum = 0.0;     // sum of observed values
+};
+
+/// A fixed-bucket latency histogram. Observe finds the bucket (linear
+/// scan over <= ~16 bounds) and does two relaxed adds on per-thread
+/// shards; the observed-value sum is kept in integer nanounits so
+/// concurrent observations conserve exactly. Thread-safe.
+class Histogram {
+ public:
+  /// The default milliseconds bucketing: sub-0.1ms index probes through
+  /// multi-second distributed queries.
+  static const std::vector<double>& DefaultLatencyBoundsMs();
+
+  void Observe(double value) {
+#ifndef PARTIX_TELEMETRY_DISABLED
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    size_t bucket = bounds_.size();
+    for (size_t i = 0; i < bounds_.size(); ++i) {
+      if (value <= bounds_[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    const size_t shard = ThreadShardIndex();
+    cells_[bucket * kMetricShards + shard].value.fetch_add(
+        1, std::memory_order_relaxed);
+    // Nano-units keep the sum integral: concurrent adds conserve exactly.
+    sum_cells_[shard].value.fetch_add(
+        static_cast<uint64_t>(value * 1e6 + 0.5), std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  const std::atomic<bool>* enabled_;
+  std::vector<double> bounds_;
+  /// Bucket-major [bucket][shard] observation counts, (bounds+1)*shards.
+  std::unique_ptr<internal::ShardCell[]> cells_;
+  internal::ShardCell sum_cells_[kMetricShards];
+};
+
+/// Point-in-time view of a whole registry.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} — one
+  /// self-contained JSON object, keys sorted.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format (version 0.0.4): one family per
+  /// metric, histograms as <name>_bucket{le=...}/_sum/_count.
+  std::string ToPrometheus() const;
+};
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Registration (Get*) is mutex-guarded and idempotent — call sites
+/// typically register once into a function-local static and keep the raw
+/// pointer, which stays valid for the registry's lifetime. The record
+/// paths (Counter::Add, Gauge::Set, Histogram::Observe) are lock-free.
+///
+/// Thread-safe throughout; Snapshot may run concurrently with recording
+/// (it reads relaxed atomics — values are conserved, not cut-consistent).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation site
+  /// records into. Starts disabled.
+  static MetricsRegistry& Global();
+
+  /// Runtime master switch. While disabled, record operations cost one
+  /// relaxed load + branch and mutate nothing.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Finds or creates the named metric. Idempotent per (name, kind);
+  /// keep names unique across kinds — the exporters emit one family per
+  /// name. A histogram's bounds are fixed by its first registration.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds_ms =
+                              Histogram::DefaultLatencyBoundsMs());
+
+  /// Zeroes every registered metric (benches isolate phases with this).
+  void Reset();
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards the maps (registration + iteration)
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace partix::telemetry
+
+#endif  // PARTIX_TELEMETRY_METRICS_H_

@@ -1,0 +1,56 @@
+#include "telemetry/trace.h"
+
+#include <cstdio>
+
+namespace partix::telemetry {
+
+std::string TraceSpan::Tag(const std::string& key) const {
+  for (const auto& [k, v] : tags) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+const TraceSpan* TraceSpan::Find(const std::string& needle) const {
+  if (name.find(needle) != std::string::npos) return this;
+  for (const TraceSpan& child : children) {
+    const TraceSpan* hit = child.Find(needle);
+    if (hit != nullptr) return hit;
+  }
+  return nullptr;
+}
+
+size_t TraceSpan::TreeSize() const {
+  size_t total = 1;
+  for (const TraceSpan& child : children) total += child.TreeSize();
+  return total;
+}
+
+namespace {
+
+void RenderInto(const TraceSpan& span, size_t depth, std::string* out) {
+  std::string line(depth * 2, ' ');
+  line += span.name;
+  if (line.size() < 44) line.resize(44, ' ');
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), " +%9.3fms %9.3fms", span.start_ms,
+                span.duration_ms);
+  line += buffer;
+  for (const auto& [key, value] : span.tags) {
+    line += "  " + key + "=" + value;
+  }
+  *out += line + "\n";
+  for (const TraceSpan& child : span.children) {
+    RenderInto(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderSpanTree(const TraceSpan& root) {
+  std::string out;
+  RenderInto(root, 0, &out);
+  return out;
+}
+
+}  // namespace partix::telemetry

@@ -1,0 +1,83 @@
+#ifndef PARTIX_TELEMETRY_TRACE_H_
+#define PARTIX_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace partix::telemetry {
+
+/// One timed operation in a query's execution, with children for the
+/// operations it contains. Start times are milliseconds relative to the
+/// owning trace's epoch (the moment execution began), so a span tree is
+/// self-contained and deterministic under an injected ManualClock.
+///
+/// Span naming follows the taxonomy in docs/observability.md:
+///   query → decompose | dispatch | compose
+///   dispatch → one span per sub-query, named with the canonical
+///   `fragment@node<i>` token (i = the node that served it), whose
+///   children are `attempt <k>@node<i>` and `backoff` spans.
+///
+/// Plain value type: the coordinator assembles the tree from pieces the
+/// workers filled into disjoint slots, so no synchronization lives here.
+struct TraceSpan {
+  std::string name;
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  /// Small key=value annotations (status, attempts, failover target...).
+  std::vector<std::pair<std::string, std::string>> tags;
+  std::vector<TraceSpan> children;
+
+  TraceSpan() = default;
+  explicit TraceSpan(std::string span_name) : name(std::move(span_name)) {}
+
+  void AddTag(std::string key, std::string value) {
+    tags.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// The tag's value, or "" when absent (test convenience).
+  std::string Tag(const std::string& key) const;
+
+  /// Depth-first search for the first span whose name contains `needle`
+  /// (this span included). Returns nullptr when absent.
+  const TraceSpan* Find(const std::string& needle) const;
+
+  /// Total number of spans in this subtree (this span included).
+  size_t TreeSize() const;
+};
+
+/// Hands out millisecond offsets from a fixed epoch on an injectable
+/// clock. One Tracer per traced query execution; thread-safe because it
+/// is immutable after construction (workers only *read* the epoch).
+class Tracer {
+ public:
+  explicit Tracer(const Clock* clock)
+      : clock_(clock), epoch_nanos_(clock->NowNanos()) {}
+
+  /// Milliseconds elapsed since the tracer was created.
+  double NowMs() const {
+    return static_cast<double>(clock_->NowNanos() - epoch_nanos_) * 1e-6;
+  }
+
+  const Clock* clock() const { return clock_; }
+
+ private:
+  const Clock* clock_;
+  int64_t epoch_nanos_;
+};
+
+/// Renders the span tree as indented text with timings and tags — the
+/// body of EXPLAIN ANALYZE:
+///
+///   query                          12.41ms
+///     decompose       +0.00ms       0.52ms
+///     dispatch        +0.53ms      11.02ms  parallelism=4
+///       items_f_CD@node1 ...
+std::string RenderSpanTree(const TraceSpan& root);
+
+}  // namespace partix::telemetry
+
+#endif  // PARTIX_TELEMETRY_TRACE_H_

@@ -81,6 +81,8 @@ TEST(DocumentStoreTest, LruEvictsUnderPressure) {
     ASSERT_TRUE(store.Put(*doc).ok());
   }
   for (DocSlot s = 0; s < 8; ++s) ASSERT_TRUE(store.Get(s).ok());
+  // Evictions happened under pressure, and the metric counted them.
+  EXPECT_GT(store.metrics().cache_evictions, 0u);
   // Re-reading the first document must re-parse (it was evicted).
   uint64_t parses_before = store.metrics().parses;
   ASSERT_TRUE(store.Get(0).ok());
@@ -97,6 +99,8 @@ TEST(DocumentStoreTest, DropCacheForcesReparse) {
   store.DropCache();
   ASSERT_TRUE(store.Get(*slot).ok());
   EXPECT_EQ(store.metrics().parses, 2u);
+  // An explicit DropCache is not an eviction: the counter stays put.
+  EXPECT_EQ(store.metrics().cache_evictions, 0u);
 }
 
 TEST(PostingsTest, IntersectAndUnion) {
@@ -196,6 +200,33 @@ TEST(CollectionStatsTest, Accumulates) {
   EXPECT_EQ(stats.element_counts().at("Item"), 2u);
   EXPECT_EQ(stats.element_counts().at("Code"), 2u);
   EXPECT_FALSE(stats.Summary().empty());
+}
+
+TEST(CollectionStatsTest, RecordAccessFoldsStoreDeltas) {
+  // The engine feeds each query's parse-cache delta back into the
+  // fragment's stats; the advisor reads hot-fragment access patterns
+  // from here.
+  CollectionStats stats;
+  StoreMetrics delta;
+  delta.parses = 3;
+  delta.bytes_parsed = 1200;
+  delta.cache_hits = 5;
+  delta.cache_misses = 3;
+  delta.cache_evictions = 1;
+  stats.RecordAccess(delta);
+  stats.RecordAccess(delta);
+
+  const AccessStats& access = stats.access();
+  EXPECT_EQ(access.queries, 2u);
+  EXPECT_EQ(access.parses, 6u);
+  EXPECT_EQ(access.bytes_parsed, 2400u);
+  EXPECT_EQ(access.cache_hits, 10u);
+  EXPECT_EQ(access.cache_misses, 6u);
+  EXPECT_EQ(access.cache_evictions, 2u);
+  EXPECT_DOUBLE_EQ(access.CacheHitRatio(), 10.0 / 16.0);
+  // The summary now carries the access line.
+  EXPECT_NE(stats.Summary().find("accessed by"), std::string::npos)
+      << stats.Summary();
 }
 
 }  // namespace

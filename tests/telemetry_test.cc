@@ -1,0 +1,374 @@
+// Telemetry subsystem: metrics conservation under concurrency, exposition
+// formats, deterministic trace spans under ManualClock, and the executor's
+// fault-injected span trees.
+
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "gen/virtual_store.h"
+#include "gtest/gtest.h"
+#include "partix/catalog.h"
+#include "partix/cluster.h"
+#include "partix/publisher.h"
+#include "partix/query_service.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace partix {
+namespace {
+
+using telemetry::HistogramSnapshot;
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+using telemetry::TraceSpan;
+using telemetry::Tracer;
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsTest, DisabledRegistryRecordsNothing) {
+  MetricsRegistry registry;  // starts disabled
+  telemetry::Counter* counter = registry.GetCounter("c");
+  telemetry::Histogram* histogram = registry.GetHistogram("h");
+  telemetry::Gauge* gauge = registry.GetGauge("g");
+  counter->Add(7);
+  histogram->Observe(1.0);
+  gauge->Set(3.0);
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(histogram->Snapshot().count, 0u);
+  EXPECT_EQ(gauge->Value(), 0.0);
+}
+
+// The tests below assert recorded values, so they require the
+// compiled-in instrumentation (the default build). Under
+// -DPARTIX_TELEMETRY=OFF every record op is a no-op by design.
+#ifndef PARTIX_TELEMETRY_DISABLED
+
+TEST(MetricsTest, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  telemetry::Counter* a = registry.GetCounter("dup");
+  telemetry::Counter* b = registry.GetCounter("dup");
+  EXPECT_EQ(a, b);
+  a->Add(2);
+  b->Add(3);
+  EXPECT_EQ(a->Value(), 5u);
+  EXPECT_EQ(registry.GetHistogram("hist"), registry.GetHistogram("hist"));
+  EXPECT_EQ(registry.GetGauge("gauge"), registry.GetGauge("gauge"));
+}
+
+TEST(MetricsTest, HistogramBucketsAndSum) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  telemetry::Histogram* h = registry.GetHistogram("lat", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // bucket 0
+  h->Observe(1.0);    // bucket 0 (le is inclusive)
+  h->Observe(5.0);    // bucket 1
+  h->Observe(1000.0); // +Inf bucket
+  HistogramSnapshot snap = h->Snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 1006.5);
+}
+
+// The conservation property the sharded cells must provide: with N
+// threads hammering one counter and one histogram while another thread
+// snapshots continuously, nothing is lost or double-counted, and the run
+// is TSan-clean.
+TEST(MetricsTest, ConcurrentRecordingConservesExactly) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  telemetry::Counter* counter = registry.GetCounter("hammered_total");
+  telemetry::Histogram* histogram =
+      registry.GetHistogram("hammered_ms", {0.5, 2.0, 8.0});
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kOpsPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    uint64_t last = 0;
+    while (!stop.load()) {
+      MetricsSnapshot snap = registry.Snapshot();
+      uint64_t now = snap.counters.at("hammered_total");
+      EXPECT_GE(now, last);  // counters are monotone even mid-hammer
+      last = now;
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        counter->Add(1);
+        // Values cycle through all buckets; each is an exact multiple of
+        // 1e-6 so the fixed-point sum is exact.
+        histogram->Observe(static_cast<double>((t + i) % 4));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop.store(true);
+  snapshotter.join();
+
+  constexpr uint64_t kTotal = kThreads * kOpsPerThread;
+  EXPECT_EQ(counter->Value(), kTotal);
+  HistogramSnapshot snap = histogram->Snapshot();
+  EXPECT_EQ(snap.count, kTotal);
+  uint64_t bucket_sum = 0;
+  for (uint64_t c : snap.counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, kTotal);
+  // Sum of 0+1+2+3 per 4 observations, exactly conserved.
+  EXPECT_DOUBLE_EQ(snap.sum, static_cast<double>(kTotal / 4 * 6));
+}
+
+TEST(MetricsTest, JsonAndPrometheusExport) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("partix_widgets_total")->Add(3);
+  registry.GetGauge("partix_pool_threads")->Set(4.0);
+  telemetry::Histogram* h =
+      registry.GetHistogram("partix_widget_ms", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);
+  MetricsSnapshot snap = registry.Snapshot();
+
+  const std::string json = snap.ToJson();
+  EXPECT_TRUE(Contains(json, "\"partix_widgets_total\": 3")) << json;
+  EXPECT_TRUE(Contains(json, "\"counters\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"histograms\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"+Inf\"")) << json;
+
+  const std::string prom = snap.ToPrometheus();
+  EXPECT_TRUE(Contains(prom, "# TYPE partix_widgets_total counter")) << prom;
+  EXPECT_TRUE(Contains(prom, "partix_widgets_total 3")) << prom;
+  EXPECT_TRUE(Contains(prom, "# TYPE partix_widget_ms histogram")) << prom;
+  // Buckets are cumulative: le="10" includes the le="1" observation.
+  EXPECT_TRUE(Contains(prom, "partix_widget_ms_bucket{le=\"1\"} 1")) << prom;
+  EXPECT_TRUE(Contains(prom, "partix_widget_ms_bucket{le=\"10\"} 2")) << prom;
+  EXPECT_TRUE(Contains(prom, "partix_widget_ms_bucket{le=\"+Inf\"} 3"))
+      << prom;
+  EXPECT_TRUE(Contains(prom, "partix_widget_ms_count 3")) << prom;
+  EXPECT_TRUE(Contains(prom, "partix_pool_threads 4")) << prom;
+}
+
+TEST(MetricsTest, ResetZeroesEverything) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  telemetry::Counter* c = registry.GetCounter("c");
+  telemetry::Histogram* h = registry.GetHistogram("h");
+  c->Add(5);
+  h->Observe(1.0);
+  registry.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Snapshot().count, 0u);
+  EXPECT_EQ(h->Snapshot().sum, 0.0);
+}
+
+#endif  // PARTIX_TELEMETRY_DISABLED
+
+// ------------------------------------------------------------ clock/trace
+
+TEST(ClockTest, ManualClockDrivesStopwatchExactly) {
+  ManualClock clock;
+  Stopwatch watch(&clock);
+  EXPECT_EQ(watch.ElapsedMillis(), 0.0);
+  clock.AdvanceMillis(12.5);
+  EXPECT_DOUBLE_EQ(watch.ElapsedMillis(), 12.5);
+  watch.Restart();
+  EXPECT_EQ(watch.ElapsedMillis(), 0.0);
+  clock.AdvanceMicros(250);
+  EXPECT_DOUBLE_EQ(watch.ElapsedMicros(), 250.0);
+}
+
+TEST(TraceTest, TracerMeasuresAgainstEpoch) {
+  ManualClock clock;
+  clock.AdvanceMillis(100.0);  // epoch is wherever the clock is now
+  Tracer tracer(&clock);
+  EXPECT_EQ(tracer.NowMs(), 0.0);
+  clock.AdvanceMillis(3.25);
+  EXPECT_DOUBLE_EQ(tracer.NowMs(), 3.25);
+}
+
+TEST(TraceTest, FindTagAndTreeSize) {
+  TraceSpan root("query");
+  root.AddTag("composition", "union");
+  TraceSpan dispatch("dispatch");
+  TraceSpan sub("f_CD@node0");
+  sub.children.emplace_back("attempt 1@node0");
+  dispatch.children.push_back(std::move(sub));
+  root.children.push_back(std::move(dispatch));
+
+  EXPECT_EQ(root.TreeSize(), 4u);
+  EXPECT_EQ(root.Tag("composition"), "union");
+  EXPECT_EQ(root.Tag("absent"), "");
+  ASSERT_NE(root.Find("f_CD@node0"), nullptr);
+  ASSERT_NE(root.Find("attempt"), nullptr);
+  EXPECT_EQ(root.Find("nonexistent"), nullptr);
+
+  const std::string rendered = telemetry::RenderSpanTree(root);
+  EXPECT_TRUE(Contains(rendered, "query")) << rendered;
+  EXPECT_TRUE(Contains(rendered, "f_CD@node0")) << rendered;
+  EXPECT_TRUE(Contains(rendered, "composition=union")) << rendered;
+}
+
+// ------------------------------------------------- traced execution (e2e)
+
+/// Items fragmented by Section over 4 nodes, replication factor 2
+/// (replica r of fragment i lives at node (i + r) mod 4) — the
+/// failover_test.cc topology.
+class TracedExecutionTest : public ::testing::Test {
+ protected:
+  TracedExecutionTest()
+      : cluster_(4, xdb::DatabaseOptions(), middleware::NetworkModel()),
+        publisher_(&cluster_, &catalog_),
+        service_(&cluster_, &catalog_) {
+    gen::ItemsGenOptions options;
+    options.doc_count = 40;
+    options.seed = 11;
+    options.sections = {"CD", "DVD", "BOOK", "TOY"};
+    auto items = gen::GenerateItems(options, nullptr);
+    EXPECT_TRUE(items.ok());
+    frag::FragmentationSchema schema;
+    schema.collection = "items";
+    for (const std::string& s : options.sections) {
+      auto mu = xpath::Conjunction::Parse("/Item/Section = \"" + s + "\"");
+      EXPECT_TRUE(mu.ok());
+      schema.fragments.emplace_back(frag::HorizontalDef{"f_" + s, *mu});
+    }
+    EXPECT_TRUE(publisher_
+                    .PublishFragmented(*items, schema, {},
+                                       /*replication_factor=*/2)
+                    .ok());
+  }
+
+  middleware::DistributionCatalog catalog_;
+  middleware::ClusterSim cluster_;
+  middleware::DataPublisher publisher_;
+  middleware::QueryService service_;
+};
+
+TEST_F(TracedExecutionTest, SpanTreeCoversPhasesAndSubQueries) {
+  middleware::ExecutionOptions options;
+  options.trace = true;
+  options.parallelism = 4;
+  auto result =
+      service_.Execute("count(collection(\"items\")/Item)", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->traced);
+
+  const TraceSpan& root = result->trace;
+  EXPECT_EQ(root.name, "query");
+  ASSERT_NE(root.Find("decompose"), nullptr);
+  ASSERT_NE(root.Find("compose"), nullptr);
+  const TraceSpan* dispatch = root.Find("dispatch");
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(dispatch->children.size(), 4u);  // one span per fragment
+  const std::regex canonical("f_[A-Z]+@node[0-9]+");
+  for (const TraceSpan& sub : dispatch->children) {
+    EXPECT_TRUE(std::regex_match(sub.name, canonical)) << sub.name;
+    EXPECT_EQ(sub.Tag("status"), "ok") << sub.name;
+    ASSERT_FALSE(sub.children.empty()) << sub.name;
+    EXPECT_TRUE(Contains(sub.children[0].name, "attempt 1@node"))
+        << sub.children[0].name;
+  }
+
+  // The phases nest inside the root span's window and account for (at
+  // least almost) all of it.
+  double covered = 0.0;
+  for (const TraceSpan& phase : root.children) {
+    EXPECT_GE(phase.start_ms, 0.0);
+    EXPECT_LE(phase.start_ms + phase.duration_ms, root.duration_ms + 1e-6);
+    covered += phase.duration_ms;
+  }
+  EXPECT_GE(covered, 0.0);
+  EXPECT_LE(covered, root.duration_ms + 1e-6);
+}
+
+TEST_F(TracedExecutionTest, FaultInjectedTraceShowsRetriesAndFailover) {
+  // Node 1 (f_DVD primary) rejects its first two engine requests with a
+  // transient error, then heals: the f_DVD sub-query must retry and fail
+  // over to its replica on node 2, and the span tree must say so.
+  middleware::FaultProfile profile;
+  profile.fail_first_requests = 2;
+  cluster_.SetFaultProfile(1, profile);
+
+  middleware::ExecutionOptions options;
+  options.trace = true;
+  options.retry.max_attempts = 4;
+  options.retry.base_backoff_ms = 0.01;
+  options.retry.max_backoff_ms = 0.05;
+  options.retry.seed = 42;
+  auto result =
+      service_.Execute("count(collection(\"items\")/Item)", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->traced);
+  EXPECT_GE(result->retries, 1u);
+  EXPECT_GE(result->failovers, 1u);
+
+  const TraceSpan* dispatch = result->trace.Find("dispatch");
+  ASSERT_NE(dispatch, nullptr);
+  const TraceSpan* dvd = dispatch->Find("f_DVD@");
+  ASSERT_NE(dvd, nullptr);
+  // Canonical label names the node that finally served the fragment.
+  EXPECT_TRUE(Contains(dvd->name, "f_DVD@node")) << dvd->name;
+  EXPECT_GE(dvd->children.size(), 2u);  // >= 2 attempts recorded
+  EXPECT_NE(std::stoul(dvd->Tag("attempts")), 0u);
+  // The first attempt hit node1 and failed; a later attempt carries the
+  // failover tag and an OK status on another node.
+  const TraceSpan* first = dvd->Find("attempt 1@node1");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->Tag("status"), "unavailable");
+  bool failed_over_ok = false;
+  for (const TraceSpan& child : dvd->children) {
+    if (child.Tag("failover") == "true" && child.Tag("status") == "ok") {
+      failed_over_ok = true;
+    }
+  }
+  EXPECT_TRUE(failed_over_ok) << telemetry::RenderSpanTree(*dvd);
+  EXPECT_EQ(dvd->Tag("status"), "ok");
+  EXPECT_NE(dvd->Tag("failovers"), "0");
+}
+
+TEST_F(TracedExecutionTest, ManualClockMakesTraceDeterministic) {
+  // With an injected ManualClock that nothing advances, every span start
+  // and duration is exactly zero: the trace depends only on the clock.
+  ManualClock clock;
+  service_.set_clock(&clock);
+  middleware::ExecutionOptions options;
+  options.trace = true;
+  auto result =
+      service_.Execute("count(collection(\"items\")/Item)", options);
+  service_.set_clock(Clock::Monotonic());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->wall_ms, 0.0);
+  std::vector<const TraceSpan*> stack{&result->trace};
+  while (!stack.empty()) {
+    const TraceSpan* span = stack.back();
+    stack.pop_back();
+    EXPECT_EQ(span->start_ms, 0.0) << span->name;
+    EXPECT_EQ(span->duration_ms, 0.0) << span->name;
+    for (const TraceSpan& child : span->children) stack.push_back(&child);
+  }
+}
+
+TEST_F(TracedExecutionTest, ExplainAnalyzeRendersPlanAndSpans) {
+  auto text = service_.ExplainAnalyze("count(collection(\"items\")/Item)");
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_TRUE(Contains(*text, "composition:")) << *text;
+  EXPECT_TRUE(Contains(*text, "execution (wall ")) << *text;
+  EXPECT_TRUE(Contains(*text, "query")) << *text;
+  EXPECT_TRUE(Contains(*text, "dispatch")) << *text;
+  EXPECT_TRUE(Contains(*text, "@node")) << *text;
+}
+
+}  // namespace
+}  // namespace partix
