@@ -36,7 +36,9 @@ for config in "${configs[@]}"; do
   cmake -B "$dir" -S . "${flags[@]}" >/dev/null
   cmake --build "$dir" -j "$jobs"
   echo "== ${config}: ctest =="
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  # --timeout keeps a hung test (deadlock under TSan, runaway retry loop)
+  # from stalling CI forever; 300s is ~100x the healthy full-suite time.
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" --timeout 300
 done
 
 echo "== all configs passed: ${configs[*]} =="

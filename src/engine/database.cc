@@ -6,13 +6,40 @@
 
 #include "common/clock.h"
 #include "engine/planner.h"
+#include "telemetry/metrics.h"
 #include "xml/parser.h"
+#include "xquery/compiled_query.h"
 #include "xquery/evaluator.h"
-#include "xquery/parser.h"
 
 namespace partix::xdb {
 
 namespace {
+
+/// Engine-side compile/plan-cache counters, process-wide across every
+/// Database instance (per-query figures stay on QueryMetrics; per-engine
+/// exact counts on Database::plan_cache_stats()).
+struct EngineTelemetry {
+  telemetry::Counter* plan_cache_hits;
+  telemetry::Counter* plan_cache_misses;
+  telemetry::Counter* plan_cache_evictions;
+  telemetry::Histogram* compile_ms;
+
+  static const EngineTelemetry& Get() {
+    static const EngineTelemetry t = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      EngineTelemetry out;
+      out.plan_cache_hits =
+          registry.GetCounter("partix_plan_cache_hits_total");
+      out.plan_cache_misses =
+          registry.GetCounter("partix_plan_cache_misses_total");
+      out.plan_cache_evictions =
+          registry.GetCounter("partix_plan_cache_evictions_total");
+      out.compile_ms = registry.GetHistogram("xdb_compile_ms");
+      return out;
+    }();
+    return t;
+  }
+};
 
 /// Resolves collection() calls against the database with planner-derived
 /// candidate documents.
@@ -59,7 +86,9 @@ class PlannedResolver : public xquery::CollectionResolver {
 }  // namespace
 
 Database::Database(DatabaseOptions options)
-    : options_(options), pool_(std::make_shared<xml::NamePool>()) {}
+    : options_(options),
+      pool_(std::make_shared<xml::NamePool>()),
+      plan_cache_(options.plan_cache_capacity) {}
 
 Status Database::CreateCollection(const std::string& name,
                                   CollectionMeta meta) {
@@ -71,6 +100,7 @@ Status Database::CreateCollection(const std::string& name,
   state.store = std::make_unique<storage::DocumentStore>(
       pool_, options_.cache_capacity_bytes);
   collections_.emplace(name, std::move(state));
+  InvalidatePlans();
   return Status::Ok();
 }
 
@@ -78,7 +108,15 @@ Status Database::DropCollection(const std::string& name) {
   if (collections_.erase(name) == 0) {
     return Status::NotFound("collection '" + name + "' does not exist");
   }
+  InvalidatePlans();
   return Status::Ok();
+}
+
+void Database::InvalidatePlans() {
+  const size_t dropped = plan_cache_.Clear();
+  if (dropped > 0) {
+    EngineTelemetry::Get().plan_cache_evictions->Add(dropped);
+  }
 }
 
 bool Database::HasCollection(const std::string& name) const {
@@ -210,12 +248,81 @@ Result<uint64_t> Database::SerializedBytes(
   return state->store->total_serialized_bytes();
 }
 
+Result<PrepareOutcome> Database::Prepare(const std::string& query) {
+  if (PreparedQueryPtr cached = plan_cache_.Lookup(query)) {
+    EngineTelemetry::Get().plan_cache_hits->Add();
+    PrepareOutcome out;
+    out.plan = std::move(cached);
+    out.cache_hit = true;
+    return out;
+  }
+  Stopwatch watch;
+  PARTIX_ASSIGN_OR_RETURN(xquery::CompiledQueryPtr compiled,
+                          xquery::CompiledQuery::Compile(query));
+  auto plan = std::make_shared<PreparedQuery>();
+  plan->plans = AnalyzeQuery(compiled->ast());
+  plan->compiled = std::move(compiled);
+  plan->compile_ms = watch.ElapsedMillis();
+  return FinishPrepare(std::move(plan));
+}
+
+Result<PrepareOutcome> Database::Prepare(
+    const xquery::CompiledQueryPtr& compiled) {
+  if (compiled == nullptr) {
+    return Status::InvalidArgument("Prepare: null compiled query");
+  }
+  if (PreparedQueryPtr cached = plan_cache_.Lookup(compiled->text())) {
+    EngineTelemetry::Get().plan_cache_hits->Add();
+    PrepareOutcome out;
+    out.plan = std::move(cached);
+    out.cache_hit = true;
+    return out;
+  }
+  Stopwatch watch;
+  auto plan = std::make_shared<PreparedQuery>();
+  plan->compiled = compiled;
+  plan->plans = AnalyzeQuery(compiled->ast());
+  plan->compile_ms = watch.ElapsedMillis();
+  return FinishPrepare(std::move(plan));
+}
+
+PrepareOutcome Database::FinishPrepare(std::shared_ptr<PreparedQuery> plan) {
+  const EngineTelemetry& telemetry = EngineTelemetry::Get();
+  telemetry.plan_cache_misses->Add();
+  telemetry.compile_ms->Observe(plan->compile_ms);
+  PrepareOutcome out;
+  out.compile_ms = plan->compile_ms;
+  out.plan = std::move(plan);
+  const size_t evicted =
+      plan_cache_.Insert(out.plan->compiled->text(), out.plan);
+  if (evicted > 0) telemetry.plan_cache_evictions->Add(evicted);
+  return out;
+}
+
 Result<QueryResult> Database::Execute(const std::string& query) {
   Stopwatch watch;
-  PARTIX_ASSIGN_OR_RETURN(xquery::ExprPtr ast, xquery::ParseQuery(query));
+  PARTIX_ASSIGN_OR_RETURN(PrepareOutcome prepared, Prepare(query));
+  PARTIX_ASSIGN_OR_RETURN(QueryResult out, ExecutePrepared(*prepared.plan));
+  out.metrics.compile_ms = prepared.compile_ms;
+  out.metrics.plan_cache_hits = prepared.cache_hit ? 1 : 0;
+  out.metrics.plan_cache_misses = prepared.cache_hit ? 0 : 1;
+  // elapsed_ms spans prepare + execution, as it always did; on a cache
+  // hit the compile component is simply gone.
+  out.metrics.elapsed_ms = watch.ElapsedMillis();
+  return out;
+}
 
-  // Plan: compute candidate documents per referenced collection.
-  std::map<std::string, CollectionPlan> plans = AnalyzeQuery(*ast);
+Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared) {
+  if (prepared.compiled == nullptr) {
+    return Status::InvalidArgument("ExecutePrepared: plan has no query");
+  }
+  Stopwatch watch;
+  const std::map<std::string, CollectionPlan>& plans = prepared.plans;
+
+  // Plan: compute candidate documents per referenced collection. This
+  // part is data-dependent (index postings change as documents are
+  // stored), so it stays at execution time; the parse and the static
+  // site-constraint analysis live in the prepared plan.
   std::map<std::string, std::vector<storage::DocSlot>> candidates;
   std::map<std::string, storage::DocumentStore*> stores;
   QueryMetrics metrics;
@@ -303,7 +410,7 @@ Result<QueryResult> Database::Execute(const std::string& query) {
   // Evaluate.
   PlannedResolver resolver(std::move(candidates), std::move(stores));
   xquery::Evaluator evaluator(&resolver, pool_);
-  Result<xquery::Sequence> result = evaluator.Eval(*ast);
+  Result<xquery::Sequence> result = evaluator.Eval(prepared.compiled->ast());
   if (!result.ok()) return result.status();
 
   // Collect metrics, and fold each collection's access delta into its

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/plan_cache.h"
 #include "storage/document_store.h"
 #include "storage/indexes.h"
 #include "storage/stats.h"
@@ -37,6 +38,10 @@ struct DatabaseOptions {
   /// Exact-value index on simple-content elements. OFF by default: the
   /// paper configured no value indexes ("No other indexes were created").
   bool enable_value_index = false;
+  /// Prepared-plan LRU cache capacity in entries, keyed by query text and
+  /// invalidated by collection DDL. 0 disables caching: every Prepare
+  /// recompiles (the "cache off" ablation of bench/plan_cache_bench).
+  size_t plan_cache_capacity = 128;
 };
 
 /// Descriptive metadata of a collection (its schema binding).
@@ -51,6 +56,14 @@ struct CollectionMeta {
 /// Execution counters for one query.
 struct QueryMetrics {
   double elapsed_ms = 0.0;
+  /// Parse + static-analysis cost paid by this call; 0 when the plan came
+  /// from the plan cache or a caller-supplied prepared plan.
+  double compile_ms = 0.0;
+  /// Plan-cache accounting of this call: {1,0} on a hit, {0,1} on a miss,
+  /// {0,0} when executed through a caller-supplied prepared plan (the
+  /// cache was not consulted).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
   uint64_t docs_in_collections = 0;  // total docs in referenced collections
   uint64_t docs_considered = 0;      // after index pruning
   uint64_t docs_parsed = 0;
@@ -68,6 +81,15 @@ struct QueryResult {
   QueryMetrics metrics;
 };
 
+/// What Prepare() hands back: the (possibly cached) plan plus how it was
+/// obtained. `compile_ms` is 0 exactly when `cache_hit` — a hit pays no
+/// parse and no analysis.
+struct PrepareOutcome {
+  PreparedQueryPtr plan;
+  bool cache_hit = false;
+  double compile_ms = 0.0;
+};
+
 /// The sequential XQuery-enabled XML database PartiX coordinates — the
 /// role eXist plays in the paper. One Database instance is "one DBMS node"
 /// of the distributed setting.
@@ -79,7 +101,8 @@ struct QueryResult {
 /// call must touch using the indexes.
 ///
 /// Thread-safety: single-thread-only — even Execute mutates shared state
-/// (the LRU parse cache, store metrics, and the name pool when a document
+/// (the LRU parse cache, the prepared-plan cache, store metrics, and the
+/// name pool when a document
 /// is first materialized), so one instance must be driven by one thread at
 /// a time. In the distributed setting this is per-node-exclusive access:
 /// middleware::LocalXdbDriver wraps each node's instance in a mutex, and
@@ -141,9 +164,34 @@ class Database {
 
   // ---- Query ----
 
-  /// Parses, plans, and evaluates an XQuery; returns items, serialized
-  /// text, and metrics.
+  /// Executes an XQuery: Prepare (served from the plan cache when the
+  /// exact text was prepared before and no DDL intervened) followed by
+  /// ExecutePrepared. Metrics carry the compile cost actually paid and
+  /// the cache hit/miss of this call.
   Result<QueryResult> Execute(const std::string& query);
+
+  /// Compiles `query` into a shareable plan, or returns it from the plan
+  /// cache. Parse failures are returned (never cached), so a malformed
+  /// query fails identically on every submission.
+  Result<PrepareOutcome> Prepare(const std::string& query);
+
+  /// Same, for a query the caller already compiled (e.g. the middleware's
+  /// per-sub-query artifact): a cache miss runs static analysis only — no
+  /// parse happens on this path.
+  Result<PrepareOutcome> Prepare(const xquery::CompiledQueryPtr& compiled);
+
+  /// Evaluates a prepared plan: computes the data-dependent candidate
+  /// sets from the current indexes, evaluates, serializes. Pays no parse
+  /// and no static analysis (`metrics.compile_ms == 0`). The plan may
+  /// come from this engine, another engine, or PreparedQuery built by the
+  /// caller.
+  Result<QueryResult> ExecutePrepared(const PreparedQuery& prepared);
+
+  /// Plan-cache introspection (tests, benches, DDL-invalidation proofs).
+  const PlanCacheStats& plan_cache_stats() const {
+    return plan_cache_.stats();
+  }
+  size_t plan_cache_size() const { return plan_cache_.size(); }
 
   // ---- Cache control (benchmarks) ----
 
@@ -167,9 +215,19 @@ class Database {
   Status IndexDocument(CollectionState* state, storage::DocSlot slot,
                        const xml::Document& doc);
 
+  /// Caches a freshly-built plan and assembles its PrepareOutcome
+  /// (miss-path tail shared by both Prepare overloads).
+  PrepareOutcome FinishPrepare(std::shared_ptr<PreparedQuery> plan);
+
+  /// Clears the plan cache after collection DDL (any cached plan may
+  /// reference the changed collection).
+  void InvalidatePlans();
+
   DatabaseOptions options_;
   std::shared_ptr<xml::NamePool> pool_;
   std::map<std::string, CollectionState> collections_;
+  /// Prepared plans keyed by query text; cleared by collection DDL.
+  PlanCache plan_cache_;
 };
 
 }  // namespace partix::xdb

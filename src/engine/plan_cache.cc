@@ -1,0 +1,47 @@
+#include "engine/plan_cache.h"
+
+#include <utility>
+
+namespace partix::xdb {
+
+PreparedQueryPtr PlanCache::Lookup(const std::string& text) {
+  auto it = index_.find(text);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  return entries_.front().plan;
+}
+
+size_t PlanCache::Insert(const std::string& text, PreparedQueryPtr plan) {
+  if (capacity_ == 0) return 0;
+  auto it = index_.find(text);
+  if (it != index_.end()) {
+    it->second->plan = std::move(plan);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return 0;
+  }
+  entries_.push_front(Entry{text, std::move(plan)});
+  index_.emplace(text, entries_.begin());
+  size_t evicted = 0;
+  while (entries_.size() > capacity_) {
+    index_.erase(entries_.back().text);
+    entries_.pop_back();
+    ++evicted;
+  }
+  stats_.evictions += evicted;
+  return evicted;
+}
+
+size_t PlanCache::Clear() {
+  const size_t dropped = entries_.size();
+  entries_.clear();
+  index_.clear();
+  stats_.evictions += dropped;
+  ++stats_.invalidations;
+  return dropped;
+}
+
+}  // namespace partix::xdb

@@ -1,0 +1,96 @@
+#ifndef PARTIX_ENGINE_PLAN_CACHE_H_
+#define PARTIX_ENGINE_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "engine/planner.h"
+#include "xquery/compiled_query.h"
+
+namespace partix::xdb {
+
+/// The engine-side prepared statement: the compiled query plus the static
+/// planner's per-collection site constraints. Holds no pointers into any
+/// Database — the data-dependent part of planning (index-posting
+/// intersection into candidate document slots) happens at
+/// ExecutePrepared() time, because stored documents change between
+/// executions while the query's structure does not.
+///
+/// Thread-safety: deeply immutable; safe to share across threads. A plan
+/// prepared on one Database may be executed on another (the constraints
+/// are derived from the query alone), which is what lets the middleware
+/// ship one CompiledQuery to every replica of a fragment.
+struct PreparedQuery {
+  xquery::CompiledQueryPtr compiled;
+  /// AnalyzeQuery(compiled->ast()): one entry per referenced collection.
+  std::map<std::string, CollectionPlan> plans;
+  /// Cost (ms) of building this plan: parse (when compiled locally from
+  /// text) + static analysis. Paid once; plan-cache hits report 0.
+  double compile_ms = 0.0;
+};
+
+using PreparedQueryPtr = std::shared_ptr<const PreparedQuery>;
+
+/// Cumulative counters of one PlanCache.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Entries removed: LRU capacity evictions + DDL invalidations.
+  uint64_t evictions = 0;
+  /// Clear() calls (every collection DDL invalidates the whole cache).
+  uint64_t invalidations = 0;
+};
+
+/// LRU cache of prepared plans keyed by exact query text. Owned by a
+/// Database and bound by its thread-safety contract (single-thread-only);
+/// parse errors are never inserted, so a bad query fails identically on
+/// every submission.
+class PlanCache {
+ public:
+  /// `capacity` in entries; 0 disables caching (Lookup always misses,
+  /// Insert is a no-op).
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan and promotes it to most-recently-used, or
+  /// nullptr on miss. Counts a hit or miss.
+  PreparedQueryPtr Lookup(const std::string& text);
+
+  /// Inserts (or replaces) the plan for `text`, evicting the
+  /// least-recently-used entry when over capacity. Returns the number of
+  /// entries evicted.
+  size_t Insert(const std::string& text, PreparedQueryPtr plan);
+
+  /// Drops every entry (collection DDL invalidation: any cached plan may
+  /// reference the changed collection). Returns the number of entries
+  /// dropped; counts them as evictions and the call as an invalidation.
+  size_t Clear();
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  const PlanCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::string text;
+    PreparedQueryPtr plan;
+  };
+
+  size_t capacity_;
+  /// Front = most recently used. Map values point into the list; list
+  /// nodes are address-stable across splices.
+  std::list<Entry> entries_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace partix::xdb
+
+#endif  // PARTIX_ENGINE_PLAN_CACHE_H_

@@ -17,6 +17,39 @@ ClusterSim::ClusterSim(size_t node_count, xdb::DatabaseOptions node_options,
   }
 }
 
+Status ClusterSim::FaultGate(size_t i, double* spike_ms) {
+  NodeFaultState& f = *faults_[i];
+  std::lock_guard<std::mutex> lock(f.mu);
+  if (f.profile.down) {
+    return Status::Unavailable("node" + std::to_string(i) + " is down");
+  }
+  if (f.profile.fail_after_requests >= 0 &&
+      f.engine_requests >=
+          static_cast<uint64_t>(f.profile.fail_after_requests)) {
+    return Status::Unavailable(
+        "node" + std::to_string(i) + " failed after " +
+        std::to_string(f.profile.fail_after_requests) + " request(s)");
+  }
+  if (f.profile.fail_first_requests > 0 &&
+      f.engine_requests <
+          static_cast<uint64_t>(f.profile.fail_first_requests)) {
+    ++f.engine_requests;
+    return Status::Unavailable("injected transient error at node" +
+                               std::to_string(i) + " (fail-first)");
+  }
+  if (f.profile.transient_error_rate > 0.0 &&
+      f.rng.Bernoulli(f.profile.transient_error_rate)) {
+    return Status::Unavailable("injected transient error at node" +
+                               std::to_string(i));
+  }
+  if (f.profile.latency_spike_rate > 0.0 &&
+      f.rng.Bernoulli(f.profile.latency_spike_rate)) {
+    *spike_ms = f.profile.latency_spike_ms;
+  }
+  ++f.engine_requests;
+  return Status::Ok();
+}
+
 Result<xdb::QueryResult> ClusterSim::ExecuteOnNode(size_t i,
                                                    const std::string& query) {
   if (i >= nodes_.size()) {
@@ -24,43 +57,42 @@ Result<xdb::QueryResult> ClusterSim::ExecuteOnNode(size_t i,
                               " out of range");
   }
   double spike_ms = 0.0;
-  {
-    NodeFaultState& f = *faults_[i];
-    std::lock_guard<std::mutex> lock(f.mu);
-    if (f.profile.down) {
-      return Status::Unavailable("node" + std::to_string(i) + " is down");
-    }
-    if (f.profile.fail_after_requests >= 0 &&
-        f.engine_requests >=
-            static_cast<uint64_t>(f.profile.fail_after_requests)) {
-      return Status::Unavailable(
-          "node" + std::to_string(i) + " failed after " +
-          std::to_string(f.profile.fail_after_requests) + " request(s)");
-    }
-    if (f.profile.fail_first_requests > 0 &&
-        f.engine_requests <
-            static_cast<uint64_t>(f.profile.fail_first_requests)) {
-      ++f.engine_requests;
-      return Status::Unavailable("injected transient error at node" +
-                                 std::to_string(i) + " (fail-first)");
-    }
-    if (f.profile.transient_error_rate > 0.0 &&
-        f.rng.Bernoulli(f.profile.transient_error_rate)) {
-      return Status::Unavailable("injected transient error at node" +
-                                 std::to_string(i));
-    }
-    if (f.profile.latency_spike_rate > 0.0 &&
-        f.rng.Bernoulli(f.profile.latency_spike_rate)) {
-      spike_ms = f.profile.latency_spike_ms;
-    }
-    ++f.engine_requests;
-  }
+  PARTIX_RETURN_IF_ERROR(FaultGate(i, &spike_ms));
   if (spike_ms > 0.0) {
     // Stall outside the fault mutex: a slow node must not block fault
     // draws for concurrent requests to the same node.
     std::this_thread::sleep_for(std::chrono::duration<double>(spike_ms / 1e3));
   }
   return nodes_[i]->Execute(query);
+}
+
+Result<PreparedSubQueryPtr> ClusterSim::PrepareOnNode(
+    size_t i, const xquery::CompiledQueryPtr& compiled) {
+  if (i >= nodes_.size()) {
+    return Status::OutOfRange("node " + std::to_string(i) +
+                              " out of range");
+  }
+  // Liveness only — no stochastic fault draw, no engine-request count:
+  // preparation must not perturb deterministic fault schedules (see
+  // header contract).
+  if (IsNodeDown(i)) {
+    return Status::Unavailable("node" + std::to_string(i) + " is down");
+  }
+  return nodes_[i]->Prepare(compiled);
+}
+
+Result<xdb::QueryResult> ClusterSim::ExecutePreparedOnNode(
+    size_t i, const PreparedSubQuery& prepared) {
+  if (i >= nodes_.size()) {
+    return Status::OutOfRange("node " + std::to_string(i) +
+                              " out of range");
+  }
+  double spike_ms = 0.0;
+  PARTIX_RETURN_IF_ERROR(FaultGate(i, &spike_ms));
+  if (spike_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(spike_ms / 1e3));
+  }
+  return nodes_[i]->ExecutePrepared(prepared);
 }
 
 void ClusterSim::SetFaultProfile(size_t i, FaultProfile profile) {

@@ -106,6 +106,21 @@ class ClusterSim {
   /// Thread-safe; this is what the executor dispatches through.
   Result<xdb::QueryResult> ExecuteOnNode(size_t i, const std::string& query);
 
+  /// Prepares a compiled query on node `i`'s driver. A down (or
+  /// fail-after-exhausted) node rejects with kUnavailable, but the fault
+  /// gate's stochastic knobs are NOT consulted: preparation consumes no
+  /// fault-RNG draw and no engine-request budget, so fault-injection
+  /// schedules (and the tests that pin them) see exactly one draw per
+  /// *executed* attempt, prepared or not. Thread-safe.
+  Result<PreparedSubQueryPtr> PrepareOnNode(
+      size_t i, const xquery::CompiledQueryPtr& compiled);
+
+  /// Prepared counterpart of ExecuteOnNode: the same fault gate (one draw
+  /// / one engine-request per attempt), then the node's driver executes
+  /// the handle without recompiling. Thread-safe.
+  Result<xdb::QueryResult> ExecutePreparedOnNode(
+      size_t i, const PreparedSubQuery& prepared);
+
   /// Failure injection: replaces node `i`'s fault profile, resetting its
   /// request counter and reseeding its RNG from `profile.seed`. Data
   /// survives (the node is unreachable, not wiped). Out-of-range `i` is a
@@ -137,6 +152,13 @@ class ClusterSim {
     uint64_t engine_requests = 0;
     Rng rng;
   };
+
+  /// Runs node `i`'s fault gate for one engine request: rejects when the
+  /// node is down / budget-exhausted / transiently faulted (consuming at
+  /// most one RNG draw), otherwise counts the request and reports any
+  /// latency spike to stall for. Shared by ExecuteOnNode and
+  /// ExecutePreparedOnNode so both paths have identical fault semantics.
+  Status FaultGate(size_t i, double* spike_ms);
 
   std::vector<std::unique_ptr<LocalXdbDriver>> nodes_;
   std::vector<std::unique_ptr<NodeFaultState>> faults_;

@@ -7,7 +7,7 @@
 #include "common/strings.h"
 #include "xpath/predicate.h"
 #include "xquery/ast.h"
-#include "xquery/parser.h"
+#include "xquery/compiled_query.h"
 
 namespace partix::middleware {
 
@@ -643,16 +643,29 @@ Status RewriteForFragment(Expr* e, const std::string& old_name,
   return Status::Ok();
 }
 
-/// Produces the rewritten sub-query text for one fragment, or an error
-/// when the query is not rewritable for it.
-Result<std::string> RewriteQueryText(const Expr& ast,
-                                     const std::string& collection,
-                                     const std::string& fragment,
-                                     size_t drop_steps) {
+/// Produces the rewritten sub-query for one fragment as a compiled
+/// artifact, or an error when the query is not rewritable for it. The
+/// clone is rewritten structurally and wrapped without ever re-parsing;
+/// the rendered text rides along for Explain and error messages.
+Result<xquery::CompiledQueryPtr> RewriteCompiled(
+    const Expr& ast, const std::string& collection,
+    const std::string& fragment, size_t drop_steps) {
   ExprPtr clone = xquery::CloneExpr(ast);
   PARTIX_RETURN_IF_ERROR(
       RewriteForFragment(clone.get(), collection, fragment, drop_steps));
-  return xquery::ExprToString(*clone);
+  std::string text = xquery::ExprToString(*clone);
+  return xquery::CompiledQuery::FromAst(std::move(text), std::move(clone));
+}
+
+/// `collection("fragment")` as a compiled artifact, built structurally
+/// (fetch sub-queries of the join-reconstruct path).
+xquery::CompiledQueryPtr FetchQuery(const std::string& fragment) {
+  FunctionCall call;
+  call.name = "collection";
+  call.args.push_back(xquery::MakeExpr(StringLit{fragment}));
+  return xquery::CompiledQuery::FromAst(
+      "collection(\"" + fragment + "\")",
+      xquery::MakeExpr(std::move(call)));
 }
 
 // ---------------------------------------------------------------------
@@ -678,14 +691,15 @@ bool ProjectionNeeded(const xpath::Path& touched, const xpath::Path& p,
 /// first), so the executor can fail over without re-planning.
 Result<SubQuery> MakeSubQuery(const DistributionEntry& entry,
                               const std::string& fragment,
-                              std::string text) {
+                              xquery::CompiledQueryPtr compiled) {
   PARTIX_ASSIGN_OR_RETURN(std::vector<size_t> replicas,
                           entry.ReplicasOf(fragment));
   SubQuery sub;
   sub.fragment = fragment;
   sub.node = replicas.front();
   sub.replicas = std::move(replicas);
-  sub.query = std::move(text);
+  sub.query = compiled->text();
+  sub.compiled = std::move(compiled);
   return sub;
 }
 
@@ -705,8 +719,14 @@ const char* CompositionName(Composition c) {
 
 Result<DistributedPlan> QueryDecomposer::Decompose(
     const std::string& query) const {
-  PARTIX_ASSIGN_OR_RETURN(ExprPtr ast, xquery::ParseQuery(query));
-  Mined mined = Miner().Run(*ast);
+  // The single parse of the whole middleware execution: sub-queries are
+  // derived from this AST by cloning + structural rewriting, and the
+  // compiled artifact travels with the plan so no downstream layer (node
+  // engines, retries, join composition) ever re-parses the text.
+  PARTIX_ASSIGN_OR_RETURN(xquery::CompiledQueryPtr compiled,
+                          xquery::CompiledQuery::Compile(query));
+  const Expr& ast = compiled->ast();
+  Mined mined = Miner().Run(ast);
 
   if (mined.collections.empty()) {
     return Status::InvalidArgument(
@@ -728,9 +748,11 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
 
   DistributedPlan plan;
   plan.original_query = query;
+  plan.compiled = compiled;
 
   if (fragmented.empty()) {
-    // Centralized execution at the node holding the collection.
+    // Centralized execution at the node holding the collection: the
+    // original query ships unchanged, compiled form included.
     const std::string& coll = *mined.collections.begin();
     PARTIX_ASSIGN_OR_RETURN(size_t node, catalog_->CentralizedNode(coll));
     plan.collection = coll;
@@ -740,6 +762,7 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
     sub.node = node;
     sub.replicas = {node};
     sub.query = query;
+    sub.compiled = compiled;
     plan.subqueries.push_back(std::move(sub));
     plan.notes.push_back("collection is centralized; no decomposition");
     return plan;
@@ -765,8 +788,7 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
     for (const FragmentDef* def : defs) {
       PARTIX_ASSIGN_OR_RETURN(
           SubQuery sub,
-          MakeSubQuery(*entry, def->name(),
-                       "collection(\"" + def->name() + "\")"));
+          MakeSubQuery(*entry, def->name(), FetchQuery(def->name())));
       plan.subqueries.push_back(std::move(sub));
     }
     plan.composition = Composition::kJoinReconstruct;
@@ -798,10 +820,11 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
       }
       for (const FragmentDef* def : targets) {
         PARTIX_ASSIGN_OR_RETURN(
-            std::string text,
-            RewriteQueryText(*ast, fragmented, def->name(), 0));
+            xquery::CompiledQueryPtr sub_compiled,
+            RewriteCompiled(ast, fragmented, def->name(), 0));
         PARTIX_ASSIGN_OR_RETURN(
-            SubQuery sub, MakeSubQuery(*entry, def->name(), std::move(text)));
+            SubQuery sub,
+            MakeSubQuery(*entry, def->name(), std::move(sub_compiled)));
         plan.subqueries.push_back(std::move(sub));
       }
       plan.composition = decomposable_aggregate && plan.subqueries.size() > 1
@@ -829,19 +852,20 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
       }
       if (needed.size() == 1 && mined.analyzable && !awkward_aggregate) {
         const frag::VerticalDef& v = needed[0]->vertical();
-        Result<std::string> text = RewriteQueryText(
-            *ast, fragmented, needed[0]->name(), v.path.size() - 1);
-        if (text.ok()) {
+        Result<xquery::CompiledQueryPtr> rewritten = RewriteCompiled(
+            ast, fragmented, needed[0]->name(), v.path.size() - 1);
+        if (rewritten.ok()) {
           PARTIX_ASSIGN_OR_RETURN(
               SubQuery sub,
-              MakeSubQuery(*entry, needed[0]->name(), std::move(*text)));
+              MakeSubQuery(*entry, needed[0]->name(), std::move(*rewritten)));
           plan.subqueries.push_back(std::move(sub));
           plan.composition = Composition::kUnion;
           plan.pruned_fragments = schema.fragments.size() - 1;
           plan.notes.push_back("single-fragment vertical rewrite");
           return plan;
         }
-        plan.notes.push_back("rewrite failed: " + text.status().message());
+        plan.notes.push_back("rewrite failed: " +
+                             rewritten.status().message());
       }
       plan.notes.push_back("multi-fragment vertical query; join at "
                            "middleware");
@@ -923,17 +947,17 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
         std::vector<SubQuery> subs;
         for (const FragmentDef* def : needed_instance) {
           size_t drop = def_path(def).size() - (mode1 ? 0 : 1);
-          Result<std::string> text =
-              RewriteQueryText(*ast, fragmented, def->name(), drop);
-          if (!text.ok()) {
+          Result<xquery::CompiledQueryPtr> rewritten =
+              RewriteCompiled(ast, fragmented, def->name(), drop);
+          if (!rewritten.ok()) {
             plan.notes.push_back("rewrite failed: " +
-                                 text.status().message());
+                                 rewritten.status().message());
             ok = false;
             break;
           }
           PARTIX_ASSIGN_OR_RETURN(
               SubQuery sub,
-              MakeSubQuery(*entry, def->name(), std::move(*text)));
+              MakeSubQuery(*entry, def->name(), std::move(*rewritten)));
           subs.push_back(std::move(sub));
         }
         if (ok) {
@@ -948,18 +972,19 @@ Result<DistributedPlan> QueryDecomposer::Decompose(
       if (needed_instance.empty() && needed_pure.size() == 1 &&
           mined.analyzable && !awkward_aggregate) {
         const FragmentDef* def = needed_pure[0];
-        Result<std::string> text = RewriteQueryText(
-            *ast, fragmented, def->name(), def_path(def).size() - 1);
-        if (text.ok()) {
+        Result<xquery::CompiledQueryPtr> rewritten = RewriteCompiled(
+            ast, fragmented, def->name(), def_path(def).size() - 1);
+        if (rewritten.ok()) {
           PARTIX_ASSIGN_OR_RETURN(
               SubQuery sub,
-              MakeSubQuery(*entry, def->name(), std::move(*text)));
+              MakeSubQuery(*entry, def->name(), std::move(*rewritten)));
           plan.subqueries.push_back(std::move(sub));
           plan.composition = Composition::kUnion;
           plan.notes.push_back("single pure-projection fragment");
           return plan;
         }
-        plan.notes.push_back("rewrite failed: " + text.status().message());
+        plan.notes.push_back("rewrite failed: " +
+                             rewritten.status().message());
       }
       // Fallback: fetch every needed fragment and evaluate locally.
       std::vector<const FragmentDef*> all_needed = needed_instance;

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "partix/catalog.h"
+#include "xquery/compiled_query.h"
 
 namespace partix::middleware {
 
@@ -34,6 +35,14 @@ struct SubQuery {
   /// Every node holding this fragment, primary first, in failover order.
   /// Empty means "primary only" — the executor treats it as {node}.
   std::vector<size_t> replicas;
+  /// The compiled form of `query`, built structurally by the decomposer
+  /// (cloned + rewritten AST, never re-parsed from the string). When set,
+  /// the executor ships it through the driver's prepared-execution path —
+  /// prepared once per (sub-query, node) and reused across retries and
+  /// failovers. Null on hand-built plans; the executor then falls back to
+  /// string execution. Keep last: hand-built plans aggregate-initialize
+  /// the leading fields positionally.
+  xquery::CompiledQueryPtr compiled;
 };
 
 /// A decomposed distributed execution plan.
@@ -47,6 +56,11 @@ struct DistributedPlan {
   /// Human-readable notes on decomposition decisions (for EXPLAIN-style
   /// output).
   std::vector<std::string> notes;
+  /// The compiled original query — the single parse of the whole
+  /// middleware execution. Join composition re-executes it over the
+  /// reconstructed documents without re-parsing. Null on hand-built
+  /// plans (the service then falls back to parsing `original_query`).
+  xquery::CompiledQueryPtr compiled;
 };
 
 /// Decomposes XQuery queries over fragmented collections into sub-queries

@@ -13,6 +13,7 @@ namespace {
 /// the wait is the queueing a real busy node would exhibit.
 struct DriverTelemetry {
   telemetry::Counter* executes;
+  telemetry::Counter* prepares;
   telemetry::Histogram* engine_ms;
   telemetry::Histogram* lock_wait_ms;
 
@@ -21,12 +22,29 @@ struct DriverTelemetry {
       auto& registry = telemetry::MetricsRegistry::Global();
       DriverTelemetry out;
       out.executes = registry.GetCounter("partix_driver_executes_total");
+      out.prepares = registry.GetCounter("partix_driver_prepares_total");
       out.engine_ms = registry.GetHistogram("partix_engine_execute_ms");
       out.lock_wait_ms = registry.GetHistogram("partix_driver_lock_wait_ms");
       return out;
     }();
     return t;
   }
+};
+
+/// LocalXdbDriver's handle: wraps the engine's shareable prepared plan.
+class LocalPreparedSubQuery : public PreparedSubQuery {
+ public:
+  LocalPreparedSubQuery(xdb::PreparedQueryPtr plan, bool cache_hit,
+                        double compile_ms)
+      : plan_(std::move(plan)) {
+    cache_hit_ = cache_hit;
+    compile_ms_ = compile_ms;
+  }
+
+  const xdb::PreparedQueryPtr& plan() const { return plan_; }
+
+ private:
+  xdb::PreparedQueryPtr plan_;
 };
 
 }  // namespace
@@ -54,6 +72,36 @@ Result<xdb::QueryResult> LocalXdbDriver::Execute(const std::string& query) {
   telemetry.executes->Add();
   Stopwatch engine_watch;
   Result<xdb::QueryResult> result = db_.Execute(query);
+  telemetry.engine_ms->Observe(engine_watch.ElapsedMillis());
+  return result;
+}
+
+Result<PreparedSubQueryPtr> LocalXdbDriver::Prepare(
+    const xquery::CompiledQueryPtr& compiled) {
+  const DriverTelemetry& telemetry = DriverTelemetry::Get();
+  Stopwatch wait_watch;
+  std::lock_guard<std::mutex> lock(mu_);
+  telemetry.lock_wait_ms->Observe(wait_watch.ElapsedMillis());
+  telemetry.prepares->Add();
+  PARTIX_ASSIGN_OR_RETURN(xdb::PrepareOutcome outcome, db_.Prepare(compiled));
+  return PreparedSubQueryPtr(std::make_shared<LocalPreparedSubQuery>(
+      std::move(outcome.plan), outcome.cache_hit, outcome.compile_ms));
+}
+
+Result<xdb::QueryResult> LocalXdbDriver::ExecutePrepared(
+    const PreparedSubQuery& prepared) {
+  const auto* local = dynamic_cast<const LocalPreparedSubQuery*>(&prepared);
+  if (local == nullptr) {
+    return Status::InvalidArgument(
+        "prepared handle was not produced by a LocalXdbDriver");
+  }
+  const DriverTelemetry& telemetry = DriverTelemetry::Get();
+  Stopwatch wait_watch;
+  std::lock_guard<std::mutex> lock(mu_);
+  telemetry.lock_wait_ms->Observe(wait_watch.ElapsedMillis());
+  telemetry.executes->Add();
+  Stopwatch engine_watch;
+  Result<xdb::QueryResult> result = db_.ExecutePrepared(*local->plan());
   telemetry.engine_ms->Observe(engine_watch.ElapsedMillis());
   return result;
 }

@@ -7,8 +7,33 @@
 
 #include "common/result.h"
 #include "engine/database.h"
+#include "xquery/compiled_query.h"
 
 namespace partix::middleware {
+
+/// A node-side prepared statement: the driver-specific artifact handed
+/// back by Driver::Prepare. Executing through it skips parse and static
+/// analysis entirely, which is what lets the executor pay compilation at
+/// most once per (sub-query, node) across retries and replica failovers.
+///
+/// Thread-safety: immutable once returned; safe to share across threads.
+/// A handle is only valid on the driver that produced it (it may wrap
+/// engine- or connection-specific state).
+class PreparedSubQuery {
+ public:
+  virtual ~PreparedSubQuery() = default;
+
+  /// True when the node served preparation from its plan cache.
+  bool cache_hit() const { return cache_hit_; }
+  /// Node-side compile cost (ms); 0 on cache hits.
+  double compile_ms() const { return compile_ms_; }
+
+ protected:
+  bool cache_hit_ = false;
+  double compile_ms_ = 0.0;
+};
+
+using PreparedSubQueryPtr = std::shared_ptr<const PreparedSubQuery>;
 
 /// The PartiX Driver (paper §4): a uniform interface between the
 /// middleware and one XQuery-enabled DBMS node. Any XML DBMS that
@@ -31,6 +56,17 @@ class Driver {
   virtual Status StoreDocument(const std::string& collection,
                                const xml::Document& doc) = 0;
   virtual Result<xdb::QueryResult> Execute(const std::string& query) = 0;
+
+  /// Compiles (or fetches from the node's plan cache) a prepared handle
+  /// for a query the middleware already compiled. The handle is reusable
+  /// for any number of ExecutePrepared calls on this driver.
+  virtual Result<PreparedSubQueryPtr> Prepare(
+      const xquery::CompiledQueryPtr& compiled) = 0;
+
+  /// Executes a handle obtained from this driver's Prepare. Pays no parse
+  /// and no static analysis (`metrics.compile_ms == 0`).
+  virtual Result<xdb::QueryResult> ExecutePrepared(
+      const PreparedSubQuery& prepared) = 0;
 
   /// Drops parsed-document caches (cold-start emulation for benchmarks).
   virtual void DropCaches() = 0;
@@ -56,6 +92,10 @@ class LocalXdbDriver : public Driver {
   Status StoreDocument(const std::string& collection,
                        const xml::Document& doc) override;
   Result<xdb::QueryResult> Execute(const std::string& query) override;
+  Result<PreparedSubQueryPtr> Prepare(
+      const xquery::CompiledQueryPtr& compiled) override;
+  Result<xdb::QueryResult> ExecutePrepared(
+      const PreparedSubQuery& prepared) override;
   void DropCaches() override;
   std::string Describe() const override;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <string>
 #include <thread>
 
@@ -169,6 +170,12 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
   out->node = candidates.front();
   Rng rng(MixSeed(retry.seed, index));
 
+  // Compile-once contract: when the plan ships a compiled sub-query, each
+  // node is prepared at most once for this sub-query, on first contact;
+  // retries and failovers (including wrap-around back to an earlier node)
+  // reuse the cached handle, so fault recovery never recompiles.
+  std::map<size_t, PreparedSubQueryPtr> prepared_by_node;
+
   // Finalizes the per-sub-query bookkeeping every return path shares:
   // wall time, aggregate counters, and the span's canonical
   // `fragment@node<i>` name plus summary tags.
@@ -183,6 +190,11 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
       out->span.duration_ms = tracer->NowMs() - out->span.start_ms;
       out->span.AddTag("attempts", std::to_string(out->attempts));
       out->span.AddTag("failovers", std::to_string(out->failovers));
+      if (out->prepares > 0) {
+        out->span.AddTag("prepares", std::to_string(out->prepares));
+        out->span.AddTag("plan_cache_hits",
+                         std::to_string(out->plan_cache_hits));
+      }
       out->span.AddTag("status",
                        StatusCodeName(out->result.ok()
                                           ? StatusCode::kOk
@@ -252,14 +264,57 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
     }
 
     Stopwatch attempt_watch(clock_);
-    if (rpc_sec > 0.0) {
-      // Emulate the synchronous round trip to a remote DBMS node: the
-      // worker blocks (holding no core) the way a real driver would block
-      // on the wire. Overlapping these waits is the first win of real
-      // parallelism.
-      std::this_thread::sleep_for(std::chrono::duration<double>(rpc_sec));
-    }
-    Result<xdb::QueryResult> result = cluster_->ExecuteOnNode(node, sub.query);
+    Result<xdb::QueryResult> result = [&]() -> Result<xdb::QueryResult> {
+      const PreparedSubQuery* handle = nullptr;
+      if (sub.compiled != nullptr) {
+        auto it = prepared_by_node.find(node);
+        if (it == prepared_by_node.end()) {
+          const double prepare_start =
+              tracer != nullptr ? tracer->NowMs() : 0.0;
+          Result<PreparedSubQueryPtr> prep =
+              cluster_->PrepareOnNode(node, sub.compiled);
+          if (attempt_span != nullptr) {
+            attempt_span->children.emplace_back("prepare");
+            telemetry::TraceSpan& prepare_span =
+                attempt_span->children.back();
+            prepare_span.start_ms = prepare_start;
+            prepare_span.duration_ms = tracer->NowMs() - prepare_start;
+            if (prep.ok()) {
+              prepare_span.AddTag("cache",
+                                  (*prep)->cache_hit() ? "hit" : "miss");
+              prepare_span.AddTag("compile_ms",
+                                  std::to_string((*prep)->compile_ms()));
+            } else {
+              prepare_span.AddTag("status",
+                                  StatusCodeName(prep.status().code()));
+            }
+          }
+          // A failed prepare (e.g. the node went down after candidate
+          // selection) flows through the normal retry/failover handling.
+          if (!prep.ok()) return prep.status();
+          ++out->prepares;
+          if ((*prep)->cache_hit()) {
+            ++out->plan_cache_hits;
+          } else {
+            ++out->plan_cache_misses;
+          }
+          out->compile_ms += (*prep)->compile_ms();
+          it = prepared_by_node.emplace(node, std::move(*prep)).first;
+        }
+        handle = it->second.get();
+      }
+      if (rpc_sec > 0.0) {
+        // Emulate the synchronous round trip to a remote DBMS node: the
+        // worker blocks (holding no core) the way a real driver would
+        // block on the wire. Overlapping these waits is the first win of
+        // real parallelism.
+        std::this_thread::sleep_for(std::chrono::duration<double>(rpc_sec));
+      }
+      if (handle != nullptr) {
+        return cluster_->ExecutePreparedOnNode(node, *handle);
+      }
+      return cluster_->ExecuteOnNode(node, sub.query);
+    }();
     const double attempt_ms = attempt_watch.ElapsedMillis();
 
     if (result.ok() && retry.attempt_timeout_ms > 0.0 &&
@@ -280,6 +335,14 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
     }
 
     if (result.ok()) {
+      if (sub.compiled == nullptr) {
+        // String path: the node compiled (or plan-cache-served) inside
+        // Execute; lift its accounting onto the outcome so both paths
+        // report uniformly.
+        out->compile_ms += result->metrics.compile_ms;
+        out->plan_cache_hits += result->metrics.plan_cache_hits;
+        out->plan_cache_misses += result->metrics.plan_cache_misses;
+      }
       RecordSuccess(node);
       out->result = std::move(result);
       finish();

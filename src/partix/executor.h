@@ -96,6 +96,19 @@ struct SubQueryOutcome {
   /// Milliseconds between Dispatch admitting the sub-query and a worker
   /// starting it (pool queueing; ~0 under sequential dispatch).
   double queue_wait_ms = 0.0;
+  // --- compile-once accounting ---
+  /// Node-side Prepare calls made for this sub-query: at most one per
+  /// distinct node tried, however many attempts ran there (retries and
+  /// failovers reuse the handle). 0 when the sub-query carried no
+  /// compiled form and executed by string.
+  size_t prepares = 0;
+  /// Of those prepares (or, on the string path, of the executions that
+  /// produced `result`), how many were served from the node's plan cache.
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  /// Node-side compile cost this sub-query actually paid (ms, summed over
+  /// prepares; 0 when every prepare hit the plan cache).
+  double compile_ms = 0.0;
   /// Filled only when DispatchOptions::tracer was set: this sub-query's
   /// span subtree, named with the canonical `fragment@node<i>` token of
   /// the node that served (or last refused) it, with one child span per

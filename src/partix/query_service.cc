@@ -1,6 +1,7 @@
 #include "partix/query_service.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 #include <set>
 
@@ -10,6 +11,7 @@
 #include "partix/executor.h"
 #include "telemetry/metrics.h"
 #include "xml/document.h"
+#include "xquery/parser.h"
 
 namespace partix::middleware {
 
@@ -192,6 +194,13 @@ void ShiftSpans(telemetry::TraceSpan* span, double delta_ms) {
 
 Result<DistributedResult> QueryService::Execute(
     const std::string& query, const ExecutionOptions& options) {
+  // Compile-once contract: this coordinator thread parses `query` exactly
+  // once, in Decompose. Sub-queries are structural rewrites of that AST
+  // and ComposeJoin reuses the compiled original, so no execution path
+  // below re-parses on this thread. (Thread-local counter: worker-thread
+  // parses — none are expected either — would not mask a coordinator
+  // regression here.)
+  const uint64_t parses_before = xquery::ThreadParseCount();
   Stopwatch watch(clock_);
   PARTIX_ASSIGN_OR_RETURN(DistributedPlan plan,
                           decomposer_.Decompose(query));
@@ -199,6 +208,9 @@ Result<DistributedResult> QueryService::Execute(
   ServiceTelemetry::Get().decompose_ms->Observe(decompose_ms);
   PARTIX_ASSIGN_OR_RETURN(DistributedResult result,
                           ExecutePlan(plan, options));
+  assert(xquery::ThreadParseCount() - parses_before <= 1 &&
+         "middleware execution parsed the query more than once");
+  (void)parses_before;
   // The paper measures "the time between the moment PartiX receives the
   // query until final result composition": planning is part of it.
   result.decompose_ms = decompose_ms;
@@ -282,7 +294,15 @@ Result<std::string> QueryService::ExplainAnalyze(
   out += "\nexecution (wall " + FormatNumber(result.wall_ms) + " ms, " +
          std::to_string(result.result_items) + " item(s), retries " +
          std::to_string(result.retries) + ", failovers " +
-         std::to_string(result.failovers) + "):\n";
+         std::to_string(result.failovers) + ", compile " +
+         FormatNumber(result.compile_ms) + " ms, plan cache " +
+         std::to_string(result.plan_cache_hits) + " hit(s) / " +
+         std::to_string(result.plan_cache_misses) + " miss(es)):\n";
+  for (const SubQueryStats& stats : result.subqueries) {
+    out += "  " + FragAtNode(stats.fragment, stats.node) + ": plan cache " +
+           (stats.plan_cache_hits > 0 ? "hit" : "miss") + ", compile " +
+           FormatNumber(stats.compile_ms) + " ms\n";
+  }
   out += telemetry::RenderSpanTree(result.trace);
   return out;
 }
@@ -410,6 +430,9 @@ Result<DistributedResult> QueryService::ExecutePlan(
     if (o.attempts > 1) out.retries += o.attempts - 1;
     out.failovers += o.failovers;
     if (o.timed_out) ++out.timed_out_subqueries;
+    out.compile_ms += o.compile_ms;
+    out.plan_cache_hits += o.plan_cache_hits;
+    out.plan_cache_misses += o.plan_cache_misses;
   }
 
   // Per-sub-query error aggregation: one failed node must not hide the
@@ -457,6 +480,9 @@ Result<DistributedResult> QueryService::ExecutePlan(
     stats.docs_parsed = result->metrics.docs_parsed;
     stats.attempts = outcomes[i].attempts;
     stats.failovers = outcomes[i].failovers;
+    stats.compile_ms = outcomes[i].compile_ms;
+    stats.plan_cache_hits = outcomes[i].plan_cache_hits;
+    stats.plan_cache_misses = outcomes[i].plan_cache_misses;
     out.slowest_node_ms = std::max(out.slowest_node_ms, stats.elapsed_ms);
     out.sum_node_ms += stats.elapsed_ms;
     total_result_bytes += stats.result_bytes;
@@ -585,8 +611,19 @@ Result<std::string> QueryService::ComposeJoin(
     PARTIX_RETURN_IF_ERROR(scratch.StoreDocument(plan.collection, *joined));
   }
 
-  PARTIX_ASSIGN_OR_RETURN(xdb::QueryResult final_result,
-                          scratch.Execute(plan.original_query));
+  // Reuse the plan's compiled original query: the scratch engine analyzes
+  // the shared AST without re-parsing. Hand-built plans without a
+  // compiled form fall back to the string path.
+  xdb::QueryResult final_result;
+  if (plan.compiled != nullptr) {
+    PARTIX_ASSIGN_OR_RETURN(xdb::PrepareOutcome prepared,
+                            scratch.Prepare(plan.compiled));
+    PARTIX_ASSIGN_OR_RETURN(final_result,
+                            scratch.ExecutePrepared(*prepared.plan));
+  } else {
+    PARTIX_ASSIGN_OR_RETURN(final_result,
+                            scratch.Execute(plan.original_query));
+  }
   *result_items = final_result.metrics.result_items;
   return final_result.serialized;
 }

@@ -40,6 +40,13 @@ struct SubQueryStats {
   uint64_t docs_parsed = 0;
   size_t attempts = 1;      // tries made (1 = first attempt succeeded)
   size_t failovers = 0;     // replica switches
+  // --- compile-once accounting (see docs/query-compilation.md) ---
+  /// Node-side compile cost this sub-query paid (0 when every node served
+  /// it from its plan cache).
+  double compile_ms = 0.0;
+  /// Node-side prepares served from / missed in the plan cache.
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
 };
 
 /// The answer of a distributed execution, with the timing breakdown the
@@ -85,6 +92,16 @@ struct DistributedResult {
   std::vector<std::string> missing_fragments;
   /// True when every planned fragment contributed to the answer.
   bool complete = true;
+
+  // --- compile-once accounting (see docs/query-compilation.md) ---
+  /// Total node-side compile time across every sub-query prepare (failed
+  /// sub-queries included: their compilations happened). 0 when every
+  /// node served its sub-query from the plan cache.
+  double compile_ms = 0.0;
+  /// Plan-cache hits/misses summed over every node-side prepare of this
+  /// execution.
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
 
   // --- tracing (see docs/observability.md) ---
   /// Filled only when `ExecutionOptions::trace` was set: the span tree of

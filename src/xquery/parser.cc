@@ -552,9 +552,16 @@ class QueryParser {
 
 }  // namespace
 
+namespace {
+thread_local uint64_t t_parse_count = 0;
+}  // namespace
+
 Result<ExprPtr> ParseQuery(std::string_view text) {
+  ++t_parse_count;
   QueryParser parser(text);
   return parser.Parse();
 }
+
+uint64_t ThreadParseCount() { return t_parse_count; }
 
 }  // namespace partix::xquery

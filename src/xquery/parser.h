@@ -30,6 +30,14 @@ namespace partix::xquery {
 /// Returns kParseError with position information on malformed input.
 Result<ExprPtr> ParseQuery(std::string_view text);
 
+/// Monotonic count of ParseQuery invocations on the calling thread.
+/// The compile-once pipeline's contract is "one parse per middleware
+/// execution"; tests and debug assertions diff this counter around an
+/// execution to prove no layer silently re-parses (assert() is compiled
+/// out of the default RelWithDebInfo build, so the counter is the
+/// observable form of the contract).
+uint64_t ThreadParseCount();
+
 }  // namespace partix::xquery
 
 #endif  // PARTIX_XQUERY_PARSER_H_
