@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_out.h"
 #include "common/strings.h"
 #include "gen/virtual_store.h"
 #include "partix/query_service.h"
@@ -256,36 +257,19 @@ int main() {
                 identical ? "true" : "false");
   json += buffer;
 
-  std::FILE* file = std::fopen("BENCH_failover.json", "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_failover.json\n");
-    return 1;
-  }
-  std::fwrite(json.data(), 1, json.size(), file);
-  std::fclose(file);
-  std::printf("\nwrote BENCH_failover.json\n");
+  std::printf("\n");
+  if (!bench::WriteBenchFile("BENCH_failover.json", json)) return 1;
 
   // Metrics snapshot (JSON + Prometheus text exposition) of everything
   // the bench just did: attempts/retries/failovers, breaker transitions,
   // backoff sleeps, engine time, parse-cache traffic.
   const telemetry::MetricsSnapshot snapshot =
       telemetry::MetricsRegistry::Global().Snapshot();
-  const struct {
-    const char* path;
-    std::string body;
-  } exports[] = {
-      {"BENCH_failover_metrics.json", snapshot.ToJson()},
-      {"BENCH_failover_metrics.prom", snapshot.ToPrometheus()},
-  };
-  for (const auto& e : exports) {
-    std::FILE* out = std::fopen(e.path, "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", e.path);
-      return 1;
-    }
-    std::fwrite(e.body.data(), 1, e.body.size(), out);
-    std::fclose(out);
-    std::printf("wrote %s\n", e.path);
+  if (!bench::WriteBenchFile("BENCH_failover_metrics.json",
+                             snapshot.ToJson()) ||
+      !bench::WriteBenchFile("BENCH_failover_metrics.prom",
+                             snapshot.ToPrometheus())) {
+    return 1;
   }
   const char* const headline[] = {
       "partix_subquery_attempts_total", "partix_subquery_retries_total",

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_out.h"
 #include "common/strings.h"
 #include "gen/virtual_store.h"
 #include "partix/query_service.h"
@@ -300,22 +301,11 @@ int main() {
   // Metrics snapshot of the traced run, in both exposition formats.
   const telemetry::MetricsSnapshot snapshot =
       telemetry::MetricsRegistry::Global().Snapshot();
-  const struct {
-    const char* path;
-    std::string body;
-  } exports[] = {
-      {"BENCH_parallel_speedup_metrics.json", snapshot.ToJson()},
-      {"BENCH_parallel_speedup_metrics.prom", snapshot.ToPrometheus()},
-  };
-  for (const auto& e : exports) {
-    std::FILE* out = std::fopen(e.path, "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", e.path);
-      return 1;
-    }
-    std::fwrite(e.body.data(), 1, e.body.size(), out);
-    std::fclose(out);
-    std::printf("wrote %s\n", e.path);
+  if (!bench::WriteBenchFile("BENCH_parallel_speedup_metrics.json",
+                             snapshot.ToJson()) ||
+      !bench::WriteBenchFile("BENCH_parallel_speedup_metrics.prom",
+                             snapshot.ToPrometheus())) {
+    return 1;
   }
   telemetry::MetricsRegistry::Global().set_enabled(false);
   return identical && coverage_ok ? 0 : 1;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_out.h"
 #include "common/strings.h"
 #include "gen/virtual_store.h"
 #include "partix/query_service.h"
@@ -242,33 +243,16 @@ int main() {
                 speedup, identical ? "true" : "false");
   json += buffer;
 
-  std::FILE* file = std::fopen("BENCH_plan_cache.json", "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_plan_cache.json\n");
-    return 1;
-  }
-  std::fwrite(json.data(), 1, json.size(), file);
-  std::fclose(file);
-  std::printf("\nwrote BENCH_plan_cache.json\n");
+  std::printf("\n");
+  if (!bench::WriteBenchFile("BENCH_plan_cache.json", json)) return 1;
 
   const telemetry::MetricsSnapshot snapshot =
       telemetry::MetricsRegistry::Global().Snapshot();
-  const struct {
-    const char* path;
-    std::string body;
-  } exports[] = {
-      {"BENCH_plan_cache_metrics.json", snapshot.ToJson()},
-      {"BENCH_plan_cache_metrics.prom", snapshot.ToPrometheus()},
-  };
-  for (const auto& e : exports) {
-    std::FILE* out = std::fopen(e.path, "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", e.path);
-      return 1;
-    }
-    std::fwrite(e.body.data(), 1, e.body.size(), out);
-    std::fclose(out);
-    std::printf("wrote %s\n", e.path);
+  if (!bench::WriteBenchFile("BENCH_plan_cache_metrics.json",
+                             snapshot.ToJson()) ||
+      !bench::WriteBenchFile("BENCH_plan_cache_metrics.prom",
+                             snapshot.ToPrometheus())) {
+    return 1;
   }
   const char* const headline[] = {
       "partix_plan_cache_hits_total", "partix_plan_cache_misses_total",

@@ -39,6 +39,12 @@ for config in "${configs[@]}"; do
   # --timeout keeps a hung test (deadlock under TSan, runaway retry loop)
   # from stalling CI forever; 300s is ~100x the healthy full-suite time.
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" --timeout 300
+  echo "== ${config}: concurrent scheduler stress (explicit) =="
+  # Re-run the multi-threaded admission/execution tests by name so a
+  # filter change in the suite can never silently drop the concurrency
+  # coverage this config (especially thread) exists for.
+  "$dir"/tests/partix_tests \
+    --gtest_filter='*Concurrent*:*Scheduler*:*Fairness*'
 done
 
 echo "== all configs passed: ${configs[*]} =="

@@ -42,12 +42,20 @@ inline const Clock* Clock::Monotonic() {
 
 /// A clock that only moves when told to. Thread-safe (atomic time value),
 /// so executor workers may read it while a test thread advances it.
+///
+/// With `set_auto_advance_nanos(step)`, every NowNanos() call additionally
+/// moves time forward by `step` *after* reading it — a deterministic
+/// stand-in for "time passes while code runs" that lets single-threaded
+/// tests drive timeout and deadline paths without real sleeps or a second
+/// thread advancing the clock.
 class ManualClock : public Clock {
  public:
   explicit ManualClock(int64_t start_nanos = 0) : nanos_(start_nanos) {}
 
   int64_t NowNanos() const override {
-    return nanos_.load(std::memory_order_relaxed);
+    const int64_t step = auto_advance_nanos_.load(std::memory_order_relaxed);
+    if (step == 0) return nanos_.load(std::memory_order_relaxed);
+    return nanos_.fetch_add(step, std::memory_order_relaxed);
   }
 
   void AdvanceNanos(int64_t delta) {
@@ -58,8 +66,18 @@ class ManualClock : public Clock {
     AdvanceNanos(static_cast<int64_t>(delta * 1e6));
   }
 
+  /// Every subsequent read returns the current time and then advances it
+  /// by `step` nanoseconds. 0 (the default) restores pure manual control.
+  void set_auto_advance_nanos(int64_t step) {
+    auto_advance_nanos_.store(step, std::memory_order_relaxed);
+  }
+  void set_auto_advance_millis(double step) {
+    set_auto_advance_nanos(static_cast<int64_t>(step * 1e6));
+  }
+
  private:
-  std::atomic<int64_t> nanos_;
+  mutable std::atomic<int64_t> nanos_;
+  std::atomic<int64_t> auto_advance_nanos_{0};
 };
 
 /// Monotonic wall-clock stopwatch used for all experiment timing. By

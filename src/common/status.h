@@ -23,6 +23,10 @@ enum class StatusCode {
   kCorruption,
   kUnavailable,
   kDeadlineExceeded,
+  /// A bounded resource refused the work (admission queue full, quota
+  /// spent). Unlike kUnavailable the system is healthy — the caller asked
+  /// for more than the configured capacity and may retry later.
+  kResourceExhausted,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
@@ -75,6 +79,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

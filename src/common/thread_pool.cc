@@ -31,6 +31,26 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void ThreadPool::EnsureThreads(size_t thread_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return;
+  // Workers started here block on cv_ until this lock is released; the
+  // threads_ vector is only touched under mu_ (WorkerLoop never reads it).
+  while (threads_.size() < thread_count) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+size_t ThreadPool::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -38,6 +58,9 @@ void ThreadPool::Shutdown() {
     shutdown_ = true;
   }
   cv_.notify_all();
+  // threads_ is stable from here on: EnsureThreads refuses to grow a
+  // shut-down pool, so iterating without mu_ cannot race a reallocation
+  // (and joining under mu_ would deadlock with parked workers).
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }

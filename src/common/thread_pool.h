@@ -36,13 +36,18 @@ class Latch {
   size_t count_;
 };
 
-/// A fixed-size pool of worker threads draining a FIFO task queue.
+/// A pool of worker threads draining a FIFO task queue. The pool starts
+/// with `thread_count` workers and can grow (never shrink) on demand via
+/// EnsureThreads — this is what lets one process-wide pool serve every
+/// executor and every concurrent query instead of each Executor growing a
+/// private pool (see partix/scheduler.h for the sharing story).
 ///
-/// Thread-safe: Submit may be called from any thread, including from
-/// inside a running task. Tasks are plain `std::function<void()>`; in
-/// keeping with the codebase's exception-free style, tasks must not throw —
-/// fallible work records its `Status`/`Result` into state captured by the
-/// closure (see executor.h for the pattern).
+/// Thread-safe: Submit/EnsureThreads may be called from any thread,
+/// including from inside a running task. Tasks are plain
+/// `std::function<void()>`; in keeping with the codebase's exception-free
+/// style, tasks must not throw — fallible work records its
+/// `Status`/`Result` into state captured by the closure (see executor.h
+/// for the pattern).
 ///
 /// Shutdown (also run by the destructor) stops accepting new work, drains
 /// every already-queued task, and joins the workers — so work submitted
@@ -62,16 +67,24 @@ class ThreadPool {
   /// Shutdown() are dropped.
   void Submit(std::function<void()> task);
 
+  /// Grows the pool to at least `thread_count` workers. No-op when the
+  /// pool is already that large or has shut down. Thread-safe.
+  void EnsureThreads(size_t thread_count);
+
   /// Stops accepting new tasks, finishes all queued ones, joins the
   /// workers. Idempotent.
   void Shutdown();
 
-  size_t thread_count() const { return threads_.size(); }
+  size_t thread_count() const;
+
+  /// Tasks submitted but not yet picked up by a worker (backpressure
+  /// introspection; racy by nature, use for metrics only).
+  size_t queue_depth() const;
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;

@@ -42,11 +42,15 @@ using PreparedSubQueryPtr = std::shared_ptr<const PreparedSubQuery>;
 /// written against this interface.
 ///
 /// Thread-safety contract: implementations must tolerate concurrent
-/// Execute/DropCaches calls from executor worker threads — a node is "one
-/// DBMS", and one DBMS accepts requests from many connections at once.
-/// How much actually runs in parallel inside the node is the
-/// implementation's business (LocalXdbDriver serializes, matching the
-/// sequential engines the paper coordinates).
+/// Execute/Prepare/ExecutePrepared/DropCaches calls from executor worker
+/// threads — a node is "one DBMS", and one DBMS accepts requests from
+/// many connections at once. Under the multi-query scheduler those
+/// workers serve *different queries*: per-node exclusivity must hold
+/// across concurrent queries, not just within one dispatch. How much
+/// actually runs in parallel inside the node is the implementation's
+/// business (LocalXdbDriver serializes, matching the sequential engines
+/// the paper coordinates — so a node is a fair-by-arrival bottleneck
+/// that concurrent queries naturally time-share).
 class Driver {
  public:
   virtual ~Driver() = default;

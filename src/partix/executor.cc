@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <string>
 #include <thread>
@@ -77,12 +78,23 @@ struct ExecutorTelemetry {
 
 }  // namespace
 
+ThreadPool& Executor::SharedProcessPool() {
+  // One pool for every executor in the process: concurrent queries and
+  // concurrent clusters draw from the same workers instead of each
+  // growing a private, never-shrunk pool. Function-local static so the
+  // pool joins its workers cleanly at exit.
+  static ThreadPool pool(
+      std::max<size_t>(1, std::thread::hardware_concurrency()));
+  return pool;
+}
+
 void Executor::set_breaker_policy(CircuitBreakerPolicy policy) {
   breaker_policy_ = policy;
   ResetBreakers();
 }
 
 void Executor::ResetBreakers() {
+  std::lock_guard<std::mutex> vector_lock(breakers_mu_);
   for (auto& b : breakers_) {
     if (b == nullptr) continue;
     std::lock_guard<std::mutex> lock(b->mu);
@@ -92,11 +104,17 @@ void Executor::ResetBreakers() {
   }
 }
 
+Executor::NodeBreakerState* Executor::BreakerFor(size_t node) const {
+  std::lock_guard<std::mutex> lock(breakers_mu_);
+  if (node >= breakers_.size()) return nullptr;
+  return breakers_[node].get();
+}
+
 bool Executor::breaker_open(size_t node) const {
-  if (node >= breakers_.size() || breakers_[node] == nullptr) return false;
-  NodeBreakerState& b = *breakers_[node];
-  std::lock_guard<std::mutex> lock(b.mu);
-  return b.open;
+  NodeBreakerState* state = BreakerFor(node);
+  if (state == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->open;
 }
 
 void Executor::EnsureBreakers(const std::vector<SubQuery>& subqueries) {
@@ -105,6 +123,7 @@ void Executor::EnsureBreakers(const std::vector<SubQuery>& subqueries) {
     max_node = std::max(max_node, sub.node);
     for (size_t r : sub.replicas) max_node = std::max(max_node, r);
   }
+  std::lock_guard<std::mutex> lock(breakers_mu_);
   if (breakers_.size() < max_node + 1) breakers_.resize(max_node + 1);
   for (size_t i = 0; i <= max_node; ++i) {
     if (breakers_[i] == nullptr) {
@@ -115,8 +134,9 @@ void Executor::EnsureBreakers(const std::vector<SubQuery>& subqueries) {
 
 bool Executor::BreakerAllows(size_t node) {
   if (breaker_policy_.failure_threshold == 0) return true;
-  if (node >= breakers_.size() || breakers_[node] == nullptr) return true;
-  NodeBreakerState& b = *breakers_[node];
+  NodeBreakerState* state = BreakerFor(node);
+  if (state == nullptr) return true;
+  NodeBreakerState& b = *state;
   std::lock_guard<std::mutex> lock(b.mu);
   if (!b.open) return true;
   if (!b.probing &&
@@ -129,8 +149,9 @@ bool Executor::BreakerAllows(size_t node) {
 }
 
 void Executor::RecordSuccess(size_t node) {
-  if (node >= breakers_.size() || breakers_[node] == nullptr) return;
-  NodeBreakerState& b = *breakers_[node];
+  NodeBreakerState* state = BreakerFor(node);
+  if (state == nullptr) return;
+  NodeBreakerState& b = *state;
   std::lock_guard<std::mutex> lock(b.mu);
   if (b.open) ExecutorTelemetry::Get().breaker_closes->Add();
   b.consecutive_failures = 0;
@@ -140,8 +161,9 @@ void Executor::RecordSuccess(size_t node) {
 
 void Executor::RecordFailure(size_t node) {
   if (breaker_policy_.failure_threshold == 0) return;
-  if (node >= breakers_.size() || breakers_[node] == nullptr) return;
-  NodeBreakerState& b = *breakers_[node];
+  NodeBreakerState* state = BreakerFor(node);
+  if (state == nullptr) return;
+  NodeBreakerState& b = *state;
   std::lock_guard<std::mutex> lock(b.mu);
   ++b.consecutive_failures;
   if (b.probing || b.consecutive_failures >= breaker_policy_.failure_threshold) {
@@ -208,16 +230,30 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
   size_t cursor = 0;  // next candidate to consider
   Status last_error = Status::Unavailable("not attempted");
 
+  // The one canonical deadline failure every expiry path produces —
+  // before an attempt, mid-backoff, or when the budget would be spent
+  // sleeping. Downstream code (query service aggregation, scheduler
+  // verdicts, tests) matches on this exact shape.
+  auto fail_deadline = [&] {
+    out->timed_out = true;
+    out->result = Status::DeadlineExceeded(
+        "sub-query deadline (" + std::to_string(retry.subquery_deadline_ms) +
+        " ms) exceeded after " + std::to_string(out->attempts) +
+        " attempt(s): " + last_error.message());
+    finish();
+  };
+
   while (out->attempts < max_attempts) {
-    if (retry.subquery_deadline_ms > 0.0 &&
-        watch.ElapsedMillis() >= retry.subquery_deadline_ms) {
-      out->timed_out = true;
-      out->result = Status::DeadlineExceeded(
-          "sub-query deadline (" + std::to_string(retry.subquery_deadline_ms) +
-          " ms) exceeded after " + std::to_string(out->attempts) +
-          " attempt(s): " + last_error.message());
-      finish();
-      return;
+    // Remaining sub-query budget, clamped: once the deadline has expired
+    // the loop fails fast — a negative remainder must never flow
+    // downstream as an attempt budget (<= 0 would read as "no timeout").
+    double remaining_ms = std::numeric_limits<double>::infinity();
+    if (retry.subquery_deadline_ms > 0.0) {
+      remaining_ms = retry.subquery_deadline_ms - watch.ElapsedMillis();
+      if (remaining_ms <= 0.0) {
+        fail_deadline();
+        return;
+      }
     }
 
     // Pick the next candidate replica that is up and whose breaker admits
@@ -317,14 +353,41 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
     }();
     const double attempt_ms = attempt_watch.ElapsedMillis();
 
-    if (result.ok() && retry.attempt_timeout_ms > 0.0 &&
-        attempt_ms > retry.attempt_timeout_ms) {
+    // An attempt that reached the engine consumed one engine request —
+    // track it whether or not the result survives, so node-side request
+    // counters and outcome accounting conserve. The fault gate's
+    // rejections (transient, down, circuit-open prepares) are retryable
+    // kUnavailable and never touched the engine.
+    const bool engine_served = result.ok() || !Retryable(result.status());
+    if (engine_served) ++out->engine_requests;
+
+    // Per-attempt budget: the configured attempt timeout composed with
+    // what is left of the sub-query deadline (whichever is tighter).
+    // `remaining_ms` is positive here — the loop head failed fast
+    // otherwise — so the budget is never zero/negative ("disabled").
+    double attempt_budget_ms = retry.attempt_timeout_ms;
+    if (remaining_ms != std::numeric_limits<double>::infinity()) {
+      attempt_budget_ms = attempt_budget_ms > 0.0
+                              ? std::min(attempt_budget_ms, remaining_ms)
+                              : remaining_ms;
+    }
+    if (result.ok() && attempt_budget_ms > 0.0 &&
+        attempt_ms > attempt_budget_ms) {
       // The node answered, but past its budget: a real client would have
-      // hung up. Discard the result and treat as a timeout.
+      // hung up. Discard the result and treat as a timeout — after
+      // folding in the engine-side work that DID happen (compile time,
+      // plan-cache traffic on the string path), so discarded successes
+      // leave no accounting hole.
+      if (sub.compiled == nullptr) {
+        out->compile_ms += result->metrics.compile_ms;
+        out->plan_cache_hits += result->metrics.plan_cache_hits;
+        out->plan_cache_misses += result->metrics.plan_cache_misses;
+      }
+      ++out->discarded_successes;
       result = Status::DeadlineExceeded(
           "attempt to node" + std::to_string(node) + " took " +
           std::to_string(attempt_ms) + " ms (budget " +
-          std::to_string(retry.attempt_timeout_ms) + " ms)");
+          std::to_string(attempt_budget_ms) + " ms)");
     }
 
     if (attempt_span != nullptr) {
@@ -353,6 +416,7 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
     last_error = result.status();
     if (last_error.code() == StatusCode::kDeadlineExceeded) {
       out->timed_out = true;
+      ++out->timed_out_attempts;
     }
     if (!Retryable(last_error)) {
       // Deterministic engine errors (parse failure, missing collection,
@@ -368,9 +432,16 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
           backoff_ms * (1.0 + rng.UniformDouble(-retry.jitter, retry.jitter));
       sleep_ms = std::max(0.0, sleep_ms);
       if (retry.subquery_deadline_ms > 0.0) {
+        // The deadline expires mid-backoff: the mandated sleep would eat
+        // the whole remaining budget, so no further attempt can run.
+        // Fail fast with the canonical deadline error instead of
+        // sleeping up to (or past) a deadline we already know is lost.
         const double remaining =
             retry.subquery_deadline_ms - watch.ElapsedMillis();
-        sleep_ms = std::min(sleep_ms, std::max(0.0, remaining));
+        if (remaining <= sleep_ms) {
+          fail_deadline();
+          return;
+        }
       }
       if (sleep_ms > 0.0) {
         counters.backoff_sleeps->Add();
@@ -418,29 +489,30 @@ double Executor::Dispatch(const std::vector<SubQuery>& subqueries,
     return watch.ElapsedMillis();
   }
 
-  // Pool-sizing policy (see executor.h): the pool is bounded by
-  // max(hardware threads, cluster nodes), not by the requested
-  // parallelism. The index-claiming loop below lets a smaller pool
-  // drain any number of sub-queries.
+  // Shared-pool policy (see executor.h): run on the injected scheduler
+  // pool when one is set, else the process-wide fallback. The pool is
+  // grown (never shrunk) to serve this dispatch, bounded by
+  // max(hardware threads, cluster nodes) — the index-claiming loop below
+  // lets a smaller (or busy) pool drain any number of sub-queries.
+  ThreadPool& pool = pool_ != nullptr ? *pool_ : SharedProcessPool();
   const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
   const size_t cap = std::max(hw, cluster_->node_count());
-  const size_t pool_size = std::min(workers, cap);
-  if (pool_ == nullptr || pool_->thread_count() < pool_size) {
-    if (pool_ != nullptr) pool_->Shutdown();
-    pool_ = std::make_unique<ThreadPool>(pool_size);
-    ExecutorTelemetry::Get().pool_threads->Set(
-        static_cast<double>(pool_size));
-  }
-  const size_t tasks = std::min(workers, pool_->thread_count());
+  pool.EnsureThreads(std::min(workers, cap));
+  const size_t pool_threads = pool.thread_count();
+  ExecutorTelemetry::Get().pool_threads->Set(
+      static_cast<double>(pool_threads));
+  const size_t tasks = std::max<size_t>(1, std::min(workers, pool_threads));
 
   // `tasks` pool tasks, each pulling the next unclaimed sub-query index:
   // every outcome slot is written by exactly one thread, and concurrency
-  // is capped at min(workers, pool size).
+  // is capped at min(workers, pool size). Tasks never block on other
+  // tasks (no nested Submit/Wait), so concurrent dispatches sharing the
+  // pool drain FIFO without deadlock at any pool size.
   std::atomic<size_t> next{0};
   Latch done(tasks);
   for (size_t w = 0; w < tasks; ++w) {
-    pool_->Submit([this, &subqueries, &next, &done, &options, &watch,
-                   outcomes, n] {
+    pool.Submit([this, &subqueries, &next, &done, &options, &watch,
+                 outcomes, n] {
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
         RunOne(subqueries[i], i, options, watch, &(*outcomes)[i]);
       }

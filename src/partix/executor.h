@@ -90,9 +90,29 @@ struct SubQueryOutcome {
   /// The node that produced `result` (last node targeted on failure).
   /// Defaults to the sub-query's primary when nothing was reachable.
   size_t node = 0;
-  /// True when the sub-query failed due to a per-attempt timeout or the
-  /// overall sub-query deadline, i.e. `result` is kDeadlineExceeded.
+  /// True when any attempt of this sub-query hit its per-attempt budget
+  /// or the overall deadline expired — set even when a later attempt
+  /// succeeded (DistributedResult::timed_out_subqueries counts these).
   bool timed_out = false;
+  // --- conservation accounting (see docs/query-scheduling.md) ---
+  /// Attempts that actually reached a node's engine (the fault gate
+  /// admitted them): successes, discarded-late successes, and
+  /// non-retryable engine errors. Transient/down rejections and
+  /// circuit-open skips consume no engine request, so summing this
+  /// across outcomes equals the growth of the cluster's
+  /// NodeRequestCount totals — except under fail_first_requests faults,
+  /// whose rejections deplete the node-side budget counter without any
+  /// engine work happening.
+  size_t engine_requests = 0;
+  /// Attempts that ended kDeadlineExceeded (per-attempt budget or the
+  /// composed deadline), whether or not the sub-query later succeeded.
+  size_t timed_out_attempts = 0;
+  /// Attempts the engine *completed successfully* but whose wall time
+  /// exceeded the attempt budget, so the result was discarded and the
+  /// attempt recorded as a timeout. The engine-side work still happened:
+  /// these attempts count in `engine_requests` and their compile /
+  /// plan-cache accounting is folded into the fields below.
+  size_t discarded_successes = 0;
   /// Milliseconds between Dispatch admitting the sub-query and a worker
   /// starting it (pool queueing; ~0 under sequential dispatch).
   double queue_wait_ms = 0.0;
@@ -132,28 +152,33 @@ struct SubQueryOutcome {
 /// so a flapping node stops receiving traffic until its open window
 /// elapses and a half-open probe succeeds.
 ///
-/// Worker-pool sizing: the pool holds at most
-/// `max(hardware_concurrency, cluster node_count)` threads regardless
-/// of the requested parallelism, so the pool no longer grows without
-/// bound to the largest parallelism ever requested. Why that cap and
-/// not plain `hardware_concurrency`: same-node sub-queries serialize at
-/// the per-node driver mutex, so threads beyond one-per-node cannot add
+/// Worker-pool policy: the executor owns NO pool. Every Dispatch runs on
+/// a shared `ThreadPool` — either one injected with set_pool (the
+/// `partix::Scheduler` installs its process-wide pool there, see
+/// scheduler.h) or, absent that, a lazily created process-wide fallback
+/// shared by every Executor in the process. The pool is grown (never
+/// shrunk) to at most `max(hardware_concurrency, cluster node_count)`
+/// threads per dispatch. Why that cap and not plain
+/// `hardware_concurrency`: same-node sub-queries serialize at the
+/// per-node driver mutex, so threads beyond one-per-node cannot add
 /// concurrency; but workers *block* (driver mutex, emulated RPC,
 /// injected latency) holding no core, so one-per-node must stay
 /// available even when the host has fewer cores than the cluster has
 /// nodes — otherwise blocking waits serialize and the overlap
 /// `bench/parallel_speedup` measures disappears. Requests beyond the
 /// cap still all complete: tasks claim sub-query indices from a shared
-/// counter, so a smaller pool simply drains the same work with fewer
-/// threads. The pool is lazily created and grown (never shrunk) up to
-/// the cap, so repeated queries reuse warm threads.
+/// counter, so a smaller (or busy) pool simply drains the same work
+/// with fewer threads.
 ///
-/// Thread-safety: one Dispatch call at a time per Executor (the query
-/// service drives it from its coordinator thread). Internally, worker
-/// threads write only to disjoint outcome slots, share the per-node
-/// breaker states (each guarded by its own mutex), and call the cluster
-/// data plane, which is thread-safe (see cluster.h). set_breaker_policy
-/// and ResetBreakers are coordinator-only.
+/// Thread-safety: Dispatch is safe to call concurrently from multiple
+/// client threads (the multi-query service requires it). Workers write
+/// only to the calling dispatch's disjoint outcome slots; the per-node
+/// breaker states are shared across concurrent dispatches (vector growth
+/// under breakers_mu_, each node's state under its own mutex) — which is
+/// what makes a flapping node back off for *every* query, not just the
+/// one that tripped it; the cluster data plane is thread-safe (see
+/// cluster.h). set_pool, set_clock, set_breaker_policy and ResetBreakers
+/// remain control-plane: call them only while no Dispatch is in flight.
 class Executor {
  public:
   explicit Executor(ClusterSim* cluster) : cluster_(cluster) {}
@@ -199,6 +224,20 @@ class Executor {
   void set_clock(const Clock* clock) { clock_ = clock; }
   const Clock* clock() const { return clock_; }
 
+  /// Routes every parallel Dispatch through `pool` (non-owning; the pool
+  /// must outlive the executor or be reset to nullptr first). nullptr —
+  /// the default — falls back to the process-wide shared pool. The
+  /// Scheduler installs its pool here so inter- and intra-query
+  /// parallelism draw from one set of workers. Control-plane: set only
+  /// while no Dispatch is in flight.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// The process-wide fallback pool used by executors with no injected
+  /// pool. Created on first use with one thread per hardware thread and
+  /// grown on demand; lives until process exit.
+  static ThreadPool& SharedProcessPool();
+
  private:
   /// Breaker state of one node; `mu` guards every field. Workers touching
   /// different nodes never contend.
@@ -216,8 +255,13 @@ class Executor {
               const Stopwatch& dispatch_watch, SubQueryOutcome* out);
 
   /// Grows `breakers_` to cover every node index in `subqueries`.
-  /// Called from the coordinator before workers start.
+  /// Thread-safe (concurrent dispatches may race to grow it).
   void EnsureBreakers(const std::vector<SubQuery>& subqueries);
+
+  /// The breaker state for `node`, or nullptr when none exists. The
+  /// returned pointer is stable (states are heap-allocated and never
+  /// freed before the executor), so callers lock only the node's mutex.
+  NodeBreakerState* BreakerFor(size_t node) const;
 
   /// Whether the breaker currently admits a request to `node` (may hand
   /// out the half-open probe as a side effect).
@@ -228,10 +272,11 @@ class Executor {
   ClusterSim* cluster_;
   const Clock* clock_ = Clock::Monotonic();
   CircuitBreakerPolicy breaker_policy_;
+  /// Guards the vector structure only; each state has its own mutex.
+  mutable std::mutex breakers_mu_;
   std::vector<std::unique_ptr<NodeBreakerState>> breakers_;
-  /// Lazily created; grown (never shrunk) toward the hardware-concurrency
-  /// cap documented above, so repeated queries reuse warm threads.
-  std::unique_ptr<ThreadPool> pool_;
+  /// Injected shared pool (scheduler-owned); nullptr = process-wide pool.
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace partix::middleware

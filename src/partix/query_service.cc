@@ -430,6 +430,8 @@ Result<DistributedResult> QueryService::ExecutePlan(
     if (o.attempts > 1) out.retries += o.attempts - 1;
     out.failovers += o.failovers;
     if (o.timed_out) ++out.timed_out_subqueries;
+    out.engine_requests += o.engine_requests;
+    out.discarded_successes += o.discarded_successes;
     out.compile_ms += o.compile_ms;
     out.plan_cache_hits += o.plan_cache_hits;
     out.plan_cache_misses += o.plan_cache_misses;
@@ -480,6 +482,9 @@ Result<DistributedResult> QueryService::ExecutePlan(
     stats.docs_parsed = result->metrics.docs_parsed;
     stats.attempts = outcomes[i].attempts;
     stats.failovers = outcomes[i].failovers;
+    stats.engine_requests = outcomes[i].engine_requests;
+    stats.timed_out_attempts = outcomes[i].timed_out_attempts;
+    stats.discarded_successes = outcomes[i].discarded_successes;
     stats.compile_ms = outcomes[i].compile_ms;
     stats.plan_cache_hits = outcomes[i].plan_cache_hits;
     stats.plan_cache_misses = outcomes[i].plan_cache_misses;

@@ -40,6 +40,16 @@ struct SubQueryStats {
   uint64_t docs_parsed = 0;
   size_t attempts = 1;      // tries made (1 = first attempt succeeded)
   size_t failovers = 0;     // replica switches
+  // --- conservation accounting (see docs/query-scheduling.md) ---
+  /// Attempts that reached a node's engine (mirrors
+  /// SubQueryOutcome::engine_requests: successes, discarded-late
+  /// successes, non-retryable engine errors).
+  size_t engine_requests = 0;
+  /// Attempts that ended kDeadlineExceeded, even though the sub-query
+  /// ultimately succeeded.
+  size_t timed_out_attempts = 0;
+  /// Engine successes discarded because they beat the budget too late.
+  size_t discarded_successes = 0;
   // --- compile-once accounting (see docs/query-compilation.md) ---
   /// Node-side compile cost this sub-query paid (0 when every node served
   /// it from its plan cache).
@@ -87,6 +97,16 @@ struct DistributedResult {
   size_t failovers = 0;
   /// Sub-queries that hit a per-attempt timeout or their deadline.
   size_t timed_out_subqueries = 0;
+  /// Attempts that consumed a node-side engine request, summed over every
+  /// dispatched sub-query (failed ones included). Conservation: equals
+  /// the growth of the cluster's NodeRequestCount totals for this
+  /// execution — discarded late successes and non-retryable errors count,
+  /// fault-gate rejections don't.
+  size_t engine_requests = 0;
+  /// Attempts whose engine work succeeded but arrived past the attempt
+  /// budget and was discarded (still engine_requests; their compile and
+  /// plan-cache figures are folded into the totals below).
+  size_t discarded_successes = 0;
   /// Fragments with no result, in plan order (kReturnPartial only; under
   /// kFail the query errors instead).
   std::vector<std::string> missing_fragments;
@@ -148,9 +168,14 @@ struct ExecutionOptions {
 /// every replica is down. Whether an unreachable fragment fails the query
 /// or degrades it is the caller's choice via PartialResultPolicy.
 ///
-/// Thread-compatible: one thread drives a QueryService instance at a time
-/// (it is the coordinator of its executions); the parallelism happens
-/// below it, in the executor's worker pool.
+/// Thread-safety: Execute/ExecutePlan/Explain/ExplainAnalyze are safe to
+/// call concurrently from multiple client threads — the multi-query
+/// scheduler (scheduler.h) relies on it. Each execution keeps its state
+/// (plan, tracer, outcome slots, compose scratch engine) on the calling
+/// thread; the shared pieces below it are thread-safe in their own right
+/// (executor dispatch and breakers, cluster data plane, node plan
+/// caches). set_clock remains control-plane: call it before concurrent
+/// executions start.
 class QueryService {
  public:
   QueryService(ClusterSim* cluster, const DistributionCatalog* catalog)
@@ -168,6 +193,10 @@ class QueryService {
                                             ExecutionOptions());
 
   const QueryDecomposer& decomposer() const { return decomposer_; }
+
+  /// The cluster this service executes against (the scheduler uses it to
+  /// install its shared pool into the cluster's executor).
+  ClusterSim* cluster() const { return cluster_; }
 
   /// EXPLAIN: decomposes `query` and renders the plan (routing, pruning,
   /// composition, rewritten sub-queries) as human-readable text without

@@ -1,0 +1,325 @@
+#include "partix/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "partix/cluster.h"
+#include "telemetry/metrics.h"
+
+namespace partix::middleware {
+
+namespace {
+
+/// Process-wide admission counters (per-scheduler figures live on
+/// SchedulerStats). Registered once; the record path is a relaxed add.
+struct SchedulerTelemetry {
+  telemetry::Counter* admitted;
+  telemetry::Counter* rejected;
+  telemetry::Counter* queued;
+  telemetry::Counter* drained;
+  telemetry::Gauge* queue_depth;
+  telemetry::Gauge* active_queries;
+  telemetry::Histogram* admission_wait_ms;
+
+  static const SchedulerTelemetry& Get() {
+    static const SchedulerTelemetry t = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      SchedulerTelemetry out;
+      out.admitted = registry.GetCounter("partix_queries_admitted_total");
+      out.rejected = registry.GetCounter("partix_queries_rejected_total");
+      out.queued = registry.GetCounter("partix_queries_queued_total");
+      out.drained = registry.GetCounter("partix_queries_drained_total");
+      out.queue_depth = registry.GetGauge("partix_scheduler_queue_depth");
+      out.active_queries =
+          registry.GetGauge("partix_scheduler_active_queries");
+      out.admission_wait_ms =
+          registry.GetHistogram("partix_admission_wait_ms");
+      return out;
+    }();
+    return t;
+  }
+};
+
+size_t DefaultPoolThreads(size_t configured) {
+  if (configured > 0) return configured;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+Scheduler::Scheduler(QueryService* service, const SchedulerOptions& options)
+    : service_(service),
+      options_(options),
+      pool_(DefaultPoolThreads(options.pool_threads)) {
+  options_.max_concurrent_queries =
+      std::max<size_t>(1, options_.max_concurrent_queries);
+  // One set of workers for everything below this scheduler: the
+  // executor's per-query fan-outs share the scheduler's pool instead of
+  // the process-wide fallback.
+  service_->cluster()->executor().set_pool(&pool_);
+}
+
+Scheduler::~Scheduler() {
+  Drain();
+  service_->cluster()->executor().set_pool(nullptr);
+  pool_.Shutdown();
+}
+
+void Scheduler::AdmitEligibleLocked() {
+  while (active_ < options_.max_concurrent_queries && !waiting_.empty()) {
+    // Best waiter under the fairness policy: arrival order for FIFO,
+    // smallest virtual time (arrival order breaking ties) for weighted
+    // fair. The queue is short (bounded by queue_capacity), so a linear
+    // scan beats maintaining a heap keyed two ways.
+    size_t best = 0;
+    if (options_.fairness == FairnessPolicy::kWeightedFair) {
+      for (size_t i = 1; i < waiting_.size(); ++i) {
+        const Waiter& cand = *waiting_[i];
+        const Waiter& cur = *waiting_[best];
+        if (cand.vtime < cur.vtime ||
+            (cand.vtime == cur.vtime && cand.seq < cur.seq)) {
+          best = i;
+        }
+      }
+    }
+    Waiter* w = waiting_[best];
+    waiting_.erase(waiting_.begin() + static_cast<ptrdiff_t>(best));
+    w->admitted = true;
+    ++active_;
+    if (options_.fairness == FairnessPolicy::kWeightedFair) {
+      // The accumulator was charged at enqueue; admission only advances
+      // the floor (the system's virtual time) to this start tag.
+      admitted_vtime_floor_ = std::max(admitted_vtime_floor_, w->vtime);
+    }
+  }
+  SchedulerTelemetry::Get().queue_depth->Set(
+      static_cast<double>(waiting_.size()));
+}
+
+Status Scheduler::Admit(const ClientContext& client, double* wait_ms,
+                        bool* was_queued) {
+  const SchedulerTelemetry& counters = SchedulerTelemetry::Get();
+  Stopwatch watch(clock_);
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (draining_) {
+    ++stats_.drained;
+    counters.drained->Add();
+    return Status::Unavailable("scheduler is draining; query refused");
+  }
+  if (waiting_.empty() && active_ < options_.max_concurrent_queries) {
+    ++active_;
+    ++stats_.admitted;
+    counters.admitted->Add();
+    counters.active_queries->Set(static_cast<double>(active_));
+    *wait_ms = watch.ElapsedMillis();
+    counters.admission_wait_ms->Observe(*wait_ms);
+    if (options_.fairness == FairnessPolicy::kWeightedFair) {
+      const double weight = client.weight > 0.0 ? client.weight : 1.0;
+      double& service = virtual_service_[client.client_id];
+      const double start = std::max(service, admitted_vtime_floor_);
+      service = start + 1.0 / weight;
+      admitted_vtime_floor_ = start;
+    }
+    return Status::Ok();
+  }
+
+  // Must queue. A full queue is the backpressure signal: bounce now so
+  // the caller can shed load instead of piling blocked threads here.
+  if (waiting_.size() >= options_.queue_capacity) {
+    ++stats_.rejected;
+    counters.rejected->Add();
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(waiting_.size()) + "/" +
+        std::to_string(options_.queue_capacity) + " waiting, " +
+        std::to_string(active_) + " executing)");
+  }
+
+  Waiter w;
+  w.seq = next_seq_++;
+  w.client_id = client.client_id;
+  w.weight = client.weight > 0.0 ? client.weight : 1.0;
+  if (options_.fairness == FairnessPolicy::kWeightedFair) {
+    // WFQ start tag, charged at *enqueue*: the k-th queued query of one
+    // client starts where its (k-1)-th finishes, so a client's standing
+    // backlog spaces out at 1/weight per query and interleaves with
+    // other clients' accordingly. Deliberately not refunded when the
+    // waiter times out or is drained — abandoned queue time still spent
+    // the client's share, so retry storms earn no priority.
+    w.vtime = std::max(virtual_service_[w.client_id], admitted_vtime_floor_);
+    virtual_service_[w.client_id] = w.vtime + 1.0 / w.weight;
+  }
+  waiting_.push_back(&w);
+  ++stats_.queued;
+  stats_.max_queue_depth =
+      std::max(stats_.max_queue_depth,
+               static_cast<uint64_t>(waiting_.size()));
+  counters.queued->Add();
+  counters.queue_depth->Set(static_cast<double>(waiting_.size()));
+  *was_queued = true;
+
+  // Wait budget: the queue timeout and the client's deadline, whichever
+  // binds first. Blocking uses real time (condition variables do); the
+  // *measured* wait below uses the injected clock.
+  const bool has_timeout = options_.queue_timeout_ms > 0.0;
+  const bool has_deadline = client.deadline_ms > 0.0;
+  double budget_ms = 0.0;
+  if (has_timeout) budget_ms = options_.queue_timeout_ms;
+  if (has_deadline) {
+    budget_ms = has_timeout ? std::min(budget_ms, client.deadline_ms)
+                            : client.deadline_ms;
+  }
+  auto resolved = [&] { return w.admitted || w.drained; };
+  bool woke = true;
+  if (has_timeout || has_deadline) {
+    woke = cv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(budget_ms),
+        resolved);
+  } else {
+    cv_.wait(lock, resolved);
+  }
+
+  if (!woke) {
+    // Timed out still queued: withdraw. `w` is on this stack, so it must
+    // leave `waiting_` before we return.
+    waiting_.erase(std::find(waiting_.begin(), waiting_.end(), &w));
+    counters.queue_depth->Set(static_cast<double>(waiting_.size()));
+    ++stats_.rejected;
+    counters.rejected->Add();
+    const double waited = watch.ElapsedMillis();
+    if (has_deadline && (!has_timeout ||
+                         client.deadline_ms <= options_.queue_timeout_ms)) {
+      return Status::DeadlineExceeded(
+          "query deadline (" + std::to_string(client.deadline_ms) +
+          " ms) expired after " + std::to_string(waited) +
+          " ms in the admission queue");
+    }
+    return Status::ResourceExhausted(
+        "timed out after " + std::to_string(waited) +
+        " ms in the admission queue (queue_timeout_ms " +
+        std::to_string(options_.queue_timeout_ms) + ")");
+  }
+  if (w.drained) {
+    ++stats_.drained;
+    counters.drained->Add();
+    return Status::Unavailable("scheduler drained while query was queued");
+  }
+  // Admitted by AdmitEligibleLocked (which already took the slot and
+  // charged the fairness accumulator).
+  ++stats_.admitted;
+  counters.admitted->Add();
+  counters.active_queries->Set(static_cast<double>(active_));
+  *wait_ms = watch.ElapsedMillis();
+  counters.admission_wait_ms->Observe(*wait_ms);
+  return Status::Ok();
+}
+
+void Scheduler::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_;
+  ++stats_.completed;
+  SchedulerTelemetry::Get().active_queries->Set(
+      static_cast<double>(active_));
+  AdmitEligibleLocked();
+  cv_.notify_all();
+}
+
+void Scheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  // Waiters learn their fate through their own stack slot; their Admit
+  // frame does the drained accounting when it wakes.
+  for (Waiter* w : waiting_) w->drained = true;
+  waiting_.clear();
+  SchedulerTelemetry::Get().queue_depth->Set(0.0);
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return active_ == 0; });
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t Scheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_.size();
+}
+
+size_t Scheduler::active_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+template <typename Fn>
+Result<DistributedResult> Scheduler::Run(Fn&& fn,
+                                         const ExecutionOptions& options,
+                                         const ClientContext& client) {
+  double wait_ms = 0.0;
+  bool was_queued = false;
+  PARTIX_RETURN_IF_ERROR(Admit(client, &wait_ms, &was_queued));
+
+  // Deadline composition (docs/query-scheduling.md): the admission wait
+  // already spent part of the client's whole-query budget; what remains
+  // caps the per-sub-query deadline. The tighter of the configured
+  // sub-query deadline and the remaining budget wins.
+  ExecutionOptions effective = options;
+  if (client.deadline_ms > 0.0) {
+    const double remaining_ms = client.deadline_ms - wait_ms;
+    if (remaining_ms <= 0.0) {
+      // Admitted exactly as the deadline ran out: fail without touching
+      // the cluster. The slot was taken, so release it (the query
+      // "completed" without executing — admitted == completed holds).
+      Release();
+      return Status::DeadlineExceeded(
+          "query deadline (" + std::to_string(client.deadline_ms) +
+          " ms) spent waiting " + std::to_string(wait_ms) +
+          " ms for admission");
+    }
+    double& sub_deadline = effective.retry.subquery_deadline_ms;
+    if (sub_deadline <= 0.0 || sub_deadline > remaining_ms) {
+      sub_deadline = remaining_ms;
+    }
+  }
+
+  Result<DistributedResult> result = fn(effective);
+  Release();
+  if (result.ok() && result->traced) {
+    // Splice the admission phase in front of the span tree the service
+    // recorded: the wait happened before the query's epoch, so it reads
+    // as a zero-offset preamble annotated with what actually happened.
+    telemetry::TraceSpan span("scheduler");
+    span.start_ms = 0.0;
+    span.duration_ms = wait_ms;
+    span.AddTag("admission_wait_ms", std::to_string(wait_ms));
+    span.AddTag("queued", was_queued ? "true" : "false");
+    if (!client.client_id.empty()) span.AddTag("client", client.client_id);
+    result->trace.children.insert(result->trace.children.begin(),
+                                  std::move(span));
+  }
+  return result;
+}
+
+Result<DistributedResult> Scheduler::Execute(const std::string& query,
+                                             const ExecutionOptions& options,
+                                             const ClientContext& client) {
+  return Run(
+      [this, &query](const ExecutionOptions& effective) {
+        return service_->Execute(query, effective);
+      },
+      options, client);
+}
+
+Result<DistributedResult> Scheduler::ExecutePlan(
+    const DistributedPlan& plan, const ExecutionOptions& options,
+    const ClientContext& client) {
+  return Run(
+      [this, &plan](const ExecutionOptions& effective) {
+        return service_->ExecutePlan(plan, effective);
+      },
+      options, client);
+}
+
+}  // namespace partix::middleware

@@ -1,0 +1,217 @@
+#ifndef PARTIX_PARTIX_SCHEDULER_H_
+#define PARTIX_PARTIX_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "partix/query_service.h"
+
+namespace partix::middleware {
+
+/// How the scheduler orders queued queries when an execution slot frees.
+enum class FairnessPolicy {
+  /// Strict arrival order.
+  kFifo,
+  /// Weighted fair sharing across clients: each submission is stamped a
+  /// WFQ start tag at enqueue (the client's virtual-service accumulator,
+  /// which the submission advances by 1/weight), and the waiter with the
+  /// smallest tag goes first (arrival order breaks ties). A client with
+  /// weight 2 gets twice the admission share of a weight-1 client under
+  /// contention, and an idle client's first query is never starved by a
+  /// busy one's backlog. Tags are not refunded on queue timeout/drain:
+  /// abandoned waits still spent the client's share.
+  kWeightedFair,
+};
+
+/// Admission-control knobs for a Scheduler. Defaults admit a small amount
+/// of concurrency and queue (without timeout) what exceeds it.
+struct SchedulerOptions {
+  /// Queries executing at once. Admissions beyond this queue (or are
+  /// rejected when the queue is full). Minimum 1.
+  size_t max_concurrent_queries = 4;
+  /// Queries allowed to wait for a slot. A submission arriving with the
+  /// queue full is rejected immediately with kResourceExhausted — the
+  /// backpressure signal callers are expected to handle (shed load,
+  /// retry later). 0 disables queueing: beyond the concurrent slots,
+  /// every submission is rejected.
+  size_t queue_capacity = 16;
+  /// Longest a submission may wait in the queue (ms) before it is bounced
+  /// with kResourceExhausted. 0 = wait indefinitely (bounded only by the
+  /// client's own deadline, if any).
+  double queue_timeout_ms = 0.0;
+  /// Queue ordering under contention.
+  FairnessPolicy fairness = FairnessPolicy::kFifo;
+  /// Worker threads in the scheduler's shared pool. 0 sizes it to the
+  /// hardware concurrency. The pool grows on demand (executor dispatches
+  /// may EnsureThreads up to their node-count cap) but never shrinks.
+  size_t pool_threads = 0;
+};
+
+/// Identity and per-query limits of the submitting client. Default: an
+/// anonymous weight-1 client with no deadline.
+struct ClientContext {
+  /// Fairness bucket. Clients sharing an id share one virtual-service
+  /// accumulator; "" is the shared anonymous bucket.
+  std::string client_id;
+  /// Relative admission share under kWeightedFair (ignored under kFifo).
+  /// Values <= 0 are treated as 1.
+  double weight = 1.0;
+  /// Whole-query deadline in ms, *including* time spent waiting for
+  /// admission. Expiry in the queue fails the query kDeadlineExceeded
+  /// without executing anything; after admission the remaining budget
+  /// composes into the retry policy's sub-query deadline (the tighter of
+  /// the two wins — see docs/query-scheduling.md for the composition
+  /// table). 0 = no deadline.
+  double deadline_ms = 0.0;
+};
+
+/// Monotonic admission counters. Conservation invariants (checked by
+/// tests and bench/concurrent_qps):
+///
+///   submitted == admitted + rejected + drained   (always)
+///   admitted  == completed                        (once idle/drained)
+///
+/// `rejected` counts queue-full bounces, queue timeouts, and deadlines
+/// that expired while queued; `drained` counts submissions refused (or
+/// waiters woken) because the scheduler was shutting down.
+struct SchedulerStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t drained = 0;
+  /// Admitted queries whose execution finished (ok or not).
+  uint64_t completed = 0;
+  /// Submissions that had to wait in the queue before admission.
+  uint64_t queued = 0;
+  /// High-water mark of the wait queue.
+  uint64_t max_queue_depth = 0;
+};
+
+/// Multi-query admission control over one QueryService: callers from any
+/// thread submit queries; at most `max_concurrent_queries` execute at
+/// once, the next `queue_capacity` wait their turn (FIFO or weighted
+/// fair), and the rest are refused with a typed verdict the caller can
+/// branch on:
+///
+///   kResourceExhausted  queue full, or queue_timeout_ms elapsed waiting
+///   kDeadlineExceeded   the client's deadline expired while queued
+///   kUnavailable        the scheduler is draining / shut down
+///
+/// The scheduler owns the process's ONE worker pool for its service and
+/// installs it into the cluster's executor, so inter-query concurrency
+/// (admitted callers) and intra-query parallelism (executor fan-out)
+/// draw from the same bounded set of threads instead of every query
+/// growing private ones. Admitted callers run the query on their own
+/// thread (the executor fans out below them); the pool never runs
+/// whole-query closures, so admission never deadlocks on pool capacity.
+///
+/// Thread-safe: Execute/ExecutePlan/stats/queue_depth may be called from
+/// any thread. Drain() stops admission, bounces the queue, and blocks
+/// until in-flight queries finish; the destructor drains, detaches the
+/// pool from the executor, and joins the workers. set_clock is
+/// control-plane: call it before the first submission.
+class Scheduler {
+ public:
+  /// `service` must outlive the scheduler. The constructor installs the
+  /// scheduler's pool into the service's executor; the destructor
+  /// restores the executor's default (process-wide) pool. One scheduler
+  /// per service at a time.
+  explicit Scheduler(QueryService* service,
+                     const SchedulerOptions& options = SchedulerOptions());
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admits (possibly after queueing) and executes `query` on the calling
+  /// thread. Returns the execution's result, or the admission verdict
+  /// error when the query never ran.
+  Result<DistributedResult> Execute(
+      const std::string& query,
+      const ExecutionOptions& options = ExecutionOptions(),
+      const ClientContext& client = ClientContext());
+
+  /// ExecutePlan with the same admission pipeline.
+  Result<DistributedResult> ExecutePlan(
+      const DistributedPlan& plan,
+      const ExecutionOptions& options = ExecutionOptions(),
+      const ClientContext& client = ClientContext());
+
+  /// Stops admitting, fails every queued waiter kUnavailable (counted
+  /// `drained`), and blocks until the in-flight queries complete.
+  /// Idempotent; subsequent submissions keep failing kUnavailable.
+  void Drain();
+
+  /// Snapshot of the admission counters (internally consistent).
+  SchedulerStats stats() const;
+
+  /// Waiters currently queued for admission.
+  size_t queue_depth() const;
+  /// Queries currently executing.
+  size_t active_queries() const;
+
+  ThreadPool& pool() { return pool_; }
+
+  /// Clock for admission-wait measurement and deadline math. Injected by
+  /// deterministic tests; MonotonicClock by default. Note the *blocking*
+  /// in queue waits uses real time (condition-variable timeouts) — a
+  /// ManualClock changes what is measured, not how long callers block.
+  void set_clock(const Clock* clock) { clock_ = clock; }
+
+ private:
+  /// One queued submission, living on its submitter's stack.
+  struct Waiter {
+    uint64_t seq = 0;        // arrival order
+    double vtime = 0.0;      // virtual-service key under kWeightedFair
+    std::string client_id;
+    double weight = 1.0;
+    bool admitted = false;
+    bool drained = false;
+  };
+
+  /// Blocks until admitted or refused. On success `*wait_ms` holds the
+  /// admission wait and `*was_queued` whether it had to queue.
+  Status Admit(const ClientContext& client, double* wait_ms,
+               bool* was_queued);
+  /// Releases an execution slot and admits eligible waiters.
+  void Release();
+  /// Admits waiters while slots are free, best-first per the fairness
+  /// policy. Caller holds mu_.
+  void AdmitEligibleLocked();
+  /// The admission pipeline around one execution callable.
+  template <typename Fn>
+  Result<DistributedResult> Run(Fn&& fn, const ExecutionOptions& options,
+                                const ClientContext& client);
+
+  QueryService* service_;
+  SchedulerOptions options_;
+  const Clock* clock_ = Clock::Monotonic();
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool draining_ = false;
+  size_t active_ = 0;
+  uint64_t next_seq_ = 0;
+  std::deque<Waiter*> waiting_;
+  /// Per-client virtual service under kWeightedFair: each submission
+  /// takes its start tag here at enqueue and advances the accumulator by
+  /// 1/weight; tags are floored at the admitted-vtime floor so a
+  /// long-idle client re-joins the present instead of replaying its
+  /// unused past share.
+  std::map<std::string, double> virtual_service_;
+  double admitted_vtime_floor_ = 0.0;
+  SchedulerStats stats_;
+};
+
+}  // namespace partix::middleware
+
+#endif  // PARTIX_PARTIX_SCHEDULER_H_

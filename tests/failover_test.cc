@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/strings.h"
 #include "gen/virtual_store.h"
 #include "gtest/gtest.h"
@@ -285,6 +286,139 @@ TEST_F(UnreplicatedFailoverTest, SubQueryDeadlineBoundsTotalTime) {
   EXPECT_EQ(partial->missing_fragments,
             (std::vector<std::string>{"f_DVD"}));
   EXPECT_EQ(partial->timed_out_subqueries, 1u);
+}
+
+TEST_F(UnreplicatedFailoverTest, ExpiredDeadlineDiscardsLateSuccess) {
+  // Regression for the deadline bug: an attempt whose *successful*
+  // answer lands after the sub-query deadline has expired must be
+  // discarded with the canonical deadline error, not returned as a
+  // success that overshot its budget. Before the fix the attempt budget
+  // was only attempt_timeout_ms, so with no per-attempt timeout a late
+  // success sailed through.
+  //
+  // ManualClock auto-advance makes this deterministic without sleeping:
+  // each clock read advances time 6 ms, so by the time the first attempt
+  // is measured, 6 "ms" elapsed against a 10 ms deadline budget of 4 ms.
+  auto plan = service_.decomposer().Decompose(kWorkload[1]);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->subqueries.size(), 1u);
+
+  ManualClock clock;
+  clock.set_auto_advance_millis(6.0);
+  cluster_.executor().set_clock(&clock);
+
+  DispatchOptions options;
+  options.parallelism = 1;
+  options.retry.max_attempts = 5;
+  options.retry.base_backoff_ms = 0.0;  // isolate the budget path
+  options.retry.subquery_deadline_ms = 10.0;
+
+  std::vector<SubQueryOutcome> outcomes;
+  cluster_.executor().Dispatch(plan->subqueries, options, &outcomes);
+  cluster_.executor().set_clock(Clock::Monotonic());
+
+  ASSERT_EQ(outcomes.size(), 1u);
+  const SubQueryOutcome& out = outcomes[0];
+  ASSERT_FALSE(out.result.ok()) << "late success must not be returned";
+  EXPECT_EQ(out.result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(Contains(out.result.status().message(),
+                       "sub-query deadline (10"))
+      << out.result.status().message();
+  EXPECT_TRUE(out.timed_out);
+  EXPECT_EQ(out.attempts, 1u);
+  // The engine really served the discarded attempt — accounting must say
+  // so even though the result was thrown away.
+  EXPECT_EQ(out.engine_requests, 1u);
+  EXPECT_EQ(out.discarded_successes, 1u);
+  EXPECT_EQ(out.timed_out_attempts, 1u);
+  EXPECT_EQ(cluster_.NodeRequestCount(1), 1u);
+}
+
+TEST_F(UnreplicatedFailoverTest, DeadlineExpiryMidBackoffFailsFast) {
+  // Regression for the deadline bug's backoff half: when the next
+  // backoff sleep would outlive the remaining deadline, the executor
+  // must fail immediately instead of sleeping the deadline away and
+  // reporting the failure late.
+  FaultProfile profile;
+  profile.fail_first_requests = 1u << 20;  // every attempt rejected
+  cluster_.SetFaultProfile(1, profile);
+
+  ExecutionOptions options;
+  options.retry.max_attempts = 5;
+  options.retry.base_backoff_ms = 1000.0;  // sleep would dwarf the deadline
+  options.retry.max_backoff_ms = 1000.0;
+  options.retry.jitter = 0.0;
+  options.retry.subquery_deadline_ms = 250.0;
+  Stopwatch watch;
+  auto result = service_.Execute(kWorkload[1], options);
+  const double wall_ms = watch.ElapsedMillis();
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(Contains(result.status().message(), "sub-query deadline (250"))
+      << result.status().message();
+  // Pre-fix the executor clamped the sleep to the remaining ~250 ms and
+  // slept it; failing fast returns in a few milliseconds.
+  EXPECT_LT(wall_ms, 100.0);
+}
+
+TEST_F(ReplicatedFailoverTest, DiscardedLateSuccessConservesAccounting) {
+  // Regression for the accounting bug: node 1 serves the first attempt
+  // but only after a 100 ms stall, so the 30 ms attempt budget discards
+  // its success and the replica (node 2) answers. The stalled node DID
+  // do the work — per-sub-query and aggregate accounting must both say
+  // exactly which engine requests happened where.
+  FaultProfile profile;
+  profile.latency_spike_rate = 1.0;
+  profile.latency_spike_ms = 100.0;
+  cluster_.SetFaultProfile(1, profile);
+
+  ExecutionOptions options;
+  options.retry = FastRetry(3);
+  options.retry.attempt_timeout_ms = 30.0;
+  const uint64_t node1_before = cluster_.NodeRequestCount(1);
+  const uint64_t node2_before = cluster_.NodeRequestCount(2);
+  auto result = service_.Execute(kWorkload[1], options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  ASSERT_EQ(result->subqueries.size(), 1u);
+  const SubQueryStats& stats = result->subqueries[0];
+  EXPECT_EQ(stats.node, 2u);
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(stats.engine_requests, 2u);
+  EXPECT_EQ(stats.discarded_successes, 1u);
+  EXPECT_EQ(stats.timed_out_attempts, 1u);
+  EXPECT_EQ(cluster_.NodeRequestCount(1) - node1_before, 1u);
+  EXPECT_EQ(cluster_.NodeRequestCount(2) - node2_before, 1u);
+  // Aggregates carry the same conservation story.
+  EXPECT_EQ(result->engine_requests, 2u);
+  EXPECT_EQ(result->discarded_successes, 1u);
+  EXPECT_EQ(result->timed_out_subqueries, 1u);
+}
+
+TEST_F(ReplicatedFailoverTest, EngineRequestAccountingConservesAcrossWorkload) {
+  // Under rate-based transient faults (which reject without consuming an
+  // engine request) the executor-side engine_requests totals must equal
+  // the node-side request counters exactly, across the whole workload.
+  for (size_t node = 0; node < cluster_.node_count(); ++node) {
+    FaultProfile profile;
+    profile.transient_error_rate = 0.3;
+    profile.seed = 100 + node;
+    cluster_.SetFaultProfile(node, profile);  // also resets the counter
+  }
+  ExecutionOptions options;
+  options.retry = FastRetry(6);
+  size_t executor_total = 0;
+  for (const char* q : kWorkload) {
+    auto result = service_.Execute(q, options);
+    ASSERT_TRUE(result.ok()) << q << ": " << result.status();
+    executor_total += result->engine_requests;
+  }
+  uint64_t node_total = 0;
+  for (size_t node = 0; node < cluster_.node_count(); ++node) {
+    node_total += cluster_.NodeRequestCount(node);
+  }
+  EXPECT_EQ(executor_total, node_total);
 }
 
 TEST_F(UnreplicatedFailoverTest, FaultInjectionIsDeterministicUnderSeed) {

@@ -1,0 +1,504 @@
+// Multi-query admission control: concurrency limits, queue backpressure
+// verdicts, deadline composition, fairness, drain semantics, and the
+// conservation invariants of SchedulerStats — plus concurrent clients
+// hammering one QueryService (the TSan target for the shared pool,
+// plan caches, and circuit breakers).
+
+#include <atomic>
+#include <chrono>
+#include <iterator>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "gen/virtual_store.h"
+#include "gtest/gtest.h"
+#include "partix/catalog.h"
+#include "partix/cluster.h"
+#include "partix/publisher.h"
+#include "partix/scheduler.h"
+
+namespace partix::middleware {
+namespace {
+
+/// Fast retry policy for tests: real backoff shape, negligible sleeps.
+RetryPolicy FastRetry(size_t max_attempts) {
+  RetryPolicy retry;
+  retry.max_attempts = max_attempts;
+  retry.base_backoff_ms = 0.01;
+  retry.max_backoff_ms = 0.1;
+  retry.seed = 42;
+  return retry;
+}
+
+/// Spins (sleeping 1 ms per poll) until `pred` holds; fails the test
+/// after `timeout_ms`. For sequencing real threads against the
+/// scheduler's observable state (queue depth, active queries).
+template <typename Pred>
+::testing::AssertionResult WaitUntil(Pred pred, double timeout_ms = 5000.0) {
+  Stopwatch watch;
+  while (!pred()) {
+    if (watch.ElapsedMillis() > timeout_ms) {
+      return ::testing::AssertionFailure()
+             << "condition not reached within " << timeout_ms << " ms";
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Items collection fragmented by Section over a 4-node cluster with a
+/// configurable replication factor (replica r of fragment i at node
+/// (i + r) mod 4) — the failover_test fixture, reused so fault
+/// injection and routing behave identically here.
+class SchedulerTestBase : public ::testing::Test {
+ protected:
+  explicit SchedulerTestBase(size_t replication_factor)
+      : cluster_(4, xdb::DatabaseOptions(), NetworkModel()),
+        publisher_(&cluster_, &catalog_),
+        service_(&cluster_, &catalog_) {
+    gen::ItemsGenOptions options;
+    options.doc_count = 40;
+    options.seed = 11;
+    options.sections = {"CD", "DVD", "BOOK", "TOY"};
+    auto items = gen::GenerateItems(options, nullptr);
+    EXPECT_TRUE(items.ok());
+    frag::FragmentationSchema schema;
+    schema.collection = "items";
+    for (const std::string& s : options.sections) {
+      auto mu = xpath::Conjunction::Parse("/Item/Section = \"" + s + "\"");
+      EXPECT_TRUE(mu.ok());
+      schema.fragments.emplace_back(frag::HorizontalDef{"f_" + s, *mu});
+    }
+    EXPECT_TRUE(publisher_
+                    .PublishFragmented(*items, schema, {},
+                                       replication_factor)
+                    .ok());
+    // f_CD -> node 0, f_DVD -> node 1, f_BOOK -> node 2, f_TOY -> node 3.
+  }
+
+  /// Installs a 100%-rate latency spike of `spike_ms` on `node`.
+  void StallNode(size_t node, double spike_ms) {
+    FaultProfile profile;
+    profile.latency_spike_rate = 1.0;
+    profile.latency_spike_ms = spike_ms;
+    cluster_.SetFaultProfile(node, profile);
+  }
+
+  DistributionCatalog catalog_;
+  ClusterSim cluster_;
+  DataPublisher publisher_;
+  QueryService service_;
+};
+
+class SchedulerTest : public SchedulerTestBase {
+ protected:
+  SchedulerTest() : SchedulerTestBase(1) {}
+};
+
+class ReplicatedSchedulerTest : public SchedulerTestBase {
+ protected:
+  ReplicatedSchedulerTest() : SchedulerTestBase(2) {}
+};
+
+// Section-pruned single-fragment queries: the decomposer routes each to
+// exactly one node, so tests can stall one query's node without
+// touching another's.
+const char kDvdQuery[] =
+    "for $i in collection(\"items\")/Item where $i/Section = \"DVD\" "
+    "return $i/Name";
+const char kCdQuery[] =
+    "for $i in collection(\"items\")/Item where $i/Section = \"CD\" "
+    "return $i/Name";
+const char kCountQuery[] = "count(collection(\"items\")/Item)";
+
+TEST_F(SchedulerTest, UncontendedExecuteMatchesDirectService) {
+  auto direct = service_.Execute(kCountQuery);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+
+  Scheduler scheduler(&service_);
+  auto via = scheduler.Execute(kCountQuery);
+  ASSERT_TRUE(via.ok()) << via.status();
+  EXPECT_EQ(via->serialized, direct->serialized);
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.drained, 0u);
+}
+
+TEST_F(SchedulerTest, PlanPathSharesTheAdmissionPipeline) {
+  auto plan = service_.decomposer().Decompose(kCountQuery);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  Scheduler scheduler(&service_);
+  auto by_query = scheduler.Execute(kCountQuery);
+  auto by_plan = scheduler.ExecutePlan(*plan);
+  ASSERT_TRUE(by_query.ok()) << by_query.status();
+  ASSERT_TRUE(by_plan.ok()) << by_plan.status();
+  EXPECT_EQ(by_plan->serialized, by_query->serialized);
+  EXPECT_EQ(scheduler.stats().admitted, 2u);
+}
+
+TEST_F(SchedulerTest, InstallsAndRemovesTheSharedPool) {
+  EXPECT_EQ(cluster_.executor().pool(), nullptr);
+  {
+    SchedulerOptions options;
+    options.pool_threads = 2;
+    Scheduler scheduler(&service_, options);
+    EXPECT_EQ(cluster_.executor().pool(), &scheduler.pool());
+    EXPECT_EQ(scheduler.pool().thread_count(), 2u);
+
+    // An admitted query's intra-query fan-out draws from the same pool.
+    ExecutionOptions exec;
+    exec.parallelism = 0;
+    auto result = scheduler.Execute(kCountQuery, exec);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GE(scheduler.pool().thread_count(), 2u);
+  }
+  // Destruction restores the executor's process-wide default.
+  EXPECT_EQ(cluster_.executor().pool(), nullptr);
+}
+
+TEST_F(SchedulerTest, FullQueueRejectsWithResourceExhausted) {
+  StallNode(1, 300.0);  // the holder's query pins the only slot
+  SchedulerOptions options;
+  options.max_concurrent_queries = 1;
+  options.queue_capacity = 0;  // no queue: beyond the slot, bounce
+  Scheduler limited(&service_, options);
+
+  std::thread holder([&] {
+    auto held = limited.Execute(kDvdQuery);
+    EXPECT_TRUE(held.ok()) << held.status();
+  });
+  ASSERT_TRUE(WaitUntil([&] { return limited.active_queries() == 1; }));
+
+  auto bounced = limited.Execute(kCdQuery);
+  ASSERT_FALSE(bounced.ok());
+  EXPECT_EQ(bounced.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(Contains(bounced.status().message(), "admission queue full"))
+      << bounced.status().message();
+  holder.join();
+
+  const SchedulerStats stats = limited.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST_F(SchedulerTest, QueueTimeoutRejectsWithResourceExhausted) {
+  StallNode(1, 300.0);
+  SchedulerOptions options;
+  options.max_concurrent_queries = 1;
+  options.queue_capacity = 4;
+  options.queue_timeout_ms = 30.0;
+  Scheduler scheduler(&service_, options);
+
+  std::thread holder([&] {
+    auto held = scheduler.Execute(kDvdQuery);
+    EXPECT_TRUE(held.ok()) << held.status();
+  });
+  ASSERT_TRUE(WaitUntil([&] { return scheduler.active_queries() == 1; }));
+
+  auto timed_out = scheduler.Execute(kCdQuery);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(Contains(timed_out.status().message(), "admission queue"))
+      << timed_out.status().message();
+  holder.join();
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.queued, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected + stats.drained);
+  EXPECT_EQ(stats.admitted, stats.completed);
+}
+
+TEST_F(SchedulerTest, ClientDeadlineExpiresWhileQueued) {
+  StallNode(1, 300.0);
+  SchedulerOptions options;
+  options.max_concurrent_queries = 1;
+  options.queue_capacity = 4;  // no queue timeout: the deadline binds
+  Scheduler scheduler(&service_, options);
+
+  std::thread holder([&] {
+    auto held = scheduler.Execute(kDvdQuery);
+    EXPECT_TRUE(held.ok()) << held.status();
+  });
+  ASSERT_TRUE(WaitUntil([&] { return scheduler.active_queries() == 1; }));
+
+  ClientContext client;
+  client.client_id = "impatient";
+  client.deadline_ms = 30.0;
+  auto expired = scheduler.Execute(kCdQuery, ExecutionOptions(), client);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(Contains(expired.status().message(), "admission queue"))
+      << expired.status().message();
+  holder.join();
+}
+
+TEST_F(SchedulerTest, ClientDeadlineComposesIntoSubQueryDeadline) {
+  // No contention: the query is admitted instantly, so (almost) the whole
+  // 50 ms client budget flows down as the sub-query deadline — which the
+  // 100 ms node stall then blows, producing the executor's canonical
+  // deadline failure instead of a 100 ms "success".
+  StallNode(1, 100.0);
+  Scheduler scheduler(&service_);
+
+  ClientContext client;
+  client.deadline_ms = 50.0;
+  ExecutionOptions exec;
+  exec.retry = FastRetry(3);  // no configured sub-query deadline
+  auto result = scheduler.Execute(kDvdQuery, exec, client);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(Contains(result.status().message(), "sub-query deadline"))
+      << result.status().message();
+  // The slot was released despite the failure.
+  EXPECT_EQ(scheduler.active_queries(), 0u);
+  EXPECT_EQ(scheduler.stats().completed, 1u);
+}
+
+TEST_F(SchedulerTest, DrainBouncesQueuedWaitersAndRefusesNewWork) {
+  StallNode(1, 300.0);
+  SchedulerOptions options;
+  options.max_concurrent_queries = 1;
+  options.queue_capacity = 4;
+  Scheduler scheduler(&service_, options);
+
+  std::thread holder([&] {
+    auto held = scheduler.Execute(kDvdQuery);
+    EXPECT_TRUE(held.ok()) << held.status();
+  });
+  ASSERT_TRUE(WaitUntil([&] { return scheduler.active_queries() == 1; }));
+
+  Status queued_verdict = Status::Ok();
+  std::thread queued([&] {
+    auto result = scheduler.Execute(kCdQuery);
+    queued_verdict = result.ok() ? Status::Ok() : result.status();
+  });
+  ASSERT_TRUE(WaitUntil([&] { return scheduler.queue_depth() == 1; }));
+
+  scheduler.Drain();  // blocks until the holder finishes
+  queued.join();
+  holder.join();
+  EXPECT_EQ(queued_verdict.code(), StatusCode::kUnavailable);
+
+  auto refused = scheduler.Execute(kCdQuery);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.drained, 2u);  // the queued waiter + the late submission
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected + stats.drained);
+}
+
+TEST_F(SchedulerTest, WeightedFairnessOrdersBacklogByClientShare) {
+  // One slot, held. Enqueue (in this arrival order) lo1, lo2, then
+  // hi1..hi4, where "hi" has 4x the weight of "lo". WFQ start tags:
+  //   lo1 = 0.0, lo2 = 1.0, hi1 = 0.0, hi2 = 0.25, hi3 = 0.5, hi4 = 0.75
+  // so the admission order must be lo1, hi1, hi2, hi3, hi4, lo2 — plain
+  // FIFO would run lo2 second, not last.
+  StallNode(1, 500.0);  // holder's node; the queued queries hit node 0
+  StallNode(0, 20.0);   // keeps each drained query long enough to order
+  SchedulerOptions options;
+  options.max_concurrent_queries = 1;
+  options.queue_capacity = 8;
+  options.fairness = FairnessPolicy::kWeightedFair;
+  Scheduler scheduler(&service_, options);
+
+  std::thread holder([&] {
+    ClientContext hold;
+    hold.client_id = "hold";
+    auto held = scheduler.Execute(kDvdQuery, ExecutionOptions(), hold);
+    EXPECT_TRUE(held.ok()) << held.status();
+  });
+  ASSERT_TRUE(WaitUntil([&] { return scheduler.active_queries() == 1; }));
+
+  std::mutex order_mu;
+  std::vector<std::string> completion_order;
+  std::vector<std::thread> clients;
+  const struct {
+    const char* label;
+    const char* client_id;
+    double weight;
+  } submissions[] = {
+      {"lo1", "lo", 1.0}, {"lo2", "lo", 1.0}, {"hi1", "hi", 4.0},
+      {"hi2", "hi", 4.0}, {"hi3", "hi", 4.0}, {"hi4", "hi", 4.0},
+  };
+  for (size_t i = 0; i < std::size(submissions); ++i) {
+    const auto& s = submissions[i];
+    clients.emplace_back([&, s] {
+      ClientContext client;
+      client.client_id = s.client_id;
+      client.weight = s.weight;
+      auto result = scheduler.Execute(kCdQuery, ExecutionOptions(), client);
+      EXPECT_TRUE(result.ok()) << s.label << ": " << result.status();
+      std::lock_guard<std::mutex> lock(order_mu);
+      completion_order.emplace_back(s.label);
+    });
+    // Serialize arrivals so the start tags above are the actual tags.
+    ASSERT_TRUE(WaitUntil([&] { return scheduler.queue_depth() == i + 1; }));
+  }
+  holder.join();
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(completion_order,
+            (std::vector<std::string>{"lo1", "hi1", "hi2", "hi3", "hi4",
+                                      "lo2"}));
+  EXPECT_EQ(scheduler.stats().max_queue_depth, 6u);
+}
+
+TEST_F(SchedulerTest, OverloadStatsConserveAcrossVerdicts) {
+  StallNode(1, 200.0);
+  SchedulerOptions options;
+  options.max_concurrent_queries = 1;
+  options.queue_capacity = 1;
+  options.queue_timeout_ms = 20.0;
+  Scheduler scheduler(&service_, options);
+
+  std::thread holder([&] {
+    auto held = scheduler.Execute(kDvdQuery);
+    EXPECT_TRUE(held.ok()) << held.status();
+  });
+  ASSERT_TRUE(WaitUntil([&] { return scheduler.active_queries() == 1; }));
+
+  // A burst that must overflow: 1 slot busy, 1 queue seat, 4 arrivals.
+  std::atomic<int> ok{0}, resource_exhausted{0}, other{0};
+  std::vector<std::thread> burst;
+  for (int i = 0; i < 4; ++i) {
+    burst.emplace_back([&] {
+      auto result = scheduler.Execute(kCdQuery);
+      if (result.ok()) {
+        ++ok;
+      } else if (result.status().code() == StatusCode::kResourceExhausted) {
+        ++resource_exhausted;
+      } else {
+        ++other;
+      }
+    });
+  }
+  for (std::thread& t : burst) t.join();
+  holder.join();
+
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GE(resource_exhausted.load(), 1);  // at least the overflow bounced
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected + stats.drained);
+  EXPECT_EQ(stats.admitted, stats.completed);
+  EXPECT_EQ(stats.rejected, static_cast<uint64_t>(resource_exhausted.load()));
+}
+
+TEST_F(ReplicatedSchedulerTest, ConcurrentClientsStayByteIdenticalUnderFaults) {
+  // The TSan centerpiece: 8 client threads push the full workload through
+  // one scheduler (4 slots) while node 1 rejects 30% of requests, forcing
+  // concurrent retries, replica failovers, breaker traffic, and shared
+  // plan-cache hits. Every composed result must equal the healthy
+  // baseline, byte for byte.
+  const char* const workload[] = {kCountQuery, kDvdQuery, kCdQuery};
+  std::vector<std::string> baseline;
+  for (const char* q : workload) {
+    auto result = service_.Execute(q);
+    ASSERT_TRUE(result.ok()) << result.status();
+    baseline.push_back(result->serialized);
+  }
+
+  FaultProfile faults;
+  faults.transient_error_rate = 0.3;
+  faults.seed = 7;
+  cluster_.SetFaultProfile(1, faults);
+
+  SchedulerOptions options;
+  options.max_concurrent_queries = 4;
+  options.queue_capacity = 64;
+  Scheduler scheduler(&service_, options);
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kIterations = 6;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientContext client;
+      client.client_id = "client-" + std::to_string(c);
+      ExecutionOptions exec;
+      exec.parallelism = 0;  // intra-query fan-out on the shared pool
+      exec.retry = FastRetry(6);
+      exec.retry.seed = 1000 + c;
+      for (size_t iter = 0; iter < kIterations; ++iter) {
+        for (size_t q = 0; q < std::size(workload); ++q) {
+          auto result = scheduler.Execute(workload[q], exec, client);
+          ASSERT_TRUE(result.ok())
+              << workload[q] << ": " << result.status();
+          if (result->serialized != baseline[q]) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  scheduler.Drain();
+  const SchedulerStats stats = scheduler.stats();
+  const uint64_t total = kClients * kIterations * std::size(workload);
+  EXPECT_EQ(stats.submitted, total);
+  EXPECT_EQ(stats.admitted, total);
+  EXPECT_EQ(stats.completed, total);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.drained, 0u);
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected + stats.drained);
+}
+
+TEST_F(ReplicatedSchedulerTest, ConcurrentDirectServiceCallsAreSafe) {
+  // The QueryService contract allows concurrent Execute without a
+  // scheduler (callers bring their own threads; the executor falls back
+  // to the process-wide pool). Exercise it under faults for TSan.
+  const char* const workload[] = {kCountQuery, kDvdQuery, kCdQuery};
+  std::vector<std::string> baseline;
+  for (const char* q : workload) {
+    auto result = service_.Execute(q);
+    ASSERT_TRUE(result.ok()) << result.status();
+    baseline.push_back(result->serialized);
+  }
+  FaultProfile faults;
+  faults.transient_error_rate = 0.2;
+  faults.seed = 13;
+  cluster_.SetFaultProfile(2, faults);
+
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < 6; ++c) {
+    threads.emplace_back([&, c] {
+      ExecutionOptions exec;
+      exec.parallelism = 0;
+      exec.retry = FastRetry(6);
+      exec.retry.seed = 2000 + c;
+      for (size_t iter = 0; iter < 4; ++iter) {
+        for (size_t q = 0; q < std::size(workload); ++q) {
+          auto result = service_.Execute(workload[q], exec);
+          ASSERT_TRUE(result.ok())
+              << workload[q] << ": " << result.status();
+          if (result->serialized != baseline[q]) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+}  // namespace partix::middleware
