@@ -20,6 +20,9 @@ fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
 
+echo "== markdown link check =="
+scripts/check_links.sh
+
 for config in "${configs[@]}"; do
   dir="build-check-${config}"
   flags=()

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Markdown link checker: every relative link target in the tracked
+# markdown pages must resolve to an existing file or directory.
+#
+# Scope: *.md at the repository root plus docs/*.md. External links
+# (http/https/mailto) and pure in-page anchors (#...) are skipped;
+# a trailing #anchor on a file link is stripped before the existence
+# check. No dependencies beyond bash + grep.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+failures=0
+checked=0
+
+for md in ./*.md docs/*.md; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Inline links: capture the (...) target of [text](target). Reference
+  # definitions ([id]: target) are rare here; grep them separately.
+  targets=$(
+    { grep -oE '\]\([^)]+\)' "$md" || true; } | sed -e 's/^](//' -e 's/)$//'
+    { grep -oE '^\[[^]]+\]:[[:space:]]+[^[:space:]]+' "$md" || true; } |
+      sed -E 's/^\[[^]]+\]:[[:space:]]+//'
+  )
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;   # external
+      '#'*) continue ;;                          # in-page anchor
+    esac
+    path="${target%%#*}"                         # strip #anchor
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $md -> $target" >&2
+      failures=$((failures + 1))
+    fi
+    checked=$((checked + 1))
+  done <<<"$targets"
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "markdown link check: $failures broken link(s)" >&2
+  exit 1
+fi
+echo "markdown link check: $checked relative link(s) OK"

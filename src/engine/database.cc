@@ -153,6 +153,9 @@ Status Database::IndexDocument(CollectionState* state, storage::DocSlot slot,
   if (options_.enable_element_index) state->element_index.AddDocument(slot, doc);
   if (options_.enable_text_index) state->text_index.AddDocument(slot, doc);
   if (options_.enable_value_index) state->value_index.AddDocument(slot, doc);
+  if (options_.enable_structural_index) {
+    state->structural_index.AddDocument(slot, doc);
+  }
   state->stats.AddDocument(doc, state->store->SerializedSize(slot));
   return Status::Ok();
 }
@@ -365,6 +368,17 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared) {
           if (dead) break;
         }
       }
+      if (!dead && options_.enable_structural_index) {
+        // Level-constrained spine pruning: strictly stronger than the
+        // name-presence check above for child-only prefixes (an `Item`
+        // nested at the wrong depth no longer keeps its document alive).
+        for (const SpineLevel& spine : site.spine_levels) {
+          storage::PostingList list = state.structural_index.LookupWithLevel(
+              spine.name, spine.min_level, spine.exact_level);
+          intersect(&list);
+          if (dead) break;
+        }
+      }
       if (!dead && options_.enable_text_index &&
           options_.text_index_accelerates_contains) {
         for (const std::string& needle : site.contains_needles) {
@@ -410,6 +424,7 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared) {
   // Evaluate.
   PlannedResolver resolver(std::move(candidates), std::move(stores));
   xquery::Evaluator evaluator(&resolver, pool_);
+  evaluator.set_use_structural_index(options_.enable_structural_index);
   Result<xquery::Sequence> result = evaluator.Eval(prepared.compiled->ast());
   if (!result.ok()) return result.status();
 
@@ -426,6 +441,18 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared) {
     it->second.stats.RecordAccess(sm);
   }
   metrics.nodes_visited = evaluator.stats().nodes_visited;
+  metrics.index_range_scans = evaluator.stats().index_range_scans;
+  metrics.index_range_hits = evaluator.stats().index_range_hits;
+  if (metrics.index_range_scans > 0) {
+    // Evaluator-side label-range scans are structural-index probes too;
+    // fold them into the same process-wide counters the planner-side
+    // lookups use.
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.GetCounter("partix_structural_index_probes_total")
+        ->Add(metrics.index_range_scans);
+    registry.GetCounter("partix_structural_index_hits_total")
+        ->Add(metrics.index_range_hits);
+  }
 
   QueryResult out;
   out.items = std::move(*result);

@@ -38,6 +38,13 @@ struct DatabaseOptions {
   /// Exact-value index on simple-content elements. OFF by default: the
   /// paper configured no value indexes ("No other indexes were created").
   bool enable_value_index = false;
+  /// Structural label index (XISS/R-style (pre, post, level) intervals,
+  /// see docs/structural-index.md): prunes candidate documents by
+  /// occurrence level and lets the evaluators answer descendant/child
+  /// steps as label-range scans instead of tree walks. Results are
+  /// byte-identical on or off; OFF is the navigational ablation measured
+  /// by bench/structural_join.
+  bool enable_structural_index = true;
   /// Prepared-plan LRU cache capacity in entries, keyed by query text and
   /// invalidated by collection DDL. 0 disables caching: every Prepare
   /// recompiles (the "cache off" ablation of bench/plan_cache_bench).
@@ -70,6 +77,10 @@ struct QueryMetrics {
   uint64_t bytes_parsed = 0;
   uint64_t cache_hits = 0;
   uint64_t nodes_visited = 0;
+  /// Axis steps answered by structural label-range scans, and the matches
+  /// they produced (0 when the structural index is disabled).
+  uint64_t index_range_scans = 0;
+  uint64_t index_range_hits = 0;
   uint64_t result_items = 0;
   uint64_t result_bytes = 0;
 };
@@ -206,6 +217,7 @@ class Database {
     storage::ElementIndex element_index;
     storage::TextIndex text_index;
     storage::ValueIndex value_index;
+    storage::StructuralIndex structural_index;
     storage::CollectionStats stats;
   };
 

@@ -1,5 +1,8 @@
 #include "engine/persistence.h"
 
+#include <algorithm>
+#include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -73,7 +76,41 @@ std::string UnescapeMeta(std::string_view v) {
   return out;
 }
 
+/// One parsed STRUCT line.
+struct StructEntry {
+  uint64_t node_count = 0;
+  uint64_t max_level = 0;
+  uint64_t checksum = 0;
+};
+
+bool ParseU64(std::string_view s, int base, uint64_t* out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out, base);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
 }  // namespace
+
+uint64_t StructuralLabelChecksum(const xml::Document& doc) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ull;  // FNV-1a prime
+    }
+  };
+  for (xml::NodeId n = 0; n < doc.node_count(); ++n) {
+    const xml::NodeLabel& l = doc.label(n);
+    mix(l.pre);
+    mix(l.post);
+    mix(l.sub_max);
+    mix(l.level);
+    uint32_t len = 0;
+    const uint32_t* components = doc.dewey(n, &len);
+    for (uint32_t i = 0; i < len; ++i) mix(components[i]);
+  }
+  return h;
+}
 
 Status ExportCollection(Database& db, const std::string& collection,
                         const std::string& dir) {
@@ -93,6 +130,10 @@ Status ExportCollection(Database& db, const std::string& collection,
   if (!manifest) {
     return Status::Internal("cannot write MANIFEST in '" + dir + "'");
   }
+  std::ofstream structs(fs::path(dir) / "STRUCT");
+  if (!structs) {
+    return Status::Internal("cannot write STRUCT in '" + dir + "'");
+  }
   size_t index = 0;
   for (const xml::DocumentPtr& doc : docs) {
     char file[32];
@@ -110,6 +151,18 @@ Status ExportCollection(Database& db, const std::string& collection,
     }
     manifest << file << '\t' << doc->doc_name() << '\t' << meta_field
              << '\n';
+    if (doc->has_labels() && !doc->empty()) {
+      uint32_t max_level = 0;
+      for (xml::NodeId n = 0; n < doc->node_count(); ++n) {
+        max_level = std::max(max_level, doc->label(n).level);
+      }
+      char checksum[24];
+      std::snprintf(checksum, sizeof(checksum), "%016llx",
+                    static_cast<unsigned long long>(
+                        StructuralLabelChecksum(*doc)));
+      structs << file << '\t' << doc->node_count() << '\t' << max_level
+              << '\t' << checksum << '\n';
+    }
   }
   return Status::Ok();
 }
@@ -123,6 +176,31 @@ Status ImportCollection(Database& db, const std::string& collection,
   if (!db.HasCollection(collection)) {
     PARTIX_RETURN_IF_ERROR(db.CreateCollection(collection, meta));
   }
+  // STRUCT (when present) pins the structural labels the exporter saw;
+  // entries are keyed by file and checked against the re-parsed documents
+  // below. Exports that predate structural labels simply have no STRUCT.
+  std::map<std::string, StructEntry> expected_labels;
+  {
+    std::ifstream structs(fs::path(dir) / "STRUCT");
+    std::string sline;
+    size_t sline_no = 0;
+    while (structs && std::getline(structs, sline)) {
+      ++sline_no;
+      if (sline.empty()) continue;
+      auto sfields = Split(sline, '\t');
+      StructEntry entry;
+      if (sfields.size() != 4 || !ParseU64(sfields[1], 10, &entry.node_count) ||
+          !ParseU64(sfields[2], 10, &entry.max_level) ||
+          !ParseU64(sfields[3], 16, &entry.checksum)) {
+        return Status::Corruption("bad STRUCT line " +
+                                  std::to_string(sline_no) + " in '" + dir +
+                                  "'");
+      }
+      expected_labels[std::string(sfields[0])] = entry;
+    }
+  }
+  // file -> doc name, for matching STRUCT entries after the load.
+  std::map<std::string, std::string> doc_names;
   std::string line;
   size_t line_no = 0;
   while (std::getline(manifest, line)) {
@@ -154,9 +232,43 @@ Status ImportCollection(Database& db, const std::string& collection,
             UnescapeMeta(pair.substr(eq + 1));
       }
     }
+    doc_names[std::string(fields[0])] = std::string(fields[1]);
     PARTIX_RETURN_IF_ERROR(db.StoreSerializedWithMetadata(
         collection, std::string(fields[1]), buffer.str(),
         std::move(metadata)));
+  }
+  if (!expected_labels.empty()) {
+    // Re-derive labels from the imported documents (AllDocuments parses
+    // through the LRU cache, which the first queries would fill anyway)
+    // and compare against what the exporter recorded.
+    std::map<std::string, const StructEntry*> by_doc_name;
+    for (const auto& [file, entry] : expected_labels) {
+      auto it = doc_names.find(file);
+      if (it == doc_names.end()) {
+        return Status::Corruption("STRUCT entry for '" + file +
+                                  "' has no MANIFEST line in '" + dir + "'");
+      }
+      by_doc_name[it->second] = &entry;
+    }
+    PARTIX_ASSIGN_OR_RETURN(std::vector<xml::DocumentPtr> docs,
+                            db.AllDocuments(collection));
+    for (const xml::DocumentPtr& doc : docs) {
+      auto it = by_doc_name.find(doc->doc_name());
+      if (it == by_doc_name.end()) continue;
+      const StructEntry& want = *it->second;
+      uint32_t max_level = 0;
+      for (xml::NodeId n = 0; n < doc->node_count(); ++n) {
+        max_level = std::max(max_level, doc->label(n).level);
+      }
+      if (doc->node_count() != want.node_count ||
+          max_level != want.max_level ||
+          StructuralLabelChecksum(*doc) != want.checksum) {
+        return Status::Corruption(
+            "structural labels of '" + doc->doc_name() + "' in '" + dir +
+            "' do not match STRUCT: the exported and re-parsed label "
+            "streams diverge");
+      }
+    }
   }
   return Status::Ok();
 }

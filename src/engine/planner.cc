@@ -178,8 +178,16 @@ class Analyzer {
   size_t AddSite(const std::string& collection,
                  const std::vector<AxisStep>& steps) {
     SiteConstraints site;
+    uint32_t depth = 0;
+    bool exact = true;
     for (const AxisStep& s : steps) {
-      if (!s.step.wildcard) site.required_elements.push_back(s.step.name);
+      ++depth;
+      if (s.step.axis == xpath::Axis::kDescendant) exact = false;
+      site.step_strategies.push_back(xpath::StaticStepStrategy(s.step));
+      if (!s.step.wildcard) {
+        site.required_elements.push_back(s.step.name);
+        site.spine_levels.push_back(SpineLevel{s.step.name, depth, exact});
+      }
       for (const ExprPtr& pred : s.predicates) {
         MineConjunct(*pred, &site, nullptr);
         // Also walk the predicate generically to find nested collection

@@ -1,14 +1,32 @@
 #ifndef PARTIX_ENGINE_PLANNER_H_
 #define PARTIX_ENGINE_PLANNER_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "xpath/path.h"
 #include "xquery/ast.h"
 
 namespace partix::xdb {
+
+/// One spine step with its derivable depth bound. Levels count from 1 at
+/// the root element. While every axis up to a step is the child axis the
+/// step's depth is exact; after the first descendant axis only a lower
+/// bound survives. The structural index prunes documents whose occurrences
+/// of `name` all fall outside the bound.
+struct SpineLevel {
+  std::string name;
+  uint32_t min_level = 1;
+  bool exact_level = false;
+
+  bool operator==(const SpineLevel& o) const {
+    return name == o.name && min_level == o.min_level &&
+           exact_level == o.exact_level;
+  }
+};
 
 /// Constraints that every document contributing to one collection() call
 /// site must satisfy. Derived conservatively from the query: a document
@@ -19,6 +37,16 @@ struct SiteConstraints {
   /// Element/attribute names on the path spine and in conjunctive
   /// predicates (checked against the structural index).
   std::vector<std::string> required_elements;
+
+  /// Spine names with level bounds (checked against the structural label
+  /// index when enabled; a strictly stronger version of the spine subset
+  /// of `required_elements`).
+  std::vector<SpineLevel> spine_levels;
+
+  /// The planner's static evaluation strategy for each trailing step of
+  /// the site's path, in step order (see xpath::StaticStepStrategy);
+  /// kDynamic entries are resolved per document at evaluation time.
+  std::vector<xpath::StepStrategy> step_strategies;
 
   /// Literal needles of conjunctive contains() predicates (checked against
   /// the full-text index).

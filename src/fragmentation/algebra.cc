@@ -1,8 +1,10 @@
 #include "fragmentation/algebra.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "xpath/eval.h"
@@ -67,6 +69,7 @@ Result<DocumentPtr> ProjectDocument(const Document& src, const xpath::Path& p,
   }
   std::reverse(ancestors.begin(), ancestors.end());
   doc->SetOriginAncestors(std::move(ancestors));
+  doc->SealLabels();
   return DocumentPtr(doc);
 }
 
@@ -105,7 +108,7 @@ struct NodeInfo {
 
 }  // namespace
 
-Result<DocumentPtr> JoinFragments(
+Result<DocumentPtr> JoinFragmentsValueJoin(
     const std::vector<DocumentPtr>& fragment_docs,
     std::shared_ptr<xml::NamePool> pool) {
   if (fragment_docs.empty()) {
@@ -225,6 +228,191 @@ Result<DocumentPtr> JoinFragments(
     return Status::Corruption("reconstruction of '" + source +
                               "' produced no nodes");
   }
+  return DocumentPtr(doc);
+}
+
+namespace {
+
+/// One fragment's contribution to the label merge, in increasing origin id
+/// (= source preorder = prefix-label order): the scaffold ancestor chain
+/// first, then the fragment subtree in document order.
+struct MergeRun {
+  struct Entry {
+    NodeId src_id;
+    NodeId node;          // kNullNode for an ancestor-chain entry
+    uint32_t anc;         // index into origin_ancestors() when node is null
+    NodeId parent_src;    // origin id of the parent in the source document
+    bool scaffold;
+  };
+  const Document* frag = nullptr;
+  std::vector<Entry> entries;
+  size_t cursor = 0;
+
+  bool exhausted() const { return cursor >= entries.size(); }
+  const Entry& head() const { return entries[cursor]; }
+};
+
+}  // namespace
+
+Result<DocumentPtr> JoinFragments(
+    const std::vector<DocumentPtr>& fragment_docs,
+    std::shared_ptr<xml::NamePool> pool) {
+  if (fragment_docs.empty()) {
+    return Status::InvalidArgument("join of zero fragment documents");
+  }
+  const std::string& source = fragment_docs[0]->origin_doc();
+
+  // Phase 1: one pass per fragment lays out its pre-sorted run. No node
+  // table and no name/value copies — entries only reference the fragment.
+  std::vector<MergeRun> runs;
+  runs.reserve(fragment_docs.size());
+  for (const DocumentPtr& frag : fragment_docs) {
+    if (!frag->origin_tracking()) {
+      return Status::FailedPrecondition(
+          "fragment document '" + frag->doc_name() +
+          "' carries no reconstruction IDs");
+    }
+    if (frag->origin_doc() != source) {
+      return Status::InvalidArgument(
+          "fragments from different source documents: '" + source +
+          "' vs '" + frag->origin_doc() + "'");
+    }
+    if (frag->empty()) continue;
+    MergeRun run;
+    run.frag = frag.get();
+    run.entries.reserve(frag->origin_ancestors().size() +
+                        frag->node_count());
+    const auto& ancestors = frag->origin_ancestors();
+    for (size_t i = 0; i < ancestors.size(); ++i) {
+      run.entries.push_back(MergeRun::Entry{
+          ancestors[i].first, kNullNode, static_cast<uint32_t>(i),
+          i == 0 ? kNullNode : ancestors[i - 1].first, true});
+    }
+    const NodeId frag_root = frag->root();
+    const NodeId root_parent =
+        ancestors.empty() ? kNullNode : ancestors.back().first;
+    Status status = Status::Ok();
+    frag->VisitSubtree(frag_root, [&](NodeId n) {
+      if (!status.ok()) return;
+      NodeId src_id = frag->origin(n);
+      if (src_id == kNullNode) {
+        status = Status::Corruption("fragment node without origin id in '" +
+                                    frag->doc_name() + "'");
+        return;
+      }
+      run.entries.push_back(MergeRun::Entry{
+          src_id, n, 0,
+          n == frag_root ? root_parent : frag->origin(frag->parent(n)),
+          frag->scaffold(n)});
+    });
+    PARTIX_RETURN_IF_ERROR(status);
+    // Projection emits origins in source document order (the ancestor
+    // chain strictly precedes the projected subtree), so the run is
+    // already sorted; re-establish the invariant for hand-built fragments.
+    auto by_id = [](const MergeRun::Entry& a, const MergeRun::Entry& b) {
+      return a.src_id < b.src_id;
+    };
+    if (!std::is_sorted(run.entries.begin(), run.entries.end(), by_id)) {
+      std::stable_sort(run.entries.begin(), run.entries.end(), by_id);
+    }
+    runs.push_back(std::move(run));
+  }
+
+  // Phase 2: k-way merge of the runs by origin id. Ids are source preorder
+  // positions, so nodes are emitted parents-first in document order and
+  // the output document can be built directly, top-down.
+  auto doc = std::make_shared<Document>(std::move(pool), source);
+  std::unordered_map<NodeId, NodeId> rebuilt;  // source id -> new id
+  for (;;) {
+    uint64_t min_id = UINT64_MAX;
+    for (const MergeRun& run : runs) {
+      if (!run.exhausted()) {
+        min_id = std::min(min_id, uint64_t{run.head().src_id});
+      }
+    }
+    if (min_id == UINT64_MAX) break;
+    const NodeId src_id = static_cast<NodeId>(min_id);
+
+    // Resolve all claimants of this source node: a real fragment node
+    // wins over scaffolding; two real claimants violate disjointness.
+    const MergeRun::Entry* winner = nullptr;
+    const Document* winner_frag = nullptr;
+    bool have_real = false;
+    for (MergeRun& run : runs) {
+      while (!run.exhausted() && run.head().src_id == src_id) {
+        const MergeRun::Entry& e = run.head();
+        ++run.cursor;
+        if (!e.scaffold) {
+          if (have_real) {
+            return Status::FailedPrecondition(
+                "source node " + std::to_string(src_id) + " of '" + source +
+                "' appears in more than one fragment (disjointness "
+                "violation)");
+          }
+          have_real = true;
+          winner = &e;
+          winner_frag = run.frag;
+        } else if (winner == nullptr) {
+          winner = &e;
+          winner_frag = run.frag;
+        }
+      }
+    }
+
+    NodeId parent_new = kNullNode;
+    if (winner->parent_src != kNullNode) {
+      auto it = rebuilt.find(winner->parent_src);
+      if (it == rebuilt.end()) {
+        return Status::Corruption(
+            "parent of source node " + std::to_string(src_id) +
+            " missing from all fragments of '" + source + "'");
+      }
+      parent_new = it->second;
+    } else if (!doc->empty()) {
+      return Status::Corruption("multiple roots while reconstructing '" +
+                                source + "'");
+    }
+
+    NodeId created = kNullNode;
+    if (winner->node == kNullNode) {
+      // Ancestor-chain scaffold: always an element.
+      const std::string& name =
+          winner_frag->origin_ancestors()[winner->anc].second;
+      created = winner->parent_src == kNullNode
+                    ? doc->CreateRoot(name)
+                    : doc->AppendElement(parent_new, name);
+    } else {
+      const Document& f = *winner_frag;
+      const NodeId n = winner->node;
+      switch (f.kind(n)) {
+        case NodeKind::kElement:
+          created = winner->parent_src == kNullNode
+                        ? doc->CreateRoot(f.name(n))
+                        : doc->AppendElement(parent_new, f.name(n));
+          break;
+        case NodeKind::kAttribute:
+          if (winner->parent_src == kNullNode) {
+            return Status::Corruption(
+                "non-element root while reconstructing '" + source + "'");
+          }
+          created = doc->AppendAttribute(parent_new, f.name(n), f.value(n));
+          break;
+        case NodeKind::kText:
+          if (winner->parent_src == kNullNode) {
+            return Status::Corruption(
+                "non-element root while reconstructing '" + source + "'");
+          }
+          created = doc->AppendText(parent_new, f.value(n));
+          break;
+      }
+    }
+    rebuilt.emplace(src_id, created);
+  }
+  if (doc->empty()) {
+    return Status::Corruption("reconstruction of '" + source +
+                              "' produced no nodes");
+  }
+  doc->SealLabels();
   return DocumentPtr(doc);
 }
 

@@ -51,7 +51,23 @@ Result<xml::Collection> UnionCollections(
 /// origin tracking for the same source document. Missing ancestors are
 /// re-created from the recorded scaffold chains. Fails when two fragments
 /// claim the same source node (disjointness violation).
+///
+/// Implementation: a sorted label merge. Origin ids are source preorder
+/// positions — prefix labels of the source document — and each fragment
+/// yields its ids in increasing order (ancestor scaffold first, then the
+/// fragment subtree in document order), so reconstruction is a k-way merge
+/// of pre-sorted runs: O(total nodes · k) with no intermediate node table
+/// and no per-node string copies. See docs/structural-index.md.
 Result<xml::DocumentPtr> JoinFragments(
+    const std::vector<xml::DocumentPtr>& fragment_docs,
+    std::shared_ptr<xml::NamePool> pool);
+
+/// The pre-label-merge reconstruction: gathers every fragment's nodes into
+/// one id-keyed ordered map (the "value join" the paper's Q8/Q9 negative
+/// result degenerates into) and rebuilds top-down from it. Byte-identical
+/// output to JoinFragments; kept as the measured baseline of
+/// bench/structural_join and as a differential-testing oracle.
+Result<xml::DocumentPtr> JoinFragmentsValueJoin(
     const std::vector<xml::DocumentPtr>& fragment_docs,
     std::shared_ptr<xml::NamePool> pool);
 

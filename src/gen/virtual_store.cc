@@ -112,6 +112,7 @@ Result<xml::Collection> GenerateItems(const ItemsGenOptions& options,
     auto doc = std::make_shared<Document>(
         pool, options.name + "-" + std::to_string(i));
     BuildItem(doc.get(), xml::kNullNode, i, section, shape, &rng);
+    doc->SealLabels();
     PARTIX_RETURN_IF_ERROR(out.Add(std::move(doc)));
   }
   return out;
@@ -175,6 +176,7 @@ Result<xml::Collection> GenerateStore(const StoreGenOptions& options,
     doc->AppendText(employee, rng.Sentence(2));
   }
 
+  doc->SealLabels();
   PARTIX_RETURN_IF_ERROR(out.Add(std::move(doc)));
   return out;
 }

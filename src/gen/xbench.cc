@@ -105,6 +105,7 @@ Result<xml::Collection> GenerateArticles(const XBenchGenOptions& options,
       doc->AppendText(ack, rng.Sentence(15));
     }
 
+    doc->SealLabels();
     PARTIX_RETURN_IF_ERROR(out.Add(std::move(doc)));
   }
   return out;

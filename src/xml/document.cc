@@ -11,6 +11,7 @@ Document::Document(std::shared_ptr<NamePool> pool, std::string name)
 
 NodeId Document::NewNode(NodeKind kind, NameId name, uint32_t value,
                          NodeId parent) {
+  if (!labels_.empty()) ClearLabels();
   NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(NodeData{kind, name, value, parent, kNullNode, kNullNode,
                             kNullNode});
@@ -152,7 +153,110 @@ size_t Document::ApproxBytes() const {
   size_t bytes = nodes_.size() * sizeof(NodeData);
   for (const std::string& t : texts_) bytes += t.size() + sizeof(std::string);
   if (origin_tracking_) bytes += origins_.size() * sizeof(NodeId);
+  if (!labels_.empty()) {
+    bytes += labels_.size() * (sizeof(NodeLabel) + 2 * sizeof(uint32_t));
+    bytes += dewey_buf_.size() * sizeof(uint32_t);
+  }
   return bytes;
+}
+
+void Document::ClearLabels() {
+  labels_.clear();
+  pre_to_node_.clear();
+  dewey_off_.clear();
+  dewey_buf_.clear();
+  name_occ_.clear();
+}
+
+void Document::SealLabels() {
+  if (!labels_.empty() || nodes_.empty()) return;
+  const size_t n = nodes_.size();
+  labels_.resize(n);
+  pre_to_node_.resize(n);
+  dewey_off_.resize(n);
+
+  // One iterative DFS assigns everything: pre/level/Dewey on entry,
+  // post/sub_max on exit. An explicit stack keeps arbitrarily deep
+  // reconstruction outputs safe (the parser caps depth, builders do not).
+  struct Frame {
+    NodeId node;
+    NodeId next_child;   // next child to descend into
+    uint32_t ordinal;    // 1-based ordinal of the next child
+  };
+  std::vector<Frame> stack;
+  uint32_t next_pre = 0;
+  uint32_t next_post = 0;
+
+  auto enter = [&](NodeId id, uint32_t level, const Frame* parent_frame) {
+    NodeLabel& l = labels_[id];
+    l.pre = next_pre;
+    l.level = level;
+    pre_to_node_[next_pre] = id;
+    ++next_pre;
+    dewey_off_[id] = static_cast<uint32_t>(dewey_buf_.size());
+    if (parent_frame != nullptr) {
+      // Parent prefix + this node's sibling ordinal. Indexed copy: a range
+      // insert from dewey_buf_ into itself is UB on reallocation.
+      const uint32_t poff = dewey_off_[parent_frame->node];
+      for (uint32_t i = 0; i + 1 < level; ++i) {
+        dewey_buf_.push_back(dewey_buf_[poff + i]);
+      }
+      dewey_buf_.push_back(parent_frame->ordinal);
+    } else {
+      dewey_buf_.push_back(1);
+    }
+    if (nodes_[id].kind != NodeKind::kText) {
+      name_occ_[nodes_[id].name].push_back(l.pre);  // pre order => sorted
+    }
+    stack.push_back(Frame{id, nodes_[id].first_child, 1});
+  };
+
+  enter(root(), 1, nullptr);
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_child != kNullNode) {
+      NodeId child = top.next_child;
+      top.next_child = nodes_[child].next_sibling;
+      uint32_t level = labels_[top.node].level + 1;
+      enter(child, level, &top);
+      // `top` may dangle after enter() pushed; re-fetch next iteration.
+      stack[stack.size() - 2].ordinal++;
+    } else {
+      NodeLabel& l = labels_[top.node];
+      l.post = next_post++;
+      l.sub_max = next_pre - 1;
+      stack.pop_back();
+    }
+  }
+}
+
+std::string Document::DeweyString(NodeId n) const {
+  uint32_t len = 0;
+  const uint32_t* c = dewey(n, &len);
+  std::string out;
+  for (uint32_t i = 0; i < len; ++i) {
+    if (i > 0) out.push_back('.');
+    out.append(std::to_string(c[i]));
+  }
+  return out;
+}
+
+const std::vector<uint32_t>* Document::NameOccurrences(NameId name) const {
+  auto it = name_occ_.find(name);
+  return it == name_occ_.end() ? nullptr : &it->second;
+}
+
+bool Document::IsAncestor(NodeId anc, NodeId desc) const {
+  if (anc == desc) return false;
+  if (!labels_.empty()) {
+    const NodeLabel& a = labels_[anc];
+    const NodeLabel& d = labels_[desc];
+    return a.pre < d.pre && d.pre <= a.sub_max;
+  }
+  for (NodeId p = parent(desc); p != kNullNode; p = parent(p)) {
+    if (p == anc) return true;
+  }
+  return false;
 }
 
 void Document::EnableOriginTracking(std::string source_doc) {

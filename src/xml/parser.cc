@@ -25,6 +25,9 @@ class Parser {
     PARTIX_RETURN_IF_ERROR(ParseElement(kNullNode));
     SkipMisc();
     if (!AtEnd()) return Error("content after root element");
+    // Structural labels are assigned at parse time so every stored or
+    // transferred document carries them before it is shared across threads.
+    doc_->SealLabels();
     return doc_;
   }
 

@@ -1,6 +1,7 @@
 #include "xpath/eval.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace partix::xpath {
 
@@ -10,6 +11,34 @@ using xml::Document;
 using xml::kNullNode;
 using xml::NodeId;
 using xml::NodeKind;
+
+/// Appends the nodes matching `step` under `ctx` by scanning the name's
+/// sorted preorder occurrence list inside the context's descendant interval
+/// (pre, sub_max]. Child steps additionally filter on level — a descendant
+/// of `ctx` at level(ctx)+1 is necessarily a child of `ctx`. Matches are
+/// appended in document (pre-) order. Pre: doc.has_labels(), step has a
+/// concrete name and no positional filter.
+void MatchLabelRange(const Document& doc, NodeId ctx, const Step& step,
+                     std::vector<NodeId>* out) {
+  const std::optional<xml::NameId> name_id = doc.pool()->Find(step.name);
+  if (!name_id) return;  // name never interned: no node anywhere bears it
+  const std::vector<uint32_t>* occ = doc.NameOccurrences(*name_id);
+  if (occ == nullptr) return;
+  const xml::NodeLabel& c = doc.label(ctx);
+  auto lo = std::upper_bound(occ->begin(), occ->end(), c.pre);
+  auto hi = std::upper_bound(lo, occ->end(), c.sub_max);
+  const NodeKind want =
+      step.is_attribute ? NodeKind::kAttribute : NodeKind::kElement;
+  const uint32_t child_level = c.level + 1;
+  for (auto it = lo; it != hi; ++it) {
+    NodeId n = doc.NodeAtPre(*it);
+    if (doc.kind(n) != want) continue;
+    if (step.axis == Axis::kChild && doc.label(n).level != child_level) {
+      continue;
+    }
+    out->push_back(n);
+  }
+}
 
 bool StepMatchesName(const Document& doc, NodeId n, const Step& step) {
   if (step.is_attribute) {
@@ -56,14 +85,17 @@ void MatchDescendants(const Document& doc, NodeId context, const Step& step,
 std::vector<NodeId> EvalSteps(const Document& doc,
                               std::vector<NodeId> context,
                               const std::vector<Step>& steps,
-                              size_t first_step) {
+                              size_t first_step, const EvalOptions& opts) {
   std::vector<NodeId> current = std::move(context);
   for (size_t si = first_step; si < steps.size(); ++si) {
     const Step& step = steps[si];
     std::vector<NodeId> next;
     for (NodeId ctx : current) {
       if (doc.kind(ctx) != NodeKind::kElement) continue;
-      if (step.axis == Axis::kChild) {
+      if (ChooseStepStrategy(doc, ctx, step, opts) ==
+          StepStrategy::kLabelRange) {
+        MatchLabelRange(doc, ctx, step, &next);
+      } else if (step.axis == Axis::kChild) {
         MatchChildren(doc, ctx, step, &next);
       } else {
         MatchDescendants(doc, ctx, step, &next);
@@ -81,13 +113,41 @@ std::vector<NodeId> EvalSteps(const Document& doc,
 
 }  // namespace
 
-std::vector<NodeId> EvalPath(const Document& doc, const Path& path) {
+StepStrategy ChooseStepStrategy(const Document& doc, NodeId context,
+                                const Step& step, const EvalOptions& opts) {
+  if (!opts.use_structural_index || !doc.has_labels()) {
+    return StepStrategy::kNavigate;
+  }
+  const StepStrategy s = StaticStepStrategy(step);
+  if (s != StepStrategy::kDynamic) return s;
+  // Child axis: navigation costs O(#children); the label range costs
+  // O(log n) plus the name's occurrences inside the whole subtree. Prefer
+  // the range only when those occurrences are sparse relative to the
+  // subtree (they can never outnumber it, so a 4x margin keeps the scan
+  // strictly cheaper than a full child walk on mixed-content elements
+  // while falling back for flat, same-named record lists).
+  const std::optional<xml::NameId> name_id = doc.pool()->Find(step.name);
+  if (!name_id) return StepStrategy::kLabelRange;  // empty scan, O(1)
+  const std::vector<uint32_t>* occ = doc.NameOccurrences(*name_id);
+  if (occ == nullptr) return StepStrategy::kLabelRange;
+  const xml::NodeLabel& c = doc.label(context);
+  const size_t subtree = c.sub_max - c.pre;  // descendant count
+  auto lo = std::upper_bound(occ->begin(), occ->end(), c.pre);
+  auto hi = std::upper_bound(lo, occ->end(), c.sub_max);
+  const size_t in_range = static_cast<size_t>(hi - lo);
+  return in_range * 4 <= subtree ? StepStrategy::kLabelRange
+                                 : StepStrategy::kNavigate;
+}
+
+std::vector<NodeId> EvalPath(const Document& doc, const Path& path,
+                             const EvalOptions& opts) {
   if (doc.empty()) return {};
-  return EvalPathRootedAt(doc, doc.root(), path);
+  return EvalPathRootedAt(doc, doc.root(), path, opts);
 }
 
 std::vector<NodeId> EvalPathRootedAt(const Document& doc, NodeId root,
-                                     const Path& path) {
+                                     const Path& path,
+                                     const EvalOptions& opts) {
   if (doc.empty() || path.empty()) return {};
   const std::vector<Step>& steps = path.steps();
   const Step& first = steps[0];
@@ -104,18 +164,23 @@ std::vector<NodeId> EvalPathRootedAt(const Document& doc, NodeId root,
     if (StepMatchesName(doc, root, first) && first.position <= 1) {
       initial.push_back(root);
     }
-    MatchDescendants(doc, root, first, &initial);
+    if (ChooseStepStrategy(doc, root, first, opts) ==
+        StepStrategy::kLabelRange) {
+      MatchLabelRange(doc, root, first, &initial);
+    } else {
+      MatchDescendants(doc, root, first, &initial);
+    }
     std::sort(initial.begin(), initial.end());
     initial.erase(std::unique(initial.begin(), initial.end()),
                   initial.end());
   }
-  return EvalSteps(doc, std::move(initial), steps, 1);
+  return EvalSteps(doc, std::move(initial), steps, 1, opts);
 }
 
 std::vector<NodeId> EvalPathFrom(const Document& doc, NodeId context,
-                                 const Path& path) {
+                                 const Path& path, const EvalOptions& opts) {
   if (doc.empty() || path.empty()) return {};
-  return EvalSteps(doc, {context}, path.steps(), 0);
+  return EvalSteps(doc, {context}, path.steps(), 0, opts);
 }
 
 bool PathExists(const Document& doc, const Path& path) {

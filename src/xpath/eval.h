@@ -8,17 +8,37 @@
 
 namespace partix::xpath {
 
+/// Evaluation knobs shared by all entry points. Results are byte-identical
+/// whichever way a step is answered; the toggle exists for ablation tests
+/// and the structural_join bench.
+struct EvalOptions {
+  /// Answer eligible axis steps by label-range scans when the document is
+  /// sealed (see Document::SealLabels); navigate otherwise.
+  bool use_structural_index = true;
+};
+
+/// Run-time refinement of StaticStepStrategy for one (document, context,
+/// step): resolves kDynamic child steps with the cost rule "use the label
+/// range only if the name's occurrences in the context's preorder interval
+/// are at most a quarter of the subtree size", and downgrades to kNavigate
+/// when the document has no labels. Never returns kDynamic.
+StepStrategy ChooseStepStrategy(const xml::Document& doc,
+                                xml::NodeId context, const Step& step,
+                                const EvalOptions& opts = {});
+
 /// Evaluates an absolute path against a whole document: the first child-
 /// axis step must match the root element; a leading descendant step matches
 /// any element in the tree. Returns matches in document order without
 /// duplicates.
-std::vector<xml::NodeId> EvalPath(const xml::Document& doc, const Path& path);
+std::vector<xml::NodeId> EvalPath(const xml::Document& doc, const Path& path,
+                                  const EvalOptions& opts = {});
 
 /// Evaluates `path` relative to `context`: the first step applies to the
 /// children (or descendants) of `context`. Returns matches in document
 /// order without duplicates.
 std::vector<xml::NodeId> EvalPathFrom(const xml::Document& doc,
-                                      xml::NodeId context, const Path& path);
+                                      xml::NodeId context, const Path& path,
+                                      const EvalOptions& opts = {});
 
 /// Evaluates an absolute path against the subtree rooted at `root`, as if
 /// that subtree were a standalone document: the first child-axis step must
@@ -26,8 +46,8 @@ std::vector<xml::NodeId> EvalPathFrom(const xml::Document& doc,
 /// predicates are absolute over each instance subtree (e.g.
 /// /Item/Section = "CD" evaluated per Item).
 std::vector<xml::NodeId> EvalPathRootedAt(const xml::Document& doc,
-                                          xml::NodeId root,
-                                          const Path& path);
+                                          xml::NodeId root, const Path& path,
+                                          const EvalOptions& opts = {});
 
 /// True if the path selects at least one node of the document.
 bool PathExists(const xml::Document& doc, const Path& path);

@@ -15,6 +15,12 @@ bool IsNameChar(char c) {
 
 }  // namespace
 
+StepStrategy StaticStepStrategy(const Step& step) {
+  if (step.wildcard || step.position > 0) return StepStrategy::kNavigate;
+  if (step.axis == Axis::kDescendant) return StepStrategy::kLabelRange;
+  return StepStrategy::kDynamic;
+}
+
 Result<Path> Path::Parse(std::string_view text) {
   text = StripWhitespace(text);
   if (text.empty() || text[0] != '/') {

@@ -34,6 +34,25 @@ struct Step {
   }
 };
 
+/// How a step should be answered (see docs/structural-index.md):
+/// navigationally (first_child/next_sibling walk), by a sorted label-range
+/// scan over the document's per-name preorder lists, or decided per
+/// (document, context) by the run-time cost rule.
+enum class StepStrategy : uint8_t {
+  kNavigate = 0,
+  kLabelRange = 1,
+  kDynamic = 2,
+};
+
+/// Static (per-step, document-independent) planner decision. Descendant
+/// steps with a concrete name are always label-range candidates: the scan
+/// costs O(log n + matches) against O(subtree) for navigation. Wildcard
+/// steps visit every node either way and positional filters have per-parent
+/// semantics, so both stay navigational. Child steps are kDynamic: whether
+/// the name's occurrences in the context interval are sparser than the
+/// child list is only known per document.
+StepStrategy StaticStepStrategy(const Step& step);
+
 /// A parsed path expression (paper §3.1): a sequence of steps, optionally
 /// containing `*` and `//`, ending in an element or attribute test.
 class Path {

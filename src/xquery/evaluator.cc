@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <optional>
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "xpath/eval.h"
 #include "xquery/parser.h"
 
 namespace partix::xquery {
@@ -226,6 +228,52 @@ Result<bool> Evaluator::GeneralCompare(BinaryOp::Op op, const Sequence& lhs,
   return false;
 }
 
+bool Evaluator::MatchStepByLabels(const DocumentPtr& docp, NodeId ctx,
+                                  const xpath::Step& step, Sequence* out) {
+  const Document& doc = *docp;
+  if (!use_structural_index_ || !doc.has_labels()) return false;
+  uint32_t lo_pre = 0;
+  uint32_t hi_pre = 0;
+  uint32_t child_level = 0;  // 0 = no level filter (descendant axis)
+  if (ctx == xml::kDocumentNode) {
+    // Whole-document scan, root included. Only the descendant axis goes
+    // through here; the document node's single child is matched directly.
+    if (step.axis != xpath::Axis::kDescendant ||
+        xpath::StaticStepStrategy(step) != xpath::StepStrategy::kLabelRange) {
+      return false;
+    }
+    lo_pre = 0;
+    hi_pre = static_cast<uint32_t>(doc.node_count());
+  } else {
+    if (xpath::ChooseStepStrategy(doc, ctx, step) !=
+        xpath::StepStrategy::kLabelRange) {
+      return false;
+    }
+    const xml::NodeLabel& c = doc.label(ctx);
+    lo_pre = c.pre + 1;
+    hi_pre = c.sub_max + 1;
+    if (step.axis == xpath::Axis::kChild) child_level = c.level + 1;
+  }
+  ++stats_.index_range_scans;
+  const std::optional<xml::NameId> name_id = doc.pool()->Find(step.name);
+  if (!name_id) return true;  // name interned nowhere: empty result
+  const std::vector<uint32_t>* occ = doc.NameOccurrences(*name_id);
+  if (occ == nullptr) return true;
+  auto lo = std::lower_bound(occ->begin(), occ->end(), lo_pre);
+  auto hi = std::lower_bound(lo, occ->end(), hi_pre);
+  const NodeKind want =
+      step.is_attribute ? NodeKind::kAttribute : NodeKind::kElement;
+  for (auto it = lo; it != hi; ++it) {
+    ++stats_.nodes_visited;
+    NodeId n = doc.NodeAtPre(*it);
+    if (doc.kind(n) != want) continue;
+    if (child_level != 0 && doc.label(n).level != child_level) continue;
+    out->push_back(Item(NodeRef{docp, n}));
+    ++stats_.index_range_hits;
+  }
+  return true;
+}
+
 Result<Sequence> Evaluator::EvalPath(const PathExpr& path) {
   Sequence context;
   if (path.source != nullptr) {
@@ -250,7 +298,8 @@ Result<Sequence> Evaluator::EvalPath(const PathExpr& path) {
       if (StepMatches(doc, doc.root(), first.step)) {
         initial.push_back(Item(NodeRef{ctx.doc, doc.root()}));
       }
-    } else {
+    } else if (!MatchStepByLabels(ctx.doc, xml::kDocumentNode, first.step,
+                                  &initial)) {
       doc.VisitSubtree(doc.root(), [&](NodeId n) {
         ++stats_.nodes_visited;
         if (StepMatches(doc, n, first.step)) {
@@ -292,7 +341,8 @@ Result<Sequence> Evaluator::EvalSteps(Sequence context,
             if (StepMatches(doc, doc.root(), axis_step.step)) {
               matches.push_back(Item(NodeRef{ref.doc, doc.root()}));
             }
-          } else {
+          } else if (!MatchStepByLabels(ref.doc, xml::kDocumentNode,
+                                        axis_step.step, &matches)) {
             doc.VisitSubtree(doc.root(), [&](NodeId n) {
               ++stats_.nodes_visited;
               if (StepMatches(doc, n, axis_step.step)) {
@@ -301,6 +351,10 @@ Result<Sequence> Evaluator::EvalSteps(Sequence context,
             });
           }
         }
+      } else if (MatchStepByLabels(ref.doc, ref.node, axis_step.step,
+                                   &matches)) {
+        // Step answered by a label-range scan; matches already appended
+        // in document order.
       } else if (axis_step.step.axis == xpath::Axis::kChild) {
         for (NodeId c = doc.first_child(ref.node); c != kNullNode;
              c = doc.next_sibling(c)) {
@@ -543,6 +597,9 @@ Result<Sequence> Evaluator::EvalElementCtor(const ElementCtor& ctor) {
     if (literal) last_was_atomic = false;
   }
   ++stats_.elements_constructed;
+  // Seal before freezing: constructed content can itself be stepped over
+  // by enclosing path expressions.
+  doc->SealLabels();
   DocumentPtr frozen = doc;
   return Sequence{Item(NodeRef{frozen, root})};
 }

@@ -31,6 +31,11 @@ struct EvalStats {
   uint64_t nodes_visited = 0;
   uint64_t collections_resolved = 0;
   uint64_t elements_constructed = 0;
+  /// Axis steps answered by a structural label-range scan instead of tree
+  /// navigation, and the matches those scans produced. The engine folds
+  /// these into the partix_structural_index_{probes,hits}_total counters.
+  uint64_t index_range_scans = 0;
+  uint64_t index_range_hits = 0;
 };
 
 /// Evaluates a parsed XQuery expression against a CollectionResolver.
@@ -49,6 +54,12 @@ class Evaluator {
   /// Sets the initial context item (what absolute paths `/a/b` and bare
   /// relative steps resolve against at the top level).
   void SetContextItem(Item item);
+
+  /// Enables/disables label-range axis evaluation (default on). Results
+  /// are byte-identical either way; the engine threads its
+  /// enable_structural_index option through here, and ablation tests flip
+  /// it to prove identity.
+  void set_use_structural_index(bool v) { use_structural_index_ = v; }
 
   Result<Sequence> Eval(const Expr& query);
 
@@ -81,6 +92,15 @@ class Evaluator {
   /// filter by effective boolean value.
   Result<Sequence> ApplyPredicate(const Expr& pred, Sequence matches);
 
+  /// Answers one axis step for one context node via the structural label
+  /// index when the step is index-eligible (see xpath::ChooseStepStrategy):
+  /// appends the matches in document order and returns true, or returns
+  /// false (appending nothing) when the caller must navigate instead.
+  /// `ctx == kDocumentNode` scans the whole document including the root
+  /// (descendant axis only).
+  bool MatchStepByLabels(const xml::DocumentPtr& doc, xml::NodeId ctx,
+                         const xpath::Step& step, Sequence* out);
+
   Status BuildContent(const Sequence& content, bool literal_text,
                       xml::Document* doc, xml::NodeId parent,
                       bool* last_was_atomic);
@@ -92,6 +112,7 @@ class Evaluator {
   /// (position, size) of the predicate context, for position()/last().
   std::vector<std::pair<size_t, size_t>> position_stack_;
   EvalStats stats_;
+  bool use_structural_index_ = true;
 };
 
 /// Convenience: parse + evaluate `query` in one call.
