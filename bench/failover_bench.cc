@@ -1,4 +1,5 @@
-// Query latency under injected transient faults.
+// Query latency under injected transient faults, plus a seeded
+// self-healing chaos pass.
 //
 // The fault-tolerance PR claims failover is cheap: with replicated
 // fragments, retries + replica re-routing absorb transient node errors
@@ -22,18 +23,30 @@
 //                   "total_failovers": ... } ],
 //     "identical_across_rates": true }
 //
-// Set PARTIX_SCALE to grow the database, PARTIX_RUNS for repetitions.
+// The chaos pass (BENCH_self_healing.json) walks the self-healing
+// lifecycle on a versioned-catalog deployment: healthy baseline ->
+// response corruption (detected, failed over, never served) -> node
+// death (health declares it, repair re-replicates and cuts the catalog
+// over) -> storage bit rot (scrubber detects, quarantines, rebuilds).
+// Every phase's composed results are gated on byte-identity with the
+// healthy run, and any failed query fails the bench.
+//
+// Set PARTIX_SCALE to grow the database, PARTIX_RUNS for repetitions,
+// PARTIX_SMOKE=1 for a tiny CI run.
 
 #include <cstdio>
 #include <cstdlib>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_out.h"
 #include "common/strings.h"
 #include "gen/virtual_store.h"
+#include "partix/health.h"
 #include "partix/query_service.h"
+#include "partix/repair.h"
 #include "telemetry/metrics.h"
 #include "workload/harness.h"
 #include "workload/queries.h"
@@ -143,15 +156,231 @@ void AppendJsonSeries(const Series& series, std::string* out) {
   *out += buffer;
 }
 
+// ---------------------------------------------------------------------
+// Self-healing chaos pass
+// ---------------------------------------------------------------------
+
+struct ChaosPhase {
+  std::string name;
+  size_t queries = 0;
+  size_t failed = 0;
+  size_t retries = 0;
+  size_t failovers = 0;
+  size_t corrupt_responses = 0;
+  double wall_ms = 0.0;
+  bool identical = true;
+  // Repair/scrub extras; 0 for phases that run neither.
+  size_t repaired = 0;
+  uint64_t catalog_version = 0;
+  size_t scrub_divergent = 0;
+  size_t scrub_repaired = 0;
+};
+
+/// Runs the workload once through `service`, folding outcomes into
+/// `phase` and checking byte-identity against `baseline` (one entry per
+/// query; filled on the first phase when empty).
+void RunChaosWorkload(partix::middleware::QueryService* service,
+                      const std::vector<partix::workload::QuerySpec>& queries,
+                      std::vector<std::string>* baseline,
+                      ChaosPhase* phase) {
+  ExecutionOptions options;
+  options.retry.max_attempts = 6;
+  options.retry.base_backoff_ms = 0.05;
+  options.retry.max_backoff_ms = 1.0;
+  options.retry.seed = 20060101;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ++phase->queries;
+    auto result = service->Execute(queries[q].text, options);
+    if (!result.ok()) {
+      ++phase->failed;
+      std::fprintf(stderr, "[%s] %s FAILED: %s\n", phase->name.c_str(),
+                   queries[q].id.c_str(),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    phase->wall_ms += result->wall_ms;
+    phase->retries += result->retries;
+    phase->failovers += result->failovers;
+    phase->corrupt_responses += result->corrupt_responses;
+    if (baseline->size() <= q) {
+      baseline->push_back(result->serialized);
+    } else if (result->serialized != (*baseline)[q]) {
+      phase->identical = false;
+      std::fprintf(stderr, "[%s] MISMATCH: %s diverged from baseline\n",
+                   phase->name.c_str(), queries[q].id.c_str());
+    }
+  }
+}
+
+/// The detect -> route-around -> repair lifecycle on its own
+/// versioned-catalog deployment. Returns true when every phase kept every
+/// query succeeding byte-identically.
+bool RunSelfHealingChaos(const partix::xml::Collection& items,
+                         const partix::frag::FragmentationSchema& schema,
+                         std::vector<ChaosPhase>* phases) {
+  using namespace partix;
+  using namespace partix::middleware;
+
+  DistributionCatalog catalog;
+  ClusterSim cluster(kFragments, xdb::DatabaseOptions(), NetworkModel());
+  DataPublisher publisher(&cluster, &catalog);
+  Status published =
+      publisher.PublishFragmented(items, schema, {}, kReplicationFactor);
+  if (!published.ok()) {
+    std::fprintf(stderr, "chaos deploy failed: %s\n",
+                 published.ToString().c_str());
+    return false;
+  }
+  VersionedCatalog versioned(catalog);
+  QueryService service(&cluster, &versioned);
+  HealthMonitor health(&cluster);
+  cluster.executor().set_health_monitor(&health);
+  RepairPlanner planner(&cluster, &publisher, &health, &versioned);
+  Scrubber scrubber(&cluster, &publisher, &health, &versioned);
+
+  const std::vector<workload::QuerySpec> queries =
+      workload::HorizontalQueries(items.name());
+  std::vector<std::string> baseline;
+
+  // Phase 1: healthy baseline.
+  {
+    ChaosPhase phase;
+    phase.name = "healthy";
+    RunChaosWorkload(&service, queries, &baseline, &phase);
+    phases->push_back(phase);
+  }
+
+  // Phase 2: every node corrupts a quarter of its responses in flight.
+  // Digest verification must discard each one and fail over; no corrupt
+  // bytes reach a composed result.
+  {
+    for (size_t node = 0; node < cluster.node_count(); ++node) {
+      FaultProfile profile;
+      profile.response_corruption_rate = 0.25;
+      profile.seed = 777 + node;
+      cluster.SetFaultProfile(node, profile);
+    }
+    ChaosPhase phase;
+    phase.name = "response_corruption";
+    RunChaosWorkload(&service, queries, &baseline, &phase);
+    phases->push_back(phase);
+    for (size_t node = 0; node < cluster.node_count(); ++node) {
+      cluster.SetFaultProfile(node, FaultProfile{});
+    }
+    cluster.executor().ResetBreakers();
+  }
+
+  // Phase 3: node 1 dies mid-workload. Queries keep succeeding via
+  // replicas; probes declare the death; one repair round restores the
+  // replication factor and cuts the catalog over.
+  {
+    cluster.SetNodeDown(1, true);
+    ChaosPhase phase;
+    phase.name = "node_death_repair";
+    RunChaosWorkload(&service, queries, &baseline, &phase);
+    const size_t rounds = static_cast<size_t>(
+        health.policy().death_threshold / health.policy().failure_weight);
+    for (size_t i = 0; i < rounds; ++i) health.ProbeAll();
+    RepairReport repair = planner.RepairOnce();
+    phase.repaired = repair.repaired;
+    phase.catalog_version = repair.catalog_version;
+    if (repair.failed != 0 || repair.catalog_version == 0) {
+      std::fprintf(stderr, "[%s] repair incomplete: %zu failed, v%llu\n",
+                   phase.name.c_str(), repair.failed,
+                   static_cast<unsigned long long>(repair.catalog_version));
+      phase.identical = false;
+    }
+    // Post-repair traffic routes on the repaired topology.
+    RunChaosWorkload(&service, queries, &baseline, &phase);
+    phases->push_back(phase);
+  }
+
+  // Phase 4: silent bit rot on a live replica. The scrubber detects the
+  // divergent copy against the catalog digest, quarantines, rebuilds,
+  // verifies, and traffic stays byte-identical throughout.
+  {
+    ChaosPhase phase;
+    phase.name = "storage_scrub";
+    auto snapshot = versioned.Snapshot();
+    auto entry = snapshot->Get(items.name());
+    if (entry.ok() && !(*entry)->placements.empty()) {
+      const FragmentPlacement& target = (*entry)->placements.front();
+      Status rotted = cluster.database(target.node)
+                          .CorruptStoredDocumentText(target.fragment, 0);
+      if (!rotted.ok()) {
+        std::fprintf(stderr, "[%s] injection failed: %s\n",
+                     phase.name.c_str(), rotted.ToString().c_str());
+        phase.identical = false;
+      }
+    }
+    ScrubReport scrub = scrubber.ScrubOnce();
+    phase.scrub_divergent = scrub.divergent;
+    phase.scrub_repaired = scrub.repaired;
+    if (scrub.divergent != scrub.repaired || scrub.failed != 0) {
+      std::fprintf(stderr, "[%s] scrub left damage: %zu divergent, "
+                   "%zu repaired, %zu failed\n",
+                   phase.name.c_str(), scrub.divergent, scrub.repaired,
+                   scrub.failed);
+      phase.identical = false;
+    }
+    RunChaosWorkload(&service, queries, &baseline, &phase);
+    phases->push_back(phase);
+  }
+
+  bool ok = true;
+  for (const ChaosPhase& phase : *phases) {
+    ok = ok && phase.identical && phase.failed == 0;
+  }
+  return ok;
+}
+
+void AppendChaosJson(const std::vector<ChaosPhase>& phases, bool ok,
+                     size_t nodes, std::string* json) {
+  char buffer[320];
+  *json += "{\n  \"bench\": \"self_healing\",\n";
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"nodes\": %zu,\n  \"replication_factor\": %zu,\n"
+                "  \"phases\": [\n",
+                nodes, kReplicationFactor);
+  *json += buffer;
+  for (size_t p = 0; p < phases.size(); ++p) {
+    const ChaosPhase& phase = phases[p];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "    { \"phase\": \"%s\", \"queries\": %zu, \"failed\": %zu,\n"
+        "      \"retries\": %zu, \"failovers\": %zu, "
+        "\"corrupt_responses\": %zu,\n"
+        "      \"wall_ms\": %.3f, \"repaired\": %zu, "
+        "\"catalog_version\": %llu,\n"
+        "      \"scrub_divergent\": %zu, \"scrub_repaired\": %zu, "
+        "\"identical\": %s }%s\n",
+        phase.name.c_str(), phase.queries, phase.failed, phase.retries,
+        phase.failovers, phase.corrupt_responses, phase.wall_ms,
+        phase.repaired,
+        static_cast<unsigned long long>(phase.catalog_version),
+        phase.scrub_divergent, phase.scrub_repaired,
+        phase.identical ? "true" : "false",
+        p + 1 < phases.size() ? "," : "");
+    *json += buffer;
+  }
+  std::snprintf(buffer, sizeof(buffer),
+                "  ],\n  \"healed_and_identical\": %s\n}\n",
+                ok ? "true" : "false");
+  *json += buffer;
+}
+
 }  // namespace
 
 int main() {
   using namespace partix;
 
+  const char* smoke_env = std::getenv("PARTIX_SMOKE");
+  const bool smoke = smoke_env != nullptr && smoke_env[0] == '1';
   const double scale = workload::ScaleFromEnv();
   const uint64_t target_bytes =
-      static_cast<uint64_t>((uint64_t{1} << 20) * scale);
-  const size_t runs = workload::RunsFromEnv(3);
+      smoke ? (uint64_t{64} << 10)
+            : static_cast<uint64_t>((uint64_t{1} << 20) * scale);
+  const size_t runs = smoke ? 1 : workload::RunsFromEnv(3);
 
   gen::ItemsGenOptions gen_options;
   gen_options.seed = 20060101;
@@ -260,9 +489,28 @@ int main() {
   std::printf("\n");
   if (!bench::WriteBenchFile("BENCH_failover.json", json)) return 1;
 
+  // --- self-healing chaos pass (before the metrics snapshot, so the
+  // repair/scrub/corruption counters it drives are captured too) ---
+  std::printf("self-healing chaos pass (rf=%zu):\n", kReplicationFactor);
+  std::vector<ChaosPhase> phases;
+  const bool healed = RunSelfHealingChaos(*items, *schema, &phases);
+  std::printf("%-22s %7s %6s %6s %7s %8s %5s\n", "phase", "queries",
+              "failed", "retry", "failov", "corrupt", "ident");
+  for (const ChaosPhase& phase : phases) {
+    std::printf("%-22s %7zu %6zu %6zu %7zu %8zu %5s\n", phase.name.c_str(),
+                phase.queries, phase.failed, phase.retries, phase.failovers,
+                phase.corrupt_responses, phase.identical ? "yes" : "NO");
+  }
+  std::printf("healed and byte-identical: %s\n", healed ? "yes" : "NO");
+  std::string chaos_json;
+  AppendChaosJson(phases, healed, kFragments, &chaos_json);
+  if (!bench::WriteBenchFile("BENCH_self_healing.json", chaos_json)) {
+    return 1;
+  }
+
   // Metrics snapshot (JSON + Prometheus text exposition) of everything
   // the bench just did: attempts/retries/failovers, breaker transitions,
-  // backoff sleeps, engine time, parse-cache traffic.
+  // backoff sleeps, engine time, parse-cache traffic, repairs and scrubs.
   const telemetry::MetricsSnapshot snapshot =
       telemetry::MetricsRegistry::Global().Snapshot();
   if (!bench::WriteBenchFile("BENCH_failover_metrics.json",
@@ -275,7 +523,8 @@ int main() {
       "partix_subquery_attempts_total", "partix_subquery_retries_total",
       "partix_subquery_failovers_total", "partix_breaker_opens_total",
       "partix_breaker_half_open_probes_total",
-      "partix_store_cache_hits_total", "partix_store_cache_misses_total",
+      "partix_corrupt_responses_total", "partix_repairs_total",
+      "partix_scrub_divergent_total",
   };
   std::printf("\nkey counters:\n");
   for (const char* name : headline) {
@@ -285,5 +534,5 @@ int main() {
                     ? 0ull
                     : static_cast<unsigned long long>(it->second));
   }
-  return identical ? 0 : 1;
+  return identical && healed ? 0 : 1;
 }

@@ -173,4 +173,72 @@ std::string HumanBytes(uint64_t bytes) {
   return buf;
 }
 
+uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string HashHex(uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+bool ParseHex64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+bool CorruptXmlText(std::string* xml, uint64_t pick) {
+  // Eligible characters: printable text content outside tags. The flip
+  // swaps to a distinct printable character that needs no XML escaping,
+  // so the document re-parses cleanly and the corruption is only
+  // detectable by content comparison (exactly what checksums are for).
+  auto eligible = [](char c, bool in_tag) {
+    return !in_tag && c != '<' && c != '>' && c != '&' &&
+           static_cast<unsigned char>(c) > ' ';
+  };
+  size_t count = 0;
+  bool in_tag = false;
+  for (char c : *xml) {
+    if (c == '<') in_tag = true;
+    if (eligible(c, in_tag)) ++count;
+    if (c == '>') in_tag = false;
+  }
+  if (count == 0) return false;
+  size_t target = static_cast<size_t>(pick % count);
+  in_tag = false;
+  for (char& c : *xml) {
+    if (c == '<') in_tag = true;
+    if (eligible(c, in_tag)) {
+      if (target == 0) {
+        c = c == '#' ? '~' : '#';
+        return true;
+      }
+      --target;
+    }
+    if (c == '>') in_tag = false;
+  }
+  return false;
+}
+
 }  // namespace partix

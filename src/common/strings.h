@@ -58,6 +58,27 @@ std::string EscapeXmlAttr(std::string_view s);
 /// Human-readable byte size, e.g. "2.5 MiB".
 std::string HumanBytes(uint64_t bytes);
 
+/// 64-bit FNV-1a over `data`, folded into `seed` (pass the previous hash
+/// to chain multiple pieces; the default is the canonical offset basis).
+/// Used for content digests: response integrity checks and fragment
+/// replica scrubbing hash serialized XML with this.
+uint64_t Fnv1a64(std::string_view data,
+                 uint64_t seed = 14695981039346656037ull);
+
+/// Fixed-width lowercase hex rendering of a 64-bit hash (16 digits).
+std::string HashHex(uint64_t value);
+
+/// Parses a lowercase/uppercase hex string (no 0x prefix, 1-16 digits)
+/// into a uint64; returns false on malformed input. Inverse of HashHex.
+bool ParseHex64(std::string_view s, uint64_t* out);
+
+/// Fault-injection helper: flips one text-content character of `xml`
+/// (never markup — the document stays well-formed), choosing the
+/// (pick mod eligible)-th eligible character. Returns false when the
+/// document has no text content to corrupt. Strings without any markup
+/// are treated as pure text.
+bool CorruptXmlText(std::string* xml, uint64_t pick);
+
 }  // namespace partix
 
 #endif  // PARTIX_COMMON_STRINGS_H_

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/clock.h"
+#include "common/strings.h"
 #include "engine/planner.h"
 #include "telemetry/metrics.h"
 #include "xml/parser.h"
@@ -249,6 +250,72 @@ Result<uint64_t> Database::SerializedBytes(
   PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
                           GetState(collection));
   return state->store->total_serialized_bytes();
+}
+
+namespace {
+
+/// Store slots in document-name order, so digests and exports are
+/// independent of insertion order (replicas repaired doc-by-doc must
+/// compare equal to replicas published in one pass).
+std::vector<storage::DocSlot> SlotsByName(const storage::DocumentStore& s) {
+  std::vector<storage::DocSlot> slots(s.size());
+  for (storage::DocSlot i = 0; i < s.size(); ++i) slots[i] = i;
+  std::sort(slots.begin(), slots.end(),
+            [&s](storage::DocSlot a, storage::DocSlot b) {
+              return s.DocName(a) < s.DocName(b);
+            });
+  return slots;
+}
+
+}  // namespace
+
+Result<uint64_t> Database::CollectionContentDigest(
+    const std::string& collection) const {
+  PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
+                          GetState(collection));
+  const storage::DocumentStore& store = *state->store;
+  uint64_t h = Fnv1a64("");  // offset basis
+  for (storage::DocSlot slot : SlotsByName(store)) {
+    h = Fnv1a64(store.DocName(slot), h);
+    h = Fnv1a64(std::string_view("\0", 1), h);
+    h = Fnv1a64(store.SerializedXml(slot), h);
+    h = Fnv1a64(std::string_view("\0", 1), h);
+  }
+  return h;
+}
+
+Result<std::vector<StoredDoc>> Database::ExportStoredDocs(
+    const std::string& collection) const {
+  PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
+                          GetState(collection));
+  const storage::DocumentStore& store = *state->store;
+  std::vector<StoredDoc> out;
+  out.reserve(store.size());
+  for (storage::DocSlot slot : SlotsByName(store)) {
+    out.push_back(StoredDoc{store.DocName(slot), store.SerializedXml(slot),
+                            store.Metadata(slot)});
+  }
+  return out;
+}
+
+Status Database::CorruptStoredDocumentText(const std::string& collection,
+                                           size_t doc_index, uint64_t pick) {
+  PARTIX_ASSIGN_OR_RETURN(CollectionState* state, GetState(collection));
+  storage::DocumentStore& store = *state->store;
+  if (doc_index >= store.size()) {
+    return Status::OutOfRange("document index " + std::to_string(doc_index) +
+                              " out of range (collection '" + collection +
+                              "' holds " + std::to_string(store.size()) +
+                              " document(s))");
+  }
+  const storage::DocSlot slot = SlotsByName(store)[doc_index];
+  std::string xml = store.SerializedXml(slot);
+  if (!CorruptXmlText(&xml, pick)) {
+    return Status::FailedPrecondition("document '" + store.DocName(slot) +
+                                      "' has no text content to corrupt");
+  }
+  store.ReplaceSerialized(slot, std::move(xml));
+  return Status::Ok();
 }
 
 Result<PrepareOutcome> Database::Prepare(const std::string& query) {

@@ -90,6 +90,23 @@ struct QueryResult {
   xquery::Sequence items;
   std::string serialized;
   QueryMetrics metrics;
+  /// End-to-end integrity: FNV-1a of `serialized`, computed where the
+  /// result was produced (the driver stamps it before the response
+  /// crosses the simulated wire). 0 = no digest attached; the executor
+  /// verifies non-zero digests when integrity checking is enabled and
+  /// treats a mismatch as a retryable corrupt response. See
+  /// docs/fault-tolerance.md.
+  uint64_t response_digest = 0;
+};
+
+/// One document as the store holds it: name, raw serialized bytes, and
+/// out-of-band metadata. This is the unit of replica repair — copying a
+/// fragment to another node ships exactly these triples, so the target's
+/// stored bytes (and therefore its content digest) match the source.
+struct StoredDoc {
+  std::string name;
+  std::string xml;
+  std::map<std::string, std::string> metadata;
 };
 
 /// What Prepare() hands back: the (possibly cached) plan plus how it was
@@ -172,6 +189,29 @@ class Database {
 
   /// Total serialized bytes of a collection.
   Result<uint64_t> SerializedBytes(const std::string& collection) const;
+
+  /// Content digest of a collection: FNV-1a over the (name, serialized
+  /// bytes) pairs of every stored document, in name order. Two replicas
+  /// holding the same documents byte-for-byte produce the same digest
+  /// regardless of store order — the anti-entropy scrubber compares this
+  /// against the catalog's published digest to detect divergent copies.
+  Result<uint64_t> CollectionContentDigest(const std::string& collection)
+      const;
+
+  /// Every stored document of a collection in name order, as raw
+  /// (name, serialized XML, metadata) triples. No parsing happens; this
+  /// is what replica repair copies between nodes.
+  Result<std::vector<StoredDoc>> ExportStoredDocs(
+      const std::string& collection) const;
+
+  /// Fault-injection seam (tests, bench): flips one text character of the
+  /// serialized bytes of the `doc_index`-th stored document, emulating
+  /// silent storage corruption (bit rot). The parse cache entry for the
+  /// document is dropped so subsequent reads see the corrupt bytes.
+  /// Indexes are deliberately left stale, like real bit rot under an
+  /// index built at store time.
+  Status CorruptStoredDocumentText(const std::string& collection,
+                                   size_t doc_index, uint64_t pick = 0);
 
   // ---- Query ----
 

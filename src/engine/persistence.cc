@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "telemetry/metrics.h"
 #include "xml/serializer.h"
 
 namespace partix::xdb {
@@ -237,7 +238,21 @@ Status ImportCollection(Database& db, const std::string& collection,
         collection, std::string(fields[1]), buffer.str(),
         std::move(metadata)));
   }
-  if (!expected_labels.empty()) {
+  if (expected_labels.empty()) {
+    // Pre-label exports carry no STRUCT sidecar, so the label
+    // verification below cannot run. That used to be silent — an
+    // operator auditing integrity coverage had no way to tell "verified
+    // clean" from "nothing to verify against". Count and say so once
+    // per import instead.
+    static telemetry::Counter* skipped =
+        telemetry::MetricsRegistry::Global().GetCounter(
+            "partix_struct_verify_skipped_total");
+    skipped->Add();
+    std::fprintf(stderr,
+                 "partix: import of '%s' from '%s' has no STRUCT sidecar; "
+                 "structural-label verification skipped\n",
+                 collection.c_str(), dir.c_str());
+  } else {
     // Re-derive labels from the imported documents (AllDocuments parses
     // through the LRU cache, which the first queries would fill anyway)
     // and compare against what the exporter recorded.

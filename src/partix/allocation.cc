@@ -91,4 +91,19 @@ std::vector<uint64_t> PlacementLoads(
   return load;
 }
 
+std::vector<size_t> CatalogReplicaCounts(const DistributionCatalog& catalog,
+                                         size_t node_count) {
+  std::vector<size_t> counts(node_count, 0);
+  for (const std::string& collection : catalog.FragmentedCollections()) {
+    Result<const DistributionEntry*> entry = catalog.Get(collection);
+    if (!entry.ok()) continue;
+    for (const FragmentPlacement& p : (*entry)->placements) {
+      for (size_t node : p.AllNodes()) {
+        if (node < node_count) ++counts[node];
+      }
+    }
+  }
+  return counts;
+}
+
 }  // namespace partix::middleware

@@ -45,6 +45,13 @@ std::vector<uint64_t> PlacementLoads(
     const std::vector<xml::Collection>& fragments,
     const std::vector<FragmentPlacement>& placements, size_t node_count);
 
+/// Per-node replica counts across every fragmented collection of a
+/// catalog. Fragment sizes are not recorded in the catalog, so this copy
+/// count is the load signal replica repair balances when it picks the
+/// least-loaded healthy target for a restored copy.
+std::vector<size_t> CatalogReplicaCounts(const DistributionCatalog& catalog,
+                                         size_t node_count);
+
 }  // namespace partix::middleware
 
 #endif  // PARTIX_PARTIX_ALLOCATION_H_

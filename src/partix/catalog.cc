@@ -53,16 +53,9 @@ Result<std::vector<size_t>> DistributionEntry::ReplicasOf(
   return Status::NotFound("fragment '" + fragment + "' has no placement");
 }
 
-Status DistributionCatalog::Register(
-    frag::FragmentationSchema schema,
-    std::vector<FragmentPlacement> placements) {
-  PARTIX_RETURN_IF_ERROR(schema.ValidateStructure());
-  const std::string collection = schema.collection;
-  if (entries_.count(collection) != 0 ||
-      centralized_.count(collection) != 0) {
-    return Status::AlreadyExists("collection '" + collection +
-                                 "' already registered");
-  }
+Status DistributionCatalog::ValidatePlacements(
+    const frag::FragmentationSchema& schema,
+    const std::vector<FragmentPlacement>& placements) {
   std::set<std::string> placed;
   for (const FragmentPlacement& p : placements) {
     std::set<size_t> nodes;
@@ -81,8 +74,35 @@ Status DistributionCatalog::Register(
                                      "' has no placement");
     }
   }
+  return Status::Ok();
+}
+
+Status DistributionCatalog::Register(
+    frag::FragmentationSchema schema,
+    std::vector<FragmentPlacement> placements) {
+  PARTIX_RETURN_IF_ERROR(schema.ValidateStructure());
+  const std::string collection = schema.collection;
+  if (entries_.count(collection) != 0 ||
+      centralized_.count(collection) != 0) {
+    return Status::AlreadyExists("collection '" + collection +
+                                 "' already registered");
+  }
+  PARTIX_RETURN_IF_ERROR(ValidatePlacements(schema, placements));
   entries_.emplace(collection, DistributionEntry{std::move(schema),
                                                  std::move(placements)});
+  return Status::Ok();
+}
+
+Status DistributionCatalog::UpdatePlacements(
+    const std::string& collection,
+    std::vector<FragmentPlacement> placements) {
+  auto it = entries_.find(collection);
+  if (it == entries_.end()) {
+    return Status::NotFound("collection '" + collection +
+                            "' has no fragmentation entry");
+  }
+  PARTIX_RETURN_IF_ERROR(ValidatePlacements(it->second.schema, placements));
+  it->second.placements = std::move(placements);
   return Status::Ok();
 }
 
@@ -134,6 +154,28 @@ std::vector<std::string> DistributionCatalog::FragmentedCollections() const {
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) out.push_back(name);
   return out;
+}
+
+VersionedCatalog::VersionedCatalog(DistributionCatalog initial)
+    : current_(
+          std::make_shared<const DistributionCatalog>(std::move(initial))) {}
+
+std::shared_ptr<const DistributionCatalog> VersionedCatalog::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t VersionedCatalog::Install(DistributionCatalog next) {
+  auto installed = std::make_shared<const DistributionCatalog>(std::move(next));
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::move(installed);
+  return ++version_;
+}
+
+uint64_t VersionedCatalog::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
 }
 
 }  // namespace partix::middleware

@@ -1,7 +1,10 @@
 #ifndef PARTIX_PARTIX_CATALOG_H_
 #define PARTIX_PARTIX_CATALOG_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +34,15 @@ struct FragmentPlacement {
   std::string fragment;
   size_t node = 0;              // primary replica
   std::vector<size_t> backups;  // additional replicas, in failover order
+  /// Expected content digest of the fragment's stored bytes (name-ordered
+  /// FNV-1a over (doc name, xml) pairs; see
+  /// xdb::Database::CollectionContentDigest), recorded by the publisher
+  /// at publish time. The anti-entropy scrubber compares every replica's
+  /// live digest against this to detect silent divergence, and replica
+  /// repair verifies a copy against it before cutover. 0 = unknown
+  /// (pre-digest deployments): replicas can still be cross-checked
+  /// against each other, but not against a ground truth.
+  uint64_t content_digest = 0;
 
   /// All replica nodes, primary first.
   std::vector<size_t> AllNodes() const;
@@ -75,9 +87,53 @@ class DistributionCatalog {
   std::vector<std::pair<std::string, size_t>> CentralizedCollections()
       const;
 
+  /// Replaces a fragmented collection's placements wholesale (replica
+  /// repair publishes its post-repair placement map through this).
+  /// Validates like Register: every fragment of the collection's schema
+  /// must be placed, with distinct replica nodes. The fragmentation
+  /// schema itself is untouched.
+  Status UpdatePlacements(const std::string& collection,
+                          std::vector<FragmentPlacement> placements);
+
  private:
+  /// Register-style placement validation shared with UpdatePlacements.
+  static Status ValidatePlacements(
+      const frag::FragmentationSchema& schema,
+      const std::vector<FragmentPlacement>& placements);
+
   std::map<std::string, DistributionEntry> entries_;
   std::map<std::string, size_t> centralized_;
+};
+
+/// A versioned, atomically swappable distribution catalog: readers take
+/// an immutable snapshot and route a whole query against it; writers
+/// (replica repair) build a successor catalog off-line and Install() it
+/// in one pointer swap. In-flight queries keep the snapshot they started
+/// with — they never observe a half-updated placement map — and queries
+/// admitted after the swap see the repaired topology. This is the atomic
+/// cutover that lets repair run concurrently with query traffic.
+///
+/// Thread-safety: Snapshot/Install/version are thread-safe (one mutex
+/// around a shared_ptr swap; snapshots are immutable afterwards).
+class VersionedCatalog {
+ public:
+  explicit VersionedCatalog(DistributionCatalog initial);
+
+  /// The current catalog, immutable. Cheap (shared_ptr copy); hold it for
+  /// the duration of one query's planning.
+  std::shared_ptr<const DistributionCatalog> Snapshot() const;
+
+  /// Atomically replaces the catalog with `next` and bumps the version.
+  /// Returns the new version number.
+  uint64_t Install(DistributionCatalog next);
+
+  /// Monotonic version, starting at 1 for the initial catalog.
+  uint64_t version() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const DistributionCatalog> current_;
+  uint64_t version_ = 1;
 };
 
 }  // namespace partix::middleware

@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <thread>
+#include <utility>
+
+#include "common/strings.h"
 
 namespace partix::middleware {
 
@@ -17,7 +20,9 @@ ClusterSim::ClusterSim(size_t node_count, xdb::DatabaseOptions node_options,
   }
 }
 
-Status ClusterSim::FaultGate(size_t i, double* spike_ms) {
+Status ClusterSim::FaultGate(size_t i, double stall_budget_ms,
+                             double* spike_ms, bool* corrupt_response,
+                             bool* crash_restart) {
   NodeFaultState& f = *faults_[i];
   std::lock_guard<std::mutex> lock(f.mu);
   if (f.profile.down) {
@@ -42,28 +47,86 @@ Status ClusterSim::FaultGate(size_t i, double* spike_ms) {
     return Status::Unavailable("injected transient error at node" +
                                std::to_string(i));
   }
+  if (f.profile.crash_restart_rate > 0.0 &&
+      f.rng.Bernoulli(f.profile.crash_restart_rate)) {
+    // The node process dies and restarts: the request is lost (retryable)
+    // and the restarted node comes back with cold caches. The caller
+    // drops the caches outside this mutex.
+    *crash_restart = true;
+    return Status::Unavailable("node" + std::to_string(i) +
+                               " crash-restarted (injected)");
+  }
+  double spike = 0.0;
   if (f.profile.latency_spike_rate > 0.0 &&
       f.rng.Bernoulli(f.profile.latency_spike_rate)) {
-    *spike_ms = f.profile.latency_spike_ms;
+    spike = f.profile.latency_spike_ms;
   }
+  if (f.profile.response_corruption_rate > 0.0 &&
+      f.rng.Bernoulli(f.profile.response_corruption_rate)) {
+    *corrupt_response = true;
+  }
+  if (spike > 0.0 && stall_budget_ms >= 0.0 && spike > stall_budget_ms) {
+    // The caller's attempt budget expires before the spike ends: a real
+    // client hangs up at the budget, so the request never reaches the
+    // engine and does not count as an engine request. Every knob above
+    // already drew, so a capped run keeps the exact RNG schedule of an
+    // uncapped one.
+    *spike_ms = stall_budget_ms;
+    *corrupt_response = false;  // no response to corrupt
+    return Status::DeadlineExceeded(
+        "injected latency spike (" + std::to_string(spike) + " ms) at node" +
+        std::to_string(i) + " exceeded the attempt budget (" +
+        std::to_string(stall_budget_ms) + " ms)");
+  }
+  *spike_ms = spike;
   ++f.engine_requests;
   return Status::Ok();
 }
 
+Result<xdb::QueryResult> ClusterSim::ExecuteGated(
+    size_t i, double stall_budget_ms,
+    const std::function<Result<xdb::QueryResult>()>& run) {
+  double spike_ms = 0.0;
+  bool corrupt_response = false;
+  bool crash_restart = false;
+  Status gate =
+      FaultGate(i, stall_budget_ms, &spike_ms, &corrupt_response,
+                &crash_restart);
+  if (!gate.ok()) {
+    // Cache drop and stalls happen outside the fault mutex: a restarting
+    // or stalling node must not block fault draws for concurrent requests
+    // to the same node.
+    if (crash_restart) nodes_[i]->DropCaches();
+    if (spike_ms > 0.0) {
+      // Budget-capped spike: the client hangs on for the budget, then
+      // gives up — fail fast instead of sleeping out a result nobody
+      // will accept.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(spike_ms / 1e3));
+    }
+    return gate;
+  }
+  if (spike_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(spike_ms / 1e3));
+  }
+  Result<xdb::QueryResult> result = run();
+  if (result.ok() && corrupt_response) {
+    // Corrupt *after* the node stamped its digest: this is the wire
+    // mangling the bytes, not the engine producing a wrong answer.
+    CorruptXmlText(&result->serialized, result->response_digest);
+  }
+  return result;
+}
+
 Result<xdb::QueryResult> ClusterSim::ExecuteOnNode(size_t i,
-                                                   const std::string& query) {
+                                                   const std::string& query,
+                                                   double stall_budget_ms) {
   if (i >= nodes_.size()) {
     return Status::OutOfRange("node " + std::to_string(i) +
                               " out of range");
   }
-  double spike_ms = 0.0;
-  PARTIX_RETURN_IF_ERROR(FaultGate(i, &spike_ms));
-  if (spike_ms > 0.0) {
-    // Stall outside the fault mutex: a slow node must not block fault
-    // draws for concurrent requests to the same node.
-    std::this_thread::sleep_for(std::chrono::duration<double>(spike_ms / 1e3));
-  }
-  return nodes_[i]->Execute(query);
+  return ExecuteGated(i, stall_budget_ms,
+                      [&] { return nodes_[i]->Execute(query); });
 }
 
 Result<PreparedSubQueryPtr> ClusterSim::PrepareOnNode(
@@ -82,17 +145,54 @@ Result<PreparedSubQueryPtr> ClusterSim::PrepareOnNode(
 }
 
 Result<xdb::QueryResult> ClusterSim::ExecutePreparedOnNode(
-    size_t i, const PreparedSubQuery& prepared) {
+    size_t i, const PreparedSubQuery& prepared, double stall_budget_ms) {
   if (i >= nodes_.size()) {
     return Status::OutOfRange("node " + std::to_string(i) +
                               " out of range");
   }
-  double spike_ms = 0.0;
-  PARTIX_RETURN_IF_ERROR(FaultGate(i, &spike_ms));
-  if (spike_ms > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(spike_ms / 1e3));
+  return ExecuteGated(i, stall_budget_ms,
+                      [&] { return nodes_[i]->ExecutePrepared(prepared); });
+}
+
+Status ClusterSim::CreateCollectionOnNode(size_t i,
+                                          const std::string& collection,
+                                          xdb::CollectionMeta meta) {
+  if (i >= nodes_.size()) {
+    return Status::OutOfRange("node " + std::to_string(i) +
+                              " out of range");
   }
-  return nodes_[i]->ExecutePrepared(prepared);
+  if (IsNodeDown(i)) {
+    return Status::Unavailable("node" + std::to_string(i) + " is down");
+  }
+  return nodes_[i]->CreateCollection(collection, std::move(meta));
+}
+
+Status ClusterSim::StoreSerializedOnNode(
+    size_t i, const std::string& collection, std::string doc_name,
+    std::string xml, std::map<std::string, std::string> metadata) {
+  if (i >= nodes_.size()) {
+    return Status::OutOfRange("node " + std::to_string(i) +
+                              " out of range");
+  }
+  {
+    NodeFaultState& f = *faults_[i];
+    std::lock_guard<std::mutex> lock(f.mu);
+    if (f.profile.down ||
+        (f.profile.fail_after_requests >= 0 &&
+         f.engine_requests >=
+             static_cast<uint64_t>(f.profile.fail_after_requests))) {
+      return Status::Unavailable("node" + std::to_string(i) + " is down");
+    }
+    if (f.profile.storage_corruption_rate > 0.0 &&
+        f.rng.Bernoulli(f.profile.storage_corruption_rate)) {
+      // Silent bit rot: the write "succeeds" with flipped bytes and no
+      // error — only the scrubber's digest cross-check can notice.
+      CorruptXmlText(&xml, f.engine_requests);
+    }
+  }
+  return nodes_[i]->StoreSerializedDocument(collection, std::move(doc_name),
+                                            std::move(xml),
+                                            std::move(metadata));
 }
 
 void ClusterSim::SetFaultProfile(size_t i, FaultProfile profile) {

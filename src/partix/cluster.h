@@ -2,6 +2,8 @@
 #define PARTIX_PARTIX_CLUSTER_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -61,6 +63,23 @@ struct FaultProfile {
   /// transient kUnavailable, then the node is healthy. Deterministic
   /// counterpart of `transient_error_rate` for retry tests.
   int64_t fail_first_requests = 0;
+  /// Probability that the node crash-restarts on a request: the request
+  /// is rejected with a transient kUnavailable and the node's caches are
+  /// dropped (the restarted process comes back cold). Consumes no
+  /// engine-request budget — the engine never saw the request.
+  double crash_restart_rate = 0.0;
+  /// Probability that a *served* request's response is corrupted in
+  /// flight: the engine executes normally, then one text character of the
+  /// serialized result is flipped after the node-side digest was stamped,
+  /// so integrity verification (ExecutionOptions::verify_integrity) can
+  /// detect the mangled response and fail over.
+  double response_corruption_rate = 0.0;
+  /// Probability that a document *stored* through the cluster's data
+  /// plane (publisher, replica repair) is silently corrupted at rest: one
+  /// text character of the serialized bytes flips before the store
+  /// persists them. Detected by the anti-entropy scrubber's digest
+  /// cross-check, never by the write itself.
+  double storage_corruption_rate = 0.0;
   /// Seed of this node's fault RNG.
   uint64_t seed = 0;
 };
@@ -104,7 +123,14 @@ class ClusterSim {
   /// transient faults reject without touching the engine, latency spikes
   /// stall the calling worker — then delegates to the node's driver.
   /// Thread-safe; this is what the executor dispatches through.
-  Result<xdb::QueryResult> ExecuteOnNode(size_t i, const std::string& query);
+  ///
+  /// `stall_budget_ms` caps how long an injected latency spike may stall
+  /// this call: when the spike exceeds it, the call stalls only for the
+  /// budget and then fails fast with kDeadlineExceeded instead of
+  /// sleeping out a stall the caller's deadline has already written off.
+  /// < 0 (the default) = uncapped.
+  Result<xdb::QueryResult> ExecuteOnNode(size_t i, const std::string& query,
+                                         double stall_budget_ms = -1.0);
 
   /// Prepares a compiled query on node `i`'s driver. A down (or
   /// fail-after-exhausted) node rejects with kUnavailable, but the fault
@@ -116,10 +142,26 @@ class ClusterSim {
       size_t i, const xquery::CompiledQueryPtr& compiled);
 
   /// Prepared counterpart of ExecuteOnNode: the same fault gate (one draw
-  /// / one engine-request per attempt), then the node's driver executes
-  /// the handle without recompiling. Thread-safe.
+  /// / one engine-request per attempt, same stall-budget cap), then the
+  /// node's driver executes the handle without recompiling. Thread-safe.
   Result<xdb::QueryResult> ExecutePreparedOnNode(
-      size_t i, const PreparedSubQuery& prepared);
+      size_t i, const PreparedSubQuery& prepared,
+      double stall_budget_ms = -1.0);
+
+  /// Store data plane: creates a collection on node `i` through its
+  /// liveness gate (a down node rejects with kUnavailable). Thread-safe;
+  /// the publisher and replica repair route collection DDL through here.
+  Status CreateCollectionOnNode(size_t i, const std::string& collection,
+                                xdb::CollectionMeta meta);
+
+  /// Store data plane: persists pre-serialized bytes on node `i`. A down
+  /// node rejects with kUnavailable; when the node's
+  /// `storage_corruption_rate` fires, one text character of `xml` flips
+  /// before the store persists it — silent bit rot that only a digest
+  /// cross-check can see. Thread-safe.
+  Status StoreSerializedOnNode(size_t i, const std::string& collection,
+                               std::string doc_name, std::string xml,
+                               std::map<std::string, std::string> metadata);
 
   /// Failure injection: replaces node `i`'s fault profile, resetting its
   /// request counter and reseeding its RNG from `profile.seed`. Data
@@ -154,11 +196,29 @@ class ClusterSim {
   };
 
   /// Runs node `i`'s fault gate for one engine request: rejects when the
-  /// node is down / budget-exhausted / transiently faulted (consuming at
-  /// most one RNG draw), otherwise counts the request and reports any
-  /// latency spike to stall for. Shared by ExecuteOnNode and
-  /// ExecutePreparedOnNode so both paths have identical fault semantics.
-  Status FaultGate(size_t i, double* spike_ms);
+  /// node is down / budget-exhausted / transiently faulted / crash-
+  /// restarting, otherwise counts the request and reports any latency
+  /// spike to stall for and whether the response must be corrupted in
+  /// flight. Stochastic knobs draw in a fixed order (transient, crash,
+  /// spike, corruption) and only when their rate is > 0, so enabling a
+  /// new knob never perturbs the draw schedule of profiles that don't
+  /// use it. Shared by ExecuteOnNode and ExecutePreparedOnNode so both
+  /// paths have identical fault semantics. On a crash-restart rejection
+  /// `*crash_restart` is set and the caller drops the node's caches
+  /// outside the fault mutex. A spike longer than `stall_budget_ms`
+  /// (when >= 0) fails the gate with kDeadlineExceeded and `*spike_ms`
+  /// set to the capped stall — the request hangs up at the budget and
+  /// never reaches the engine, so it does not count as an engine
+  /// request (the RNG still draws every knob, keeping the schedule
+  /// identical to an uncapped run).
+  Status FaultGate(size_t i, double stall_budget_ms, double* spike_ms,
+                   bool* corrupt_response, bool* crash_restart);
+
+  /// Shared tail of ExecuteOnNode/ExecutePreparedOnNode: fault gate,
+  /// capped stall, driver execution via `run`, response corruption.
+  Result<xdb::QueryResult> ExecuteGated(
+      size_t i, double stall_budget_ms,
+      const std::function<Result<xdb::QueryResult>()>& run);
 
   std::vector<std::unique_ptr<LocalXdbDriver>> nodes_;
   std::vector<std::unique_ptr<NodeFaultState>> faults_;

@@ -64,6 +64,14 @@ Status SaveDeployment(const std::string& dir,
                   std::to_string(p.node);
       for (size_t b : p.backups) manifest += "\t" + std::to_string(b);
       manifest += "\n";
+      // Published content digest on its own tagged line, only when known:
+      // digest-free manifests stay byte-identical to the old format, and
+      // old loaders would reject an extra placement field but a new tag
+      // is the established extension point.
+      if (p.content_digest != 0) {
+        manifest += "digest\t" + name + "\t" + p.fragment + "\t" +
+                    HashHex(p.content_digest) + "\n";
+      }
     }
     PARTIX_RETURN_IF_ERROR(WriteFile(
         fs::path(dir) / ("schema_" + name + ".txt"),
@@ -139,6 +147,26 @@ Result<LoadedDeployment> LoadDeployment(const std::string& dir,
         p.backups.push_back(static_cast<size_t>(backup));
       }
       placements[std::string(fields[1])].push_back(std::move(p));
+    } else if (tag == "digest") {
+      if (fields.size() != 4) {
+        return Status::Corruption("bad digest line in catalog.txt");
+      }
+      uint64_t digest = 0;
+      if (!ParseHex64(fields[3], &digest)) {
+        return Status::Corruption("bad digest value in catalog.txt");
+      }
+      bool attached = false;
+      for (FragmentPlacement& p : placements[std::string(fields[1])]) {
+        if (p.fragment == fields[2]) {
+          p.content_digest = digest;
+          attached = true;
+          break;
+        }
+      }
+      if (!attached) {
+        return Status::Corruption("digest line for unknown placement '" +
+                                  std::string(fields[2]) + "'");
+      }
     } else {
       return Status::Corruption("unknown tag '" + tag +
                                 "' in catalog.txt");

@@ -1,6 +1,7 @@
 #include "partix/driver.h"
 
 #include "common/clock.h"
+#include "common/strings.h"
 #include "telemetry/metrics.h"
 
 namespace partix::middleware {
@@ -64,6 +65,15 @@ Status LocalXdbDriver::StoreDocument(const std::string& collection,
   return db_.StoreDocument(collection, doc);
 }
 
+Status LocalXdbDriver::StoreSerializedDocument(
+    const std::string& collection, std::string doc_name, std::string xml,
+    std::map<std::string, std::string> metadata) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return db_.StoreSerializedWithMetadata(collection, std::move(doc_name),
+                                         std::move(xml),
+                                         std::move(metadata));
+}
+
 Result<xdb::QueryResult> LocalXdbDriver::Execute(const std::string& query) {
   const DriverTelemetry& telemetry = DriverTelemetry::Get();
   Stopwatch wait_watch;
@@ -73,6 +83,11 @@ Result<xdb::QueryResult> LocalXdbDriver::Execute(const std::string& query) {
   Stopwatch engine_watch;
   Result<xdb::QueryResult> result = db_.Execute(query);
   telemetry.engine_ms->Observe(engine_watch.ElapsedMillis());
+  // Stamp the response digest node-side, while the bytes are still what
+  // the engine produced: anything that mangles `serialized` after this
+  // point (the simulated wire, a buggy middlebox) is detectable by the
+  // executor's integrity check.
+  if (result.ok()) result->response_digest = Fnv1a64(result->serialized);
   return result;
 }
 
@@ -103,12 +118,43 @@ Result<xdb::QueryResult> LocalXdbDriver::ExecutePrepared(
   Stopwatch engine_watch;
   Result<xdb::QueryResult> result = db_.ExecutePrepared(*local->plan());
   telemetry.engine_ms->Observe(engine_watch.ElapsedMillis());
+  if (result.ok()) result->response_digest = Fnv1a64(result->serialized);
   return result;
 }
 
 void LocalXdbDriver::DropCaches() {
   std::lock_guard<std::mutex> lock(mu_);
   db_.DropCaches();
+}
+
+bool LocalXdbDriver::HasCollection(const std::string& collection) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return db_.HasCollection(collection);
+}
+
+Result<uint64_t> LocalXdbDriver::CollectionDigest(
+    const std::string& collection) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return db_.CollectionContentDigest(collection);
+}
+
+Result<xdb::CollectionMeta> LocalXdbDriver::CollectionMetaOf(
+    const std::string& collection) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PARTIX_ASSIGN_OR_RETURN(const xdb::CollectionMeta* meta,
+                          db_.Meta(collection));
+  return *meta;
+}
+
+Result<std::vector<xdb::StoredDoc>> LocalXdbDriver::ExportStoredDocs(
+    const std::string& collection) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return db_.ExportStoredDocs(collection);
+}
+
+Status LocalXdbDriver::DropCollection(const std::string& collection) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return db_.DropCollection(collection);
 }
 
 std::string LocalXdbDriver::Describe() const {

@@ -1,9 +1,12 @@
 #ifndef PARTIX_PARTIX_DRIVER_H_
 #define PARTIX_PARTIX_DRIVER_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "engine/database.h"
@@ -59,6 +62,19 @@ class Driver {
                                   xdb::CollectionMeta meta) = 0;
   virtual Status StoreDocument(const std::string& collection,
                                const xml::Document& doc) = 0;
+
+  /// Stores pre-serialized XML with out-of-band metadata, byte-for-byte
+  /// as given. This is the replication path: publisher and repair ship
+  /// `xdb::StoredDoc` triples so every replica's stored bytes (and
+  /// content digest) match the source exactly.
+  virtual Status StoreSerializedDocument(
+      const std::string& collection, std::string doc_name, std::string xml,
+      std::map<std::string, std::string> metadata) = 0;
+
+  /// Executes a query. Implementations stamp
+  /// `QueryResult::response_digest` (FNV-1a of the serialized result)
+  /// node-side before the response crosses the wire, so the executor can
+  /// detect in-flight corruption end-to-end.
   virtual Result<xdb::QueryResult> Execute(const std::string& query) = 0;
 
   /// Compiles (or fetches from the node's plan cache) a prepared handle
@@ -74,6 +90,29 @@ class Driver {
 
   /// Drops parsed-document caches (cold-start emulation for benchmarks).
   virtual void DropCaches() = 0;
+
+  // ---- Replica repair / anti-entropy surface ----
+
+  /// True when the node holds `collection`.
+  virtual bool HasCollection(const std::string& collection) = 0;
+
+  /// Content digest of a collection's stored bytes (name-ordered FNV-1a,
+  /// see xdb::Database::CollectionContentDigest). The scrubber compares
+  /// this across replicas against the catalog's published digest.
+  virtual Result<uint64_t> CollectionDigest(const std::string& collection) = 0;
+
+  /// The collection's metadata (schema binding), copied — repair recreates
+  /// the collection on the target node with the same binding.
+  virtual Result<xdb::CollectionMeta> CollectionMetaOf(
+      const std::string& collection) = 0;
+
+  /// Every stored document as raw (name, xml, metadata) triples in name
+  /// order: the payload replica repair copies between nodes.
+  virtual Result<std::vector<xdb::StoredDoc>> ExportStoredDocs(
+      const std::string& collection) = 0;
+
+  /// Drops a collection (quarantine-and-rebuild path of the scrubber).
+  virtual Status DropCollection(const std::string& collection) = 0;
 
   /// Human-readable identification for logs.
   virtual std::string Describe() const = 0;
@@ -95,12 +134,22 @@ class LocalXdbDriver : public Driver {
                           xdb::CollectionMeta meta) override;
   Status StoreDocument(const std::string& collection,
                        const xml::Document& doc) override;
+  Status StoreSerializedDocument(
+      const std::string& collection, std::string doc_name, std::string xml,
+      std::map<std::string, std::string> metadata) override;
   Result<xdb::QueryResult> Execute(const std::string& query) override;
   Result<PreparedSubQueryPtr> Prepare(
       const xquery::CompiledQueryPtr& compiled) override;
   Result<xdb::QueryResult> ExecutePrepared(
       const PreparedSubQuery& prepared) override;
   void DropCaches() override;
+  bool HasCollection(const std::string& collection) override;
+  Result<uint64_t> CollectionDigest(const std::string& collection) override;
+  Result<xdb::CollectionMeta> CollectionMetaOf(
+      const std::string& collection) override;
+  Result<std::vector<xdb::StoredDoc>> ExportStoredDocs(
+      const std::string& collection) override;
+  Status DropCollection(const std::string& collection) override;
   std::string Describe() const override;
 
   /// Unsynchronized access to the embedded engine, for deployment

@@ -9,7 +9,9 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "common/strings.h"
 #include "partix/cluster.h"
+#include "partix/health.h"
 #include "telemetry/metrics.h"
 
 namespace partix::middleware {
@@ -45,6 +47,7 @@ struct ExecutorTelemetry {
   telemetry::Counter* breaker_opens;
   telemetry::Counter* breaker_closes;
   telemetry::Counter* breaker_probes;
+  telemetry::Counter* corrupt_responses;
   telemetry::Histogram* subquery_wall_ms;
   telemetry::Histogram* queue_wait_ms;
   telemetry::Gauge* pool_threads;
@@ -67,6 +70,8 @@ struct ExecutorTelemetry {
       out.breaker_closes = registry.GetCounter("partix_breaker_closes_total");
       out.breaker_probes =
           registry.GetCounter("partix_breaker_half_open_probes_total");
+      out.corrupt_responses =
+          registry.GetCounter("partix_corrupt_responses_total");
       out.subquery_wall_ms = registry.GetHistogram("partix_subquery_wall_ms");
       out.queue_wait_ms = registry.GetHistogram("partix_queue_wait_ms");
       out.pool_threads = registry.GetGauge("partix_executor_pool_threads");
@@ -257,17 +262,29 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
     }
 
     // Pick the next candidate replica that is up and whose breaker admits
-    // traffic, scanning at most one full cycle from the cursor.
+    // traffic, scanning at most one full cycle from the cursor. Health is
+    // consulted first (pass 0 skips nodes the monitor flags as dead or
+    // quarantined) and yields if it would leave nothing: pass 1 rescans
+    // ignoring health, so an advisory verdict — possibly stale — can
+    // never fail a sub-query the cluster could still serve. The health
+    // check runs before BreakerAllows so a skipped candidate never
+    // consumes a half-open probe.
     size_t node = candidates.front();
     bool found = false;
-    for (size_t k = 0; k < candidates.size(); ++k) {
-      size_t cand = candidates[(cursor + k) % candidates.size()];
-      if (cluster_->IsNodeDown(cand)) continue;
-      if (!BreakerAllows(cand)) continue;
-      node = cand;
-      cursor = (cursor + k) % candidates.size();
-      found = true;
-      break;
+    const size_t passes = health_ != nullptr ? 2 : 1;
+    for (size_t pass = 0; pass < passes && !found; ++pass) {
+      for (size_t k = 0; k < candidates.size(); ++k) {
+        size_t cand = candidates[(cursor + k) % candidates.size()];
+        if (cluster_->IsNodeDown(cand)) continue;
+        if (pass == 0 && health_ != nullptr && health_->ShouldAvoid(cand)) {
+          continue;
+        }
+        if (!BreakerAllows(cand)) continue;
+        node = cand;
+        cursor = (cursor + k) % candidates.size();
+        found = true;
+        break;
+      }
     }
     if (!found) {
       out->result = Status::Unavailable(
@@ -298,6 +315,23 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
       attempt_span->start_ms = tracer->NowMs();
       if (failover) attempt_span->AddTag("failover", "true");
     }
+
+    // Per-attempt budget: the configured attempt timeout composed with
+    // what is left of the sub-query deadline (whichever is tighter).
+    // `remaining_ms` is positive here — the loop head failed fast
+    // otherwise — so the budget is never zero/negative ("disabled").
+    // Computed BEFORE the attempt so the cluster can cap an injected
+    // latency stall at it: a spike outlasting the budget stalls the
+    // worker only for the budget, then fails fast, instead of sleeping
+    // out a stall whose result the deadline has already written off.
+    double attempt_budget_ms = retry.attempt_timeout_ms;
+    if (remaining_ms != std::numeric_limits<double>::infinity()) {
+      attempt_budget_ms = attempt_budget_ms > 0.0
+                              ? std::min(attempt_budget_ms, remaining_ms)
+                              : remaining_ms;
+    }
+    const double stall_budget_ms =
+        attempt_budget_ms > 0.0 ? attempt_budget_ms : -1.0;
 
     Stopwatch attempt_watch(clock_);
     Result<xdb::QueryResult> result = [&]() -> Result<xdb::QueryResult> {
@@ -347,9 +381,10 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
         std::this_thread::sleep_for(std::chrono::duration<double>(rpc_sec));
       }
       if (handle != nullptr) {
-        return cluster_->ExecutePreparedOnNode(node, *handle);
+        return cluster_->ExecutePreparedOnNode(node, *handle,
+                                               stall_budget_ms);
       }
-      return cluster_->ExecuteOnNode(node, sub.query);
+      return cluster_->ExecuteOnNode(node, sub.query, stall_budget_ms);
     }();
     const double attempt_ms = attempt_watch.ElapsedMillis();
 
@@ -361,16 +396,28 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
     const bool engine_served = result.ok() || !Retryable(result.status());
     if (engine_served) ++out->engine_requests;
 
-    // Per-attempt budget: the configured attempt timeout composed with
-    // what is left of the sub-query deadline (whichever is tighter).
-    // `remaining_ms` is positive here — the loop head failed fast
-    // otherwise — so the budget is never zero/negative ("disabled").
-    double attempt_budget_ms = retry.attempt_timeout_ms;
-    if (remaining_ms != std::numeric_limits<double>::infinity()) {
-      attempt_budget_ms = attempt_budget_ms > 0.0
-                              ? std::min(attempt_budget_ms, remaining_ms)
-                              : remaining_ms;
+    // End-to-end integrity: recompute the digest the node stamped before
+    // the response crossed the (simulated) wire. A mismatch means the
+    // bytes were mangled in flight — the engine's work happened (counted
+    // above) but the result is unusable, so fold in its compile
+    // accounting, discard it, and fail over as a retryable node fault. A
+    // corrupt response must never be served.
+    if (result.ok() && options.verify_response_digests &&
+        result->response_digest != 0 &&
+        Fnv1a64(result->serialized) != result->response_digest) {
+      if (sub.compiled == nullptr) {
+        out->compile_ms += result->metrics.compile_ms;
+        out->plan_cache_hits += result->metrics.plan_cache_hits;
+        out->plan_cache_misses += result->metrics.plan_cache_misses;
+      }
+      ++out->corrupt_responses;
+      counters.corrupt_responses->Add();
+      if (attempt_span != nullptr) attempt_span->AddTag("corrupt", "true");
+      result = Status::Unavailable("corrupt response from node" +
+                                   std::to_string(node) +
+                                   " (digest mismatch)");
     }
+
     if (result.ok() && attempt_budget_ms > 0.0 &&
         attempt_ms > attempt_budget_ms) {
       // The node answered, but past its budget: a real client would have
@@ -407,12 +454,20 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
         out->plan_cache_misses += result->metrics.plan_cache_misses;
       }
       RecordSuccess(node);
+      if (health_ != nullptr) health_->ReportSuccess(node);
       out->result = std::move(result);
       finish();
       return;
     }
 
     RecordFailure(node);
+    // Health evidence: only faults attributable to the node (transient
+    // rejections, timeouts, corrupt responses — the retryable set) raise
+    // suspicion. Deterministic engine errors (parse failure, missing
+    // collection) say nothing about node liveness.
+    if (health_ != nullptr && Retryable(result.status())) {
+      health_->ReportFailure(node);
+    }
     last_error = result.status();
     if (last_error.code() == StatusCode::kDeadlineExceeded) {
       out->timed_out = true;

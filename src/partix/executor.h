@@ -17,6 +17,7 @@
 namespace partix::middleware {
 
 class ClusterSim;
+class HealthMonitor;
 
 /// Retry/timeout policy applied to every sub-query of a Dispatch. All
 /// randomness (backoff jitter) comes from a per-sub-query RNG derived
@@ -66,6 +67,12 @@ struct DispatchOptions {
   /// calling thread, 0 means one worker per sub-query.
   size_t parallelism = 1;
   RetryPolicy retry;
+  /// End-to-end integrity: recompute each response's digest and compare
+  /// it against the node-stamped `QueryResult::response_digest`. A
+  /// mismatch is a retryable node fault (the executor fails over to a
+  /// replica), never a served result. Responses carrying no digest
+  /// (response_digest == 0) are not checked.
+  bool verify_response_digests = true;
   /// When set, every sub-query fills `SubQueryOutcome::span` with its
   /// span subtree (attempts, backoffs, failovers), timed against the
   /// tracer's epoch/clock. Null (the default) records nothing. The
@@ -94,6 +101,10 @@ struct SubQueryOutcome {
   /// or the overall deadline expired — set even when a later attempt
   /// succeeded (DistributedResult::timed_out_subqueries counts these).
   bool timed_out = false;
+  /// Attempts whose response failed digest verification (the node
+  /// answered, but the bytes were mangled in flight). Each one was
+  /// discarded and retried/failed over like a transient fault.
+  size_t corrupt_responses = 0;
   // --- conservation accounting (see docs/query-scheduling.md) ---
   /// Attempts that actually reached a node's engine (the fault gate
   /// admitted them): successes, discarded-late successes, and
@@ -212,6 +223,18 @@ class Executor {
   /// Closes every breaker and zeroes failure counters. Coordinator-only.
   void ResetBreakers();
 
+  /// Installs an advisory health monitor (nullptr — the default —
+  /// disables health-aware routing). When set, candidate selection
+  /// prefers nodes the monitor does not flag (dead/quarantined), and
+  /// node-level attempt outcomes (success, retryable failure, corrupt
+  /// response) are reported back as failure-detector evidence. Advisory
+  /// only: when every replica is flagged, selection retries ignoring
+  /// health, so a stale verdict can delay a query but never fail one the
+  /// cluster could serve. The monitor must outlive the executor.
+  /// Control-plane: set only while no Dispatch is in flight.
+  void set_health_monitor(HealthMonitor* monitor) { health_ = monitor; }
+  HealthMonitor* health_monitor() const { return health_; }
+
   /// True when node `i`'s breaker is currently open (no traffic admitted,
   /// half-open probe not yet due or in flight). Introspection for tests.
   bool breaker_open(size_t node) const;
@@ -270,6 +293,7 @@ class Executor {
   void RecordFailure(size_t node);
 
   ClusterSim* cluster_;
+  HealthMonitor* health_ = nullptr;
   const Clock* clock_ = Clock::Monotonic();
   CircuitBreakerPolicy breaker_policy_;
   /// Guards the vector structure only; each state has its own mutex.

@@ -1,0 +1,221 @@
+#include "partix/health.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "partix/cluster.h"
+#include "telemetry/metrics.h"
+
+namespace partix::middleware {
+
+namespace {
+
+struct HealthTelemetry {
+  telemetry::Counter* failures;
+  telemetry::Counter* successes;
+  telemetry::Counter* probes;
+  telemetry::Counter* deaths;
+  telemetry::Gauge* dead_nodes;
+  telemetry::Gauge* quarantined_nodes;
+
+  static const HealthTelemetry& Get() {
+    static const HealthTelemetry t = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      HealthTelemetry out;
+      out.failures = registry.GetCounter("partix_health_failures_total");
+      out.successes = registry.GetCounter("partix_health_successes_total");
+      out.probes = registry.GetCounter("partix_health_probes_total");
+      out.deaths = registry.GetCounter("partix_health_deaths_total");
+      out.dead_nodes = registry.GetGauge("partix_health_dead_nodes");
+      out.quarantined_nodes =
+          registry.GetGauge("partix_health_quarantined_nodes");
+      return out;
+    }();
+    return t;
+  }
+};
+
+}  // namespace
+
+const char* NodeHealthName(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kHealthy:
+      return "healthy";
+    case NodeHealth::kSuspect:
+      return "suspect";
+    case NodeHealth::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(ClusterSim* cluster, HealthPolicy policy)
+    : cluster_(cluster), policy_(policy) {
+  states_.reserve(cluster->node_count());
+  for (size_t i = 0; i < cluster->node_count(); ++i) {
+    states_.push_back(std::make_unique<NodeState>());
+  }
+}
+
+HealthMonitor::~HealthMonitor() { Stop(); }
+
+void HealthMonitor::Accumulate(size_t node, bool failure) {
+  if (node >= states_.size()) return;
+  const HealthTelemetry& telemetry = HealthTelemetry::Get();
+  bool died = false;
+  {
+    NodeState& s = *states_[node];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (failure) {
+      s.suspicion += policy_.failure_weight;
+      if (!s.dead && s.suspicion >= policy_.death_threshold) {
+        s.dead = true;
+        died = true;
+      }
+    } else {
+      s.suspicion = std::max(0.0, s.suspicion - policy_.success_decay);
+    }
+  }
+  if (failure) {
+    telemetry.failures->Add();
+  } else {
+    telemetry.successes->Add();
+  }
+  if (died) {
+    telemetry.deaths->Add();
+    PublishGauges();
+  }
+}
+
+void HealthMonitor::ReportFailure(size_t node) { Accumulate(node, true); }
+
+void HealthMonitor::ReportSuccess(size_t node) { Accumulate(node, false); }
+
+NodeHealth HealthMonitor::StateOf(size_t node) const {
+  if (node >= states_.size()) return NodeHealth::kHealthy;
+  NodeState& s = *states_[node];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.dead) return NodeHealth::kDead;
+  if (s.suspicion >= policy_.suspect_threshold) return NodeHealth::kSuspect;
+  return NodeHealth::kHealthy;
+}
+
+double HealthMonitor::SuspicionOf(size_t node) const {
+  if (node >= states_.size()) return 0.0;
+  NodeState& s = *states_[node];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.suspicion;
+}
+
+bool HealthMonitor::ShouldAvoid(size_t node) const {
+  if (node >= states_.size()) return false;
+  NodeState& s = *states_[node];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.dead || s.quarantined;
+}
+
+void HealthMonitor::SetQuarantined(size_t node, bool quarantined) {
+  if (node >= states_.size()) return;
+  {
+    NodeState& s = *states_[node];
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.quarantined = quarantined;
+  }
+  PublishGauges();
+}
+
+bool HealthMonitor::IsQuarantined(size_t node) const {
+  if (node >= states_.size()) return false;
+  NodeState& s = *states_[node];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.quarantined;
+}
+
+void HealthMonitor::MarkDead(size_t node) {
+  if (node >= states_.size()) return;
+  bool died = false;
+  {
+    NodeState& s = *states_[node];
+    std::lock_guard<std::mutex> lock(s.mu);
+    died = !s.dead;
+    s.dead = true;
+    s.suspicion = std::max(s.suspicion, policy_.death_threshold);
+  }
+  if (died) {
+    HealthTelemetry::Get().deaths->Add();
+    PublishGauges();
+  }
+}
+
+void HealthMonitor::Revive(size_t node) {
+  if (node >= states_.size()) return;
+  {
+    NodeState& s = *states_[node];
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.dead = false;
+    s.quarantined = false;
+    s.suspicion = 0.0;
+  }
+  PublishGauges();
+}
+
+void HealthMonitor::ProbeAll() {
+  HealthTelemetry::Get().probes->Add();
+  for (size_t i = 0; i < states_.size(); ++i) {
+    Accumulate(i, cluster_->IsNodeDown(i));
+  }
+}
+
+void HealthMonitor::Start() {
+  std::lock_guard<std::mutex> lock(prober_mu_);
+  if (prober_.joinable()) return;
+  prober_stop_ = false;
+  prober_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(prober_mu_);
+    while (!prober_stop_) {
+      lock.unlock();
+      ProbeAll();
+      lock.lock();
+      prober_cv_.wait_for(
+          lock,
+          std::chrono::duration<double, std::milli>(policy_.probe_interval_ms),
+          [this] { return prober_stop_; });
+    }
+  });
+}
+
+void HealthMonitor::Stop() {
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(prober_mu_);
+    prober_stop_ = true;
+    prober_cv_.notify_all();
+    joinable = std::move(prober_);
+  }
+  if (joinable.joinable()) joinable.join();
+}
+
+std::vector<size_t> HealthMonitor::DeadNodes() const {
+  std::vector<size_t> dead;
+  for (size_t i = 0; i < states_.size(); ++i) {
+    NodeState& s = *states_[i];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.dead) dead.push_back(i);
+  }
+  return dead;
+}
+
+void HealthMonitor::PublishGauges() const {
+  size_t dead = 0;
+  size_t quarantined = 0;
+  for (const auto& state : states_) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->dead) ++dead;
+    if (state->quarantined) ++quarantined;
+  }
+  const HealthTelemetry& telemetry = HealthTelemetry::Get();
+  telemetry.dead_nodes->Set(static_cast<double>(dead));
+  telemetry.quarantined_nodes->Set(static_cast<double>(quarantined));
+}
+
+}  // namespace partix::middleware

@@ -1,0 +1,129 @@
+#ifndef PARTIX_PARTIX_HEALTH_H_
+#define PARTIX_PARTIX_HEALTH_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace partix::middleware {
+
+class ClusterSim;
+
+/// Failure-detector verdict for one node. Health is advisory routing
+/// state layered over the cluster's ground-truth liveness (IsNodeDown):
+/// the executor prefers non-avoided nodes but falls back to ignoring
+/// health rather than failing a query that could still succeed.
+enum class NodeHealth {
+  /// Suspicion below the suspect threshold: route normally.
+  kHealthy,
+  /// Accumulated failures crossed the suspect threshold but the node has
+  /// not been declared dead; still routable, watched closely.
+  kSuspect,
+  /// Suspicion crossed the death threshold (or MarkDead was called).
+  /// Sticky: only Revive clears it. Dead nodes are routed around and
+  /// become repair sources of under-replication.
+  kDead,
+};
+
+const char* NodeHealthName(NodeHealth health);
+
+/// Tuning for the suspicion accumulator. Every failure adds
+/// `failure_weight`, every success subtracts `success_decay` (floor 0),
+/// so a node must fail repeatedly *without interleaved successes* to be
+/// declared dead — one transient blip on a healthy node decays away.
+struct HealthPolicy {
+  double failure_weight = 1.0;
+  double success_decay = 1.0;
+  /// Suspicion at or above this marks the node kSuspect.
+  double suspect_threshold = 2.0;
+  /// Suspicion at or above this declares the node kDead (sticky).
+  double death_threshold = 4.0;
+  /// Cadence of the background prober started by Start().
+  double probe_interval_ms = 20.0;
+};
+
+/// Aggregates per-node evidence — executor attempt outcomes plus active
+/// liveness probes — into a suspicion level per node, declaring a node
+/// dead once the evidence crosses a configurable threshold. Deliberately
+/// simpler than phi-accrual: evidence here is a discrete pass/fail
+/// stream, not inter-arrival times.
+///
+/// Thread-safety: ReportSuccess/ReportFailure/StateOf/ShouldAvoid/
+/// SetQuarantined/ProbeAll are thread-safe (per-node mutexes; executor
+/// workers call them concurrently). Start/Stop are coordinator-only.
+/// The monitor must outlive every executor it is installed on.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(ClusterSim* cluster, HealthPolicy policy = {});
+  ~HealthMonitor();
+
+  /// Evidence from the data path: a node-level failure (transient
+  /// rejection, timeout, corrupt response) raises suspicion; a served
+  /// request decays it. Deterministic engine errors are NOT evidence —
+  /// the executor only reports faults attributable to the node.
+  void ReportFailure(size_t node);
+  void ReportSuccess(size_t node);
+
+  NodeHealth StateOf(size_t node) const;
+  double SuspicionOf(size_t node) const;
+
+  /// True when the executor should route around `node`: declared dead or
+  /// quarantined by the scrubber. Advisory — see class comment.
+  bool ShouldAvoid(size_t node) const;
+
+  /// Scrubber hook: a quarantined node holds at least one divergent
+  /// fragment copy and is avoided until repair verifies and clears it.
+  void SetQuarantined(size_t node, bool quarantined);
+  bool IsQuarantined(size_t node) const;
+
+  /// Administrative overrides (tests, operators). Revive zeroes
+  /// suspicion and clears the sticky death verdict.
+  void MarkDead(size_t node);
+  void Revive(size_t node);
+
+  /// One synchronous probe round: asks the cluster's liveness gate about
+  /// every node and feeds the answers in as evidence. A permanently down
+  /// node accumulates suspicion to the death threshold in
+  /// ceil(death_threshold / failure_weight) rounds.
+  void ProbeAll();
+
+  /// Background prober running ProbeAll every probe_interval_ms until
+  /// Stop() (or destruction). Idempotent.
+  void Start();
+  void Stop();
+
+  /// Nodes currently declared dead, ascending.
+  std::vector<size_t> DeadNodes() const;
+  size_t node_count() const { return states_.size(); }
+  const HealthPolicy& policy() const { return policy_; }
+
+ private:
+  /// State of one node; `mu` guards every field.
+  struct NodeState {
+    mutable std::mutex mu;
+    double suspicion = 0.0;
+    bool dead = false;
+    bool quarantined = false;
+  };
+
+  /// Applies one evidence sample under the node's mutex; declares death
+  /// when the accumulator crosses the threshold.
+  void Accumulate(size_t node, bool failure);
+  void PublishGauges() const;
+
+  ClusterSim* cluster_;
+  HealthPolicy policy_;
+  std::vector<std::unique_ptr<NodeState>> states_;
+
+  std::mutex prober_mu_;
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+  std::thread prober_;
+};
+
+}  // namespace partix::middleware
+
+#endif  // PARTIX_PARTIX_HEALTH_H_

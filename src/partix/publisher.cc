@@ -1,8 +1,12 @@
 #include "partix/publisher.h"
 
+#include <algorithm>
 #include <string>
+#include <utility>
 
+#include "common/strings.h"
 #include "fragmentation/fragmenter.h"
+#include "xml/serializer.h"
 
 namespace partix::middleware {
 
@@ -32,24 +36,28 @@ Status DataPublisher::PublishCentralized(const xml::Collection& c,
   if (node >= cluster_->node_count()) {
     return Status::OutOfRange("node index out of range");
   }
-  Driver& driver = cluster_->node(node);
   xdb::CollectionMeta meta;
   meta.schema = c.schema();
   meta.root_path = c.root_path();
   meta.kind = c.kind();
-  PARTIX_RETURN_IF_ERROR(driver.CreateCollection(c.name(), meta));
+  PARTIX_RETURN_IF_ERROR(
+      cluster_->CreateCollectionOnNode(node, c.name(), meta));
   for (const DocumentPtr& doc : c.docs()) {
-    PARTIX_RETURN_IF_ERROR(driver.StoreDocument(c.name(), *doc));
+    // Through the cluster's store data plane, like every publish: a store
+    // is a write over the wire, subject to the node's fault profile.
+    PARTIX_RETURN_IF_ERROR(cluster_->StoreSerializedOnNode(
+        node, c.name(), doc->doc_name(), xml::Serialize(*doc),
+        doc->metadata()));
   }
   return catalog_->RegisterCentralized(c.name(), node);
 }
 
 Status DataPublisher::StoreFragments(
     const std::vector<xml::Collection>& fragments,
-    const std::vector<FragmentPlacement>& placements) {
+    std::vector<FragmentPlacement>& placements) {
   for (const xml::Collection& frag_coll : fragments) {
-    const FragmentPlacement* placement = nullptr;
-    for (const FragmentPlacement& p : placements) {
+    FragmentPlacement* placement = nullptr;
+    for (FragmentPlacement& p : placements) {
       if (p.fragment == frag_coll.name()) {
         placement = &p;
         break;
@@ -59,6 +67,29 @@ Status DataPublisher::StoreFragments(
       return Status::InvalidArgument("fragment '" + frag_coll.name() +
                                      "' has no valid placement");
     }
+    // Serialize the wire documents once; every replica stores these exact
+    // bytes, and the placement's content digest is computed from them —
+    // so digest and stored copies agree by construction.
+    std::vector<xdb::StoredDoc> wire_docs;
+    wire_docs.reserve(frag_coll.docs().size());
+    for (const DocumentPtr& doc : frag_coll.docs()) {
+      DocumentPtr wire = ToWireFormat(doc);
+      wire_docs.push_back(xdb::StoredDoc{
+          wire->doc_name(), xml::Serialize(*wire), wire->metadata()});
+    }
+    // Digest in name order, matching Database::CollectionContentDigest.
+    std::sort(wire_docs.begin(), wire_docs.end(),
+              [](const xdb::StoredDoc& a, const xdb::StoredDoc& b) {
+                return a.name < b.name;
+              });
+    uint64_t digest = Fnv1a64("");
+    for (const xdb::StoredDoc& doc : wire_docs) {
+      digest = Fnv1a64(doc.name, digest);
+      digest = Fnv1a64(std::string_view("\0", 1), digest);
+      digest = Fnv1a64(doc.xml, digest);
+      digest = Fnv1a64(std::string_view("\0", 1), digest);
+    }
+    placement->content_digest = digest;
     // Every replica gets a full copy, so the query service can fail over
     // without data movement.
     for (size_t node : placement->AllNodes()) {
@@ -68,18 +99,49 @@ Status DataPublisher::StoreFragments(
             std::to_string(node) + ", but the cluster has " +
             std::to_string(cluster_->node_count()) + " node(s)");
       }
-      Driver& driver = cluster_->node(node);
       xdb::CollectionMeta meta;
       meta.schema = frag_coll.schema();
       meta.root_path = frag_coll.root_path();
       meta.kind = frag_coll.kind();
       PARTIX_RETURN_IF_ERROR(
-          driver.CreateCollection(frag_coll.name(), meta));
-      for (const DocumentPtr& doc : frag_coll.docs()) {
-        PARTIX_RETURN_IF_ERROR(
-            driver.StoreDocument(frag_coll.name(), *ToWireFormat(doc)));
+          cluster_->CreateCollectionOnNode(node, frag_coll.name(), meta));
+      for (const xdb::StoredDoc& doc : wire_docs) {
+        PARTIX_RETURN_IF_ERROR(cluster_->StoreSerializedOnNode(
+            node, frag_coll.name(), doc.name, doc.xml, doc.metadata));
       }
     }
+  }
+  return Status::Ok();
+}
+
+Status DataPublisher::ReplicateFragment(const std::string& fragment,
+                                        size_t source, size_t target) {
+  if (source >= cluster_->node_count() || target >= cluster_->node_count()) {
+    return Status::OutOfRange("replica node index out of range");
+  }
+  if (source == target) {
+    return Status::InvalidArgument(
+        "cannot replicate '" + fragment + "' from node" +
+        std::to_string(source) + " onto itself");
+  }
+  Driver& src = cluster_->node(source);
+  if (!src.HasCollection(fragment)) {
+    return Status::NotFound("node" + std::to_string(source) +
+                            " holds no copy of '" + fragment + "'");
+  }
+  PARTIX_ASSIGN_OR_RETURN(xdb::CollectionMeta meta,
+                          src.CollectionMetaOf(fragment));
+  PARTIX_ASSIGN_OR_RETURN(std::vector<xdb::StoredDoc> docs,
+                          src.ExportStoredDocs(fragment));
+  if (cluster_->node(target).HasCollection(fragment)) {
+    PARTIX_RETURN_IF_ERROR(cluster_->node(target).DropCollection(fragment));
+  }
+  PARTIX_RETURN_IF_ERROR(
+      cluster_->CreateCollectionOnNode(target, fragment, std::move(meta)));
+  for (xdb::StoredDoc& doc : docs) {
+    PARTIX_RETURN_IF_ERROR(cluster_->StoreSerializedOnNode(
+        target, fragment, std::move(doc.name), std::move(doc.xml),
+        std::move(doc.metadata)));
   }
   return Status::Ok();
 }

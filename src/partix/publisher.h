@@ -35,14 +35,31 @@ class DataPublisher {
   /// (i + r) mod node_count for r in [0, replication_factor);
   /// `replication_factor` is ignored when explicit placements are given
   /// (their backup lists already encode it).
+  ///
+  /// Each fragment's wire documents are serialized once middleware-side
+  /// and every replica stores those exact bytes, so the content digest
+  /// recorded on the registered placement holds at every copy by
+  /// construction (absent injected storage corruption).
   Status PublishFragmented(const xml::Collection& c,
                            const frag::FragmentationSchema& schema,
                            std::vector<FragmentPlacement> placements = {},
                            size_t replication_factor = 1);
 
+  /// Copies one fragment collection byte-for-byte from `source` to
+  /// `target`: same collection metadata, same serialized documents, same
+  /// out-of-band reconstruction IDs. An existing copy at the target is
+  /// dropped first (the caller decided to overwrite it — this is the
+  /// repair path). Catalog-independent: replica repair and the scrubber
+  /// call it while the authoritative catalog is a snapshot they are
+  /// about to supersede.
+  Status ReplicateFragment(const std::string& fragment, size_t source,
+                           size_t target);
+
  private:
+  /// Stores every fragment at its replica set and stamps each placement's
+  /// `content_digest` from the serialized wire bytes.
   Status StoreFragments(const std::vector<xml::Collection>& fragments,
-                        const std::vector<FragmentPlacement>& placements);
+                        std::vector<FragmentPlacement>& placements);
 
   ClusterSim* cluster_;
   DistributionCatalog* catalog_;

@@ -192,6 +192,18 @@ void ShiftSpans(telemetry::TraceSpan* span, double delta_ms) {
 
 }  // namespace
 
+Result<DistributedPlan> QueryService::Decompose(
+    const std::string& query,
+    std::shared_ptr<const DistributionCatalog>* held) const {
+  if (versioned_ == nullptr) return decomposer_.Decompose(query);
+  // Versioned mode: plan against one immutable snapshot. The caller
+  // parks it in `*held` for the duration of planning; the plan itself
+  // carries values (fragment names, node indexes, rewritten queries),
+  // so execution needs no catalog at all.
+  *held = versioned_->Snapshot();
+  return QueryDecomposer(held->get()).Decompose(query);
+}
+
 Result<DistributedResult> QueryService::Execute(
     const std::string& query, const ExecutionOptions& options) {
   // Compile-once contract: this coordinator thread parses `query` exactly
@@ -202,8 +214,8 @@ Result<DistributedResult> QueryService::Execute(
   // regression here.)
   const uint64_t parses_before = xquery::ThreadParseCount();
   Stopwatch watch(clock_);
-  PARTIX_ASSIGN_OR_RETURN(DistributedPlan plan,
-                          decomposer_.Decompose(query));
+  std::shared_ptr<const DistributionCatalog> snapshot;
+  PARTIX_ASSIGN_OR_RETURN(DistributedPlan plan, Decompose(query, &snapshot));
   const double decompose_ms = watch.ElapsedMillis();
   ServiceTelemetry::Get().decompose_ms->Observe(decompose_ms);
   PARTIX_ASSIGN_OR_RETURN(DistributedResult result,
@@ -236,8 +248,8 @@ Result<DistributedResult> QueryService::Execute(
 }
 
 Result<std::string> QueryService::Explain(const std::string& query) const {
-  PARTIX_ASSIGN_OR_RETURN(DistributedPlan plan,
-                          decomposer_.Decompose(query));
+  std::shared_ptr<const DistributionCatalog> snapshot;
+  PARTIX_ASSIGN_OR_RETURN(DistributedPlan plan, Decompose(query, &snapshot));
   std::string out = "collection:   " + plan.collection + "\n";
   out += "composition:  " + std::string(CompositionName(plan.composition)) +
          "\n";
@@ -401,6 +413,7 @@ Result<DistributedResult> QueryService::ExecutePlan(
   DispatchOptions dispatch_options;
   dispatch_options.parallelism = options.parallelism;
   dispatch_options.retry = options.retry;
+  dispatch_options.verify_response_digests = options.verify_integrity;
   if (options.trace) dispatch_options.tracer = &tracer;
   const double dispatch_start_ms = options.trace ? tracer.NowMs() : 0.0;
   std::vector<SubQueryOutcome> outcomes;
@@ -430,6 +443,7 @@ Result<DistributedResult> QueryService::ExecutePlan(
     if (o.attempts > 1) out.retries += o.attempts - 1;
     out.failovers += o.failovers;
     if (o.timed_out) ++out.timed_out_subqueries;
+    out.corrupt_responses += o.corrupt_responses;
     out.engine_requests += o.engine_requests;
     out.discarded_successes += o.discarded_successes;
     out.compile_ms += o.compile_ms;
@@ -482,6 +496,7 @@ Result<DistributedResult> QueryService::ExecutePlan(
     stats.docs_parsed = result->metrics.docs_parsed;
     stats.attempts = outcomes[i].attempts;
     stats.failovers = outcomes[i].failovers;
+    stats.corrupt_responses = outcomes[i].corrupt_responses;
     stats.engine_requests = outcomes[i].engine_requests;
     stats.timed_out_attempts = outcomes[i].timed_out_attempts;
     stats.discarded_successes = outcomes[i].discarded_successes;

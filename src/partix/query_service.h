@@ -2,6 +2,7 @@
 #define PARTIX_PARTIX_QUERY_SERVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,9 @@ struct SubQueryStats {
   uint64_t docs_parsed = 0;
   size_t attempts = 1;      // tries made (1 = first attempt succeeded)
   size_t failovers = 0;     // replica switches
+  /// Attempts whose response failed digest verification and was
+  /// discarded (the answer ultimately served came from a clean attempt).
+  size_t corrupt_responses = 0;
   // --- conservation accounting (see docs/query-scheduling.md) ---
   /// Attempts that reached a node's engine (mirrors
   /// SubQueryOutcome::engine_requests: successes, discarded-late
@@ -97,6 +101,10 @@ struct DistributedResult {
   size_t failovers = 0;
   /// Sub-queries that hit a per-attempt timeout or their deadline.
   size_t timed_out_subqueries = 0;
+  /// Responses that failed end-to-end digest verification across every
+  /// sub-query attempt. Each was discarded and retried/failed over — a
+  /// corrupt response is never part of the composed answer.
+  size_t corrupt_responses = 0;
   /// Attempts that consumed a node-side engine request, summed over every
   /// dispatched sub-query (failed ones included). Conservation: equals
   /// the growth of the cluster's NodeRequestCount totals for this
@@ -151,6 +159,11 @@ struct ExecutionOptions {
   RetryPolicy retry;
   /// What to do when sub-queries fail despite retries and failover.
   PartialResultPolicy partial_results = PartialResultPolicy::kFail;
+  /// End-to-end integrity: verify each sub-query response against its
+  /// node-stamped digest; a mismatch is treated as a retryable node
+  /// fault (discard, fail over). On by default — the check is one
+  /// FNV-1a pass over bytes the coordinator already holds.
+  bool verify_integrity = true;
   /// Record a per-query span tree on `DistributedResult::trace`. Tracing
   /// allocates span nodes on the coordinator and in each worker's outcome
   /// slot; leave off (the default) for benchmark series.
@@ -180,6 +193,16 @@ class QueryService {
  public:
   QueryService(ClusterSim* cluster, const DistributionCatalog* catalog)
       : cluster_(cluster), catalog_(catalog), decomposer_(catalog) {}
+
+  /// Versioned-catalog mode: every Execute/Explain plans against an
+  /// immutable snapshot of `versioned` taken at admission, so replica
+  /// repair can Install() a successor catalog concurrently — in-flight
+  /// queries keep routing on the topology they started with (the
+  /// snapshot is only needed during decomposition; the produced plan
+  /// holds values, not catalog pointers). The versioned catalog must
+  /// outlive the service.
+  QueryService(ClusterSim* cluster, const VersionedCatalog* versioned)
+      : cluster_(cluster), versioned_(versioned), decomposer_(nullptr) {}
 
   /// Decomposes and executes `query`.
   Result<DistributedResult> Execute(const std::string& query,
@@ -225,12 +248,19 @@ class QueryService {
   const Clock* clock() const { return clock_; }
 
  private:
+  /// Decomposes `query` against the fixed catalog or, in versioned mode,
+  /// a fresh snapshot — parked in `*held` so it outlives planning.
+  Result<DistributedPlan> Decompose(
+      const std::string& query,
+      std::shared_ptr<const DistributionCatalog>* held) const;
+
   Result<std::string> ComposeJoin(const DistributedPlan& plan,
                                   std::vector<xdb::QueryResult> partials,
                                   uint64_t* result_items);
 
   ClusterSim* cluster_;
-  const DistributionCatalog* catalog_;
+  const DistributionCatalog* catalog_ = nullptr;
+  const VersionedCatalog* versioned_ = nullptr;
   QueryDecomposer decomposer_;
   const Clock* clock_ = Clock::Monotonic();
 };

@@ -1,0 +1,323 @@
+#include "partix/repair.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "partix/allocation.h"
+#include "partix/cluster.h"
+#include "partix/health.h"
+#include "partix/publisher.h"
+#include "telemetry/metrics.h"
+
+namespace partix::middleware {
+
+namespace {
+
+struct RepairTelemetry {
+  telemetry::Counter* rounds;
+  telemetry::Counter* under_replicated;
+  telemetry::Counter* repairs;
+  telemetry::Counter* repair_failures;
+  telemetry::Counter* cutovers;
+  telemetry::Counter* scrub_rounds;
+  telemetry::Counter* scrub_checked;
+  telemetry::Counter* scrub_divergent;
+  telemetry::Counter* scrub_repairs;
+  telemetry::Counter* scrub_failures;
+
+  static const RepairTelemetry& Get() {
+    static const RepairTelemetry t = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      RepairTelemetry out;
+      out.rounds = registry.GetCounter("partix_repair_rounds_total");
+      out.under_replicated =
+          registry.GetCounter("partix_under_replicated_placements_total");
+      out.repairs = registry.GetCounter("partix_repairs_total");
+      out.repair_failures =
+          registry.GetCounter("partix_repair_failures_total");
+      out.cutovers = registry.GetCounter("partix_catalog_cutovers_total");
+      out.scrub_rounds = registry.GetCounter("partix_scrub_rounds_total");
+      out.scrub_checked = registry.GetCounter("partix_scrub_checked_total");
+      out.scrub_divergent =
+          registry.GetCounter("partix_scrub_divergent_total");
+      out.scrub_repairs = registry.GetCounter("partix_scrub_repairs_total");
+      out.scrub_failures =
+          registry.GetCounter("partix_scrub_failures_total");
+      return out;
+    }();
+    return t;
+  }
+};
+
+/// A live replica of `placement` whose stored copy can seed a repair:
+/// reachable, holding the collection, and — when the catalog records a
+/// digest — byte-identical to what was published. Returns the cluster
+/// node index, or node_count when none qualifies.
+size_t PickSource(ClusterSim* cluster, const FragmentPlacement& placement,
+                  const std::set<size_t>& lost) {
+  for (size_t node : placement.AllNodes()) {
+    if (lost.count(node) != 0) continue;
+    if (node >= cluster->node_count() || cluster->IsNodeDown(node)) continue;
+    Driver& driver = cluster->node(node);
+    if (!driver.HasCollection(placement.fragment)) continue;
+    if (placement.content_digest != 0) {
+      Result<uint64_t> digest = driver.CollectionDigest(placement.fragment);
+      if (!digest.ok() || *digest != placement.content_digest) continue;
+    }
+    return node;
+  }
+  return cluster->node_count();
+}
+
+/// Digest-verifies a freshly copied replica against the catalog's
+/// published digest (vacuously true for pre-digest placements).
+bool VerifyCopy(ClusterSim* cluster, const FragmentPlacement& placement,
+                size_t node) {
+  if (placement.content_digest == 0) return true;
+  Result<uint64_t> digest =
+      cluster->node(node).CollectionDigest(placement.fragment);
+  return digest.ok() && *digest == placement.content_digest;
+}
+
+}  // namespace
+
+RepairReport RepairPlanner::RepairOnce() {
+  const RepairTelemetry& telemetry = RepairTelemetry::Get();
+  telemetry.rounds->Add();
+  RepairReport report;
+  const double span_start = tracer_ != nullptr ? tracer_->NowMs() : 0.0;
+  if (tracer_ != nullptr) {
+    report.span = telemetry::TraceSpan("repair");
+    report.span.start_ms = span_start;
+  }
+
+  std::shared_ptr<const DistributionCatalog> snapshot = catalog_->Snapshot();
+  std::set<size_t> lost;
+  for (size_t node : health_->DeadNodes()) lost.insert(node);
+
+  const size_t node_count = cluster_->node_count();
+  std::vector<size_t> loads = CatalogReplicaCounts(*snapshot, node_count);
+  DistributionCatalog next = *snapshot;
+  bool changed = false;
+
+  for (const std::string& collection : snapshot->FragmentedCollections()) {
+    Result<const DistributionEntry*> entry = snapshot->Get(collection);
+    if (!entry.ok()) continue;
+    std::vector<FragmentPlacement> placements = (*entry)->placements;
+    bool collection_changed = false;
+
+    for (FragmentPlacement& placement : placements) {
+      const std::vector<size_t> all = placement.AllNodes();
+      std::vector<size_t> live;
+      for (size_t node : all) {
+        if (lost.count(node) == 0) live.push_back(node);
+      }
+      if (live.size() == all.size()) continue;
+      ++report.under_replicated;
+      telemetry.under_replicated->Add();
+
+      const size_t source = PickSource(cluster_, placement, lost);
+      if (source == node_count) {
+        // Every surviving copy is unreachable or divergent: nothing
+        // trustworthy to re-replicate from. Leave the placement alone (a
+        // query can still try the listed replicas) and let a later round
+        // retry once a source heals.
+        ++report.failed;
+        telemetry.repair_failures->Add();
+        continue;
+      }
+
+      const size_t missing = all.size() - live.size();
+      for (size_t m = 0; m < missing; ++m) {
+        // Least-loaded healthy node holding no copy of this fragment.
+        size_t target = node_count;
+        for (size_t n = 0; n < node_count; ++n) {
+          if (lost.count(n) != 0 || cluster_->IsNodeDown(n)) continue;
+          if (std::find(live.begin(), live.end(), n) != live.end()) continue;
+          if (target == node_count || loads[n] < loads[target]) target = n;
+        }
+        if (target == node_count) {
+          // Fewer healthy nodes than the replication factor asks for.
+          ++report.failed;
+          telemetry.repair_failures->Add();
+          break;
+        }
+
+        RepairAction action;
+        action.collection = collection;
+        action.fragment = placement.fragment;
+        action.source = source;
+        action.target = target;
+        Status copied =
+            publisher_->ReplicateFragment(placement.fragment, source, target);
+        if (copied.ok() && !VerifyCopy(cluster_, placement, target)) {
+          // The copy landed corrupted (e.g. storage fault on the repair
+          // write): drop it rather than leave a divergent replica the
+          // catalog would vouch for.
+          cluster_->node(target).DropCollection(placement.fragment);
+          copied = Status::Corruption(
+              "repaired copy of '" + placement.fragment + "' on node" +
+              std::to_string(target) + " failed digest verification");
+        }
+        action.ok = copied.ok();
+        if (!copied.ok()) action.error = copied.message();
+        if (tracer_ != nullptr) {
+          report.span.children.emplace_back(
+              placement.fragment + " node" + std::to_string(source) +
+              "->node" + std::to_string(target));
+          telemetry::TraceSpan& child = report.span.children.back();
+          child.start_ms = tracer_->NowMs();
+          child.AddTag("status", copied.ok() ? "ok" : copied.message());
+        }
+        report.actions.push_back(std::move(action));
+        if (!copied.ok()) {
+          ++report.failed;
+          telemetry.repair_failures->Add();
+          continue;
+        }
+        ++report.repaired;
+        telemetry.repairs->Add();
+        ++loads[target];
+        live.push_back(target);
+      }
+
+      // Rebuild the placement from the survivors plus the new copies,
+      // preserving failover order; a dead primary is succeeded by the
+      // first survivor.
+      if (!live.empty()) {
+        placement.node = live.front();
+        placement.backups.assign(live.begin() + 1, live.end());
+        collection_changed = true;
+      }
+    }
+
+    if (collection_changed) {
+      // Cannot fail: the placements came from a registered entry and the
+      // rebuild preserves one distinct node per replica per fragment.
+      Status updated = next.UpdatePlacements(collection, std::move(placements));
+      if (updated.ok()) changed = true;
+    }
+  }
+
+  if (changed) {
+    report.catalog_version = catalog_->Install(std::move(next));
+    telemetry.cutovers->Add();
+  }
+  if (tracer_ != nullptr) {
+    report.span.duration_ms = tracer_->NowMs() - span_start;
+    report.span.AddTag("under_replicated",
+                       std::to_string(report.under_replicated));
+    report.span.AddTag("repaired", std::to_string(report.repaired));
+    report.span.AddTag("failed", std::to_string(report.failed));
+  }
+  return report;
+}
+
+Scrubber::~Scrubber() { Stop(); }
+
+ScrubReport Scrubber::ScrubOnce() {
+  const RepairTelemetry& telemetry = RepairTelemetry::Get();
+  telemetry.scrub_rounds->Add();
+  ScrubReport report;
+  std::shared_ptr<const DistributionCatalog> snapshot = catalog_->Snapshot();
+
+  for (const std::string& collection : snapshot->FragmentedCollections()) {
+    Result<const DistributionEntry*> entry = snapshot->Get(collection);
+    if (!entry.ok()) continue;
+    for (const FragmentPlacement& placement : (*entry)->placements) {
+      if (placement.content_digest == 0) {
+        ++report.skipped_no_digest;
+        continue;
+      }
+      const std::vector<size_t> replicas = placement.AllNodes();
+      for (size_t node : replicas) {
+        if (node >= cluster_->node_count() || cluster_->IsNodeDown(node)) {
+          continue;  // unreachable: repair's problem, not the scrubber's
+        }
+        if (health_->StateOf(node) == NodeHealth::kDead) continue;
+        ++report.checked;
+        telemetry.scrub_checked->Add();
+        Result<uint64_t> digest =
+            cluster_->node(node).CollectionDigest(placement.fragment);
+        if (digest.ok() && *digest == placement.content_digest) continue;
+
+        // Divergent (or missing) copy: quarantine the node so queries
+        // route around it, rebuild from a clean replica, verify, and
+        // lift the quarantine only when the copy checks out.
+        ++report.divergent;
+        telemetry.scrub_divergent->Add();
+        health_->SetQuarantined(node, true);
+
+        size_t source = cluster_->node_count();
+        for (size_t other : replicas) {
+          if (other == node || other >= cluster_->node_count()) continue;
+          if (cluster_->IsNodeDown(other)) continue;
+          Result<uint64_t> other_digest =
+              cluster_->node(other).CollectionDigest(placement.fragment);
+          if (other_digest.ok() &&
+              *other_digest == placement.content_digest) {
+            source = other;
+            break;
+          }
+        }
+        if (source == cluster_->node_count()) {
+          // No clean copy anywhere: leave the node quarantined with its
+          // divergent (but possibly partially useful) copy in place.
+          ++report.failed;
+          telemetry.scrub_failures->Add();
+          continue;
+        }
+        Status copied =
+            publisher_->ReplicateFragment(placement.fragment, source, node);
+        if (copied.ok()) {
+          Result<uint64_t> rebuilt =
+              cluster_->node(node).CollectionDigest(placement.fragment);
+          if (!rebuilt.ok() || *rebuilt != placement.content_digest) {
+            copied = Status::Corruption("rebuilt copy diverged again");
+          }
+        }
+        if (copied.ok()) {
+          ++report.repaired;
+          telemetry.scrub_repairs->Add();
+          health_->SetQuarantined(node, false);
+        } else {
+          ++report.failed;
+          telemetry.scrub_failures->Add();
+        }
+      }
+    }
+  }
+  return report;
+}
+
+void Scrubber::Start(double interval_ms) {
+  std::lock_guard<std::mutex> lock(scrub_mu_);
+  if (scrubber_.joinable()) return;
+  scrub_stop_ = false;
+  scrubber_ = std::thread([this, interval_ms] {
+    std::unique_lock<std::mutex> lock(scrub_mu_);
+    while (!scrub_stop_) {
+      lock.unlock();
+      ScrubOnce();
+      lock.lock();
+      scrub_cv_.wait_for(lock,
+                         std::chrono::duration<double, std::milli>(interval_ms),
+                         [this] { return scrub_stop_; });
+    }
+  });
+}
+
+void Scrubber::Stop() {
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(scrub_mu_);
+    scrub_stop_ = true;
+    scrub_cv_.notify_all();
+    joinable = std::move(scrubber_);
+  }
+  if (joinable.joinable()) joinable.join();
+}
+
+}  // namespace partix::middleware

@@ -1,0 +1,151 @@
+#ifndef PARTIX_PARTIX_REPAIR_H_
+#define PARTIX_PARTIX_REPAIR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "partix/catalog.h"
+#include "telemetry/trace.h"
+
+namespace partix::middleware {
+
+class ClusterSim;
+class DataPublisher;
+class HealthMonitor;
+
+/// One replica copy created (or attempted) by a repair round.
+struct RepairAction {
+  std::string collection;
+  std::string fragment;
+  size_t source = 0;
+  size_t target = 0;
+  bool ok = false;
+  std::string error;  // empty when ok
+};
+
+/// Outcome of one RepairPlanner::RepairOnce round.
+struct RepairReport {
+  /// Placements found holding at least one dead replica.
+  size_t under_replicated = 0;
+  /// Replica copies restored and digest-verified.
+  size_t repaired = 0;
+  /// Repair attempts that failed (no live source, replication error,
+  /// post-copy digest mismatch). The placement keeps its old replica set
+  /// for these — a later round retries.
+  size_t failed = 0;
+  std::vector<RepairAction> actions;
+  /// Catalog version installed by the atomic cutover; 0 when nothing
+  /// changed (no cutover happened).
+  uint64_t catalog_version = 0;
+  /// Span tree of the round (root "repair", one child per action) when a
+  /// tracer was installed; empty otherwise.
+  telemetry::TraceSpan span;
+};
+
+/// Detects under-replicated fragments and restores their replication
+/// factor onto healthy nodes.
+///
+/// One RepairOnce round: take a catalog snapshot; treat every node the
+/// health monitor has declared dead as lost; for each placement that
+/// lists a lost replica, copy the fragment from a live, digest-verified
+/// source replica onto the least-loaded healthy nodes that hold no copy,
+/// verify each new copy's digest, and rebuild the placement (dead
+/// replicas dropped, surviving order preserved, new replicas appended;
+/// a dead primary is succeeded by the first surviving replica). The
+/// rebuilt catalog is then Install()ed on the versioned catalog in one
+/// atomic cutover — in-flight queries keep routing on the snapshot they
+/// started with, repaired placements serve queries admitted afterwards.
+///
+/// Thread-safety: RepairOnce is safe to run concurrently with query
+/// traffic (it reads snapshots, writes through the thread-safe cluster
+/// data plane, and swaps the catalog atomically). Do not run two repair
+/// rounds concurrently with each other; set_tracer is coordinator-only.
+class RepairPlanner {
+ public:
+  RepairPlanner(ClusterSim* cluster, DataPublisher* publisher,
+                HealthMonitor* health, VersionedCatalog* catalog)
+      : cluster_(cluster),
+        publisher_(publisher),
+        health_(health),
+        catalog_(catalog) {}
+
+  /// Spans the next RepairOnce against this tracer (nullptr disables).
+  void set_tracer(const telemetry::Tracer* tracer) { tracer_ = tracer; }
+
+  RepairReport RepairOnce();
+
+ private:
+  ClusterSim* cluster_;
+  DataPublisher* publisher_;
+  HealthMonitor* health_;
+  VersionedCatalog* catalog_;
+  const telemetry::Tracer* tracer_ = nullptr;
+};
+
+/// Outcome of one Scrubber::ScrubOnce round.
+struct ScrubReport {
+  /// Replica copies digest-checked this round.
+  size_t checked = 0;
+  /// Placements skipped because the catalog records no expected digest
+  /// (pre-digest deployments).
+  size_t skipped_no_digest = 0;
+  /// Copies whose live digest diverged from the catalog's (silent bit
+  /// rot, torn writes) — each was quarantined and repair was attempted.
+  size_t divergent = 0;
+  /// Divergent copies rebuilt from a clean replica and verified; their
+  /// node's quarantine was lifted.
+  size_t repaired = 0;
+  /// Divergent copies that could not be repaired (no clean source, or
+  /// the rebuilt copy failed verification). The node stays quarantined.
+  size_t failed = 0;
+};
+
+/// Anti-entropy scrubber: cross-checks every live replica's fragment
+/// digest against the catalog's published digest, quarantines nodes
+/// holding divergent copies (the executor routes around them), rebuilds
+/// the copy from a clean replica, verifies it, and lifts the quarantine.
+/// Detects what the write path cannot: corruption at rest, after the
+/// store acknowledged.
+///
+/// Thread-safety: ScrubOnce is safe against concurrent query traffic
+/// (same reasoning as RepairPlanner); one scrub round at a time.
+/// Start/Stop run ScrubOnce on a background thread and are
+/// coordinator-only.
+class Scrubber {
+ public:
+  Scrubber(ClusterSim* cluster, DataPublisher* publisher,
+           HealthMonitor* health, VersionedCatalog* catalog)
+      : cluster_(cluster),
+        publisher_(publisher),
+        health_(health),
+        catalog_(catalog) {}
+  ~Scrubber();
+
+  ScrubReport ScrubOnce();
+
+  /// Background scrubbing every `interval_ms` until Stop() (or
+  /// destruction). Idempotent.
+  void Start(double interval_ms = 50.0);
+  void Stop();
+
+ private:
+  ClusterSim* cluster_;
+  DataPublisher* publisher_;
+  HealthMonitor* health_;
+  VersionedCatalog* catalog_;
+
+  std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;
+  std::thread scrubber_;
+};
+
+}  // namespace partix::middleware
+
+#endif  // PARTIX_PARTIX_REPAIR_H_

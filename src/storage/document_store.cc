@@ -136,6 +136,20 @@ void DocumentStore::EvictIfNeeded() {
   }
 }
 
+void DocumentStore::ReplaceSerialized(DocSlot slot, std::string xml) {
+  Entry& entry = docs_[slot];
+  total_bytes_ -= entry.xml.size();
+  total_bytes_ += xml.size();
+  entry.xml = std::move(xml);
+  if (entry.cached) {
+    lru_.erase(entry.lru_it);
+    cache_bytes_ -= entry.parsed_bytes;
+    entry.parsed.reset();
+    entry.parsed_bytes = 0;
+    entry.cached = false;
+  }
+}
+
 void DocumentStore::DropCache() {
   for (Entry& entry : docs_) {
     entry.parsed.reset();

@@ -86,6 +86,18 @@ class DocumentStore {
     return docs_[slot].xml;
   }
 
+  /// Persisted out-of-band metadata of one document.
+  const std::map<std::string, std::string>& Metadata(DocSlot slot) const {
+    return docs_[slot].metadata;
+  }
+
+  /// Replaces the serialized bytes of one document in place, dropping its
+  /// cached parsed tree so the next Get re-parses the new bytes. Indexes
+  /// built from the old bytes are NOT touched — this is the storage-level
+  /// primitive behind fault injection (silent bit rot corrupts "disk",
+  /// not the structures derived from it).
+  void ReplaceSerialized(DocSlot slot, std::string xml);
+
   size_t size() const { return docs_.size(); }
   uint64_t total_serialized_bytes() const { return total_bytes_; }
 

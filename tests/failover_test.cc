@@ -2,8 +2,10 @@
 // retries with deterministic backoff, circuit breakers, timeouts, and
 // the PartialResultPolicy degraded-execution contract.
 
+#include <atomic>
 #include <regex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -14,6 +16,7 @@
 #include "partix/cluster.h"
 #include "partix/publisher.h"
 #include "partix/query_service.h"
+#include "telemetry/metrics.h"
 
 namespace partix::middleware {
 namespace {
@@ -240,6 +243,70 @@ TEST_F(UnreplicatedFailoverTest, CircuitBreakerHalfOpenProbeRecovers) {
   EXPECT_FALSE(cluster_.executor().breaker_open(1));
 }
 
+TEST_F(UnreplicatedFailoverTest, HalfOpenAdmitsOneProbeUnderConcurrentDispatch) {
+  // The open->half-open transition hands out exactly ONE probe, even
+  // when many dispatches race for it: trip node 1's breaker, heal the
+  // node, then fire 8 concurrent queries at the due probe window. One
+  // worker wins the probe and closes the breaker; the rest are refused
+  // at the breaker (never contacting the node), retry, and drain
+  // through the closed breaker. The probe counter says one probe, the
+  // node-side request counter says trip + one engine request per query
+  // — no thundering herd. Run under TSan via the PARTIX_SANITIZE=thread
+  // build (scripts/check.sh); everything here is deterministic except
+  // thread interleaving, which the invariants don't depend on.
+  CircuitBreakerPolicy policy;
+  policy.failure_threshold = 1;
+  policy.open_ms = 0.0;  // probe due immediately once the breaker opens
+  cluster_.executor().set_breaker_policy(policy);
+
+  FaultProfile profile;
+  profile.fail_first_requests = 1;  // one rejection trips it; then healthy
+  cluster_.SetFaultProfile(1, profile);
+
+  ExecutionOptions trip;
+  trip.retry = FastRetry(1);
+  EXPECT_FALSE(service_.Execute(kWorkload[1], trip).ok());
+  EXPECT_TRUE(cluster_.executor().breaker_open(1));
+  const uint64_t node1_after_trip = cluster_.NodeRequestCount(1);
+
+  auto& registry = telemetry::MetricsRegistry::Global();
+  telemetry::Counter* probes =
+      registry.GetCounter("partix_breaker_half_open_probes_total");
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  const uint64_t probes_before = probes->Value();
+
+  constexpr size_t kThreads = 8;
+  ExecutionOptions options;
+  options.retry = FastRetry(50);  // losers outlast the winner's probe
+  options.retry.base_backoff_ms = 0.2;
+  options.retry.max_backoff_ms = 1.0;
+  std::atomic<bool> go{false};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      auto result = service_.Execute(kWorkload[1], options);
+      if (!result.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) thread.join();
+
+  const uint64_t probes_after = probes->Value();
+  registry.set_enabled(was_enabled);
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(probes_after - probes_before, 1u);
+  EXPECT_FALSE(cluster_.executor().breaker_open(1));
+  // Conservation: every query reached the engine exactly once — breaker
+  // refusals during the probe never contacted the node.
+  EXPECT_EQ(cluster_.NodeRequestCount(1) - node1_after_trip, kThreads);
+}
+
 TEST_F(ReplicatedFailoverTest, AttemptTimeoutFailsOverToReplica) {
   // Node 1 answers, but only after a 100 ms stall — slower than the
   // 30 ms per-attempt budget, so the executor hangs up and the replica
@@ -362,37 +429,51 @@ TEST_F(UnreplicatedFailoverTest, DeadlineExpiryMidBackoffFailsFast) {
   EXPECT_LT(wall_ms, 100.0);
 }
 
-TEST_F(ReplicatedFailoverTest, DiscardedLateSuccessConservesAccounting) {
-  // Regression for the accounting bug: node 1 serves the first attempt
-  // but only after a 100 ms stall, so the 30 ms attempt budget discards
-  // its success and the replica (node 2) answers. The stalled node DID
-  // do the work — per-sub-query and aggregate accounting must both say
-  // exactly which engine requests happened where.
+TEST_F(ReplicatedFailoverTest, LatencySpikeStallCappedAtAttemptBudget) {
+  // Regression for the stall bug: node 1 spikes 30 s on every request
+  // while the attempt budget is 25 ms. The worker used to sleep out the
+  // whole spike before discarding the late answer — stalling the
+  // sub-query far past its own deadline. Now the attempt hangs up at
+  // the budget, fails fast with kDeadlineExceeded, and the replica
+  // (node 2) answers within milliseconds.
+  //
+  // A ManualClock pins the executor's budget arithmetic (elapsed always
+  // reads 0, so the budget is exactly attempt_timeout_ms); the
+  // wall-clock Stopwatch then proves the worker really came back at the
+  // ~25 ms budget, not the 30 s spike.
   FaultProfile profile;
   profile.latency_spike_rate = 1.0;
-  profile.latency_spike_ms = 100.0;
+  profile.latency_spike_ms = 30'000.0;
   cluster_.SetFaultProfile(1, profile);
 
+  ManualClock clock;
+  service_.set_clock(&clock);
   ExecutionOptions options;
   options.retry = FastRetry(3);
-  options.retry.attempt_timeout_ms = 30.0;
+  options.retry.attempt_timeout_ms = 25.0;
   const uint64_t node1_before = cluster_.NodeRequestCount(1);
   const uint64_t node2_before = cluster_.NodeRequestCount(2);
+  Stopwatch watch;
   auto result = service_.Execute(kWorkload[1], options);
+  const double wall_ms = watch.ElapsedMillis();
+  service_.set_clock(Clock::Monotonic());
   ASSERT_TRUE(result.ok()) << result.status();
+
+  // Far below the spike; generous headroom over the 25 ms capped stall.
+  EXPECT_LT(wall_ms, 5000.0);
 
   ASSERT_EQ(result->subqueries.size(), 1u);
   const SubQueryStats& stats = result->subqueries[0];
   EXPECT_EQ(stats.node, 2u);
   EXPECT_EQ(stats.attempts, 2u);
-  EXPECT_EQ(stats.engine_requests, 2u);
-  EXPECT_EQ(stats.discarded_successes, 1u);
   EXPECT_EQ(stats.timed_out_attempts, 1u);
-  EXPECT_EQ(cluster_.NodeRequestCount(1) - node1_before, 1u);
+  EXPECT_EQ(stats.discarded_successes, 0u);
+  // Conservation: the capped attempt hung up before reaching node 1's
+  // engine, so only node 2's serving request counts.
+  EXPECT_EQ(stats.engine_requests, 1u);
+  EXPECT_EQ(cluster_.NodeRequestCount(1) - node1_before, 0u);
   EXPECT_EQ(cluster_.NodeRequestCount(2) - node2_before, 1u);
-  // Aggregates carry the same conservation story.
-  EXPECT_EQ(result->engine_requests, 2u);
-  EXPECT_EQ(result->discarded_successes, 1u);
+  EXPECT_EQ(result->engine_requests, 1u);
   EXPECT_EQ(result->timed_out_subqueries, 1u);
 }
 

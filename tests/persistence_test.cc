@@ -7,6 +7,7 @@
 #include "gen/virtual_store.h"
 #include "gtest/gtest.h"
 #include "partix/publisher.h"
+#include "telemetry/metrics.h"
 #include "workload/schemas.h"
 #include "xml/compare.h"
 
@@ -118,6 +119,43 @@ TEST_F(PersistenceTest, ImportDetectsMissingDocumentFile) {
 TEST_F(PersistenceTest, ExportUnknownCollectionFails) {
   Database db;
   EXPECT_FALSE(ExportCollection(db, "nope", dir_.string()).ok());
+}
+
+TEST_F(PersistenceTest, ImportWithoutStructSidecarCountsSkippedVerification) {
+  // Pre-label exports have no STRUCT sidecar, so structural-label
+  // verification cannot run. That must not be silent: the import counts
+  // a skipped verification (and warns on stderr) so "verified clean" is
+  // distinguishable from "nothing to verify against".
+  Database source;
+  ASSERT_TRUE(source.CreateCollection("c").ok());
+  ASSERT_TRUE(source.StoreSerialized("c", "d", "<a><b>x</b></a>").ok());
+  ASSERT_TRUE(ExportCollection(source, "c", dir_.string()).ok());
+
+  auto& registry = telemetry::MetricsRegistry::Global();
+  telemetry::Counter* skipped =
+      registry.GetCounter("partix_struct_verify_skipped_total");
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+
+  // A modern export carries STRUCT: verification runs, nothing skipped.
+  const uint64_t before = skipped->Value();
+  Database restored;
+  ASSERT_TRUE(ImportCollection(restored, "c", dir_.string()).ok());
+  EXPECT_EQ(skipped->Value(), before);
+
+  // Strip the sidecar (a pre-label export) and re-import.
+  fs::remove(dir_ / "STRUCT");
+  Database legacy;
+  ::testing::internal::CaptureStderr();
+  ASSERT_TRUE(ImportCollection(legacy, "c", dir_.string()).ok());
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  registry.set_enabled(was_enabled);
+
+  EXPECT_EQ(skipped->Value(), before + 1);
+  EXPECT_NE(warning.find("no STRUCT sidecar"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("verification skipped"), std::string::npos);
+  // The documents themselves still import fine.
+  EXPECT_EQ(*legacy.DocumentCount("c"), 1u);
 }
 
 }  // namespace
