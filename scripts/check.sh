@@ -48,6 +48,13 @@ for config in "${configs[@]}"; do
   # coverage this config (especially thread) exists for.
   "$dir"/tests/partix_tests \
     --gtest_filter='*Concurrent*:*Scheduler*:*Fairness*'
+  if [ "$config" = plain ]; then
+    echo "== ${config}: memory density smoke =="
+    # Gates the memory-governance subsystem: >= 30% fewer allocations per
+    # parsed document with the arena pool, zero failures under a tiny
+    # budget, byte-identical answers with governance on vs off.
+    (cd "$dir"/bench && PARTIX_SMOKE=1 ./memory_density)
+  fi
 done
 
 echo "== all configs passed: ${configs[*]} =="

@@ -89,7 +89,14 @@ class PlannedResolver : public xquery::CollectionResolver {
 Database::Database(DatabaseOptions options)
     : options_(options),
       pool_(std::make_shared<xml::NamePool>()),
-      plan_cache_(options.plan_cache_capacity) {}
+      plan_cache_(options.plan_cache_capacity,
+                  options.plan_cache_capacity_bytes) {
+  if (options_.memory_budget_bytes > 0) {
+    governor_ = std::make_unique<memory::MemoryGovernor>(
+        options_.memory_budget_bytes);
+    plan_cache_.AttachGovernor(governor_.get());
+  }
+}
 
 Status Database::CreateCollection(const std::string& name,
                                   CollectionMeta meta) {
@@ -100,6 +107,7 @@ Status Database::CreateCollection(const std::string& name,
   state.meta = std::move(meta);
   state.store = std::make_unique<storage::DocumentStore>(
       pool_, options_.cache_capacity_bytes);
+  if (governor_ != nullptr) state.store->AttachGovernor(governor_.get());
   collections_.emplace(name, std::move(state));
   InvalidatePlans();
   return Status::Ok();
@@ -376,6 +384,7 @@ Result<QueryResult> Database::Execute(const std::string& query) {
   out.metrics.compile_ms = prepared.compile_ms;
   out.metrics.plan_cache_hits = prepared.cache_hit ? 1 : 0;
   out.metrics.plan_cache_misses = prepared.cache_hit ? 0 : 1;
+  out.metrics.plan_cache_bytes = plan_cache_.total_bytes();
   // elapsed_ms spans prepare + execution, as it always did; on a cache
   // hit the compile component is simply gone.
   out.metrics.elapsed_ms = watch.ElapsedMillis();
@@ -526,6 +535,7 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared) {
   out.serialized = xquery::SerializeSequence(out.items);
   metrics.result_items = out.items.size();
   metrics.result_bytes = out.serialized.size();
+  metrics.plan_cache_bytes = plan_cache_.total_bytes();
   metrics.elapsed_ms = watch.ElapsedMillis();
   out.metrics = metrics;
   return out;

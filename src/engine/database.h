@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "engine/plan_cache.h"
+#include "memory/governor.h"
 #include "storage/document_store.h"
 #include "storage/indexes.h"
 #include "storage/stats.h"
@@ -49,6 +50,17 @@ struct DatabaseOptions {
   /// invalidated by collection DDL. 0 disables caching: every Prepare
   /// recompiles (the "cache off" ablation of bench/plan_cache_bench).
   size_t plan_cache_capacity = 128;
+  /// Additional byte bound on the plan cache (summed per-plan byte
+  /// estimates, see PlanCache::EstimatePlanBytes). 0 = entries-only.
+  size_t plan_cache_capacity_bytes = 0;
+  /// One per-node byte budget shared by the parse caches, the plan
+  /// cache, and (through the middleware) in-flight result buffers. 0
+  /// (default) disables governance: caches enforce only their own
+  /// capacities. When set, the database owns a memory::MemoryGovernor,
+  /// every cache charges it, and pressure evicts in priority order
+  /// (parse caches first, plan cache next). Results are byte-identical
+  /// with the governor on or off. See docs/memory.md.
+  size_t memory_budget_bytes = 0;
 };
 
 /// Descriptive metadata of a collection (its schema binding).
@@ -71,6 +83,9 @@ struct QueryMetrics {
   /// cache was not consulted).
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
+  /// Estimated bytes held by this node's plan cache after the call (see
+  /// PlanCache::total_bytes; surfaced per sub-query by ExplainAnalyze).
+  uint64_t plan_cache_bytes = 0;
   uint64_t docs_in_collections = 0;  // total docs in referenced collections
   uint64_t docs_considered = 0;      // after index pruning
   uint64_t docs_parsed = 0;
@@ -243,6 +258,12 @@ class Database {
     return plan_cache_.stats();
   }
   size_t plan_cache_size() const { return plan_cache_.size(); }
+  size_t plan_cache_bytes() const { return plan_cache_.total_bytes(); }
+
+  /// This node's memory governor, or nullptr when
+  /// DatabaseOptions::memory_budget_bytes is 0. Runs under the same
+  /// single-thread contract as the database itself.
+  memory::MemoryGovernor* governor() { return governor_.get(); }
 
   // ---- Cache control (benchmarks) ----
 
@@ -277,6 +298,9 @@ class Database {
 
   DatabaseOptions options_;
   std::shared_ptr<xml::NamePool> pool_;
+  /// Declared before the caches/stores it governs: consumers detach in
+  /// their destructors, so the governor must be destroyed last.
+  std::unique_ptr<memory::MemoryGovernor> governor_;
   std::map<std::string, CollectionState> collections_;
   /// Prepared plans keyed by query text; cleared by collection DDL.
   PlanCache plan_cache_;

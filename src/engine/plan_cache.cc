@@ -2,7 +2,63 @@
 
 #include <utility>
 
+#include "telemetry/metrics.h"
+
 namespace partix::xdb {
+
+namespace {
+
+/// Process-wide plan-cache byte gauge, aggregated across caches with
+/// Add() deltas (one cache per node).
+telemetry::Gauge* PlanCacheBytesGauge() {
+  static telemetry::Gauge* g = telemetry::MetricsRegistry::Global().GetGauge(
+      "partix_plan_cache_bytes");
+  return g;
+}
+
+}  // namespace
+
+PlanCache::~PlanCache() {
+  PlanCacheBytesGauge()->Add(-static_cast<double>(total_bytes_));
+  AttachGovernor(nullptr);
+}
+
+void PlanCache::AttachGovernor(memory::MemoryGovernor* governor) {
+  if (governor_ != nullptr) {
+    governor_->UnregisterConsumer(governor_id_);  // releases our charge
+    governor_id_ = -1;
+  }
+  governor_ = governor;
+  if (governor_ != nullptr) {
+    governor_id_ = governor_->RegisterConsumer(
+        "plan_cache", memory::MemoryGovernor::kPriorityPlanCache,
+        [this](size_t target) { return ShedBytes(target); });
+    if (total_bytes_ > 0) governor_->Charge(governor_id_, total_bytes_);
+  }
+}
+
+size_t PlanCache::EstimatePlanBytes(const std::string& text,
+                                    const PreparedQuery& plan) {
+  size_t bytes = sizeof(PreparedQuery) + 2 * text.size();  // key + copy
+  bytes += text.size() * 6;  // compiled AST estimate
+  for (const auto& [name, cplan] : plan.plans) {
+    bytes += name.size() + sizeof(CollectionPlan);
+    for (const SiteConstraints& site : cplan.sites) {
+      bytes += sizeof(SiteConstraints);
+      for (const std::string& e : site.required_elements) bytes += e.size();
+      for (const SpineLevel& s : site.spine_levels) {
+        bytes += sizeof(SpineLevel) + s.name.size();
+      }
+      bytes += site.step_strategies.size() *
+               sizeof(site.step_strategies[0]);
+      for (const std::string& n : site.contains_needles) bytes += n.size();
+      for (const auto& [e, v] : site.value_equals) {
+        bytes += e.size() + v.size() + 2 * sizeof(std::string);
+      }
+    }
+  }
+  return bytes;
+}
 
 PreparedQueryPtr PlanCache::Lookup(const std::string& text) {
   auto it = index_.find(text);
@@ -17,26 +73,66 @@ PreparedQueryPtr PlanCache::Lookup(const std::string& text) {
 
 size_t PlanCache::Insert(const std::string& text, PreparedQueryPtr plan) {
   if (capacity_ == 0) return 0;
+  const size_t bytes = EstimatePlanBytes(text, *plan);
   auto it = index_.find(text);
   if (it != index_.end()) {
+    total_bytes_ -= it->second->bytes;
+    total_bytes_ += bytes;
+    PlanCacheBytesGauge()->Add(static_cast<double>(bytes) -
+                               static_cast<double>(it->second->bytes));
+    if (governor_ != nullptr) {
+      governor_->Release(governor_id_, it->second->bytes);
+    }
     it->second->plan = std::move(plan);
+    it->second->bytes = bytes;
     entries_.splice(entries_.begin(), entries_, it->second);
+    if (governor_ != nullptr) governor_->Charge(governor_id_, bytes);
     return 0;
   }
-  entries_.push_front(Entry{text, std::move(plan)});
+  entries_.push_front(Entry{text, std::move(plan), bytes});
   index_.emplace(text, entries_.begin());
+  total_bytes_ += bytes;
+  PlanCacheBytesGauge()->Add(static_cast<double>(bytes));
+  if (governor_ != nullptr) governor_->Charge(governor_id_, bytes);
   size_t evicted = 0;
-  while (entries_.size() > capacity_) {
-    index_.erase(entries_.back().text);
-    entries_.pop_back();
+  while (entries_.size() > capacity_ ||
+         (capacity_bytes_ > 0 && total_bytes_ > capacity_bytes_ &&
+          entries_.size() > 1)) {
+    EvictBack();
     ++evicted;
   }
   stats_.evictions += evicted;
   return evicted;
 }
 
+void PlanCache::EvictBack() {
+  Entry& victim = entries_.back();
+  total_bytes_ -= victim.bytes;
+  PlanCacheBytesGauge()->Add(-static_cast<double>(victim.bytes));
+  if (governor_ != nullptr) governor_->Release(governor_id_, victim.bytes);
+  index_.erase(victim.text);
+  entries_.pop_back();
+}
+
+size_t PlanCache::ShedBytes(size_t target) {
+  size_t freed = 0;
+  size_t evicted = 0;
+  while (freed < target && !entries_.empty()) {
+    freed += entries_.back().bytes;
+    EvictBack();
+    ++evicted;
+  }
+  stats_.evictions += evicted;
+  return freed;
+}
+
 size_t PlanCache::Clear() {
   const size_t dropped = entries_.size();
+  PlanCacheBytesGauge()->Add(-static_cast<double>(total_bytes_));
+  if (governor_ != nullptr && total_bytes_ > 0) {
+    governor_->Release(governor_id_, total_bytes_);
+  }
+  total_bytes_ = 0;
   entries_.clear();
   index_.clear();
   stats_.evictions += dropped;

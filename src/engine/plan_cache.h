@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "engine/planner.h"
+#include "memory/governor.h"
 #include "xquery/compiled_query.h"
 
 namespace partix::xdb {
@@ -46,18 +47,33 @@ struct PlanCacheStats {
   uint64_t invalidations = 0;
 };
 
-/// LRU cache of prepared plans keyed by exact query text. Owned by a
-/// Database and bound by its thread-safety contract (single-thread-only);
-/// parse errors are never inserted, so a bad query fails identically on
-/// every submission.
+/// LRU cache of prepared plans keyed by exact query text, bounded both by
+/// entry count and by estimated bytes. Owned by a Database and bound by
+/// its thread-safety contract (single-thread-only); parse errors are
+/// never inserted, so a bad query fails identically on every submission.
 class PlanCache {
  public:
   /// `capacity` in entries; 0 disables caching (Lookup always misses,
-  /// Insert is a no-op).
-  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+  /// Insert is a no-op). `capacity_bytes` additionally bounds the summed
+  /// per-plan byte estimates; 0 = unbounded by bytes.
+  explicit PlanCache(size_t capacity, size_t capacity_bytes = 0)
+      : capacity_(capacity), capacity_bytes_(capacity_bytes) {}
+  ~PlanCache();
 
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Registers this cache with `governor` (eviction priority
+  /// kPriorityPlanCache: plans are cheap to recompile but dearer than
+  /// parsed documents, so the parse cache sheds first). Cached plan
+  /// bytes are charged to the governor; under pressure it calls back
+  /// into ShedBytes. Pass nullptr to detach. Same lifetime rule as
+  /// DocumentStore::AttachGovernor.
+  void AttachGovernor(memory::MemoryGovernor* governor);
+
+  /// Evicts LRU entries until at least `target` estimated bytes are
+  /// freed (or the cache is empty); returns the bytes freed.
+  size_t ShedBytes(size_t target);
 
   /// Returns the cached plan and promotes it to most-recently-used, or
   /// nullptr on miss. Counts a hit or miss.
@@ -75,15 +91,32 @@ class PlanCache {
 
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  /// Summed byte estimates of the cached plans.
+  size_t total_bytes() const { return total_bytes_; }
   const PlanCacheStats& stats() const { return stats_; }
+
+  /// Estimated in-memory footprint of one cached plan: the key and
+  /// stored text, the constraint containers (counted exactly), and the
+  /// compiled AST (estimated from the query text — ~6 expression-tree
+  /// bytes per source byte, measured on the workload queries).
+  static size_t EstimatePlanBytes(const std::string& text,
+                                  const PreparedQuery& plan);
 
  private:
   struct Entry {
     std::string text;
     PreparedQueryPtr plan;
+    size_t bytes = 0;
   };
 
+  void EvictBack();
+
   size_t capacity_;
+  size_t capacity_bytes_;
+  size_t total_bytes_ = 0;
+  memory::MemoryGovernor* governor_ = nullptr;
+  int governor_id_ = -1;
   /// Front = most recently used. Map values point into the list; list
   /// nodes are address-stable across splices.
   std::list<Entry> entries_;

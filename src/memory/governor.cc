@@ -1,0 +1,210 @@
+#include "memory/governor.h"
+
+#include <algorithm>
+
+#include "telemetry/metrics.h"
+
+namespace partix::memory {
+
+namespace {
+
+/// Process-wide governor telemetry. Byte gauges aggregate with Add()
+/// deltas so multiple governors (one per node) sum instead of stomping.
+struct GovernorTelemetry {
+  telemetry::Gauge* budget_bytes;
+  telemetry::Gauge* charged_bytes;
+  telemetry::Counter* pressure_events;
+  telemetry::Counter* evictions;
+  telemetry::Counter* evicted_bytes;
+  telemetry::Counter* overcommits;
+
+  static GovernorTelemetry& Get() {
+    static GovernorTelemetry t = [] {
+      auto& reg = telemetry::MetricsRegistry::Global();
+      GovernorTelemetry x;
+      x.budget_bytes = reg.GetGauge("partix_governor_budget_bytes");
+      x.charged_bytes = reg.GetGauge("partix_governor_charged_bytes");
+      x.pressure_events =
+          reg.GetCounter("partix_governor_pressure_events_total");
+      x.evictions = reg.GetCounter("partix_governor_evictions_total");
+      x.evicted_bytes = reg.GetCounter("partix_governor_evicted_bytes_total");
+      x.overcommits = reg.GetCounter("partix_governor_overcommits_total");
+      return x;
+    }();
+    return t;
+  }
+};
+
+}  // namespace
+
+MemoryGovernor::MemoryGovernor(size_t budget_bytes) : budget_(budget_bytes) {
+  GovernorTelemetry::Get().budget_bytes->Add(static_cast<double>(budget_));
+}
+
+MemoryGovernor::~MemoryGovernor() {
+  GovernorTelemetry& t = GovernorTelemetry::Get();
+  t.budget_bytes->Add(-static_cast<double>(budget_));
+  t.charged_bytes->Add(-static_cast<double>(charged_));
+}
+
+int MemoryGovernor::RegisterConsumer(std::string name, int priority,
+                                     EvictFn evict) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Consumer consumer;
+  consumer.id = next_id_++;
+  consumer.name = std::move(name);
+  consumer.priority = priority;
+  consumer.evict = std::move(evict);
+  consumer.live = true;
+  consumers_.push_back(std::move(consumer));
+  return consumers_.back().id;
+}
+
+void MemoryGovernor::UnregisterConsumer(int id) {
+  size_t released = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = consumers_.begin(); it != consumers_.end(); ++it) {
+      if (it->id == id && it->live) {
+        released = it->charged;
+        charged_ -= released;
+        consumers_.erase(it);
+        break;
+      }
+    }
+  }
+  if (released > 0) {
+    GovernorTelemetry::Get().charged_bytes->Add(-static_cast<double>(released));
+  }
+}
+
+void MemoryGovernor::Charge(int id, size_t bytes) {
+  if (bytes == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (Consumer& c : consumers_) {
+    if (c.id == id) {
+      c.charged += bytes;
+      break;
+    }
+  }
+  charged_ += bytes;
+  GovernorTelemetry::Get().charged_bytes->Add(static_cast<double>(bytes));
+  if (budget_ > 0 && charged_ > budget_) {
+    ++stats_.pressure_events;
+    GovernorTelemetry::Get().pressure_events->Add(1);
+    RelievePressure(lock);
+  }
+}
+
+void MemoryGovernor::Release(int id, size_t bytes) {
+  if (bytes == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Consumer& c : consumers_) {
+    if (c.id == id) {
+      size_t delta = std::min(bytes, c.charged);
+      c.charged -= delta;
+      charged_ -= std::min(bytes, charged_);
+      GovernorTelemetry::Get().charged_bytes->Add(-static_cast<double>(delta));
+      return;
+    }
+  }
+}
+
+size_t MemoryGovernor::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+void MemoryGovernor::set_budget_bytes(size_t bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  GovernorTelemetry::Get().budget_bytes->Add(static_cast<double>(bytes) -
+                                             static_cast<double>(budget_));
+  budget_ = bytes;
+  if (budget_ > 0 && charged_ > budget_) {
+    ++stats_.pressure_events;
+    GovernorTelemetry::Get().pressure_events->Add(1);
+    RelievePressure(lock);
+  }
+}
+
+size_t MemoryGovernor::charged_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charged_;
+}
+
+size_t MemoryGovernor::consumer_bytes(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Consumer& c : consumers_) {
+    if (c.id == id) return c.charged;
+  }
+  return 0;
+}
+
+size_t MemoryGovernor::headroom_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charged_ < budget_ ? budget_ - charged_ : 0;
+}
+
+GovernorStats MemoryGovernor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MemoryGovernor::RelievePressure(std::unique_lock<std::mutex>& lock) {
+  // A callback may Charge() recursively (e.g. an eviction that rebuilds
+  // an index); the outer run will re-check, so inner runs collapse.
+  if (evicting_) return;
+  evicting_ = true;
+  // Bounded rounds: each round sweeps consumers in ascending priority
+  // and stops early once under budget; a round that frees nothing ends
+  // the run (the remainder is pinned — overcommit).
+  for (int round = 0; round < 8 && charged_ > budget_; ++round) {
+    // Snapshot eviction order under the lock.
+    std::vector<std::pair<int, int>> order;  // (priority, id)
+    order.reserve(consumers_.size());
+    for (const Consumer& c : consumers_) {
+      if (c.evict && c.charged > 0) order.emplace_back(c.priority, c.id);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    size_t freed_this_round = 0;
+    for (const auto& [priority, id] : order) {
+      (void)priority;
+      if (charged_ <= budget_) break;
+      size_t overage = charged_ - budget_;
+      EvictFn evict;
+      size_t target = 0;
+      for (const Consumer& c : consumers_) {
+        if (c.id == id && c.evict && c.charged > 0) {
+          evict = c.evict;
+          target = std::min(overage, c.charged);
+          break;
+        }
+      }
+      if (!evict || target == 0) continue;
+      ++stats_.eviction_calls;
+      GovernorTelemetry::Get().evictions->Add(1);
+      size_t freed = 0;
+      lock.unlock();
+      // The callback releases its bytes via Release(), which re-locks;
+      // our own lock is dropped so that cannot deadlock.
+      freed = evict(target);
+      lock.lock();
+      stats_.evicted_bytes += freed;
+      if (freed > 0) {
+        GovernorTelemetry::Get().evicted_bytes->Add(freed);
+      }
+      freed_this_round += freed;
+    }
+    if (freed_this_round == 0) {
+      ++stats_.overcommits;
+      GovernorTelemetry::Get().overcommits->Add(1);
+      break;
+    }
+  }
+  evicting_ = false;
+}
+
+}  // namespace partix::memory

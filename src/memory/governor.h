@@ -1,0 +1,115 @@
+#ifndef PARTIX_MEMORY_GOVERNOR_H_
+#define PARTIX_MEMORY_GOVERNOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace partix::memory {
+
+/// Point-in-time statistics of a MemoryGovernor.
+struct GovernorStats {
+  /// Charges (or budget shrinks) that pushed charged bytes over budget.
+  uint64_t pressure_events = 0;
+  /// Evict-callback invocations made to relieve pressure.
+  uint64_t eviction_calls = 0;
+  /// Bytes callbacks reported freed.
+  uint64_t evicted_bytes = 0;
+  /// Pressure rounds that ended still over budget (every evictable
+  /// consumer was drained; the remainder is pinned or in flight).
+  uint64_t overcommits = 0;
+};
+
+/// One byte budget shared by every memory consumer of a node: the parse
+/// cache, the plan cache, and in-flight result buffers. Consumers
+/// register with a priority and an optional evict callback; Charge()
+/// beyond the budget triggers pressure-driven eviction in ascending
+/// priority order (lowest priority sheds first) until the budget holds
+/// or nothing more can be evicted. Consumers without a callback (e.g.
+/// pinned in-flight results) are never asked to shed — the governor
+/// tracks them and lets caches absorb the pressure.
+///
+/// Deadlock contract: evict callbacks are invoked with the governor
+/// mutex *released*, so a callback may call back into Release(). In
+/// exchange, a consumer's callback must be safe to run from whatever
+/// thread charges the governor. For a per-node governor every consumer
+/// lives behind that node's driver mutex, which serializes all charges
+/// and callbacks; a coordinator-level governor must only register
+/// thread-safe (or callback-free) consumers.
+///
+/// Thread-safety: all methods are thread-safe; see the callback contract
+/// above for what that demands of consumers.
+class MemoryGovernor {
+ public:
+  /// Eviction priorities, ascending = shed first. Gaps are deliberate;
+  /// consumers may register anywhere on the scale.
+  static constexpr int kPriorityParseCache = 0;
+  static constexpr int kPriorityPlanCache = 10;
+  static constexpr int kPriorityPinned = 1000;
+
+  /// Asked to free at least `target_bytes`; returns bytes actually freed
+  /// (the consumer calls Release() for them itself).
+  using EvictFn = std::function<size_t(size_t target_bytes)>;
+
+  explicit MemoryGovernor(size_t budget_bytes);
+  ~MemoryGovernor();
+  MemoryGovernor(const MemoryGovernor&) = delete;
+  MemoryGovernor& operator=(const MemoryGovernor&) = delete;
+
+  /// Registers a consumer; returns its id. `evict` may be null for
+  /// pinned consumers.
+  int RegisterConsumer(std::string name, int priority, EvictFn evict);
+
+  /// Unregisters `id`, releasing any bytes still charged to it.
+  void UnregisterConsumer(int id);
+
+  /// Adds `bytes` to the consumer's charge; runs pressure eviction when
+  /// the total exceeds the budget. The charge always succeeds — the
+  /// budget bounds steady-state retention, admission control bounds
+  /// intake (see Scheduler).
+  void Charge(int id, size_t bytes);
+
+  /// Subtracts `bytes` from the consumer's charge.
+  void Release(int id, size_t bytes);
+
+  size_t budget_bytes() const;
+  /// Shrinking under the current charge triggers pressure eviction.
+  void set_budget_bytes(size_t bytes);
+
+  size_t charged_bytes() const;
+  size_t consumer_bytes(int id) const;
+  /// budget - charged, floored at 0.
+  size_t headroom_bytes() const;
+
+  GovernorStats stats() const;
+
+ private:
+  struct Consumer {
+    int id = 0;
+    std::string name;
+    int priority = 0;
+    EvictFn evict;
+    size_t charged = 0;
+    bool live = false;
+  };
+
+  /// Relieves pressure: picks eviction targets under the lock, invokes
+  /// callbacks with the lock dropped, re-checks; bounded rounds, stops
+  /// when a full sweep frees nothing.
+  void RelievePressure(std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mu_;
+  size_t budget_ = 0;
+  size_t charged_ = 0;
+  int next_id_ = 1;
+  bool evicting_ = false;  // collapse re-entrant pressure runs
+  std::vector<Consumer> consumers_;
+  GovernorStats stats_;
+};
+
+}  // namespace partix::memory
+
+#endif  // PARTIX_MEMORY_GOVERNOR_H_

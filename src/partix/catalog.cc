@@ -107,14 +107,32 @@ Status DistributionCatalog::UpdatePlacements(
 }
 
 Status DistributionCatalog::RegisterCentralized(const std::string& collection,
-                                                size_t node) {
+                                                size_t node,
+                                                uint64_t serialized_bytes) {
   if (entries_.count(collection) != 0 ||
       centralized_.count(collection) != 0) {
     return Status::AlreadyExists("collection '" + collection +
                                  "' already registered");
   }
   centralized_.emplace(collection, node);
+  if (serialized_bytes > 0) {
+    centralized_bytes_.emplace(collection, serialized_bytes);
+  }
   return Status::Ok();
+}
+
+uint64_t DistributionCatalog::SerializedBytesOf(
+    const std::string& collection) const {
+  auto it = entries_.find(collection);
+  if (it != entries_.end()) {
+    uint64_t total = 0;
+    for (const FragmentPlacement& p : it->second.placements) {
+      total += p.serialized_bytes;
+    }
+    return total;
+  }
+  auto cit = centralized_bytes_.find(collection);
+  return cit == centralized_bytes_.end() ? 0 : cit->second;
 }
 
 bool DistributionCatalog::IsFragmented(const std::string& collection) const {

@@ -43,6 +43,12 @@ struct FragmentPlacement {
   /// (pre-digest deployments): replicas can still be cross-checked
   /// against each other, but not against a ground truth.
   uint64_t content_digest = 0;
+  /// Total serialized bytes of the fragment's documents, recorded by the
+  /// publisher at publish time. The scheduler's admission control
+  /// estimates a query's memory footprint from these (serialized size ×
+  /// a parse-expansion factor). 0 = unknown (pre-sizing deployments):
+  /// admission falls back to a flat default footprint.
+  uint64_t serialized_bytes = 0;
 
   /// All replica nodes, primary first.
   std::vector<size_t> AllNodes() const;
@@ -72,7 +78,15 @@ class DistributionCatalog {
                   std::vector<FragmentPlacement> placements);
 
   /// Registers an unfragmented (centralized) collection at a node.
-  Status RegisterCentralized(const std::string& collection, size_t node);
+  /// `serialized_bytes` (optional) records the collection's total
+  /// serialized size for admission-control footprint estimates.
+  Status RegisterCentralized(const std::string& collection, size_t node,
+                             uint64_t serialized_bytes = 0);
+
+  /// Total serialized bytes recorded for `collection` — the sum over a
+  /// fragmented collection's placements, or the centralized figure.
+  /// 0 when the collection is unknown or was published without sizes.
+  uint64_t SerializedBytesOf(const std::string& collection) const;
 
   bool IsFragmented(const std::string& collection) const;
 
@@ -103,6 +117,7 @@ class DistributionCatalog {
 
   std::map<std::string, DistributionEntry> entries_;
   std::map<std::string, size_t> centralized_;
+  std::map<std::string, uint64_t> centralized_bytes_;
 };
 
 /// A versioned, atomically swappable distribution catalog: readers take

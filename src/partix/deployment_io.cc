@@ -72,6 +72,12 @@ Status SaveDeployment(const std::string& dir,
         manifest += "digest\t" + name + "\t" + p.fragment + "\t" +
                     HashHex(p.content_digest) + "\n";
       }
+      // Published fragment size, same extension mechanism as digests:
+      // size-free manifests stay byte-identical to the old format.
+      if (p.serialized_bytes != 0) {
+        manifest += "bytes\t" + name + "\t" + p.fragment + "\t" +
+                    std::to_string(p.serialized_bytes) + "\n";
+      }
     }
     PARTIX_RETURN_IF_ERROR(WriteFile(
         fs::path(dir) / ("schema_" + name + ".txt"),
@@ -165,6 +171,26 @@ Result<LoadedDeployment> LoadDeployment(const std::string& dir,
       }
       if (!attached) {
         return Status::Corruption("digest line for unknown placement '" +
+                                  std::string(fields[2]) + "'");
+      }
+    } else if (tag == "bytes") {
+      if (fields.size() != 4) {
+        return Status::Corruption("bad bytes line in catalog.txt");
+      }
+      int64_t bytes = 0;
+      if (!ParseInt64(fields[3], &bytes) || bytes < 0) {
+        return Status::Corruption("bad bytes value in catalog.txt");
+      }
+      bool attached = false;
+      for (FragmentPlacement& p : placements[std::string(fields[1])]) {
+        if (p.fragment == fields[2]) {
+          p.serialized_bytes = static_cast<uint64_t>(bytes);
+          attached = true;
+          break;
+        }
+      }
+      if (!attached) {
+        return Status::Corruption("bytes line for unknown placement '" +
                                   std::string(fields[2]) + "'");
       }
     } else {

@@ -42,14 +42,17 @@ Status DataPublisher::PublishCentralized(const xml::Collection& c,
   meta.kind = c.kind();
   PARTIX_RETURN_IF_ERROR(
       cluster_->CreateCollectionOnNode(node, c.name(), meta));
+  uint64_t serialized_bytes = 0;
   for (const DocumentPtr& doc : c.docs()) {
+    std::string xml_bytes = xml::Serialize(*doc);
+    serialized_bytes += xml_bytes.size();
     // Through the cluster's store data plane, like every publish: a store
     // is a write over the wire, subject to the node's fault profile.
     PARTIX_RETURN_IF_ERROR(cluster_->StoreSerializedOnNode(
-        node, c.name(), doc->doc_name(), xml::Serialize(*doc),
+        node, c.name(), doc->doc_name(), std::move(xml_bytes),
         doc->metadata()));
   }
-  return catalog_->RegisterCentralized(c.name(), node);
+  return catalog_->RegisterCentralized(c.name(), node, serialized_bytes);
 }
 
 Status DataPublisher::StoreFragments(
@@ -90,6 +93,13 @@ Status DataPublisher::StoreFragments(
       digest = Fnv1a64(std::string_view("\0", 1), digest);
     }
     placement->content_digest = digest;
+    // Record the fragment's serialized size next to the digest; the
+    // scheduler's admission control estimates query footprints from it.
+    uint64_t serialized_bytes = 0;
+    for (const xdb::StoredDoc& doc : wire_docs) {
+      serialized_bytes += doc.xml.size();
+    }
+    placement->serialized_bytes = serialized_bytes;
     // Every replica gets a full copy, so the query service can fail over
     // without data movement.
     for (size_t node : placement->AllNodes()) {

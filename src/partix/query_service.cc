@@ -190,7 +190,58 @@ void ShiftSpans(telemetry::TraceSpan* span, double delta_ms) {
   }
 }
 
+/// Coordinator-wide gauge of result bytes held by in-flight executions
+/// (partial results awaiting composition + composed answers not yet
+/// returned). Add()-deltas aggregate across concurrent executions.
+telemetry::Gauge* InflightResultBytesGauge() {
+  static telemetry::Gauge* g = telemetry::MetricsRegistry::Global().GetGauge(
+      "partix_inflight_result_bytes");
+  return g;
+}
+
+/// RAII accounting of one execution's in-flight result bytes: every
+/// Add() moves the gauge and charges the governor's pinned consumer (when
+/// attached); the destructor releases everything on every return path.
+class InflightResultCharge {
+ public:
+  InflightResultCharge(memory::MemoryGovernor* governor, int id)
+      : governor_(governor), id_(id) {}
+  ~InflightResultCharge() {
+    InflightResultBytesGauge()->Add(-static_cast<double>(bytes_));
+    if (governor_ != nullptr && bytes_ > 0) governor_->Release(id_, bytes_);
+  }
+  InflightResultCharge(const InflightResultCharge&) = delete;
+  InflightResultCharge& operator=(const InflightResultCharge&) = delete;
+
+  void Add(size_t bytes) {
+    if (bytes == 0) return;
+    bytes_ += bytes;
+    InflightResultBytesGauge()->Add(static_cast<double>(bytes));
+    if (governor_ != nullptr) governor_->Charge(id_, bytes);
+  }
+
+ private:
+  memory::MemoryGovernor* governor_;
+  int id_;
+  size_t bytes_ = 0;
+};
+
 }  // namespace
+
+QueryService::~QueryService() { set_memory_governor(nullptr); }
+
+void QueryService::set_memory_governor(memory::MemoryGovernor* governor) {
+  if (governor_ != nullptr) {
+    governor_->UnregisterConsumer(governor_id_);
+    governor_id_ = -1;
+  }
+  governor_ = governor;
+  if (governor_ != nullptr) {
+    governor_id_ = governor_->RegisterConsumer(
+        "inflight_results", memory::MemoryGovernor::kPriorityPinned,
+        nullptr);
+  }
+}
 
 Result<DistributedPlan> QueryService::Decompose(
     const std::string& query,
@@ -312,8 +363,10 @@ Result<std::string> QueryService::ExplainAnalyze(
          std::to_string(result.plan_cache_misses) + " miss(es)):\n";
   for (const SubQueryStats& stats : result.subqueries) {
     out += "  " + FragAtNode(stats.fragment, stats.node) + ": plan cache " +
-           (stats.plan_cache_hits > 0 ? "hit" : "miss") + ", compile " +
-           FormatNumber(stats.compile_ms) + " ms\n";
+           (stats.plan_cache_hits > 0 ? "hit" : "miss") + " (" +
+           std::to_string(stats.plan_cache_bytes) +
+           " bytes cached), compile " + FormatNumber(stats.compile_ms) +
+           " ms\n";
   }
   out += telemetry::RenderSpanTree(result.trace);
   return out;
@@ -483,6 +536,10 @@ Result<DistributedResult> QueryService::ExecutePlan(
 
   std::vector<xdb::QueryResult> partials;
   partials.reserve(live.size());
+  // In-flight result accounting: the partial results now held on this
+  // coordinator (and, below, the composed answer) are charged against
+  // the governor's pinned consumer until this execution returns.
+  InflightResultCharge inflight(governor_, governor_id_);
   uint64_t total_result_bytes = 0;
   for (size_t i = 0; i < live.size(); ++i) {
     Result<xdb::QueryResult>& result = outcomes[i].result;
@@ -503,12 +560,14 @@ Result<DistributedResult> QueryService::ExecutePlan(
     stats.compile_ms = outcomes[i].compile_ms;
     stats.plan_cache_hits = outcomes[i].plan_cache_hits;
     stats.plan_cache_misses = outcomes[i].plan_cache_misses;
+    stats.plan_cache_bytes = result->metrics.plan_cache_bytes;
     out.slowest_node_ms = std::max(out.slowest_node_ms, stats.elapsed_ms);
     out.sum_node_ms += stats.elapsed_ms;
     total_result_bytes += stats.result_bytes;
     out.subqueries.push_back(std::move(stats));
     partials.push_back(std::move(*result));
   }
+  inflight.Add(total_result_bytes);
   if (!out.missing_fragments.empty()) {
     // Report missing fragments in plan order regardless of whether they
     // were skipped (unreachable) or failed after dispatch.
@@ -567,6 +626,10 @@ Result<DistributedResult> QueryService::ExecutePlan(
       break;
     }
   }
+  out.result_bytes = out.serialized.size();
+  // Peak window: partials + composed answer coexist until this frame
+  // returns and the guard releases both.
+  inflight.Add(out.result_bytes);
   out.composition_ms = compose_watch.ElapsedMillis();
   counters.compose_ms->Observe(out.composition_ms);
   if (options.trace) {

@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "memory/governor.h"
 #include "partix/catalog.h"
 #include "partix/cluster.h"
 #include "partix/decomposer.h"
@@ -61,6 +62,9 @@ struct SubQueryStats {
   /// Node-side prepares served from / missed in the plan cache.
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
+  /// Estimated bytes held by the serving node's plan cache after this
+  /// sub-query's prepare (see PlanCache::EstimatePlanBytes).
+  uint64_t plan_cache_bytes = 0;
 };
 
 /// The answer of a distributed execution, with the timing breakdown the
@@ -78,6 +82,10 @@ struct SubQueryStats {
 struct DistributedResult {
   std::string serialized;
   uint64_t result_items = 0;
+  /// Bytes of the composed answer (= serialized.size()); the figure the
+  /// coordinator's in-flight result accounting charged for this query
+  /// (partial results were additionally charged while composition ran).
+  uint64_t result_bytes = 0;
 
   double response_ms = 0.0;      // modeled: decompose + max node +
                                  // transmission + composition
@@ -217,9 +225,23 @@ class QueryService {
 
   const QueryDecomposer& decomposer() const { return decomposer_; }
 
+  ~QueryService();
+
   /// The cluster this service executes against (the scheduler uses it to
   /// install its shared pool into the cluster's executor).
   ClusterSim* cluster() const { return cluster_; }
+
+  /// Registers the coordinator's in-flight result buffers as a *pinned*
+  /// consumer of `governor` ("inflight_results",
+  /// MemoryGovernor::kPriorityPinned): partial and composed result bytes
+  /// are charged while an execution holds them and released when it
+  /// returns, so the governor sees result pressure and makes the caches
+  /// shed — results themselves are never evicted. Pass nullptr to
+  /// detach. Control-plane: call before concurrent executions start; the
+  /// governor must outlive the service. The
+  /// `partix_inflight_result_bytes` gauge tracks these bytes whether or
+  /// not a governor is attached.
+  void set_memory_governor(memory::MemoryGovernor* governor);
 
   /// EXPLAIN: decomposes `query` and renders the plan (routing, pruning,
   /// composition, rewritten sub-queries) as human-readable text without
@@ -263,6 +285,10 @@ class QueryService {
   const VersionedCatalog* versioned_ = nullptr;
   QueryDecomposer decomposer_;
   const Clock* clock_ = Clock::Monotonic();
+  /// Coordinator governor for in-flight result accounting (see
+  /// set_memory_governor); charges go through the pinned consumer id.
+  memory::MemoryGovernor* governor_ = nullptr;
+  int governor_id_ = -1;
 };
 
 }  // namespace partix::middleware

@@ -19,6 +19,7 @@ struct SchedulerTelemetry {
   telemetry::Counter* rejected;
   telemetry::Counter* queued;
   telemetry::Counter* drained;
+  telemetry::Counter* memory_deferred;
   telemetry::Gauge* queue_depth;
   telemetry::Gauge* active_queries;
   telemetry::Histogram* admission_wait_ms;
@@ -31,6 +32,8 @@ struct SchedulerTelemetry {
       out.rejected = registry.GetCounter("partix_queries_rejected_total");
       out.queued = registry.GetCounter("partix_queries_queued_total");
       out.drained = registry.GetCounter("partix_queries_drained_total");
+      out.memory_deferred =
+          registry.GetCounter("partix_admission_memory_deferred_total");
       out.queue_depth = registry.GetGauge("partix_scheduler_queue_depth");
       out.active_queries =
           registry.GetGauge("partix_scheduler_active_queries");
@@ -59,12 +62,39 @@ Scheduler::Scheduler(QueryService* service, const SchedulerOptions& options)
   // executor's per-query fan-outs share the scheduler's pool instead of
   // the process-wide fallback.
   service_->cluster()->executor().set_pool(&pool_);
+  if (options_.governor != nullptr) {
+    // Pinned: admitted queries' footprints are never evicted — pressure
+    // they create is absorbed by the caches, and *intake* is bounded
+    // here at admission.
+    governor_id_ = options_.governor->RegisterConsumer(
+        "admitted_queries", memory::MemoryGovernor::kPriorityPinned,
+        nullptr);
+  }
 }
 
 Scheduler::~Scheduler() {
   Drain();
+  if (governor_id_ != -1) options_.governor->UnregisterConsumer(governor_id_);
   service_->cluster()->executor().set_pool(nullptr);
   pool_.Shutdown();
+}
+
+size_t Scheduler::EstimateFootprint(const std::string& query) const {
+  size_t footprint = 0;
+  if (options_.footprint_estimator) {
+    footprint = options_.footprint_estimator(query);
+  }
+  if (footprint == 0) footprint = options_.default_query_footprint_bytes;
+  if (options_.governor != nullptr) {
+    const size_t budget = options_.governor->budget_bytes();
+    if (budget > 0) footprint = std::min(footprint, budget);
+  }
+  return footprint;
+}
+
+bool Scheduler::MemoryAdmissibleLocked(size_t footprint) const {
+  return options_.governor == nullptr ||
+         footprint <= options_.governor->headroom_bytes();
 }
 
 void Scheduler::AdmitEligibleLocked() {
@@ -85,9 +115,25 @@ void Scheduler::AdmitEligibleLocked() {
       }
     }
     Waiter* w = waiting_[best];
+    if (!MemoryAdmissibleLocked(w->footprint) && active_ > 0) {
+      // Head-of-line blocking: the best waiter waits for headroom, and
+      // nobody overtakes it (skipping ahead would starve big queries
+      // behind a stream of small ones). With nothing active the loop
+      // never gets here — the waiter is admitted below regardless of
+      // headroom, so one over-budget query still makes progress.
+      if (!w->memory_deferred) {
+        w->memory_deferred = true;
+        ++stats_.memory_deferred;
+        SchedulerTelemetry::Get().memory_deferred->Add();
+      }
+      break;
+    }
     waiting_.erase(waiting_.begin() + static_cast<ptrdiff_t>(best));
     w->admitted = true;
     ++active_;
+    if (governor_id_ != -1) {
+      options_.governor->Charge(governor_id_, w->footprint);
+    }
     if (options_.fairness == FairnessPolicy::kWeightedFair) {
       // The accumulator was charged at enqueue; admission only advances
       // the floor (the system's virtual time) to this start tag.
@@ -98,8 +144,8 @@ void Scheduler::AdmitEligibleLocked() {
       static_cast<double>(waiting_.size()));
 }
 
-Status Scheduler::Admit(const ClientContext& client, double* wait_ms,
-                        bool* was_queued) {
+Status Scheduler::Admit(const ClientContext& client, size_t footprint,
+                        double* wait_ms, bool* was_queued) {
   const SchedulerTelemetry& counters = SchedulerTelemetry::Get();
   Stopwatch watch(clock_);
   std::unique_lock<std::mutex> lock(mu_);
@@ -109,8 +155,10 @@ Status Scheduler::Admit(const ClientContext& client, double* wait_ms,
     counters.drained->Add();
     return Status::Unavailable("scheduler is draining; query refused");
   }
-  if (waiting_.empty() && active_ < options_.max_concurrent_queries) {
+  if (waiting_.empty() && active_ < options_.max_concurrent_queries &&
+      (active_ == 0 || MemoryAdmissibleLocked(footprint))) {
     ++active_;
+    if (governor_id_ != -1) options_.governor->Charge(governor_id_, footprint);
     ++stats_.admitted;
     counters.admitted->Add();
     counters.active_queries->Set(static_cast<double>(active_));
@@ -141,6 +189,14 @@ Status Scheduler::Admit(const ClientContext& client, double* wait_ms,
   w.seq = next_seq_++;
   w.client_id = client.client_id;
   w.weight = client.weight > 0.0 ? client.weight : 1.0;
+  w.footprint = footprint;
+  if (waiting_.empty() && active_ < options_.max_concurrent_queries) {
+    // A slot was free: this submission queues only because its footprint
+    // exceeds the governor's headroom.
+    w.memory_deferred = true;
+    ++stats_.memory_deferred;
+    counters.memory_deferred->Add();
+  }
   if (options_.fairness == FairnessPolicy::kWeightedFair) {
     // WFQ start tag, charged at *enqueue*: the k-th queued query of one
     // client starts where its (k-1)-th finishes, so a client's standing
@@ -196,6 +252,13 @@ Status Scheduler::Admit(const ClientContext& client, double* wait_ms,
           " ms) expired after " + std::to_string(waited) +
           " ms in the admission queue");
     }
+    if (w.memory_deferred) {
+      return Status::ResourceExhausted(
+          "memory: timed out after " + std::to_string(waited) +
+          " ms queued for governor headroom (footprint " +
+          std::to_string(w.footprint) + " bytes, queue_timeout_ms " +
+          std::to_string(options_.queue_timeout_ms) + ")");
+    }
     return Status::ResourceExhausted(
         "timed out after " + std::to_string(waited) +
         " ms in the admission queue (queue_timeout_ms " +
@@ -216,8 +279,9 @@ Status Scheduler::Admit(const ClientContext& client, double* wait_ms,
   return Status::Ok();
 }
 
-void Scheduler::Release() {
+void Scheduler::Release(size_t footprint) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (governor_id_ != -1) options_.governor->Release(governor_id_, footprint);
   --active_;
   ++stats_.completed;
   SchedulerTelemetry::Get().active_queries->Set(
@@ -256,10 +320,11 @@ size_t Scheduler::active_queries() const {
 template <typename Fn>
 Result<DistributedResult> Scheduler::Run(Fn&& fn,
                                          const ExecutionOptions& options,
-                                         const ClientContext& client) {
+                                         const ClientContext& client,
+                                         size_t footprint) {
   double wait_ms = 0.0;
   bool was_queued = false;
-  PARTIX_RETURN_IF_ERROR(Admit(client, &wait_ms, &was_queued));
+  PARTIX_RETURN_IF_ERROR(Admit(client, footprint, &wait_ms, &was_queued));
 
   // Deadline composition (docs/query-scheduling.md): the admission wait
   // already spent part of the client's whole-query budget; what remains
@@ -272,7 +337,7 @@ Result<DistributedResult> Scheduler::Run(Fn&& fn,
       // Admitted exactly as the deadline ran out: fail without touching
       // the cluster. The slot was taken, so release it (the query
       // "completed" without executing — admitted == completed holds).
-      Release();
+      Release(footprint);
       return Status::DeadlineExceeded(
           "query deadline (" + std::to_string(client.deadline_ms) +
           " ms) spent waiting " + std::to_string(wait_ms) +
@@ -285,7 +350,7 @@ Result<DistributedResult> Scheduler::Run(Fn&& fn,
   }
 
   Result<DistributedResult> result = fn(effective);
-  Release();
+  Release(footprint);
   if (result.ok() && result->traced) {
     // Splice the admission phase in front of the span tree the service
     // recorded: the wait happened before the query's epoch, so it reads
@@ -309,7 +374,7 @@ Result<DistributedResult> Scheduler::Execute(const std::string& query,
       [this, &query](const ExecutionOptions& effective) {
         return service_->Execute(query, effective);
       },
-      options, client);
+      options, client, EstimateFootprint(query));
 }
 
 Result<DistributedResult> Scheduler::ExecutePlan(
@@ -319,7 +384,45 @@ Result<DistributedResult> Scheduler::ExecutePlan(
       [this, &plan](const ExecutionOptions& effective) {
         return service_->ExecutePlan(plan, effective);
       },
-      options, client);
+      options, client, EstimateFootprint(plan.original_query));
+}
+
+namespace {
+
+/// Sums the published serialized bytes of every collection `query`
+/// references via collection("NAME"), scaled by the parse-expansion
+/// factor. 0 when nothing referenced is sized.
+size_t EstimateFromCatalog(const DistributionCatalog& catalog,
+                           const std::string& query, double expansion) {
+  static const std::string kMarker = "collection(\"";
+  double total = 0.0;
+  size_t pos = 0;
+  while ((pos = query.find(kMarker, pos)) != std::string::npos) {
+    pos += kMarker.size();
+    const size_t end = query.find('"', pos);
+    if (end == std::string::npos) break;
+    total += static_cast<double>(
+                 catalog.SerializedBytesOf(query.substr(pos, end - pos))) *
+             expansion;
+    pos = end + 1;
+  }
+  return static_cast<size_t>(total);
+}
+
+}  // namespace
+
+std::function<size_t(const std::string&)> MakeCatalogFootprintEstimator(
+    const DistributionCatalog* catalog, double expansion) {
+  return [catalog, expansion](const std::string& query) {
+    return EstimateFromCatalog(*catalog, query, expansion);
+  };
+}
+
+std::function<size_t(const std::string&)> MakeCatalogFootprintEstimator(
+    const VersionedCatalog* versioned, double expansion) {
+  return [versioned, expansion](const std::string& query) {
+    return EstimateFromCatalog(*versioned->Snapshot(), query, expansion);
+  };
 }
 
 }  // namespace partix::middleware

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <condition_variable>
@@ -12,6 +13,7 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "memory/governor.h"
 #include "partix/query_service.h"
 
 namespace partix::middleware {
@@ -53,6 +55,25 @@ struct SchedulerOptions {
   /// hardware concurrency. The pool grows on demand (executor dispatches
   /// may EnsureThreads up to their node-count cap) but never shrinks.
   size_t pool_threads = 0;
+  /// Coordinator memory governor consulted at admission (see
+  /// docs/memory.md). When set, a query is only admitted while its
+  /// estimated footprint fits the governor's headroom; otherwise it
+  /// queues until enough in-flight work releases bytes. The admitted
+  /// footprint is charged to the governor (pinned — admission itself
+  /// never evicts running queries) for the duration of the execution.
+  /// Forward progress is guaranteed: with no query active, the best
+  /// waiter is admitted regardless of headroom, so overload degrades
+  /// into queueing instead of deadlock or OOM. nullptr (default)
+  /// disables memory-aware admission. Must outlive the scheduler.
+  memory::MemoryGovernor* governor = nullptr;
+  /// Estimates a query's coordinator-memory footprint in bytes from its
+  /// text; 0 = unknown (falls back to default_query_footprint_bytes).
+  /// MakeCatalogFootprintEstimator builds one from the distribution
+  /// catalog's published fragment sizes. Unset = always the default.
+  std::function<size_t(const std::string& query)> footprint_estimator;
+  /// Footprint assumed when no estimator is set or it returns 0 (the
+  /// collection was published without sizes).
+  size_t default_query_footprint_bytes = 1 << 20;
 };
 
 /// Identity and per-query limits of the submitting client. Default: an
@@ -93,6 +114,10 @@ struct SchedulerStats {
   uint64_t queued = 0;
   /// High-water mark of the wait queue.
   uint64_t max_queue_depth = 0;
+  /// Submissions deferred (queued, or kept queued at the head of the
+  /// line) at least once because their estimated footprint exceeded the
+  /// memory governor's headroom. Counted once per submission.
+  uint64_t memory_deferred = 0;
 };
 
 /// Multi-query admission control over one QueryService: callers from any
@@ -102,8 +127,15 @@ struct SchedulerStats {
 /// branch on:
 ///
 ///   kResourceExhausted  queue full, or queue_timeout_ms elapsed waiting
+///                       (the message says "memory" when the wait was for
+///                       governor headroom rather than an execution slot)
 ///   kDeadlineExceeded   the client's deadline expired while queued
 ///   kUnavailable        the scheduler is draining / shut down
+///
+/// With SchedulerOptions::governor set, admission additionally requires
+/// the query's estimated memory footprint to fit the governor's headroom
+/// (pressure-aware admission: overload degrades into queueing instead of
+/// OOM). See docs/memory.md.
 ///
 /// The scheduler owns the process's ONE worker pool for its service and
 /// installs it into the cluster's executor, so inter-query concurrency
@@ -173,23 +205,40 @@ class Scheduler {
     double vtime = 0.0;      // virtual-service key under kWeightedFair
     std::string client_id;
     double weight = 1.0;
+    size_t footprint = 0;    // estimated bytes, charged on admission
     bool admitted = false;
     bool drained = false;
+    /// Already counted in stats_.memory_deferred (count once per waiter).
+    bool memory_deferred = false;
   };
 
+  /// Estimated coordinator footprint of `query`: the estimator's figure
+  /// when one is set and it knows the collections, the flat default
+  /// otherwise; clamped to the governor budget so an over-budget query
+  /// is admissible when running alone.
+  size_t EstimateFootprint(const std::string& query) const;
+  /// Whether `footprint` bytes fit the governor's current headroom (true
+  /// with no governor). Caller holds mu_.
+  bool MemoryAdmissibleLocked(size_t footprint) const;
   /// Blocks until admitted or refused. On success `*wait_ms` holds the
-  /// admission wait and `*was_queued` whether it had to queue.
-  Status Admit(const ClientContext& client, double* wait_ms,
-               bool* was_queued);
-  /// Releases an execution slot and admits eligible waiters.
-  void Release();
+  /// admission wait and `*was_queued` whether it had to queue; the
+  /// footprint has been charged to the governor.
+  Status Admit(const ClientContext& client, size_t footprint,
+               double* wait_ms, bool* was_queued);
+  /// Releases an execution slot (and the footprint charged at admission)
+  /// and admits eligible waiters.
+  void Release(size_t footprint);
   /// Admits waiters while slots are free, best-first per the fairness
-  /// policy. Caller holds mu_.
+  /// policy. A memory-inadmissible best waiter blocks the line (skipping
+  /// it would starve big queries behind a stream of small ones) unless
+  /// nothing is active, in which case it is admitted for forward
+  /// progress. Caller holds mu_.
   void AdmitEligibleLocked();
   /// The admission pipeline around one execution callable.
   template <typename Fn>
   Result<DistributedResult> Run(Fn&& fn, const ExecutionOptions& options,
-                                const ClientContext& client);
+                                const ClientContext& client,
+                                size_t footprint);
 
   QueryService* service_;
   SchedulerOptions options_;
@@ -210,7 +259,27 @@ class Scheduler {
   std::map<std::string, double> virtual_service_;
   double admitted_vtime_floor_ = 0.0;
   SchedulerStats stats_;
+  /// Pinned consumer id under options_.governor holding the admitted
+  /// queries' footprints; -1 when no governor is configured.
+  int governor_id_ = -1;
 };
+
+/// Builds a SchedulerOptions::footprint_estimator from the distribution
+/// catalog's published fragment sizes: the estimate is the summed
+/// serialized bytes of every collection the query references (scanned as
+/// collection("NAME") occurrences) times `expansion`, the measured
+/// serialized-to-parsed blowup (parsed nodes + decoded text + result
+/// buffers; ~3x on the workload documents). Returns 0 — "unknown, use
+/// the default" — when the query references no sized collection. The
+/// catalog must outlive the returned function.
+std::function<size_t(const std::string&)> MakeCatalogFootprintEstimator(
+    const DistributionCatalog* catalog, double expansion = 3.0);
+
+/// Versioned-catalog flavour: snapshots `versioned` at each estimate, so
+/// repair-installed catalogs update footprints for queries admitted after
+/// the swap.
+std::function<size_t(const std::string&)> MakeCatalogFootprintEstimator(
+    const VersionedCatalog* versioned, double expansion = 3.0);
 
 }  // namespace partix::middleware
 

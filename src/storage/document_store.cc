@@ -42,6 +42,32 @@ DocumentStore::DocumentStore(std::shared_ptr<xml::NamePool> pool,
                              size_t cache_capacity_bytes)
     : pool_(std::move(pool)), cache_capacity_(cache_capacity_bytes) {}
 
+DocumentStore::~DocumentStore() { AttachGovernor(nullptr); }
+
+void DocumentStore::AttachGovernor(memory::MemoryGovernor* governor) {
+  if (governor_ != nullptr) {
+    governor_->UnregisterConsumer(governor_id_);  // releases our charge
+    governor_id_ = -1;
+  }
+  governor_ = governor;
+  if (governor_ != nullptr) {
+    governor_id_ = governor_->RegisterConsumer(
+        "parse_cache", memory::MemoryGovernor::kPriorityParseCache,
+        [this](size_t target) { return ShedCacheBytes(target); });
+    if (cache_bytes_ > 0) governor_->Charge(governor_id_, cache_bytes_);
+  }
+}
+
+size_t DocumentStore::ShedCacheBytes(size_t target) {
+  size_t freed = 0;
+  while (freed < target && !lru_.empty()) {
+    DocSlot victim = lru_.back();
+    freed += docs_[victim].parsed_bytes;
+    EvictSlot(victim);
+  }
+  return freed;
+}
+
 Result<DocSlot> DocumentStore::Put(const xml::Document& doc) {
   return PutSerialized(doc.doc_name(), xml::Serialize(doc),
                        doc.metadata());
@@ -119,21 +145,29 @@ void DocumentStore::InsertIntoCache(DocSlot slot, xml::DocumentPtr doc) {
   lru_.push_front(slot);
   entry.lru_it = lru_.begin();
   cache_bytes_ += entry.parsed_bytes;
+  // Charging may run governor pressure, which calls ShedCacheBytes
+  // re-entrantly (same thread, governor lock dropped) — the LRU tail
+  // sheds before our own capacity check below.
+  if (governor_ != nullptr) governor_->Charge(governor_id_, entry.parsed_bytes);
   EvictIfNeeded();
 }
 
 void DocumentStore::EvictIfNeeded() {
   while (cache_bytes_ > cache_capacity_ && !lru_.empty()) {
-    DocSlot victim = lru_.back();
-    lru_.pop_back();
-    Entry& entry = docs_[victim];
-    cache_bytes_ -= entry.parsed_bytes;
-    entry.parsed.reset();
-    entry.parsed_bytes = 0;
-    entry.cached = false;
-    ++metrics_.cache_evictions;
-    StoreTelemetry::Get().cache_evictions->Add();
+    EvictSlot(lru_.back());
   }
+}
+
+void DocumentStore::EvictSlot(DocSlot slot) {
+  Entry& entry = docs_[slot];
+  lru_.erase(entry.lru_it);
+  cache_bytes_ -= entry.parsed_bytes;
+  if (governor_ != nullptr) governor_->Release(governor_id_, entry.parsed_bytes);
+  entry.parsed.reset();
+  entry.parsed_bytes = 0;
+  entry.cached = false;
+  ++metrics_.cache_evictions;
+  StoreTelemetry::Get().cache_evictions->Add();
 }
 
 void DocumentStore::ReplaceSerialized(DocSlot slot, std::string xml) {
@@ -144,6 +178,9 @@ void DocumentStore::ReplaceSerialized(DocSlot slot, std::string xml) {
   if (entry.cached) {
     lru_.erase(entry.lru_it);
     cache_bytes_ -= entry.parsed_bytes;
+    if (governor_ != nullptr) {
+      governor_->Release(governor_id_, entry.parsed_bytes);
+    }
     entry.parsed.reset();
     entry.parsed_bytes = 0;
     entry.cached = false;
@@ -157,6 +194,9 @@ void DocumentStore::DropCache() {
     entry.cached = false;
   }
   lru_.clear();
+  if (governor_ != nullptr && cache_bytes_ > 0) {
+    governor_->Release(governor_id_, cache_bytes_);
+  }
   cache_bytes_ = 0;
 }
 

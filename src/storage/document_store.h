@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "memory/governor.h"
 #include "xml/document.h"
 #include "xml/name_pool.h"
 
@@ -53,9 +54,25 @@ class DocumentStore {
   /// entirely (every Get re-parses).
   DocumentStore(std::shared_ptr<xml::NamePool> pool,
                 size_t cache_capacity_bytes);
+  ~DocumentStore();
 
   DocumentStore(const DocumentStore&) = delete;
   DocumentStore& operator=(const DocumentStore&) = delete;
+
+  /// Registers this store's parse cache with `governor` (eviction
+  /// priority kPriorityParseCache: parsed trees are re-creatable from
+  /// serialized bytes, so they shed first). Every cached byte is charged
+  /// to the governor from then on; under pressure the governor calls
+  /// back into ShedCacheBytes. Call before first use; pass nullptr to
+  /// detach. The governor must outlive the store (in practice the owning
+  /// Database owns both).
+  void AttachGovernor(memory::MemoryGovernor* governor);
+
+  /// Evicts parsed trees LRU-first until at least `target` cached bytes
+  /// are freed (or the cache is empty); returns the bytes freed. This is
+  /// what the governor invokes under pressure; benches may call it
+  /// directly.
+  size_t ShedCacheBytes(size_t target);
 
   /// Adds a document, serializing it. The document's out-of-band metadata
   /// is persisted and re-attached on every Get. Fails if the name already
@@ -111,6 +128,9 @@ class DocumentStore {
   size_t cache_capacity_bytes() const { return cache_capacity_; }
   void set_cache_capacity_bytes(size_t bytes);
 
+  /// Summed ApproxBytes of the parsed trees currently cached.
+  size_t cache_bytes() const { return cache_bytes_; }
+
  private:
   struct Entry {
     std::string name;
@@ -125,10 +145,13 @@ class DocumentStore {
   void Touch(DocSlot slot);
   void InsertIntoCache(DocSlot slot, xml::DocumentPtr doc);
   void EvictIfNeeded();
+  void EvictSlot(DocSlot slot);  // entry must be cached; counts as eviction
 
   std::shared_ptr<xml::NamePool> pool_;
   size_t cache_capacity_;
   size_t cache_bytes_ = 0;
+  memory::MemoryGovernor* governor_ = nullptr;
+  int governor_id_ = -1;
   uint64_t total_bytes_ = 0;
   std::vector<Entry> docs_;
   std::unordered_map<std::string, DocSlot> by_name_;

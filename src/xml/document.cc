@@ -5,8 +5,30 @@
 namespace partix::xml {
 
 Document::Document(std::shared_ptr<NamePool> pool, std::string name)
-    : pool_(std::move(pool)), doc_name_(std::move(name)) {
+    : Document(std::move(pool), std::move(name),
+               memory::DocumentArenaPoolOrNull()) {}
+
+Document::Document(std::shared_ptr<NamePool> pool, std::string name,
+                   memory::ArenaPool* arena_pool)
+    : pool_(std::move(pool)),
+      doc_name_(std::move(name)),
+      arena_(arena_pool) {
   assert(pool_ != nullptr);
+}
+
+uint32_t Document::AddText(std::string_view value) {
+  uint32_t value_idx = static_cast<uint32_t>(texts_.size());
+  std::string_view stored = arena_.CopyString(value);
+  texts_.push_back(TextRef{stored.data(), static_cast<uint32_t>(stored.size())});
+  return value_idx;
+}
+
+void Document::ReserveForInputSize(size_t input_bytes) {
+  // A serialized node ("<a>v</a>") runs ~20-60 bytes; reserve
+  // conservatively so over-reservation never dominates small inputs.
+  size_t node_hint = input_bytes / 32 + 8;
+  nodes_.reserve(node_hint);
+  texts_.reserve(node_hint / 2 + 4);
 }
 
 NodeId Document::NewNode(NodeKind kind, NameId name, uint32_t value,
@@ -44,18 +66,14 @@ NodeId Document::AppendAttribute(NodeId parent, std::string_view name,
                                  std::string_view value) {
   assert(parent < nodes_.size() &&
          nodes_[parent].kind == NodeKind::kElement);
-  uint32_t value_idx = static_cast<uint32_t>(texts_.size());
-  texts_.emplace_back(value);
-  return NewNode(NodeKind::kAttribute, pool_->Intern(name), value_idx,
+  return NewNode(NodeKind::kAttribute, pool_->Intern(name), AddText(value),
                  parent);
 }
 
 NodeId Document::AppendText(NodeId parent, std::string_view value) {
   assert(parent < nodes_.size() &&
          nodes_[parent].kind == NodeKind::kElement);
-  uint32_t value_idx = static_cast<uint32_t>(texts_.size());
-  texts_.emplace_back(value);
-  return NewNode(NodeKind::kText, 0, value_idx, parent);
+  return NewNode(NodeKind::kText, 0, AddText(value), parent);
 }
 
 NodeId Document::CopySubtree(const Document& src, NodeId src_root,
@@ -150,8 +168,11 @@ void Document::VisitSubtree(NodeId n,
 }
 
 size_t Document::ApproxBytes() const {
+  // arena_.used_bytes() counts the text characters; it is identical in
+  // pooled and direct mode, so cache eviction (which keys off this
+  // figure) behaves the same with the pool on or off.
   size_t bytes = nodes_.size() * sizeof(NodeData);
-  for (const std::string& t : texts_) bytes += t.size() + sizeof(std::string);
+  bytes += arena_.used_bytes() + texts_.size() * sizeof(TextRef);
   if (origin_tracking_) bytes += origins_.size() * sizeof(NodeId);
   if (!labels_.empty()) {
     bytes += labels_.size() * (sizeof(NodeLabel) + 2 * sizeof(uint32_t));

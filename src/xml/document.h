@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "memory/arena.h"
 #include "xml/name_pool.h"
 
 namespace partix::xml {
@@ -71,8 +72,16 @@ struct NodeLabel {
 class Document {
  public:
   /// Creates an empty document. `name` identifies the document within its
-  /// collection (the "document URI").
+  /// collection (the "document URI"). Text payloads land in an arena
+  /// drawn from the process-wide ArenaPool (or, when document-arena
+  /// pooling is disabled, in per-text direct allocations — the legacy
+  /// malloc behavior). See memory::SetDocumentArenaPooling.
   Document(std::shared_ptr<NamePool> pool, std::string name);
+
+  /// Like above but with an explicit arena pool (nullptr = direct
+  /// mode). Tests and benches pin the mode per document with this.
+  Document(std::shared_ptr<NamePool> pool, std::string name,
+           memory::ArenaPool* arena_pool);
 
   Document(const Document&) = delete;
   Document& operator=(const Document&) = delete;
@@ -94,6 +103,11 @@ class Document {
   /// Appends a text child under `parent`. Pre: parent is an element.
   NodeId AppendText(NodeId parent, std::string_view value);
 
+  /// Capacity hint from the byte size of the serialized input; the
+  /// parser calls this once so node/text vectors and the text arena
+  /// grow O(1) times instead of O(log n).
+  void ReserveForInputSize(size_t input_bytes);
+
   /// Copies the subtree rooted at `src_root` in `src` under `dst_parent`
   /// (or as this document's root if `dst_parent` is kNullNode). `skip`
   /// (optional) is consulted for every source node; returning true prunes
@@ -114,7 +128,10 @@ class Document {
   std::string_view name(NodeId n) const { return pool_->Get(nodes_[n].name); }
 
   /// Value of a text or attribute node. Pre: kind is kText or kAttribute.
-  std::string_view value(NodeId n) const { return texts_[nodes_[n].value]; }
+  std::string_view value(NodeId n) const {
+    const TextRef& t = texts_[nodes_[n].value];
+    return std::string_view(t.data, t.size);
+  }
 
   NodeId parent(NodeId n) const { return nodes_[n].parent; }
   NodeId first_child(NodeId n) const { return nodes_[n].first_child; }
@@ -262,14 +279,24 @@ class Document {
     NodeId next_sibling;
   };
 
+  /// A text payload in the document's arena. 16 bytes vs. the 32-byte
+  /// std::string header this replaced; the characters live in pooled
+  /// arena chunks recycled across parses.
+  struct TextRef {
+    const char* data = nullptr;
+    uint32_t size = 0;
+  };
+
   NodeId NewNode(NodeKind kind, NameId name, uint32_t value, NodeId parent);
+  uint32_t AddText(std::string_view value);
   void ClearLabels();
 
   std::shared_ptr<NamePool> pool_;
   std::string doc_name_;
   std::map<std::string, std::string> metadata_;
+  memory::Arena arena_;  // text payload storage; outlives texts_ refs
   std::vector<NodeData> nodes_;
-  std::vector<std::string> texts_;
+  std::vector<TextRef> texts_;
 
   // Structural labels, indexed by NodeId; empty until SealLabels(). The
   // Dewey component of node n lives at dewey_buf_[dewey_off_[n]] with

@@ -20,6 +20,9 @@ class Parser {
                                         std::move(doc_name))) {}
 
   Result<std::shared_ptr<Document>> Parse() {
+    // One up-front capacity hint keeps node/text growth out of the
+    // per-element path; the text arena recycles pooled chunks anyway.
+    doc_->ReserveForInputSize(input_.size());
     SkipProlog();
     if (AtEnd()) return Error("document has no root element");
     PARTIX_RETURN_IF_ERROR(ParseElement(kNullNode));
@@ -116,16 +119,23 @@ class Parser {
     }
   }
 
-  Result<std::string> ParseName() {
+  /// The returned view aliases input_ and stays valid for the parse.
+  Result<std::string_view> ParseName() {
     if (AtEnd() || !IsNameStart(Peek())) return Error("expected a name");
     size_t start = pos_;
     while (!AtEnd() && IsNameChar(Peek())) Advance();
-    return std::string(input_.substr(start, pos_ - start));
+    return input_.substr(start, pos_ - start);
   }
 
   /// Decodes entity and character references in raw character data.
-  Result<std::string> DecodeText(std::string_view raw) {
-    std::string out;
+  /// Returns `raw` itself when it contains no references (the common
+  /// case — zero copies), otherwise a view of the reused decode scratch,
+  /// valid until the next DecodeText call. Callers copy the bytes into
+  /// the document immediately.
+  Result<std::string_view> DecodeText(std::string_view raw) {
+    if (raw.find('&') == std::string_view::npos) return raw;
+    std::string& out = decode_scratch_;
+    out.clear();
     out.reserve(raw.size());
     for (size_t i = 0; i < raw.size();) {
       if (raw[i] != '&') {
@@ -181,7 +191,7 @@ class Parser {
       }
       i = semi + 1;
     }
-    return out;
+    return std::string_view(out);
   }
 
   static void AppendUtf8(std::string* out, uint32_t cp) {
@@ -207,7 +217,7 @@ class Parser {
       SkipWhitespace();
       if (AtEnd()) return Error("unterminated start tag");
       if (Peek() == '>' || Peek() == '/') return Status::Ok();
-      PARTIX_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      PARTIX_ASSIGN_OR_RETURN(std::string_view attr_name, ParseName());
       SkipWhitespace();
       if (!Consume('=')) return Error("expected '=' after attribute name");
       SkipWhitespace();
@@ -224,7 +234,7 @@ class Parser {
       if (AtEnd()) return Error("unterminated attribute value");
       std::string_view raw = input_.substr(start, pos_ - start);
       Advance();  // closing quote
-      PARTIX_ASSIGN_OR_RETURN(std::string decoded, DecodeText(raw));
+      PARTIX_ASSIGN_OR_RETURN(std::string_view decoded, DecodeText(raw));
       doc_->AppendAttribute(element, attr_name, decoded);
     }
   }
@@ -241,7 +251,7 @@ class Parser {
 
   Status ParseElementInner(NodeId parent) {
     if (!Consume('<')) return Error("expected '<'");
-    PARTIX_ASSIGN_OR_RETURN(std::string name, ParseName());
+    PARTIX_ASSIGN_OR_RETURN(std::string_view name, ParseName());
     NodeId element = parent == kNullNode ? doc_->CreateRoot(name)
                                          : doc_->AppendElement(parent, name);
     PARTIX_RETURN_IF_ERROR(ParseAttributes(element));
@@ -253,20 +263,23 @@ class Parser {
     return ParseContent(element, name);
   }
 
-  Status ParseContent(NodeId element, const std::string& name) {
+  Status ParseContent(NodeId element, std::string_view name) {
     bool saw_element_child = false;
     bool saw_text_child = false;
     while (true) {
-      if (AtEnd()) return Error("unexpected end of input in <" + name + ">");
+      if (AtEnd()) {
+        return Error("unexpected end of input in <" + std::string(name) +
+                     ">");
+      }
       if (Peek() == '<') {
         if (PeekAt(1) == '/') {
           // End tag.
           Advance();
           Advance();
-          PARTIX_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+          PARTIX_ASSIGN_OR_RETURN(std::string_view end_name, ParseName());
           if (end_name != name) {
-            return Error("mismatched end tag </" + end_name +
-                         ">, expected </" + name + ">");
+            return Error("mismatched end tag </" + std::string(end_name) +
+                         ">, expected </" + std::string(name) + ">");
           }
           SkipWhitespace();
           if (!Consume('>')) return Error("expected '>' in end tag");
@@ -315,7 +328,7 @@ class Parser {
       std::string_view raw = input_.substr(start, pos_ - start);
       if (StripWhitespace(raw).empty()) continue;  // ignorable whitespace
       if (saw_element_child) return Error("mixed content is not supported");
-      PARTIX_ASSIGN_OR_RETURN(std::string decoded, DecodeText(raw));
+      PARTIX_ASSIGN_OR_RETURN(std::string_view decoded, DecodeText(raw));
       doc_->AppendText(element, decoded);
       saw_text_child = true;
     }
@@ -328,6 +341,9 @@ class Parser {
 
   std::string_view input_;
   std::shared_ptr<Document> doc_;
+  /// Reused across DecodeText calls; one allocation serves every
+  /// reference-bearing text in the document.
+  std::string decode_scratch_;
   size_t pos_ = 0;
   size_t line_ = 1;
   size_t col_ = 1;

@@ -16,6 +16,7 @@
 #include "common/strings.h"
 #include "gen/virtual_store.h"
 #include "gtest/gtest.h"
+#include "memory/governor.h"
 #include "partix/catalog.h"
 #include "partix/cluster.h"
 #include "partix/publisher.h"
@@ -498,6 +499,105 @@ TEST_F(ReplicatedSchedulerTest, ConcurrentDirectServiceCallsAreSafe) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(mismatches.load(), 0u);
+}
+
+// --- pressure-aware admission (docs/memory.md) ---------------------------
+
+TEST_F(SchedulerTest, MemoryAdmissionDefersUntilHeadroomFrees) {
+  StallNode(1, 300.0);
+  memory::MemoryGovernor governor(size_t{3} << 20);  // 3 MB budget
+  SchedulerOptions options;
+  options.max_concurrent_queries = 4;  // slots are NOT the constraint
+  options.queue_capacity = 4;
+  options.governor = &governor;
+  options.default_query_footprint_bytes = size_t{2} << 20;  // 2 MB each
+  Scheduler scheduler(&service_, options);
+
+  std::thread holder([&] {
+    auto held = scheduler.Execute(kDvdQuery);  // stalled on node 1
+    EXPECT_TRUE(held.ok()) << held.status();
+  });
+  ASSERT_TRUE(WaitUntil([&] { return scheduler.active_queries() == 1; }));
+  // The holder's 2 MB footprint leaves 1 MB headroom: the next query's
+  // 2 MB does not fit even though three execution slots are free.
+  EXPECT_EQ(governor.headroom_bytes(), size_t{1} << 20);
+
+  auto deferred = scheduler.Execute(kCdQuery);  // waits, then runs
+  ASSERT_TRUE(deferred.ok()) << deferred.status();
+  holder.join();
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.queued, 1u);
+  EXPECT_EQ(stats.memory_deferred, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(governor.charged_bytes(), 0u);  // all footprints released
+}
+
+TEST_F(SchedulerTest, MemoryTimeoutIsAMemoryFlavoredVerdict) {
+  StallNode(1, 300.0);
+  memory::MemoryGovernor governor(size_t{3} << 20);
+  SchedulerOptions options;
+  options.max_concurrent_queries = 4;
+  options.queue_capacity = 4;
+  options.queue_timeout_ms = 30.0;
+  options.governor = &governor;
+  options.default_query_footprint_bytes = size_t{2} << 20;
+  Scheduler scheduler(&service_, options);
+
+  std::thread holder([&] {
+    auto held = scheduler.Execute(kDvdQuery);
+    EXPECT_TRUE(held.ok()) << held.status();
+  });
+  ASSERT_TRUE(WaitUntil([&] { return scheduler.active_queries() == 1; }));
+
+  auto timed_out = scheduler.Execute(kCdQuery);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(Contains(timed_out.status().message(), "memory"))
+      << timed_out.status().message();
+  holder.join();
+  EXPECT_EQ(scheduler.stats().memory_deferred, 1u);
+}
+
+TEST_F(SchedulerTest, ZeroHeadroomStillAdmitsWhenNothingIsActive) {
+  memory::MemoryGovernor governor(size_t{1} << 20);
+  const int hog = governor.RegisterConsumer(
+      "hog", memory::MemoryGovernor::kPriorityPinned, nullptr);
+  governor.Charge(hog, governor.budget_bytes());  // zero headroom
+  SchedulerOptions options;
+  options.governor = &governor;
+  Scheduler scheduler(&service_, options);
+
+  // Forward progress: with no query active, admission ignores headroom —
+  // overload means queueing, never deadlock.
+  auto result = scheduler.Execute(kCountQuery);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(scheduler.stats().memory_deferred, 0u);
+}
+
+TEST_F(SchedulerTest, CatalogFootprintEstimatorUsesPublishedSizes) {
+  auto estimator = MakeCatalogFootprintEstimator(&catalog_);
+  const size_t estimate = estimator(kCountQuery);
+  // The publisher recorded per-fragment serialized bytes; the estimate is
+  // their sum times the parse-expansion factor.
+  uint64_t published = catalog_.SerializedBytesOf("items");
+  ASSERT_GT(published, 0u);
+  EXPECT_EQ(estimate, static_cast<size_t>(published * 3.0));
+  EXPECT_EQ(estimator("count(collection(\"nope\"))"), 0u);
+  EXPECT_EQ(estimator("1 + 1"), 0u);
+
+  // The estimator feeds admission: a scheduler built on it admits with
+  // catalog-derived footprints (exercised end-to-end, uncontended).
+  memory::MemoryGovernor governor(size_t{64} << 20);
+  SchedulerOptions options;
+  options.governor = &governor;
+  options.footprint_estimator = MakeCatalogFootprintEstimator(&catalog_);
+  Scheduler scheduler(&service_, options);
+  auto result = scheduler.Execute(kCountQuery);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(governor.charged_bytes(), 0u);
 }
 
 }  // namespace

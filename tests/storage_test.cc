@@ -1,4 +1,10 @@
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "storage/document_store.h"
@@ -227,6 +233,62 @@ TEST(CollectionStatsTest, RecordAccessFoldsStoreDeltas) {
   // The summary now carries the access line.
   EXPECT_NE(stats.Summary().find("accessed by"), std::string::npos)
       << stats.Summary();
+}
+
+TEST(DocumentStoreTest, ShrinkingCapacityUnderConcurrentLoadEvictsPromptly) {
+  // The store is single-thread-only; concurrent access goes through an
+  // external mutex exactly like the middleware driver's per-node lock.
+  // Reader threads hammer Get while a control thread repeatedly shrinks
+  // the cache byte budget; eviction must keep cache_bytes within the
+  // *current* capacity at every step and the byte accounting must stay
+  // conservation-clean. (scripts/check.sh runs this under TSan.)
+  auto pool = Pool();
+  DocumentStore store(pool, size_t{1} << 20);
+  constexpr int kDocs = 24;
+  for (int i = 0; i < kDocs; ++i) {
+    ASSERT_TRUE(store
+                    .PutSerialized("d" + std::to_string(i),
+                                   "<a><b>payload number " +
+                                       std::to_string(i) +
+                                       " with some text</b></a>")
+                    .ok());
+  }
+  std::mutex mu;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      int i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(mu);
+        auto doc = store.Get(static_cast<DocSlot>(i % kDocs));
+        ASSERT_TRUE(doc.ok()) << doc.status();
+        EXPECT_LE(store.cache_bytes(), store.cache_capacity_bytes());
+        i += 3;
+      }
+    });
+  }
+  // Shrink the budget step by step down to (nearly) nothing.
+  size_t capacity = size_t{1} << 20;
+  for (int step = 0; step < 40; ++step) {
+    capacity = capacity > 2048 ? capacity / 2 : 2048;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      store.set_cache_capacity_bytes(capacity);
+      // Prompt eviction: the shrink itself brings the cache under the
+      // new bound — no waiting for the next Get.
+      EXPECT_LE(store.cache_bytes(), capacity);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  // Conservation after the churn: the cached-byte figure equals the sum
+  // of the cached entries' parsed sizes (re-derivable by draining).
+  const size_t cached_before_drop = store.cache_bytes();
+  EXPECT_EQ(store.ShedCacheBytes(size_t{1} << 30), cached_before_drop);
+  EXPECT_EQ(store.cache_bytes(), 0u);
 }
 
 }  // namespace
