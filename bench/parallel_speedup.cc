@@ -65,13 +65,16 @@ double RpcMillisFromEnv() {
 }
 
 /// Runs one query at one parallelism level: one discarded warm-up, then
-/// `runs` measured repetitions.
+/// `runs` measured repetitions. `intra` additionally splits each node's
+/// evaluation into that many morsels (1 = sequential engines).
 partix::Result<Cell> MeasureCell(partix::workload::Deployment* deployment,
                                  const partix::workload::QuerySpec& query,
-                                 size_t parallelism, size_t runs) {
+                                 size_t parallelism, size_t runs,
+                                 size_t intra = 1) {
   Cell cell;
   ExecutionOptions options;
   options.parallelism = parallelism;
+  options.intra_node_parallelism = intra;
   for (size_t run = 0; run <= runs; ++run) {
     PARTIX_ASSIGN_OR_RETURN(
         DistributedResult result,
@@ -94,13 +97,13 @@ partix::Result<Cell> MeasureCell(partix::workload::Deployment* deployment,
 partix::Result<std::vector<std::vector<Cell>>> RunSeries(
     partix::workload::Deployment* deployment,
     const std::vector<partix::workload::QuerySpec>& queries, size_t runs,
-    bool* identical) {
+    bool* identical, size_t intra = 1) {
   std::vector<std::vector<Cell>> cells;
   for (const auto& query : queries) {
     std::vector<Cell> row;
     for (size_t p : kParallelisms) {
       PARTIX_ASSIGN_OR_RETURN(Cell cell,
-                              MeasureCell(deployment, query, p, runs));
+                              MeasureCell(deployment, query, p, runs, intra));
       if (!row.empty() && cell.serialized != row.front().serialized) {
         *identical = false;
         std::fprintf(stderr,
@@ -209,6 +212,30 @@ int main() {
   PrintSeries("in-process (sub-queries are local CPU)", queries, *in_process,
               &ip_p1, &ip_pmax);
 
+  // Combined cross x intra: the same fan-out with each node additionally
+  // splitting its evaluation into 4 morsels on the shared pool. The
+  // wall-p=1 column here is "sequential dispatch, parallel engines"; the
+  // p=4 column composes both levels. Identity is still checked against
+  // the purely sequential answers.
+  auto combined =
+      RunSeries(deployment->get(), queries, runs, &identical, /*intra=*/4);
+  if (!combined.ok()) {
+    std::fprintf(stderr, "combined series failed: %s\n",
+                 combined.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if ((*combined)[q].front().serialized !=
+        (*in_process)[q].front().serialized) {
+      identical = false;
+      std::fprintf(stderr, "MISMATCH: %s differs with intra-node morsels\n",
+                   queries[q].id.c_str());
+    }
+  }
+  double cb_p1 = 0.0, cb_pmax = 0.0;
+  PrintSeries("combined cross x intra (4 morsels per node)", queries,
+              *combined, &cb_p1, &cb_pmax);
+
   deployment->get()->cluster().mutable_network().emulated_rpc_sec =
       rpc_ms / 1e3;
   auto remote = RunSeries(deployment->get(), queries, runs, &identical);
@@ -230,6 +257,9 @@ int main() {
   std::printf("in-process measured speedup (multi-fragment total):      "
               "%.2fx\n",
               ip_pmax > 0.0 ? ip_p1 / ip_pmax : 0.0);
+  std::printf("combined cross x intra speedup vs sequential engines:     "
+              "%.2fx\n",
+              cb_pmax > 0.0 ? ip_p1 / cb_pmax : 0.0);
   std::printf("remote-emulation measured speedup (multi-fragment total): "
               "%.2fx\n",
               rm_pmax > 0.0 ? rm_p1 / rm_pmax : 0.0);

@@ -54,6 +54,11 @@ for config in "${configs[@]}"; do
     # parsed document with the arena pool, zero failures under a tiny
     # budget, byte-identical answers with governance on vs off.
     (cd "$dir"/bench && PARTIX_SMOKE=1 ./memory_density)
+    echo "== ${config}: intra-node morsel smoke =="
+    # Identity gate for intra-node morsel parallelism: localized queries
+    # must answer byte-identically at morsels 1/2/4/8 (the 2x speedup
+    # gate runs only in full mode on multi-core hosts).
+    (cd "$dir"/bench && PARTIX_SMOKE=1 ./intra_node_speedup)
   fi
 done
 

@@ -1,7 +1,9 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_set>
 
 #include "common/clock.h"
@@ -43,7 +45,14 @@ struct EngineTelemetry {
 };
 
 /// Resolves collection() calls against the database with planner-derived
-/// candidate documents.
+/// candidate documents, accumulating the store activity (parses, cache
+/// hits, evictions) this one query caused — attribution is per call via
+/// DocumentStore::Get's delta parameter, so concurrent queries on the
+/// same store never race over shared counters.
+///
+/// Thread-safe: morsel workers may Resolve concurrently (the candidate
+/// and store maps are immutable after construction; delta accumulation
+/// takes a private mutex).
 class PlannedResolver : public xquery::CollectionResolver {
  public:
   /// `candidates`: per-collection pruned slot lists (absent = error: the
@@ -60,28 +69,54 @@ class PlannedResolver : public xquery::CollectionResolver {
       return Status::NotFound("collection '" + name + "' does not exist");
     }
     storage::DocumentStore* store = store_it->second;
+    storage::StoreMetrics delta;
     std::vector<xml::DocumentPtr> docs;
+    Status status = Status::Ok();
     auto cand_it = candidates_.find(name);
     if (cand_it == candidates_.end()) {
       // Planner did not see this call site (e.g. dynamic name): full scan.
       docs.reserve(store->size());
       for (storage::DocSlot slot = 0; slot < store->size(); ++slot) {
-        PARTIX_ASSIGN_OR_RETURN(xml::DocumentPtr doc, store->Get(slot));
-        docs.push_back(std::move(doc));
+        Result<xml::DocumentPtr> doc = store->Get(slot, &delta);
+        if (!doc.ok()) {
+          status = doc.status();
+          break;
+        }
+        docs.push_back(std::move(*doc));
       }
-      return docs;
+    } else {
+      docs.reserve(cand_it->second.size());
+      for (storage::DocSlot slot : cand_it->second) {
+        Result<xml::DocumentPtr> doc = store->Get(slot, &delta);
+        if (!doc.ok()) {
+          status = doc.status();
+          break;
+        }
+        docs.push_back(std::move(*doc));
+      }
     }
-    docs.reserve(cand_it->second.size());
-    for (storage::DocSlot slot : cand_it->second) {
-      PARTIX_ASSIGN_OR_RETURN(xml::DocumentPtr doc, store->Get(slot));
-      docs.push_back(std::move(doc));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      deltas_[name].Merge(delta);
     }
+    PARTIX_RETURN_IF_ERROR(status);
     return docs;
+  }
+
+  /// The store-activity delta attributed to `name` by this query's
+  /// Resolve calls (zero metrics if it was never resolved). Read after
+  /// evaluation completes.
+  storage::StoreMetrics DeltaFor(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = deltas_.find(name);
+    return it == deltas_.end() ? storage::StoreMetrics() : it->second;
   }
 
  private:
   std::map<std::string, std::vector<storage::DocSlot>> candidates_;
   std::map<std::string, storage::DocumentStore*> stores_;
+  mutable std::mutex mu_;
+  std::map<std::string, storage::StoreMetrics> deltas_;
 };
 
 }  // namespace
@@ -100,20 +135,29 @@ Database::Database(DatabaseOptions options)
 
 Status Database::CreateCollection(const std::string& name,
                                   CollectionMeta meta) {
-  if (collections_.count(name) != 0) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return CreateCollectionLocked(name, std::move(meta));
+}
+
+Status Database::CreateCollectionLocked(const std::string& name,
+                                        CollectionMeta meta) {
+  // try_emplace constructs the state in place: CollectionState holds a
+  // mutex and cannot be moved into the map after the fact.
+  auto [it, inserted] = collections_.try_emplace(name);
+  if (!inserted) {
     return Status::AlreadyExists("collection '" + name + "' already exists");
   }
-  CollectionState state;
+  CollectionState& state = it->second;
   state.meta = std::move(meta);
   state.store = std::make_unique<storage::DocumentStore>(
       pool_, options_.cache_capacity_bytes);
   if (governor_ != nullptr) state.store->AttachGovernor(governor_.get());
-  collections_.emplace(name, std::move(state));
   InvalidatePlans();
   return Status::Ok();
 }
 
 Status Database::DropCollection(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (collections_.erase(name) == 0) {
     return Status::NotFound("collection '" + name + "' does not exist");
   }
@@ -129,10 +173,12 @@ void Database::InvalidatePlans() {
 }
 
 bool Database::HasCollection(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return collections_.count(name) != 0;
 }
 
 std::vector<std::string> Database::CollectionNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(collections_.size());
   for (const auto& [name, state] : collections_) out.push_back(name);
@@ -171,6 +217,12 @@ Status Database::IndexDocument(CollectionState* state, storage::DocSlot slot,
 
 Status Database::StoreDocument(const std::string& collection,
                                const xml::Document& doc) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return StoreDocumentLocked(collection, doc);
+}
+
+Status Database::StoreDocumentLocked(const std::string& collection,
+                                     const xml::Document& doc) {
   PARTIX_ASSIGN_OR_RETURN(CollectionState * state, GetState(collection));
   if (state->meta.validate_on_store && state->meta.schema != nullptr) {
     xml::Collection probe("", state->meta.schema, state->meta.root_path,
@@ -191,6 +243,7 @@ Status Database::StoreSerialized(const std::string& collection,
 Status Database::StoreSerializedWithMetadata(
     const std::string& collection, std::string doc_name, std::string xml,
     std::map<std::string, std::string> metadata) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   PARTIX_ASSIGN_OR_RETURN(CollectionState * state, GetState(collection));
   PARTIX_ASSIGN_OR_RETURN(std::shared_ptr<xml::Document> doc,
                           xml::ParseXml(pool_, doc_name, xml));
@@ -208,22 +261,25 @@ Status Database::StoreSerializedWithMetadata(
 }
 
 Status Database::StoreCollection(const xml::Collection& collection) {
-  if (!HasCollection(collection.name())) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (collections_.count(collection.name()) == 0) {
     CollectionMeta meta;
     meta.schema = collection.schema();
     meta.root_path = collection.root_path();
     meta.kind = collection.kind();
-    PARTIX_RETURN_IF_ERROR(CreateCollection(collection.name(), meta));
+    PARTIX_RETURN_IF_ERROR(CreateCollectionLocked(collection.name(), meta));
   }
   for (const xml::DocumentPtr& doc : collection.docs()) {
-    PARTIX_RETURN_IF_ERROR(StoreDocument(collection.name(), *doc));
+    PARTIX_RETURN_IF_ERROR(StoreDocumentLocked(collection.name(), *doc));
   }
   return Status::Ok();
 }
 
 Result<std::vector<xml::DocumentPtr>> Database::AllDocuments(
     const std::string& collection) {
-  PARTIX_ASSIGN_OR_RETURN(CollectionState * state, GetState(collection));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
+                          GetState(collection));
   std::vector<xml::DocumentPtr> docs;
   docs.reserve(state->store->size());
   for (storage::DocSlot slot = 0; slot < state->store->size(); ++slot) {
@@ -235,6 +291,7 @@ Result<std::vector<xml::DocumentPtr>> Database::AllDocuments(
 
 Result<const storage::CollectionStats*> Database::Stats(
     const std::string& collection) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
                           GetState(collection));
   return &state->stats;
@@ -242,12 +299,14 @@ Result<const storage::CollectionStats*> Database::Stats(
 
 Result<const CollectionMeta*> Database::Meta(
     const std::string& collection) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
                           GetState(collection));
   return &state->meta;
 }
 
 Result<size_t> Database::DocumentCount(const std::string& collection) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
                           GetState(collection));
   return state->store->size();
@@ -255,6 +314,7 @@ Result<size_t> Database::DocumentCount(const std::string& collection) const {
 
 Result<uint64_t> Database::SerializedBytes(
     const std::string& collection) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
                           GetState(collection));
   return state->store->total_serialized_bytes();
@@ -279,6 +339,7 @@ std::vector<storage::DocSlot> SlotsByName(const storage::DocumentStore& s) {
 
 Result<uint64_t> Database::CollectionContentDigest(
     const std::string& collection) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
                           GetState(collection));
   const storage::DocumentStore& store = *state->store;
@@ -294,6 +355,7 @@ Result<uint64_t> Database::CollectionContentDigest(
 
 Result<std::vector<StoredDoc>> Database::ExportStoredDocs(
     const std::string& collection) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   PARTIX_ASSIGN_OR_RETURN(const CollectionState* state,
                           GetState(collection));
   const storage::DocumentStore& store = *state->store;
@@ -308,6 +370,7 @@ Result<std::vector<StoredDoc>> Database::ExportStoredDocs(
 
 Status Database::CorruptStoredDocumentText(const std::string& collection,
                                            size_t doc_index, uint64_t pick) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   PARTIX_ASSIGN_OR_RETURN(CollectionState* state, GetState(collection));
   storage::DocumentStore& store = *state->store;
   if (doc_index >= store.size()) {
@@ -326,7 +389,7 @@ Status Database::CorruptStoredDocumentText(const std::string& collection,
   return Status::Ok();
 }
 
-Result<PrepareOutcome> Database::Prepare(const std::string& query) {
+Result<PrepareOutcome> Database::Prepare(const std::string& query) const {
   if (PreparedQueryPtr cached = plan_cache_.Lookup(query)) {
     EngineTelemetry::Get().plan_cache_hits->Add();
     PrepareOutcome out;
@@ -345,7 +408,7 @@ Result<PrepareOutcome> Database::Prepare(const std::string& query) {
 }
 
 Result<PrepareOutcome> Database::Prepare(
-    const xquery::CompiledQueryPtr& compiled) {
+    const xquery::CompiledQueryPtr& compiled) const {
   if (compiled == nullptr) {
     return Status::InvalidArgument("Prepare: null compiled query");
   }
@@ -364,7 +427,8 @@ Result<PrepareOutcome> Database::Prepare(
   return FinishPrepare(std::move(plan));
 }
 
-PrepareOutcome Database::FinishPrepare(std::shared_ptr<PreparedQuery> plan) {
+PrepareOutcome Database::FinishPrepare(
+    std::shared_ptr<PreparedQuery> plan) const {
   const EngineTelemetry& telemetry = EngineTelemetry::Get();
   telemetry.plan_cache_misses->Add();
   telemetry.compile_ms->Observe(plan->compile_ms);
@@ -377,10 +441,18 @@ PrepareOutcome Database::FinishPrepare(std::shared_ptr<PreparedQuery> plan) {
   return out;
 }
 
-Result<QueryResult> Database::Execute(const std::string& query) {
+Result<QueryResult> Database::Execute(const std::string& query,
+                                      const ExecParams& exec) const {
   Stopwatch watch;
+  // Prepare touches only the internally-locked plan cache, so it runs
+  // outside mu_; the shared lock is taken once for the execution body
+  // (no recursive shared acquisition — a writer waiting between two
+  // shared locks on one thread would deadlock).
   PARTIX_ASSIGN_OR_RETURN(PrepareOutcome prepared, Prepare(query));
-  PARTIX_ASSIGN_OR_RETURN(QueryResult out, ExecutePrepared(*prepared.plan));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  PARTIX_ASSIGN_OR_RETURN(QueryResult out,
+                          ExecutePreparedLocked(*prepared.plan, exec));
+  lock.unlock();
   out.metrics.compile_ms = prepared.compile_ms;
   out.metrics.plan_cache_hits = prepared.cache_hit ? 1 : 0;
   out.metrics.plan_cache_misses = prepared.cache_hit ? 0 : 1;
@@ -391,7 +463,14 @@ Result<QueryResult> Database::Execute(const std::string& query) {
   return out;
 }
 
-Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared) {
+Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared,
+                                              const ExecParams& exec) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ExecutePreparedLocked(prepared, exec);
+}
+
+Result<QueryResult> Database::ExecutePreparedLocked(
+    const PreparedQuery& prepared, const ExecParams& exec) const {
   if (prepared.compiled == nullptr) {
     return Status::InvalidArgument("ExecutePrepared: plan has no query");
   }
@@ -401,19 +480,20 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared) {
   // Plan: compute candidate documents per referenced collection. This
   // part is data-dependent (index postings change as documents are
   // stored), so it stays at execution time; the parse and the static
-  // site-constraint analysis live in the prepared plan.
+  // site-constraint analysis live in the prepared plan. Index lookups are
+  // const reads — the shared lock excludes the (exclusive) writers.
   std::map<std::string, std::vector<storage::DocSlot>> candidates;
   std::map<std::string, storage::DocumentStore*> stores;
   QueryMetrics metrics;
 
-  for (auto& [name, state] : collections_) {
+  for (const auto& [name, state] : collections_) {
     stores[name] = state.store.get();
   }
 
   for (const auto& [name, plan] : plans) {
     auto it = collections_.find(name);
     if (it == collections_.end()) continue;  // resolver will report
-    CollectionState& state = it->second;
+    const CollectionState& state = it->second;
     const size_t total = state.store->size();
     metrics.docs_in_collections += total;
 
@@ -494,27 +574,32 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared) {
       std::sort(slots.begin(), slots.end());
     }
     metrics.docs_considered += slots.size();
-    state.store->ResetMetrics();
   }
 
   // Evaluate.
   PlannedResolver resolver(std::move(candidates), std::move(stores));
   xquery::Evaluator evaluator(&resolver, pool_);
   evaluator.set_use_structural_index(options_.enable_structural_index);
+  if (exec.morsel_parallelism > 1 && exec.morsel_pool != nullptr) {
+    evaluator.set_morsel_parallelism(exec.morsel_parallelism,
+                                     exec.morsel_pool);
+  }
   Result<xquery::Sequence> result = evaluator.Eval(prepared.compiled->ast());
   if (!result.ok()) return result.status();
 
-  // Collect metrics, and fold each collection's access delta into its
-  // stats — the per-fragment access counts the fragmentation advisor and
+  // Collect metrics: fold each collection's access delta (attributed to
+  // exactly this query by the resolver) into its stats — the
+  // per-fragment access counts the fragmentation advisor and
   // EXPERIMENTS.md's SD-vs-MD cost story consume.
   for (const auto& [name, plan] : plans) {
     auto it = collections_.find(name);
     if (it == collections_.end()) continue;
-    const storage::StoreMetrics& sm = it->second.store->metrics();
-    metrics.docs_parsed += sm.parses;
-    metrics.bytes_parsed += sm.bytes_parsed;
-    metrics.cache_hits += sm.cache_hits;
-    it->second.stats.RecordAccess(sm);
+    const storage::StoreMetrics delta = resolver.DeltaFor(name);
+    metrics.docs_parsed += delta.parses;
+    metrics.bytes_parsed += delta.bytes_parsed;
+    metrics.cache_hits += delta.cache_hits;
+    std::lock_guard<std::mutex> stats_lock(it->second.stats_mu);
+    it->second.stats.RecordAccess(delta);
   }
   metrics.nodes_visited = evaluator.stats().nodes_visited;
   metrics.index_range_scans = evaluator.stats().index_range_scans;
@@ -522,7 +607,8 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared) {
   if (metrics.index_range_scans > 0) {
     // Evaluator-side label-range scans are structural-index probes too;
     // fold them into the same process-wide counters the planner-side
-    // lookups use.
+    // lookups use. Morsel-chunk stats merge in chunk order before this
+    // point, so the counts equal a single-threaded run's exactly.
     auto& registry = telemetry::MetricsRegistry::Global();
     registry.GetCounter("partix_structural_index_probes_total")
         ->Add(metrics.index_range_scans);
@@ -542,6 +628,7 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared) {
 }
 
 void Database::DropCaches() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto& [name, state] : collections_) state.store->DropCache();
 }
 

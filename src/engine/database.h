@@ -4,10 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "engine/plan_cache.h"
 #include "memory/governor.h"
 #include "storage/document_store.h"
@@ -72,6 +75,22 @@ struct CollectionMeta {
   bool validate_on_store = false;
 };
 
+/// Per-execution knobs, separate from the plan (the same prepared plan
+/// runs with any ExecParams).
+struct ExecParams {
+  /// Intra-node morsel parallelism: collection-scale iterations inside
+  /// one evaluation are split into up to this many chunks evaluated on
+  /// `morsel_pool`. <= 1 (or a null pool) = sequential evaluation.
+  /// Results are byte-identical either way (see
+  /// docs/intra-node-parallelism.md).
+  size_t morsel_parallelism = 1;
+  /// The shared worker pool the chunks run on; must outlive the call.
+  /// The middleware passes the same process-wide pool the scheduler
+  /// admission-controls — never a private one (no second pool, no
+  /// oversubscription).
+  ThreadPool* morsel_pool = nullptr;
+};
+
 /// Execution counters for one query.
 struct QueryMetrics {
   double elapsed_ms = 0.0;
@@ -133,9 +152,9 @@ struct PrepareOutcome {
   double compile_ms = 0.0;
 };
 
-/// The sequential XQuery-enabled XML database PartiX coordinates — the
-/// role eXist plays in the paper. One Database instance is "one DBMS node"
-/// of the distributed setting.
+/// The XQuery-enabled XML database PartiX coordinates — the role eXist
+/// plays in the paper. One Database instance is "one DBMS node" of the
+/// distributed setting.
 ///
 /// Documents live in per-collection stores in serialized form, are parsed
 /// on demand through an LRU cache, and are indexed (structure, full text,
@@ -143,14 +162,18 @@ struct PrepareOutcome {
 /// for the subset); the planner prunes the documents each collection()
 /// call must touch using the indexes.
 ///
-/// Thread-safety: single-thread-only — even Execute mutates shared state
-/// (the LRU parse cache, the prepared-plan cache, store metrics, and the
-/// name pool when a document
-/// is first materialized), so one instance must be driven by one thread at
-/// a time. In the distributed setting this is per-node-exclusive access:
-/// middleware::LocalXdbDriver wraps each node's instance in a mutex, and
-/// cross-node parallelism is safe because instances share nothing (each
-/// has its own NamePool, stores, caches, and indexes).
+/// Thread-safety: the read path is concurrent, the write path exclusive.
+/// Execute/Prepare/ExecutePrepared and the read accessors are const and
+/// may be called from any number of threads at once — queries take a
+/// shared lock on the instance; the parse caches, plan cache, name pool,
+/// and per-collection access stats they touch are internally
+/// synchronized. DDL and loading (CreateCollection/DropCollection/
+/// Store*/CorruptStoredDocumentText/DropCaches) take the exclusive lock
+/// and therefore serialize against all in-flight queries. In the
+/// distributed setting, middleware::LocalXdbDriver mirrors exactly this
+/// split with its own reader-writer lock; cross-node parallelism remains
+/// trivially safe because instances share nothing (each has its own
+/// NamePool, stores, caches, and indexes).
 class Database {
  public:
   explicit Database(DatabaseOptions options = DatabaseOptions());
@@ -233,36 +256,40 @@ class Database {
   /// Executes an XQuery: Prepare (served from the plan cache when the
   /// exact text was prepared before and no DDL intervened) followed by
   /// ExecutePrepared. Metrics carry the compile cost actually paid and
-  /// the cache hit/miss of this call.
-  Result<QueryResult> Execute(const std::string& query);
+  /// the cache hit/miss of this call. Concurrently callable.
+  Result<QueryResult> Execute(const std::string& query,
+                              const ExecParams& exec = ExecParams()) const;
 
   /// Compiles `query` into a shareable plan, or returns it from the plan
   /// cache. Parse failures are returned (never cached), so a malformed
-  /// query fails identically on every submission.
-  Result<PrepareOutcome> Prepare(const std::string& query);
+  /// query fails identically on every submission. Concurrently callable
+  /// (touches only the internally-locked plan cache, never the stores).
+  Result<PrepareOutcome> Prepare(const std::string& query) const;
 
   /// Same, for a query the caller already compiled (e.g. the middleware's
   /// per-sub-query artifact): a cache miss runs static analysis only — no
   /// parse happens on this path.
-  Result<PrepareOutcome> Prepare(const xquery::CompiledQueryPtr& compiled);
+  Result<PrepareOutcome> Prepare(const xquery::CompiledQueryPtr& compiled)
+      const;
 
   /// Evaluates a prepared plan: computes the data-dependent candidate
   /// sets from the current indexes, evaluates, serializes. Pays no parse
   /// and no static analysis (`metrics.compile_ms == 0`). The plan may
   /// come from this engine, another engine, or PreparedQuery built by the
-  /// caller.
-  Result<QueryResult> ExecutePrepared(const PreparedQuery& prepared);
+  /// caller. Concurrently callable; `exec` optionally enables intra-node
+  /// morsel parallelism for this one evaluation.
+  Result<QueryResult> ExecutePrepared(
+      const PreparedQuery& prepared,
+      const ExecParams& exec = ExecParams()) const;
 
   /// Plan-cache introspection (tests, benches, DDL-invalidation proofs).
-  const PlanCacheStats& plan_cache_stats() const {
-    return plan_cache_.stats();
-  }
+  PlanCacheStats plan_cache_stats() const { return plan_cache_.stats(); }
   size_t plan_cache_size() const { return plan_cache_.size(); }
   size_t plan_cache_bytes() const { return plan_cache_.total_bytes(); }
 
   /// This node's memory governor, or nullptr when
-  /// DatabaseOptions::memory_budget_bytes is 0. Runs under the same
-  /// single-thread contract as the database itself.
+  /// DatabaseOptions::memory_budget_bytes is 0. The governor itself is
+  /// internally synchronized (concurrent Charge/Release are exact).
   memory::MemoryGovernor* governor() { return governor_.get(); }
 
   // ---- Cache control (benchmarks) ----
@@ -279,31 +306,51 @@ class Database {
     storage::TextIndex text_index;
     storage::ValueIndex value_index;
     storage::StructuralIndex structural_index;
-    storage::CollectionStats stats;
+    /// Guarded by stats_mu for RecordAccess (concurrent shared-lock
+    /// queries fold their access deltas in); AddDocument runs under the
+    /// database's exclusive lock and needs no extra locking.
+    mutable std::mutex stats_mu;
+    mutable storage::CollectionStats stats;
   };
 
+  // Both require mu_ held (shared suffices for the const overload).
   Result<CollectionState*> GetState(const std::string& name);
   Result<const CollectionState*> GetState(const std::string& name) const;
 
+  // The *Locked helpers require mu_ held exclusively.
+  Status CreateCollectionLocked(const std::string& name, CollectionMeta meta);
+  Status StoreDocumentLocked(const std::string& collection,
+                             const xml::Document& doc);
   Status IndexDocument(CollectionState* state, storage::DocSlot slot,
                        const xml::Document& doc);
 
   /// Caches a freshly-built plan and assembles its PrepareOutcome
   /// (miss-path tail shared by both Prepare overloads).
-  PrepareOutcome FinishPrepare(std::shared_ptr<PreparedQuery> plan);
+  PrepareOutcome FinishPrepare(std::shared_ptr<PreparedQuery> plan) const;
 
   /// Clears the plan cache after collection DDL (any cached plan may
   /// reference the changed collection).
   void InvalidatePlans();
+
+  /// Execution body; requires mu_ held (shared).
+  Result<QueryResult> ExecutePreparedLocked(const PreparedQuery& prepared,
+                                            const ExecParams& exec) const;
 
   DatabaseOptions options_;
   std::shared_ptr<xml::NamePool> pool_;
   /// Declared before the caches/stores it governs: consumers detach in
   /// their destructors, so the governor must be destroyed last.
   std::unique_ptr<memory::MemoryGovernor> governor_;
+  /// Reader-writer split: queries and read accessors hold shared, DDL and
+  /// loading hold exclusive. Guards the collections_ map structure and
+  /// the index/meta/raw-byte content of every CollectionState (the store
+  /// caches and stats have finer internal locks for the shared-path
+  /// mutations queries perform).
+  mutable std::shared_mutex mu_;
   std::map<std::string, CollectionState> collections_;
   /// Prepared plans keyed by query text; cleared by collection DDL.
-  PlanCache plan_cache_;
+  /// Internally thread-safe; mutable so the const query path can use it.
+  mutable PlanCache plan_cache_;
 };
 
 }  // namespace partix::xdb

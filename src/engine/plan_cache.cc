@@ -61,6 +61,7 @@ size_t PlanCache::EstimatePlanBytes(const std::string& text,
 }
 
 PreparedQueryPtr PlanCache::Lookup(const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(text);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -74,34 +75,40 @@ PreparedQueryPtr PlanCache::Lookup(const std::string& text) {
 size_t PlanCache::Insert(const std::string& text, PreparedQueryPtr plan) {
   if (capacity_ == 0) return 0;
   const size_t bytes = EstimatePlanBytes(text, *plan);
-  auto it = index_.find(text);
-  if (it != index_.end()) {
-    total_bytes_ -= it->second->bytes;
-    total_bytes_ += bytes;
-    PlanCacheBytesGauge()->Add(static_cast<double>(bytes) -
-                               static_cast<double>(it->second->bytes));
-    if (governor_ != nullptr) {
-      governor_->Release(governor_id_, it->second->bytes);
-    }
-    it->second->plan = std::move(plan);
-    it->second->bytes = bytes;
-    entries_.splice(entries_.begin(), entries_, it->second);
-    if (governor_ != nullptr) governor_->Charge(governor_id_, bytes);
-    return 0;
-  }
-  entries_.push_front(Entry{text, std::move(plan), bytes});
-  index_.emplace(text, entries_.begin());
-  total_bytes_ += bytes;
-  PlanCacheBytesGauge()->Add(static_cast<double>(bytes));
-  if (governor_ != nullptr) governor_->Charge(governor_id_, bytes);
   size_t evicted = 0;
-  while (entries_.size() > capacity_ ||
-         (capacity_bytes_ > 0 && total_bytes_ > capacity_bytes_ &&
-          entries_.size() > 1)) {
-    EvictBack();
-    ++evicted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(text);
+    if (it != index_.end()) {
+      // Replace in place (two threads raced to prepare the same text —
+      // the plans are equivalent, last writer wins).
+      total_bytes_ -= it->second->bytes;
+      total_bytes_ += bytes;
+      PlanCacheBytesGauge()->Add(static_cast<double>(bytes) -
+                                 static_cast<double>(it->second->bytes));
+      if (governor_ != nullptr) {
+        governor_->Release(governor_id_, it->second->bytes);
+      }
+      it->second->plan = std::move(plan);
+      it->second->bytes = bytes;
+      entries_.splice(entries_.begin(), entries_, it->second);
+    } else {
+      entries_.push_front(Entry{text, std::move(plan), bytes});
+      index_.emplace(text, entries_.begin());
+      total_bytes_ += bytes;
+      PlanCacheBytesGauge()->Add(static_cast<double>(bytes));
+      while (entries_.size() > capacity_ ||
+             (capacity_bytes_ > 0 && total_bytes_ > capacity_bytes_ &&
+              entries_.size() > 1)) {
+        EvictBack();
+        ++evicted;
+      }
+      stats_.evictions += evicted;
+    }
   }
-  stats_.evictions += evicted;
+  // Charge outside mu_: governor pressure may call back into ShedBytes
+  // on this very cache, which takes the same lock.
+  if (governor_ != nullptr) governor_->Charge(governor_id_, bytes);
   return evicted;
 }
 
@@ -115,6 +122,7 @@ void PlanCache::EvictBack() {
 }
 
 size_t PlanCache::ShedBytes(size_t target) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t freed = 0;
   size_t evicted = 0;
   while (freed < target && !entries_.empty()) {
@@ -127,6 +135,7 @@ size_t PlanCache::ShedBytes(size_t target) {
 }
 
 size_t PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   const size_t dropped = entries_.size();
   PlanCacheBytesGauge()->Add(-static_cast<double>(total_bytes_));
   if (governor_ != nullptr && total_bytes_ > 0) {
@@ -138,6 +147,21 @@ size_t PlanCache::Clear() {
   stats_.evictions += dropped;
   ++stats_.invalidations;
   return dropped;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t PlanCache::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace partix::xdb

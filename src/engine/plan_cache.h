@@ -6,6 +6,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -48,9 +49,15 @@ struct PlanCacheStats {
 };
 
 /// LRU cache of prepared plans keyed by exact query text, bounded both by
-/// entry count and by estimated bytes. Owned by a Database and bound by
-/// its thread-safety contract (single-thread-only); parse errors are
-/// never inserted, so a bad query fails identically on every submission.
+/// entry count and by estimated bytes. Parse errors are never inserted, so
+/// a bad query fails identically on every submission.
+///
+/// Thread-safe: an internal mutex guards the LRU list, index, byte
+/// accounting, and stats, so concurrent Execute/Prepare calls on the
+/// owning Database may hit the cache in parallel (they contend only for
+/// the short LRU-splice critical section). Governor Charge is settled
+/// outside the mutex — its pressure path re-enters ShedBytes, which takes
+/// the same lock.
 class PlanCache {
  public:
   /// `capacity` in entries; 0 disables caching (Lookup always misses,
@@ -68,20 +75,20 @@ class PlanCache {
   /// parsed documents, so the parse cache sheds first). Cached plan
   /// bytes are charged to the governor; under pressure it calls back
   /// into ShedBytes. Pass nullptr to detach. Same lifetime rule as
-  /// DocumentStore::AttachGovernor.
+  /// DocumentStore::AttachGovernor: attach before concurrent use.
   void AttachGovernor(memory::MemoryGovernor* governor);
 
   /// Evicts LRU entries until at least `target` estimated bytes are
-  /// freed (or the cache is empty); returns the bytes freed.
+  /// freed (or the cache is empty); returns the bytes freed. Thread-safe.
   size_t ShedBytes(size_t target);
 
   /// Returns the cached plan and promotes it to most-recently-used, or
-  /// nullptr on miss. Counts a hit or miss.
+  /// nullptr on miss. Counts a hit or miss. Thread-safe.
   PreparedQueryPtr Lookup(const std::string& text);
 
   /// Inserts (or replaces) the plan for `text`, evicting the
   /// least-recently-used entry when over capacity. Returns the number of
-  /// entries evicted.
+  /// entries evicted. Thread-safe.
   size_t Insert(const std::string& text, PreparedQueryPtr plan);
 
   /// Drops every entry (collection DDL invalidation: any cached plan may
@@ -89,12 +96,13 @@ class PlanCache {
   /// dropped; counts them as evictions and the call as an invalidation.
   size_t Clear();
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const;
   size_t capacity() const { return capacity_; }
   size_t capacity_bytes() const { return capacity_bytes_; }
   /// Summed byte estimates of the cached plans.
-  size_t total_bytes() const { return total_bytes_; }
-  const PlanCacheStats& stats() const { return stats_; }
+  size_t total_bytes() const;
+  /// Snapshot of the counters (copied under the lock).
+  PlanCacheStats stats() const;
 
   /// Estimated in-memory footprint of one cached plan: the key and
   /// stored text, the constraint containers (counted exactly), and the
@@ -110,6 +118,9 @@ class PlanCache {
     size_t bytes = 0;
   };
 
+  // Requires mu_ held; releases the victim's governor charge (Release
+  // never runs callbacks, so it is safe under the lock — only Charge may
+  // not be called with mu_ held).
   void EvictBack();
 
   size_t capacity_;
@@ -117,6 +128,8 @@ class PlanCache {
   size_t total_bytes_ = 0;
   memory::MemoryGovernor* governor_ = nullptr;
   int governor_id_ = -1;
+  /// Guards entries_, index_, total_bytes_, stats_.
+  mutable std::mutex mu_;
   /// Front = most recently used. Map values point into the list; list
   /// nodes are address-stable across splices.
   std::list<Entry> entries_;

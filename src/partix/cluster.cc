@@ -118,15 +118,15 @@ Result<xdb::QueryResult> ClusterSim::ExecuteGated(
   return result;
 }
 
-Result<xdb::QueryResult> ClusterSim::ExecuteOnNode(size_t i,
-                                                   const std::string& query,
-                                                   double stall_budget_ms) {
+Result<xdb::QueryResult> ClusterSim::ExecuteOnNode(
+    size_t i, const std::string& query, double stall_budget_ms,
+    const xdb::ExecParams& exec) {
   if (i >= nodes_.size()) {
     return Status::OutOfRange("node " + std::to_string(i) +
                               " out of range");
   }
   return ExecuteGated(i, stall_budget_ms,
-                      [&] { return nodes_[i]->Execute(query); });
+                      [&] { return nodes_[i]->Execute(query, exec); });
 }
 
 Result<PreparedSubQueryPtr> ClusterSim::PrepareOnNode(
@@ -145,13 +145,15 @@ Result<PreparedSubQueryPtr> ClusterSim::PrepareOnNode(
 }
 
 Result<xdb::QueryResult> ClusterSim::ExecutePreparedOnNode(
-    size_t i, const PreparedSubQuery& prepared, double stall_budget_ms) {
+    size_t i, const PreparedSubQuery& prepared, double stall_budget_ms,
+    const xdb::ExecParams& exec) {
   if (i >= nodes_.size()) {
     return Status::OutOfRange("node " + std::to_string(i) +
                               " out of range");
   }
-  return ExecuteGated(i, stall_budget_ms,
-                      [&] { return nodes_[i]->ExecutePrepared(prepared); });
+  return ExecuteGated(i, stall_budget_ms, [&] {
+    return nodes_[i]->ExecutePrepared(prepared, exec);
+  });
 }
 
 Status ClusterSim::CreateCollectionOnNode(size_t i,

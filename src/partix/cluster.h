@@ -129,8 +129,12 @@ class ClusterSim {
   /// budget and then fails fast with kDeadlineExceeded instead of
   /// sleeping out a stall the caller's deadline has already written off.
   /// < 0 (the default) = uncapped.
+  ///
+  /// `exec` forwards per-call execution knobs (intra-node morsel
+  /// parallelism) to the node's driver.
   Result<xdb::QueryResult> ExecuteOnNode(size_t i, const std::string& query,
-                                         double stall_budget_ms = -1.0);
+                                         double stall_budget_ms = -1.0,
+                                         const xdb::ExecParams& exec = {});
 
   /// Prepares a compiled query on node `i`'s driver. A down (or
   /// fail-after-exhausted) node rejects with kUnavailable, but the fault
@@ -146,7 +150,7 @@ class ClusterSim {
   /// node's driver executes the handle without recompiling. Thread-safe.
   Result<xdb::QueryResult> ExecutePreparedOnNode(
       size_t i, const PreparedSubQuery& prepared,
-      double stall_budget_ms = -1.0);
+      double stall_budget_ms = -1.0, const xdb::ExecParams& exec = {});
 
   /// Store data plane: creates a collection on node `i` through its
   /// liveness gate (a down node rejects with kUnavailable). Thread-safe;

@@ -10,13 +10,16 @@ namespace {
 
 /// Per-sub-query engine timing, recorded at the driver boundary — the
 /// point where the middleware hands work to "one DBMS node". Lock wait is
-/// reported separately: same-node sub-queries serialize at this mutex, so
-/// the wait is the queueing a real busy node would exhibit.
+/// reported separately per lock class: read waits show readers queueing
+/// behind a bulk load or DDL, write waits show loads queueing behind
+/// in-flight queries — the two saturate for different reasons, so they
+/// get different histograms.
 struct DriverTelemetry {
   telemetry::Counter* executes;
   telemetry::Counter* prepares;
   telemetry::Histogram* engine_ms;
-  telemetry::Histogram* lock_wait_ms;
+  telemetry::Histogram* read_lock_wait_ms;
+  telemetry::Histogram* write_lock_wait_ms;
 
   static const DriverTelemetry& Get() {
     static const DriverTelemetry t = [] {
@@ -25,11 +28,41 @@ struct DriverTelemetry {
       out.executes = registry.GetCounter("partix_driver_executes_total");
       out.prepares = registry.GetCounter("partix_driver_prepares_total");
       out.engine_ms = registry.GetHistogram("partix_engine_execute_ms");
-      out.lock_wait_ms = registry.GetHistogram("partix_driver_lock_wait_ms");
+      out.read_lock_wait_ms =
+          registry.GetHistogram("partix_driver_read_lock_wait_ms");
+      out.write_lock_wait_ms =
+          registry.GetHistogram("partix_driver_write_lock_wait_ms");
       return out;
     }();
     return t;
   }
+};
+
+/// Shared lock with acquisition wait recorded to the read-wait histogram.
+class TimedSharedLock {
+ public:
+  explicit TimedSharedLock(std::shared_mutex& mu) {
+    Stopwatch watch;
+    lock_ = std::shared_lock<std::shared_mutex>(mu);
+    DriverTelemetry::Get().read_lock_wait_ms->Observe(watch.ElapsedMillis());
+  }
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+/// Exclusive lock with acquisition wait recorded to the write-wait
+/// histogram.
+class TimedUniqueLock {
+ public:
+  explicit TimedUniqueLock(std::shared_mutex& mu) {
+    Stopwatch watch;
+    lock_ = std::unique_lock<std::shared_mutex>(mu);
+    DriverTelemetry::Get().write_lock_wait_ms->Observe(watch.ElapsedMillis());
+  }
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
 };
 
 /// LocalXdbDriver's handle: wraps the engine's shareable prepared plan.
@@ -55,33 +88,35 @@ LocalXdbDriver::LocalXdbDriver(std::string name, xdb::DatabaseOptions options)
 
 Status LocalXdbDriver::CreateCollection(const std::string& name,
                                         xdb::CollectionMeta meta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  TimedUniqueLock lock(mu_);
   return db_.CreateCollection(name, std::move(meta));
 }
 
 Status LocalXdbDriver::StoreDocument(const std::string& collection,
                                      const xml::Document& doc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  TimedUniqueLock lock(mu_);
   return db_.StoreDocument(collection, doc);
 }
 
 Status LocalXdbDriver::StoreSerializedDocument(
     const std::string& collection, std::string doc_name, std::string xml,
     std::map<std::string, std::string> metadata) {
-  std::lock_guard<std::mutex> lock(mu_);
+  TimedUniqueLock lock(mu_);
   return db_.StoreSerializedWithMetadata(collection, std::move(doc_name),
                                          std::move(xml),
                                          std::move(metadata));
 }
 
-Result<xdb::QueryResult> LocalXdbDriver::Execute(const std::string& query) {
+Result<xdb::QueryResult> LocalXdbDriver::Execute(const std::string& query,
+                                                 const xdb::ExecParams& exec) {
   const DriverTelemetry& telemetry = DriverTelemetry::Get();
-  Stopwatch wait_watch;
-  std::lock_guard<std::mutex> lock(mu_);
-  telemetry.lock_wait_ms->Observe(wait_watch.ElapsedMillis());
+  // Shared: concurrent queries (and this query's own morsel workers, who
+  // run under the engine's shared lock on the pool this thread blocks in)
+  // proceed together; only loads/DDL exclude us.
+  TimedSharedLock lock(mu_);
   telemetry.executes->Add();
   Stopwatch engine_watch;
-  Result<xdb::QueryResult> result = db_.Execute(query);
+  Result<xdb::QueryResult> result = db_.Execute(query, exec);
   telemetry.engine_ms->Observe(engine_watch.ElapsedMillis());
   // Stamp the response digest node-side, while the bytes are still what
   // the engine produced: anything that mangles `serialized` after this
@@ -94,9 +129,7 @@ Result<xdb::QueryResult> LocalXdbDriver::Execute(const std::string& query) {
 Result<PreparedSubQueryPtr> LocalXdbDriver::Prepare(
     const xquery::CompiledQueryPtr& compiled) {
   const DriverTelemetry& telemetry = DriverTelemetry::Get();
-  Stopwatch wait_watch;
-  std::lock_guard<std::mutex> lock(mu_);
-  telemetry.lock_wait_ms->Observe(wait_watch.ElapsedMillis());
+  TimedSharedLock lock(mu_);
   telemetry.prepares->Add();
   PARTIX_ASSIGN_OR_RETURN(xdb::PrepareOutcome outcome, db_.Prepare(compiled));
   return PreparedSubQueryPtr(std::make_shared<LocalPreparedSubQuery>(
@@ -104,43 +137,41 @@ Result<PreparedSubQueryPtr> LocalXdbDriver::Prepare(
 }
 
 Result<xdb::QueryResult> LocalXdbDriver::ExecutePrepared(
-    const PreparedSubQuery& prepared) {
+    const PreparedSubQuery& prepared, const xdb::ExecParams& exec) {
   const auto* local = dynamic_cast<const LocalPreparedSubQuery*>(&prepared);
   if (local == nullptr) {
     return Status::InvalidArgument(
         "prepared handle was not produced by a LocalXdbDriver");
   }
   const DriverTelemetry& telemetry = DriverTelemetry::Get();
-  Stopwatch wait_watch;
-  std::lock_guard<std::mutex> lock(mu_);
-  telemetry.lock_wait_ms->Observe(wait_watch.ElapsedMillis());
+  TimedSharedLock lock(mu_);
   telemetry.executes->Add();
   Stopwatch engine_watch;
-  Result<xdb::QueryResult> result = db_.ExecutePrepared(*local->plan());
+  Result<xdb::QueryResult> result = db_.ExecutePrepared(*local->plan(), exec);
   telemetry.engine_ms->Observe(engine_watch.ElapsedMillis());
   if (result.ok()) result->response_digest = Fnv1a64(result->serialized);
   return result;
 }
 
 void LocalXdbDriver::DropCaches() {
-  std::lock_guard<std::mutex> lock(mu_);
+  TimedUniqueLock lock(mu_);
   db_.DropCaches();
 }
 
 bool LocalXdbDriver::HasCollection(const std::string& collection) {
-  std::lock_guard<std::mutex> lock(mu_);
+  TimedSharedLock lock(mu_);
   return db_.HasCollection(collection);
 }
 
 Result<uint64_t> LocalXdbDriver::CollectionDigest(
     const std::string& collection) {
-  std::lock_guard<std::mutex> lock(mu_);
+  TimedSharedLock lock(mu_);
   return db_.CollectionContentDigest(collection);
 }
 
 Result<xdb::CollectionMeta> LocalXdbDriver::CollectionMetaOf(
     const std::string& collection) {
-  std::lock_guard<std::mutex> lock(mu_);
+  TimedSharedLock lock(mu_);
   PARTIX_ASSIGN_OR_RETURN(const xdb::CollectionMeta* meta,
                           db_.Meta(collection));
   return *meta;
@@ -148,12 +179,12 @@ Result<xdb::CollectionMeta> LocalXdbDriver::CollectionMetaOf(
 
 Result<std::vector<xdb::StoredDoc>> LocalXdbDriver::ExportStoredDocs(
     const std::string& collection) {
-  std::lock_guard<std::mutex> lock(mu_);
+  TimedSharedLock lock(mu_);
   return db_.ExportStoredDocs(collection);
 }
 
 Status LocalXdbDriver::DropCollection(const std::string& collection) {
-  std::lock_guard<std::mutex> lock(mu_);
+  TimedUniqueLock lock(mu_);
   return db_.DropCollection(collection);
 }
 

@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -48,12 +48,10 @@ using PreparedSubQueryPtr = std::shared_ptr<const PreparedSubQuery>;
 /// Execute/Prepare/ExecutePrepared/DropCaches calls from executor worker
 /// threads — a node is "one DBMS", and one DBMS accepts requests from
 /// many connections at once. Under the multi-query scheduler those
-/// workers serve *different queries*: per-node exclusivity must hold
-/// across concurrent queries, not just within one dispatch. How much
-/// actually runs in parallel inside the node is the implementation's
-/// business (LocalXdbDriver serializes, matching the sequential engines
-/// the paper coordinates — so a node is a fair-by-arrival bottleneck
-/// that concurrent queries naturally time-share).
+/// workers serve *different queries*: queries on the same node may run
+/// concurrently (LocalXdbDriver admits readers in parallel and only
+/// serializes writes, like a real DBMS's MGL), and per-node fairness is
+/// the scheduler's admission gate, not a driver mutex.
 class Driver {
  public:
   virtual ~Driver() = default;
@@ -74,8 +72,11 @@ class Driver {
   /// Executes a query. Implementations stamp
   /// `QueryResult::response_digest` (FNV-1a of the serialized result)
   /// node-side before the response crosses the wire, so the executor can
-  /// detect in-flight corruption end-to-end.
-  virtual Result<xdb::QueryResult> Execute(const std::string& query) = 0;
+  /// detect in-flight corruption end-to-end. `exec` carries per-call
+  /// execution knobs (intra-node morsel parallelism); drivers that cannot
+  /// honor them run sequentially — results are identical either way.
+  virtual Result<xdb::QueryResult> Execute(
+      const std::string& query, const xdb::ExecParams& exec = {}) = 0;
 
   /// Compiles (or fetches from the node's plan cache) a prepared handle
   /// for a query the middleware already compiled. The handle is reusable
@@ -86,7 +87,7 @@ class Driver {
   /// Executes a handle obtained from this driver's Prepare. Pays no parse
   /// and no static analysis (`metrics.compile_ms == 0`).
   virtual Result<xdb::QueryResult> ExecutePrepared(
-      const PreparedSubQuery& prepared) = 0;
+      const PreparedSubQuery& prepared, const xdb::ExecParams& exec = {}) = 0;
 
   /// Drops parsed-document caches (cold-start emulation for benchmarks).
   virtual void DropCaches() = 0;
@@ -120,11 +121,15 @@ class Driver {
 
 /// Driver for an in-process xdb::Database instance.
 ///
-/// Thread-safe for the Driver interface: an internal mutex serializes all
-/// engine access, making the node behave like one sequential DBMS process
-/// (the eXist of the paper) no matter how many executor workers talk to
-/// it. True parallelism comes from distinct nodes, which share no mutable
-/// state (each engine has its own name pool, stores, caches, indexes).
+/// Thread-safe for the Driver interface with reader-writer semantics: the
+/// query surface (Execute/Prepare/ExecutePrepared and the repair-side
+/// reads) holds a shared lock, so any number of executor workers — and
+/// the morsel workers a query fans out inside the engine — read the node
+/// concurrently; DDL and document loading take the lock exclusively.
+/// True cross-node parallelism is unchanged: distinct nodes share no
+/// mutable state (each engine has its own name pool, stores, caches,
+/// indexes). Lock queueing is observable per class via the
+/// partix_driver_{read,write}_lock_wait_ms histograms.
 class LocalXdbDriver : public Driver {
  public:
   explicit LocalXdbDriver(std::string name,
@@ -137,11 +142,13 @@ class LocalXdbDriver : public Driver {
   Status StoreSerializedDocument(
       const std::string& collection, std::string doc_name, std::string xml,
       std::map<std::string, std::string> metadata) override;
-  Result<xdb::QueryResult> Execute(const std::string& query) override;
+  Result<xdb::QueryResult> Execute(const std::string& query,
+                                   const xdb::ExecParams& exec = {}) override;
   Result<PreparedSubQueryPtr> Prepare(
       const xquery::CompiledQueryPtr& compiled) override;
   Result<xdb::QueryResult> ExecutePrepared(
-      const PreparedSubQuery& prepared) override;
+      const PreparedSubQuery& prepared,
+      const xdb::ExecParams& exec = {}) override;
   void DropCaches() override;
   bool HasCollection(const std::string& collection) override;
   Result<uint64_t> CollectionDigest(const std::string& collection) override;
@@ -159,7 +166,8 @@ class LocalXdbDriver : public Driver {
 
  private:
   std::string name_;
-  mutable std::mutex mu_;  // serializes all engine access
+  /// Readers (queries, repair reads) shared; writers (DDL, loads) exclusive.
+  mutable std::shared_mutex mu_;
   xdb::Database db_;
 };
 

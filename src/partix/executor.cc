@@ -197,6 +197,15 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
   out->node = candidates.front();
   Rng rng(MixSeed(retry.seed, index));
 
+  // Intra-node morsels run on the SAME pool this worker occupies; the
+  // engine's coordinator claims chunks itself (help-while-waiting), so a
+  // saturated pool degrades to sequential instead of deadlocking.
+  xdb::ExecParams exec;
+  if (options.intra_node_parallelism > 1) {
+    exec.morsel_parallelism = options.intra_node_parallelism;
+    exec.morsel_pool = &EffectivePool();
+  }
+
   // Compile-once contract: when the plan ships a compiled sub-query, each
   // node is prepared at most once for this sub-query, on first contact;
   // retries and failovers (including wrap-around back to an earlier node)
@@ -382,9 +391,9 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
       }
       if (handle != nullptr) {
         return cluster_->ExecutePreparedOnNode(node, *handle,
-                                               stall_budget_ms);
+                                               stall_budget_ms, exec);
       }
-      return cluster_->ExecuteOnNode(node, sub.query, stall_budget_ms);
+      return cluster_->ExecuteOnNode(node, sub.query, stall_budget_ms, exec);
     }();
     const double attempt_ms = attempt_watch.ElapsedMillis();
 
@@ -537,7 +546,17 @@ double Executor::Dispatch(const std::vector<SubQuery>& subqueries,
 
   const size_t parallelism = options.parallelism;
   const size_t workers = parallelism == 0 ? n : std::min(parallelism, n);
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t cap = std::max(hw, cluster_->node_count());
   if (workers <= 1) {
+    if (options.intra_node_parallelism > 1) {
+      // Sequential fan-out, parallel nodes: the morsel workers each
+      // engine spawns still come from the shared pool — make sure it has
+      // threads to hand out (the engine's help-while-waiting coordinator
+      // keeps an empty pool correct, just not parallel).
+      EffectivePool().EnsureThreads(
+          std::min(cap, options.intra_node_parallelism));
+    }
     for (size_t i = 0; i < n; ++i) {
       RunOne(subqueries[i], i, options, watch, &(*outcomes)[i]);
     }
@@ -549,10 +568,12 @@ double Executor::Dispatch(const std::vector<SubQuery>& subqueries,
   // grown (never shrunk) to serve this dispatch, bounded by
   // max(hardware threads, cluster nodes) — the index-claiming loop below
   // lets a smaller (or busy) pool drain any number of sub-queries.
-  ThreadPool& pool = pool_ != nullptr ? *pool_ : SharedProcessPool();
-  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
-  const size_t cap = std::max(hw, cluster_->node_count());
-  pool.EnsureThreads(std::min(workers, cap));
+  // Intra-node morsels borrow the same threads; growing toward the morsel
+  // count (still under the cap) gives them somewhere to land without a
+  // second pool.
+  ThreadPool& pool = EffectivePool();
+  pool.EnsureThreads(
+      std::min(cap, std::max(workers, options.intra_node_parallelism)));
   const size_t pool_threads = pool.thread_count();
   ExecutorTelemetry::Get().pool_threads->Set(
       static_cast<double>(pool_threads));

@@ -66,6 +66,14 @@ struct DispatchOptions {
   /// Caps sub-queries in flight at once: 1 runs them sequentially on the
   /// calling thread, 0 means one worker per sub-query.
   size_t parallelism = 1;
+  /// Morsel parallelism *inside* each node's engine: every dispatched
+  /// sub-query asks its node to split collection-scale iteration into up
+  /// to this many chunks on the same shared worker pool the dispatch
+  /// itself runs on (no second pool — the scheduler's admission control
+  /// keeps governing total thread demand). 1 (the default) evaluates
+  /// sequentially; results are byte-identical either way. See
+  /// docs/intra-node-parallelism.md.
+  size_t intra_node_parallelism = 1;
   RetryPolicy retry;
   /// End-to-end integrity: recompute each response's digest and compare
   /// it against the node-stamped `QueryResult::response_digest`. A
@@ -276,6 +284,14 @@ class Executor {
 
   void RunOne(const SubQuery& sub, size_t index, const DispatchOptions& options,
               const Stopwatch& dispatch_watch, SubQueryOutcome* out);
+
+  /// The pool this executor actually runs on: the injected scheduler pool
+  /// when set, else the process-wide fallback. Morsel workers draw from
+  /// the same pool (one set of threads for inter- and intra-query AND
+  /// intra-node parallelism).
+  ThreadPool& EffectivePool() const {
+    return pool_ != nullptr ? *pool_ : SharedProcessPool();
+  }
 
   /// Grows `breakers_` to cover every node index in `subqueries`.
   /// Thread-safe (concurrent dispatches may race to grow it).

@@ -465,6 +465,7 @@ Result<DistributedResult> QueryService::ExecutePlan(
   for (const SubQuery* sub : dispatched) live.push_back(*sub);
   DispatchOptions dispatch_options;
   dispatch_options.parallelism = options.parallelism;
+  dispatch_options.intra_node_parallelism = options.intra_node_parallelism;
   dispatch_options.retry = options.retry;
   dispatch_options.verify_response_digests = options.verify_integrity;
   if (options.trace) dispatch_options.tracer = &tracer;

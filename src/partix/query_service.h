@@ -163,6 +163,13 @@ struct ExecutionOptions {
   /// worker per sub-query. Composition is deterministic: the composed
   /// result is byte-identical across parallelism levels.
   size_t parallelism = 1;
+  /// Morsel parallelism inside each node's engine: sub-queries ask their
+  /// node to evaluate collection-scale iteration in up to this many
+  /// chunks on the shared worker pool. 1 (the default) is sequential;
+  /// results are byte-identical at every level. Composes with
+  /// `parallelism` (cross-node × intra-node) without a second pool —
+  /// see docs/intra-node-parallelism.md.
+  size_t intra_node_parallelism = 1;
   /// Retry/backoff/timeout policy applied to every sub-query.
   RetryPolicy retry;
   /// What to do when sub-queries fail despite retries and failover.

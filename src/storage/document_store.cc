@@ -1,5 +1,7 @@
 #include "storage/document_store.h"
 
+#include <utility>
+
 #include "telemetry/metrics.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -59,11 +61,12 @@ void DocumentStore::AttachGovernor(memory::MemoryGovernor* governor) {
 }
 
 size_t DocumentStore::ShedCacheBytes(size_t target) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t freed = 0;
   while (freed < target && !lru_.empty()) {
     DocSlot victim = lru_.back();
     freed += docs_[victim].parsed_bytes;
-    EvictSlot(victim);
+    EvictSlot(victim, nullptr);
   }
   return freed;
 }
@@ -76,6 +79,7 @@ Result<DocSlot> DocumentStore::Put(const xml::Document& doc) {
 Result<DocSlot> DocumentStore::PutSerialized(
     std::string name, std::string xml,
     std::map<std::string, std::string> metadata) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (by_name_.count(name) != 0) {
     return Status::AlreadyExists("document '" + name +
                                  "' already exists in store");
@@ -91,30 +95,66 @@ Result<DocSlot> DocumentStore::PutSerialized(
   return slot;
 }
 
-Result<xml::DocumentPtr> DocumentStore::Get(DocSlot slot) {
-  if (slot >= docs_.size()) {
-    return Status::OutOfRange("document slot out of range");
+Result<xml::DocumentPtr> DocumentStore::Get(DocSlot slot,
+                                            StoreMetrics* delta) {
+  std::string name;
+  std::string xml;
+  std::map<std::string, std::string> metadata;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slot >= docs_.size()) {
+      return Status::OutOfRange("document slot out of range");
+    }
+    Entry& entry = docs_[slot];
+    if (entry.cached) {
+      ++metrics_.cache_hits;
+      if (delta != nullptr) ++delta->cache_hits;
+      StoreTelemetry::Get().cache_hits->Add();
+      Touch(slot);
+      return entry.parsed;
+    }
+    ++metrics_.cache_misses;
+    ++metrics_.parses;
+    metrics_.bytes_parsed += entry.xml.size();
+    if (delta != nullptr) {
+      ++delta->cache_misses;
+      ++delta->parses;
+      delta->bytes_parsed += entry.xml.size();
+    }
+    StoreTelemetry::Get().cache_misses->Add();
+    StoreTelemetry::Get().parses->Add();
+    StoreTelemetry::Get().bytes_parsed->Add(entry.xml.size());
+    // Copy the bytes so the (expensive) parse runs outside the lock and
+    // concurrent cold reads of different documents overlap.
+    name = entry.name;
+    xml = entry.xml;
+    metadata = entry.metadata;
   }
-  Entry& entry = docs_[slot];
-  if (entry.cached) {
-    ++metrics_.cache_hits;
-    StoreTelemetry::Get().cache_hits->Add();
-    Touch(slot);
-    return entry.parsed;
-  }
-  ++metrics_.cache_misses;
-  ++metrics_.parses;
-  metrics_.bytes_parsed += entry.xml.size();
-  StoreTelemetry::Get().cache_misses->Add();
-  StoreTelemetry::Get().parses->Add();
-  StoreTelemetry::Get().bytes_parsed->Add(entry.xml.size());
   PARTIX_ASSIGN_OR_RETURN(std::shared_ptr<xml::Document> doc,
-                          xml::ParseXml(pool_, entry.name, entry.xml));
-  for (const auto& [key, value] : entry.metadata) {
+                          xml::ParseXml(pool_, name, xml));
+  for (const auto& [key, value] : metadata) {
     doc->SetMetadata(key, value);
   }
   xml::DocumentPtr parsed = std::move(doc);
-  if (cache_capacity_ > 0) InsertIntoCache(slot, parsed);
+  size_t charge_bytes = 0;
+  if (cache_capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = docs_[slot];
+    if (entry.cached) {
+      // Another thread parsed and cached the same document while we were
+      // parsing. Serve its tree (the caches must agree on the instance);
+      // our parse cost is already counted above — the work did happen.
+      Touch(slot);
+      return entry.parsed;
+    }
+    charge_bytes = InsertIntoCache(slot, parsed);
+    EvictIfNeeded(delta);
+  }
+  // Charge outside mu_: governor pressure may call back into
+  // ShedCacheBytes on this very store, which takes the same lock.
+  if (charge_bytes > 0 && governor_ != nullptr) {
+    governor_->Charge(governor_id_, charge_bytes);
+  }
   return parsed;
 }
 
@@ -137,7 +177,7 @@ void DocumentStore::Touch(DocSlot slot) {
   entry.lru_it = lru_.begin();
 }
 
-void DocumentStore::InsertIntoCache(DocSlot slot, xml::DocumentPtr doc) {
+size_t DocumentStore::InsertIntoCache(DocSlot slot, xml::DocumentPtr doc) {
   Entry& entry = docs_[slot];
   entry.parsed_bytes = doc->ApproxBytes();
   entry.parsed = std::move(doc);
@@ -145,32 +185,33 @@ void DocumentStore::InsertIntoCache(DocSlot slot, xml::DocumentPtr doc) {
   lru_.push_front(slot);
   entry.lru_it = lru_.begin();
   cache_bytes_ += entry.parsed_bytes;
-  // Charging may run governor pressure, which calls ShedCacheBytes
-  // re-entrantly (same thread, governor lock dropped) — the LRU tail
-  // sheds before our own capacity check below.
-  if (governor_ != nullptr) governor_->Charge(governor_id_, entry.parsed_bytes);
-  EvictIfNeeded();
+  return entry.parsed_bytes;
 }
 
-void DocumentStore::EvictIfNeeded() {
+void DocumentStore::EvictIfNeeded(StoreMetrics* delta) {
   while (cache_bytes_ > cache_capacity_ && !lru_.empty()) {
-    EvictSlot(lru_.back());
+    EvictSlot(lru_.back(), delta);
   }
 }
 
-void DocumentStore::EvictSlot(DocSlot slot) {
+void DocumentStore::EvictSlot(DocSlot slot, StoreMetrics* delta) {
   Entry& entry = docs_[slot];
   lru_.erase(entry.lru_it);
   cache_bytes_ -= entry.parsed_bytes;
-  if (governor_ != nullptr) governor_->Release(governor_id_, entry.parsed_bytes);
+  if (governor_ != nullptr) {
+    // Release never runs eviction callbacks, so it is safe under mu_.
+    governor_->Release(governor_id_, entry.parsed_bytes);
+  }
   entry.parsed.reset();
   entry.parsed_bytes = 0;
   entry.cached = false;
   ++metrics_.cache_evictions;
+  if (delta != nullptr) ++delta->cache_evictions;
   StoreTelemetry::Get().cache_evictions->Add();
 }
 
 void DocumentStore::ReplaceSerialized(DocSlot slot, std::string xml) {
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = docs_[slot];
   total_bytes_ -= entry.xml.size();
   total_bytes_ += xml.size();
@@ -188,6 +229,7 @@ void DocumentStore::ReplaceSerialized(DocSlot slot, std::string xml) {
 }
 
 void DocumentStore::DropCache() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Entry& entry : docs_) {
     entry.parsed.reset();
     entry.parsed_bytes = 0;
@@ -200,13 +242,20 @@ void DocumentStore::DropCache() {
   cache_bytes_ = 0;
 }
 
+size_t DocumentStore::cache_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_bytes_;
+}
+
 void DocumentStore::set_cache_capacity_bytes(size_t bytes) {
-  cache_capacity_ = bytes;
-  if (cache_capacity_ == 0) {
+  if (bytes == 0) {
+    cache_capacity_ = 0;
     DropCache();
-  } else {
-    EvictIfNeeded();
+    return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_capacity_ = bytes;
+  EvictIfNeeded(nullptr);
 }
 
 }  // namespace partix::storage

@@ -5,6 +5,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,18 +36,32 @@ struct StoreMetrics {
   uint64_t cache_evictions = 0;
 
   void Reset() { *this = StoreMetrics(); }
+
+  /// Field-wise sum: folds another delta into this one. Used by the
+  /// engine to aggregate the per-call deltas Get() reports.
+  void Merge(const StoreMetrics& other) {
+    parses += other.parses;
+    bytes_parsed += other.bytes_parsed;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_evictions += other.cache_evictions;
+  }
 };
 
 /// Stores documents in serialized (XML text) form and materializes them on
 /// demand, keeping an LRU cache of parsed trees bounded by approximate
 /// in-memory bytes.
 ///
-/// Single-thread-only: Get mutates the LRU list, the cache byte budget,
-/// and the metrics counters even on a hit, so "read" operations are
-/// writes here. The owning xdb::Database is itself single-thread-only and
-/// is made per-node-exclusive by the middleware driver's mutex (see
-/// partix/driver.h) — that lock is what makes executor worker threads safe
-/// against this class.
+/// Thread-safety: Get and ShedCacheBytes are safe to call concurrently —
+/// an internal mutex guards the LRU list, the cache byte budget, and the
+/// metrics counters (parsing itself happens outside the lock, so
+/// concurrent cold reads of *different* documents overlap). Mutating
+/// operations (Put/PutSerialized/ReplaceSerialized/DropCache/
+/// set_cache_capacity_bytes) take the same mutex but must additionally be
+/// externally serialized against readers of the raw-byte accessors
+/// (SerializedXml/DocName/Metadata/metrics), which return unguarded
+/// references — the owning xdb::Database provides exactly that with its
+/// reader-writer lock (stores and DDL are exclusive, queries are shared).
 class DocumentStore {
  public:
   /// `pool`: name pool used when parsing. `cache_capacity_bytes`: bound on
@@ -71,7 +86,7 @@ class DocumentStore {
   /// Evicts parsed trees LRU-first until at least `target` cached bytes
   /// are freed (or the cache is empty); returns the bytes freed. This is
   /// what the governor invokes under pressure; benches may call it
-  /// directly.
+  /// directly. Thread-safe.
   size_t ShedCacheBytes(size_t target);
 
   /// Adds a document, serializing it. The document's out-of-band metadata
@@ -85,8 +100,12 @@ class DocumentStore {
       std::string name, std::string xml,
       std::map<std::string, std::string> metadata = {});
 
-  /// Returns the parsed document, from cache or by parsing.
-  Result<xml::DocumentPtr> Get(DocSlot slot);
+  /// Returns the parsed document, from cache or by parsing. Thread-safe.
+  /// When `delta` is non-null the call's own metrics (exactly one hit or
+  /// one miss+parse, plus any evictions it triggered) are added to it —
+  /// this is how the engine attributes store activity to the query that
+  /// caused it without racing other queries on the cumulative counters.
+  Result<xml::DocumentPtr> Get(DocSlot slot, StoreMetrics* delta = nullptr);
 
   /// Looks up a document by name.
   Result<DocSlot> FindSlot(const std::string& name) const;
@@ -118,6 +137,8 @@ class DocumentStore {
   size_t size() const { return docs_.size(); }
   uint64_t total_serialized_bytes() const { return total_bytes_; }
 
+  /// Cumulative counters since construction (or the last ResetMetrics).
+  /// Read while no Get is in flight — the reference is unguarded.
   const StoreMetrics& metrics() const { return metrics_; }
   void ResetMetrics() { metrics_.Reset(); }
 
@@ -129,7 +150,7 @@ class DocumentStore {
   void set_cache_capacity_bytes(size_t bytes);
 
   /// Summed ApproxBytes of the parsed trees currently cached.
-  size_t cache_bytes() const { return cache_bytes_; }
+  size_t cache_bytes() const;
 
  private:
   struct Entry {
@@ -142,10 +163,11 @@ class DocumentStore {
     bool cached = false;
   };
 
+  // All four require mu_ held.
   void Touch(DocSlot slot);
-  void InsertIntoCache(DocSlot slot, xml::DocumentPtr doc);
-  void EvictIfNeeded();
-  void EvictSlot(DocSlot slot);  // entry must be cached; counts as eviction
+  size_t InsertIntoCache(DocSlot slot, xml::DocumentPtr doc);
+  void EvictIfNeeded(StoreMetrics* delta);
+  void EvictSlot(DocSlot slot, StoreMetrics* delta);
 
   std::shared_ptr<xml::NamePool> pool_;
   size_t cache_capacity_;
@@ -153,6 +175,11 @@ class DocumentStore {
   memory::MemoryGovernor* governor_ = nullptr;
   int governor_id_ = -1;
   uint64_t total_bytes_ = 0;
+  /// Guards the LRU list, cache byte budget, metrics counters, and the
+  /// parsed/cached fields of every Entry. Never held while calling
+  /// MemoryGovernor::Charge (whose pressure path re-enters
+  /// ShedCacheBytes); Release never runs callbacks and is safe under it.
+  mutable std::mutex mu_;
   std::vector<Entry> docs_;
   std::unordered_map<std::string, DocSlot> by_name_;
   std::list<DocSlot> lru_;  // front = most recent

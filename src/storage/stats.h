@@ -38,8 +38,11 @@ struct AccessStats {
 /// reported by the experiment harness.
 ///
 /// Thread-compatible: AddDocument and RecordAccess require external
-/// synchronization (they run under the engine's per-node lock); concurrent
-/// reads of a quiescent instance are safe.
+/// synchronization. The engine provides it — AddDocument runs under the
+/// Database's exclusive (DDL/store) lock, and RecordAccess runs under a
+/// per-collection stats mutex so concurrent shared-lock queries can fold
+/// their deltas in without racing. Concurrent reads of a quiescent
+/// instance are safe.
 class CollectionStats {
  public:
   void AddDocument(const xml::Document& doc, size_t serialized_bytes);

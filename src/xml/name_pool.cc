@@ -1,8 +1,20 @@
 #include "xml/name_pool.h"
 
+#include <mutex>
+
 namespace partix::xml {
 
 NameId NamePool::Intern(std::string_view name) {
+  {
+    // Fast path: most interns hit an existing name (every node of every
+    // parsed document goes through here), so probe under the reader lock
+    // first and let concurrent interns of known names proceed in parallel.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Re-check: another thread may have interned the name between locks.
   auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   NameId id = static_cast<NameId>(names_.size());
@@ -12,9 +24,20 @@ NameId NamePool::Intern(std::string_view name) {
 }
 
 std::optional<NameId> NamePool::Find(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(name);
   if (it == index_.end()) return std::nullopt;
   return it->second;
+}
+
+std::string_view NamePool::Get(NameId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_[id];
+}
+
+size_t NamePool::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_.size();
 }
 
 }  // namespace partix::xml

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -19,8 +20,11 @@ using NameId = uint32_t;
 /// comparison instead of a string compare. A pool is typically shared by
 /// every document of a database.
 ///
-/// Thread-compatible: concurrent readers are fine once names are interned;
-/// interning itself requires external synchronization.
+/// Thread-safe: Intern takes the writer lock (with a reader-locked fast
+/// path for already-interned names), Find/Get/size take reader locks.
+/// Concurrent morsel workers constructing elements and parsing documents
+/// may therefore intern against one shared pool without external
+/// synchronization.
 class NamePool {
  public:
   NamePool() = default;
@@ -33,14 +37,17 @@ class NamePool {
   /// Returns the id for `name` if already interned.
   std::optional<NameId> Find(std::string_view name) const;
 
-  /// Returns the name for `id`. Pre: id < size().
-  std::string_view Get(NameId id) const { return names_[id]; }
+  /// Returns the name for `id`. Pre: id < size(). The returned view stays
+  /// valid for the pool's lifetime (names are never removed and their
+  /// storage is address-stable).
+  std::string_view Get(NameId id) const;
 
-  size_t size() const { return names_.size(); }
+  size_t size() const;
 
  private:
+  mutable std::shared_mutex mu_;
   // deque: element addresses are stable, so the string_view keys in
-  // `index_` remain valid as the pool grows.
+  // `index_` (and views handed out by Get) remain valid as the pool grows.
   std::deque<std::string> names_;
   std::unordered_map<std::string_view, NameId> index_;
 };

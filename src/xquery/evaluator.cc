@@ -1,9 +1,11 @@
 #include "xquery/evaluator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/strings.h"
@@ -43,11 +45,75 @@ bool StepMatches(const Document& doc, NodeId n, const xpath::Step& step) {
   return step.wildcard || doc.name(n) == step.name;
 }
 
+/// Splits [0, n) into `chunks` contiguous ranges whose sizes differ by at
+/// most one. Pre: 1 <= chunks <= n.
+std::vector<std::pair<size_t, size_t>> PartitionRanges(size_t n,
+                                                       size_t chunks) {
+  std::vector<std::pair<size_t, size_t>> out;
+  out.reserve(chunks);
+  const size_t base = n / chunks;
+  const size_t rem = n % chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t len = base + (c < rem ? 1 : 0);
+    out.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return out;
+}
+
+/// True when the context items are nodes rooting pairwise-disjoint
+/// subtrees in document order: whole documents (each appearing once), or
+/// sealed elements whose [pre, sub_max] label ranges do not overlap. Under
+/// that condition the remaining steps of a path can be evaluated
+/// chunk-by-chunk with byte-identical results — every axis this evaluator
+/// supports (child/descendant/attribute) stays inside the context node's
+/// subtree, so the per-step dedup set never sees a cross-chunk duplicate
+/// and chunk-order concatenation equals the sequential append order.
+bool DisjointSubtrees(const Sequence& context) {
+  // Per document: sub_max of the last accepted subtree (disjoint +
+  // ordered iff each next pre is greater).
+  std::unordered_map<const Document*, uint32_t> last_sub_max;
+  std::unordered_set<const Document*> whole_doc;
+  for (const Item& item : context) {
+    if (!item.IsNode()) return false;
+    const NodeRef& ref = item.AsNode();
+    const Document* d = ref.doc.get();
+    if (ref.node == xml::kDocumentNode) {
+      // A whole document: disjoint from everything except itself.
+      if (whole_doc.count(d) != 0 || last_sub_max.count(d) != 0) return false;
+      whole_doc.insert(d);
+      continue;
+    }
+    if (whole_doc.count(d) != 0) return false;
+    if (ref.doc->kind(ref.node) != NodeKind::kElement) return false;
+    if (!ref.doc->has_labels()) return false;
+    const xml::NodeLabel& label = ref.doc->label(ref.node);
+    auto it = last_sub_max.find(d);
+    if (it != last_sub_max.end() && label.pre <= it->second) return false;
+    last_sub_max[d] = label.sub_max;
+  }
+  return true;
+}
+
+/// Seeds a morsel worker's context from the coordinator's at the fork
+/// point: same dynamic environment, forks disabled below.
+EvalContext ForkContext(const EvalContext& ctx) {
+  EvalContext out;
+  out.variables = ctx.variables;
+  out.context_stack = ctx.context_stack;
+  out.position_stack = ctx.position_stack;
+  out.in_morsel = true;
+  return out;
+}
+
 }  // namespace
 
 Evaluator::Evaluator(CollectionResolver* resolver,
                      std::shared_ptr<xml::NamePool> pool)
     : resolver_(resolver), pool_(std::move(pool)) {
+  // Silent fallback (documented in the header): callers whose results
+  // leave the evaluator must pass a shared pool instead.
   if (pool_ == nullptr) pool_ = std::make_shared<xml::NamePool>();
 }
 
@@ -61,30 +127,64 @@ void Evaluator::SetContextItem(Item item) {
 }
 
 Result<Sequence> Evaluator::Eval(const Expr& query) {
-  return EvalExpr(query);
+  EvalContext ctx;
+  ctx.variables = variables_;
+  ctx.context_stack = context_stack_;
+  Result<Sequence> out = EvalExpr(ctx, query);
+  stats_ = ctx.stats;
+  return out;
 }
 
-Result<Sequence> Evaluator::EvalExpr(const Expr& e) {
+void Evaluator::RunMorsels(size_t chunks,
+                           std::function<void(size_t)> run) const {
+  // Shared by the coordinator and the helper tasks; shared_ptr-owned so a
+  // helper that wakes up after the coordinator has already moved on (all
+  // chunks claimed) still touches live memory.
+  struct Shared {
+    Shared(size_t n, std::function<void(size_t)> r)
+        : chunks(n), run(std::move(r)), done(n) {}
+    std::atomic<size_t> next{0};
+    size_t chunks;
+    std::function<void(size_t)> run;
+    Latch done;
+  };
+  auto st = std::make_shared<Shared>(chunks, std::move(run));
+  auto drain = [st] {
+    for (size_t c = st->next.fetch_add(1); c < st->chunks;
+         c = st->next.fetch_add(1)) {
+      st->run(c);
+      st->done.CountDown();
+    }
+  };
+  // Help-while-waiting: the coordinator claims chunks alongside the pool
+  // workers, so even a saturated (or shut-down) pool cannot deadlock the
+  // fork — worst case the coordinator drains every chunk itself.
+  for (size_t i = 1; i < chunks; ++i) morsel_pool_->Submit(drain);
+  drain();
+  st->done.Wait();
+}
+
+Result<Sequence> Evaluator::EvalExpr(EvalContext& ctx, const Expr& e) const {
   if (e.Is<StringLit>()) return Sequence{Item(e.As<StringLit>().value)};
   if (e.Is<NumberLit>()) return Sequence{Item(e.As<NumberLit>().value)};
   if (e.Is<VarRef>()) {
-    auto it = variables_.find(e.As<VarRef>().name);
-    if (it == variables_.end()) {
+    auto it = ctx.variables.find(e.As<VarRef>().name);
+    if (it == ctx.variables.end()) {
       return Status::InvalidArgument("unbound variable $" +
                                      e.As<VarRef>().name);
     }
     return it->second;
   }
   if (e.Is<ContextItem>()) {
-    if (context_stack_.empty()) {
+    if (ctx.context_stack.empty()) {
       return Status::InvalidArgument("no context item for '.'");
     }
-    return Sequence{context_stack_.back()};
+    return Sequence{ctx.context_stack.back()};
   }
-  if (e.Is<BinaryOp>()) return EvalBinary(e.As<BinaryOp>());
+  if (e.Is<BinaryOp>()) return EvalBinary(ctx, e.As<BinaryOp>());
   if (e.Is<UnaryMinus>()) {
     PARTIX_ASSIGN_OR_RETURN(Sequence v,
-                            EvalExpr(*e.As<UnaryMinus>().operand));
+                            EvalExpr(ctx, *e.As<UnaryMinus>().operand));
     if (v.empty()) return Sequence{};
     double n = 0.0;
     if (v.size() != 1 || !v[0].TryNumber(&n)) {
@@ -92,40 +192,41 @@ Result<Sequence> Evaluator::EvalExpr(const Expr& e) {
     }
     return Sequence{Item(-n)};
   }
-  if (e.Is<PathExpr>()) return EvalPath(e.As<PathExpr>());
-  if (e.Is<FunctionCall>()) return EvalFunction(e.As<FunctionCall>());
-  if (e.Is<FlworExpr>()) return EvalFlwor(e.As<FlworExpr>());
-  if (e.Is<ElementCtor>()) return EvalElementCtor(e.As<ElementCtor>());
+  if (e.Is<PathExpr>()) return EvalPath(ctx, e.As<PathExpr>());
+  if (e.Is<FunctionCall>()) return EvalFunction(ctx, e.As<FunctionCall>());
+  if (e.Is<FlworExpr>()) return EvalFlwor(ctx, e.As<FlworExpr>());
+  if (e.Is<ElementCtor>()) return EvalElementCtor(ctx, e.As<ElementCtor>());
   if (e.Is<IfExpr>()) {
     const auto& ie = e.As<IfExpr>();
-    PARTIX_ASSIGN_OR_RETURN(Sequence cond, EvalExpr(*ie.cond));
+    PARTIX_ASSIGN_OR_RETURN(Sequence cond, EvalExpr(ctx, *ie.cond));
     PARTIX_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
-    return EvalExpr(b ? *ie.then_branch : *ie.else_branch);
+    return EvalExpr(ctx, b ? *ie.then_branch : *ie.else_branch);
   }
   if (e.Is<QuantifiedExpr>()) {
     PARTIX_ASSIGN_OR_RETURN(bool b,
-                            EvalQuantified(e.As<QuantifiedExpr>(), 0));
+                            EvalQuantified(ctx, e.As<QuantifiedExpr>(), 0));
     return Sequence{Item(b)};
   }
   return Status::Internal("unhandled expression kind");
 }
 
-Result<Sequence> Evaluator::EvalBinary(const BinaryOp& op) {
+Result<Sequence> Evaluator::EvalBinary(EvalContext& ctx,
+                                       const BinaryOp& op) const {
   using Op = BinaryOp::Op;
   switch (op.op) {
     case Op::kComma: {
-      PARTIX_ASSIGN_OR_RETURN(Sequence lhs, EvalExpr(*op.lhs));
-      PARTIX_ASSIGN_OR_RETURN(Sequence rhs, EvalExpr(*op.rhs));
+      PARTIX_ASSIGN_OR_RETURN(Sequence lhs, EvalExpr(ctx, *op.lhs));
+      PARTIX_ASSIGN_OR_RETURN(Sequence rhs, EvalExpr(ctx, *op.rhs));
       for (Item& item : rhs) lhs.push_back(std::move(item));
       return lhs;
     }
     case Op::kOr:
     case Op::kAnd: {
-      PARTIX_ASSIGN_OR_RETURN(Sequence lseq, EvalExpr(*op.lhs));
+      PARTIX_ASSIGN_OR_RETURN(Sequence lseq, EvalExpr(ctx, *op.lhs));
       PARTIX_ASSIGN_OR_RETURN(bool l, EffectiveBooleanValue(lseq));
       if (op.op == Op::kOr && l) return Sequence{Item(true)};
       if (op.op == Op::kAnd && !l) return Sequence{Item(false)};
-      PARTIX_ASSIGN_OR_RETURN(Sequence rseq, EvalExpr(*op.rhs));
+      PARTIX_ASSIGN_OR_RETURN(Sequence rseq, EvalExpr(ctx, *op.rhs));
       PARTIX_ASSIGN_OR_RETURN(bool r, EffectiveBooleanValue(rseq));
       return Sequence{Item(r)};
     }
@@ -135,8 +236,8 @@ Result<Sequence> Evaluator::EvalBinary(const BinaryOp& op) {
     case Op::kLe:
     case Op::kGt:
     case Op::kGe: {
-      PARTIX_ASSIGN_OR_RETURN(Sequence lhs, EvalExpr(*op.lhs));
-      PARTIX_ASSIGN_OR_RETURN(Sequence rhs, EvalExpr(*op.rhs));
+      PARTIX_ASSIGN_OR_RETURN(Sequence lhs, EvalExpr(ctx, *op.lhs));
+      PARTIX_ASSIGN_OR_RETURN(Sequence rhs, EvalExpr(ctx, *op.rhs));
       PARTIX_ASSIGN_OR_RETURN(bool b, GeneralCompare(op.op, lhs, rhs));
       return Sequence{Item(b)};
     }
@@ -145,8 +246,8 @@ Result<Sequence> Evaluator::EvalBinary(const BinaryOp& op) {
     case Op::kMul:
     case Op::kDiv:
     case Op::kMod: {
-      PARTIX_ASSIGN_OR_RETURN(Sequence lhs, EvalExpr(*op.lhs));
-      PARTIX_ASSIGN_OR_RETURN(Sequence rhs, EvalExpr(*op.rhs));
+      PARTIX_ASSIGN_OR_RETURN(Sequence lhs, EvalExpr(ctx, *op.lhs));
+      PARTIX_ASSIGN_OR_RETURN(Sequence rhs, EvalExpr(ctx, *op.rhs));
       if (lhs.empty() || rhs.empty()) return Sequence{};
       double a = 0.0;
       double b = 0.0;
@@ -181,7 +282,7 @@ Result<Sequence> Evaluator::EvalBinary(const BinaryOp& op) {
 }
 
 Result<bool> Evaluator::GeneralCompare(BinaryOp::Op op, const Sequence& lhs,
-                                       const Sequence& rhs) {
+                                       const Sequence& rhs) const {
   // XPath general comparison: existential over all atomized pairs.
   for (const Item& l : lhs) {
     for (const Item& r : rhs) {
@@ -228,14 +329,15 @@ Result<bool> Evaluator::GeneralCompare(BinaryOp::Op op, const Sequence& lhs,
   return false;
 }
 
-bool Evaluator::MatchStepByLabels(const DocumentPtr& docp, NodeId ctx,
-                                  const xpath::Step& step, Sequence* out) {
+bool Evaluator::MatchStepByLabels(EvalContext& ctx, const DocumentPtr& docp,
+                                  NodeId ctx_node, const xpath::Step& step,
+                                  Sequence* out) const {
   const Document& doc = *docp;
   if (!use_structural_index_ || !doc.has_labels()) return false;
   uint32_t lo_pre = 0;
   uint32_t hi_pre = 0;
   uint32_t child_level = 0;  // 0 = no level filter (descendant axis)
-  if (ctx == xml::kDocumentNode) {
+  if (ctx_node == xml::kDocumentNode) {
     // Whole-document scan, root included. Only the descendant axis goes
     // through here; the document node's single child is matched directly.
     if (step.axis != xpath::Axis::kDescendant ||
@@ -245,16 +347,16 @@ bool Evaluator::MatchStepByLabels(const DocumentPtr& docp, NodeId ctx,
     lo_pre = 0;
     hi_pre = static_cast<uint32_t>(doc.node_count());
   } else {
-    if (xpath::ChooseStepStrategy(doc, ctx, step) !=
+    if (xpath::ChooseStepStrategy(doc, ctx_node, step) !=
         xpath::StepStrategy::kLabelRange) {
       return false;
     }
-    const xml::NodeLabel& c = doc.label(ctx);
+    const xml::NodeLabel& c = doc.label(ctx_node);
     lo_pre = c.pre + 1;
     hi_pre = c.sub_max + 1;
     if (step.axis == xpath::Axis::kChild) child_level = c.level + 1;
   }
-  ++stats_.index_range_scans;
+  ++ctx.stats.index_range_scans;
   const std::optional<xml::NameId> name_id = doc.pool()->Find(step.name);
   if (!name_id) return true;  // name interned nowhere: empty result
   const std::vector<uint32_t>* occ = doc.NameOccurrences(*name_id);
@@ -264,28 +366,29 @@ bool Evaluator::MatchStepByLabels(const DocumentPtr& docp, NodeId ctx,
   const NodeKind want =
       step.is_attribute ? NodeKind::kAttribute : NodeKind::kElement;
   for (auto it = lo; it != hi; ++it) {
-    ++stats_.nodes_visited;
+    ++ctx.stats.nodes_visited;
     NodeId n = doc.NodeAtPre(*it);
     if (doc.kind(n) != want) continue;
     if (child_level != 0 && doc.label(n).level != child_level) continue;
     out->push_back(Item(NodeRef{docp, n}));
-    ++stats_.index_range_hits;
+    ++ctx.stats.index_range_hits;
   }
   return true;
 }
 
-Result<Sequence> Evaluator::EvalPath(const PathExpr& path) {
+Result<Sequence> Evaluator::EvalPath(EvalContext& ctx,
+                                     const PathExpr& path) const {
   Sequence context;
   if (path.source != nullptr) {
-    PARTIX_ASSIGN_OR_RETURN(context, EvalExpr(*path.source));
+    PARTIX_ASSIGN_OR_RETURN(context, EvalExpr(ctx, *path.source));
   } else {
     // Absolute path: root of the context item's document.
-    if (context_stack_.empty() || !context_stack_.back().IsNode()) {
+    if (ctx.context_stack.empty() || !ctx.context_stack.back().IsNode()) {
       return Status::InvalidArgument(
           "absolute path with no context document");
     }
-    const NodeRef& ctx = context_stack_.back().AsNode();
-    context.push_back(Item(NodeRef{ctx.doc, ctx.doc->root()}));
+    const NodeRef& root_ctx = ctx.context_stack.back().AsNode();
+    context.push_back(Item(NodeRef{root_ctx.doc, root_ctx.doc->root()}));
     // The first step of an absolute path matches the root element itself
     // (child axis from the virtual document node) or any element
     // (descendant axis); reuse step evaluation by treating the root as
@@ -293,34 +396,69 @@ Result<Sequence> Evaluator::EvalPath(const PathExpr& path) {
     if (path.steps.empty()) return context;
     const AxisStep& first = path.steps[0];
     Sequence initial;
-    const Document& doc = *ctx.doc;
+    const Document& doc = *root_ctx.doc;
     if (first.step.axis == xpath::Axis::kChild) {
       if (StepMatches(doc, doc.root(), first.step)) {
-        initial.push_back(Item(NodeRef{ctx.doc, doc.root()}));
+        initial.push_back(Item(NodeRef{root_ctx.doc, doc.root()}));
       }
-    } else if (!MatchStepByLabels(ctx.doc, xml::kDocumentNode, first.step,
-                                  &initial)) {
+    } else if (!MatchStepByLabels(ctx, root_ctx.doc, xml::kDocumentNode,
+                                  first.step, &initial)) {
       doc.VisitSubtree(doc.root(), [&](NodeId n) {
-        ++stats_.nodes_visited;
+        ++ctx.stats.nodes_visited;
         if (StepMatches(doc, n, first.step)) {
-          initial.push_back(Item(NodeRef{ctx.doc, n}));
+          initial.push_back(Item(NodeRef{root_ctx.doc, n}));
         }
       });
     }
     for (const ExprPtr& pred : first.predicates) {
-      PARTIX_ASSIGN_OR_RETURN(initial,
-                              ApplyPredicate(*pred, std::move(initial)));
+      PARTIX_ASSIGN_OR_RETURN(
+          initial, ApplyPredicate(ctx, *pred, std::move(initial)));
     }
-    return EvalSteps(std::move(initial), path.steps, 1);
+    return EvalSteps(ctx, std::move(initial), path.steps, 1);
   }
-  return EvalSteps(std::move(context), path.steps, 0);
+  return EvalSteps(ctx, std::move(context), path.steps, 0);
 }
 
-Result<Sequence> Evaluator::EvalSteps(Sequence context,
+Result<Sequence> Evaluator::EvalSteps(EvalContext& ctx, Sequence context,
                                       const std::vector<AxisStep>& steps,
-                                      size_t first) {
+                                      size_t first) const {
   Sequence current = std::move(context);
   for (size_t si = first; si < steps.size(); ++si) {
+    // Morsel fork: when the context fans out over disjoint subtrees
+    // (resolved collection documents, or top-level subtree ranges of one
+    // large document via the structural labels), evaluate the remaining
+    // steps chunk-by-chunk on the shared pool. Chunk-order stitching
+    // preserves document order; see DisjointSubtrees for why results are
+    // byte-identical to the sequential run.
+    if (MorselsEligible(ctx, current.size()) && DisjointSubtrees(current)) {
+      const size_t chunks = std::min(morsels_, current.size());
+      const auto ranges = PartitionRanges(current.size(), chunks);
+      std::vector<EvalContext> worker_ctx;
+      worker_ctx.reserve(chunks);
+      for (size_t c = 0; c < chunks; ++c) {
+        worker_ctx.push_back(ForkContext(ctx));
+      }
+      std::vector<Result<Sequence>> results(chunks, Sequence{});
+      RunMorsels(chunks, [&](size_t c) {
+        Sequence chunk(current.begin() + ranges[c].first,
+                       current.begin() + ranges[c].second);
+        results[c] =
+            EvalSteps(worker_ctx[c], std::move(chunk), steps, si);
+      });
+      Sequence stitched;
+      Status status = Status::Ok();
+      for (size_t c = 0; c < chunks; ++c) {
+        ctx.stats.Merge(worker_ctx[c].stats);
+        if (!status.ok()) continue;
+        if (!results[c].ok()) {
+          status = results[c].status();
+          continue;
+        }
+        for (Item& item : *results[c]) stitched.push_back(std::move(item));
+      }
+      PARTIX_RETURN_IF_ERROR(status);
+      return stitched;
+    }
     const AxisStep& axis_step = steps[si];
     Sequence next;
     std::unordered_set<NodeKey, NodeKeyHash> seen;
@@ -337,35 +475,35 @@ Result<Sequence> Evaluator::EvalSteps(Sequence context,
         // The virtual document node: its only child is the root element.
         if (!doc.empty()) {
           if (axis_step.step.axis == xpath::Axis::kChild) {
-            ++stats_.nodes_visited;
+            ++ctx.stats.nodes_visited;
             if (StepMatches(doc, doc.root(), axis_step.step)) {
               matches.push_back(Item(NodeRef{ref.doc, doc.root()}));
             }
-          } else if (!MatchStepByLabels(ref.doc, xml::kDocumentNode,
+          } else if (!MatchStepByLabels(ctx, ref.doc, xml::kDocumentNode,
                                         axis_step.step, &matches)) {
             doc.VisitSubtree(doc.root(), [&](NodeId n) {
-              ++stats_.nodes_visited;
+              ++ctx.stats.nodes_visited;
               if (StepMatches(doc, n, axis_step.step)) {
                 matches.push_back(Item(NodeRef{ref.doc, n}));
               }
             });
           }
         }
-      } else if (MatchStepByLabels(ref.doc, ref.node, axis_step.step,
+      } else if (MatchStepByLabels(ctx, ref.doc, ref.node, axis_step.step,
                                    &matches)) {
         // Step answered by a label-range scan; matches already appended
         // in document order.
       } else if (axis_step.step.axis == xpath::Axis::kChild) {
         for (NodeId c = doc.first_child(ref.node); c != kNullNode;
              c = doc.next_sibling(c)) {
-          ++stats_.nodes_visited;
+          ++ctx.stats.nodes_visited;
           if (StepMatches(doc, c, axis_step.step)) {
             matches.push_back(Item(NodeRef{ref.doc, c}));
           }
         }
       } else {
         doc.VisitSubtree(ref.node, [&](NodeId n) {
-          ++stats_.nodes_visited;
+          ++ctx.stats.nodes_visited;
           if (n != ref.node && StepMatches(doc, n, axis_step.step)) {
             matches.push_back(Item(NodeRef{ref.doc, n}));
           }
@@ -373,8 +511,8 @@ Result<Sequence> Evaluator::EvalSteps(Sequence context,
       }
       // Apply predicates per context node (XPath positional semantics).
       for (const ExprPtr& pred : axis_step.predicates) {
-        PARTIX_ASSIGN_OR_RETURN(matches,
-                                ApplyPredicate(*pred, std::move(matches)));
+        PARTIX_ASSIGN_OR_RETURN(
+            matches, ApplyPredicate(ctx, *pred, std::move(matches)));
         if (matches.empty()) break;
       }
       for (Item& m : matches) {
@@ -388,8 +526,9 @@ Result<Sequence> Evaluator::EvalSteps(Sequence context,
   return current;
 }
 
-Result<Sequence> Evaluator::ApplyPredicate(const Expr& pred,
-                                           Sequence matches) {
+Result<Sequence> Evaluator::ApplyPredicate(EvalContext& ctx,
+                                           const Expr& pred,
+                                           Sequence matches) const {
   // Fast path: a literal number is a positional filter.
   if (pred.Is<NumberLit>()) {
     double want = pred.As<NumberLit>().value;
@@ -403,11 +542,11 @@ Result<Sequence> Evaluator::ApplyPredicate(const Expr& pred,
   }
   Sequence out;
   for (size_t i = 0; i < matches.size(); ++i) {
-    context_stack_.push_back(matches[i]);
-    position_stack_.emplace_back(i + 1, matches.size());
-    Result<Sequence> value = EvalExpr(pred);
-    position_stack_.pop_back();
-    context_stack_.pop_back();
+    ctx.context_stack.push_back(matches[i]);
+    ctx.position_stack.emplace_back(i + 1, matches.size());
+    Result<Sequence> value = EvalExpr(ctx, pred);
+    ctx.position_stack.pop_back();
+    ctx.context_stack.pop_back();
     if (!value.ok()) return value.status();
     const Sequence& v = *value;
     // A numeric result selects by position.
@@ -436,16 +575,17 @@ bool KeyLess(const Item& a, const Item& b) {
 
 }  // namespace
 
-Result<Sequence> Evaluator::EvalFlwor(const FlworExpr& flwor) {
+Result<Sequence> Evaluator::EvalFlwor(EvalContext& ctx,
+                                      const FlworExpr& flwor) const {
   Sequence out;
   if (flwor.order_by == nullptr) {
     PARTIX_RETURN_IF_ERROR(
-        EvalFlworClauses(flwor, 0, &out, nullptr).status());
+        EvalFlworClauses(ctx, flwor, 0, &out, nullptr).status());
     return out;
   }
   std::vector<std::pair<Item, Sequence>> keyed;
   PARTIX_RETURN_IF_ERROR(
-      EvalFlworClauses(flwor, 0, nullptr, &keyed).status());
+      EvalFlworClauses(ctx, flwor, 0, nullptr, &keyed).status());
   std::stable_sort(keyed.begin(), keyed.end(),
                    [&](const auto& a, const auto& b) {
                      return flwor.order_descending
@@ -459,44 +599,96 @@ Result<Sequence> Evaluator::EvalFlwor(const FlworExpr& flwor) {
 }
 
 Result<Sequence> Evaluator::EvalFlworClauses(
-    const FlworExpr& flwor, size_t clause_idx, Sequence* out,
-    std::vector<std::pair<Item, Sequence>>* keyed) {
+    EvalContext& ctx, const FlworExpr& flwor, size_t clause_idx,
+    Sequence* out, std::vector<std::pair<Item, Sequence>>* keyed) const {
   if (clause_idx == flwor.clauses.size()) {
     if (flwor.where != nullptr) {
-      PARTIX_ASSIGN_OR_RETURN(Sequence cond, EvalExpr(*flwor.where));
+      PARTIX_ASSIGN_OR_RETURN(Sequence cond, EvalExpr(ctx, *flwor.where));
       PARTIX_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
       if (!b) return Sequence{};
     }
     if (keyed != nullptr) {
       PARTIX_ASSIGN_OR_RETURN(Sequence key_seq,
-                              EvalExpr(*flwor.order_by));
+                              EvalExpr(ctx, *flwor.order_by));
       Item key = key_seq.empty() ? Item(std::string()) : key_seq[0];
-      PARTIX_ASSIGN_OR_RETURN(Sequence items, EvalExpr(*flwor.ret));
+      PARTIX_ASSIGN_OR_RETURN(Sequence items, EvalExpr(ctx, *flwor.ret));
       keyed->emplace_back(std::move(key), std::move(items));
       return Sequence{};
     }
-    PARTIX_ASSIGN_OR_RETURN(Sequence items, EvalExpr(*flwor.ret));
+    PARTIX_ASSIGN_OR_RETURN(Sequence items, EvalExpr(ctx, *flwor.ret));
     for (Item& item : items) out->push_back(std::move(item));
     return Sequence{};
   }
   const ForLetClause& clause = flwor.clauses[clause_idx];
-  PARTIX_ASSIGN_OR_RETURN(Sequence binding, EvalExpr(*clause.expr));
+  PARTIX_ASSIGN_OR_RETURN(Sequence binding, EvalExpr(ctx, *clause.expr));
+
+  // Morsel fork: a for-clause binds each item independently, so the
+  // binding sequence is partitioned into contiguous chunks whose
+  // tuple expansions run on the shared pool. Chunk-order stitching of the
+  // per-chunk outputs (or order-by buffers) reproduces the sequential
+  // tuple order exactly; per-chunk stats merge in chunk order.
+  if (!clause.is_let && MorselsEligible(ctx, binding.size())) {
+    const size_t chunks = std::min(morsels_, binding.size());
+    const auto ranges = PartitionRanges(binding.size(), chunks);
+    std::vector<EvalContext> worker_ctx;
+    worker_ctx.reserve(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+      worker_ctx.push_back(ForkContext(ctx));
+    }
+    std::vector<Status> worker_status(chunks, Status::Ok());
+    std::vector<Sequence> worker_out(chunks);
+    std::vector<std::vector<std::pair<Item, Sequence>>> worker_keyed(chunks);
+    RunMorsels(chunks, [&](size_t c) {
+      EvalContext& mc = worker_ctx[c];
+      for (size_t i = ranges[c].first; i < ranges[c].second; ++i) {
+        mc.variables[clause.var] = Sequence{binding[i]};
+        Result<Sequence> r = EvalFlworClauses(
+            mc, flwor, clause_idx + 1,
+            keyed == nullptr ? &worker_out[c] : nullptr,
+            keyed == nullptr ? nullptr : &worker_keyed[c]);
+        if (!r.ok()) {
+          worker_status[c] = r.status();
+          break;
+        }
+      }
+    });
+    Status status = Status::Ok();
+    for (size_t c = 0; c < chunks; ++c) {
+      ctx.stats.Merge(worker_ctx[c].stats);
+      if (!status.ok()) continue;
+      if (!worker_status[c].ok()) {
+        // Chunks cover ascending binding indexes, so the first failing
+        // chunk holds the same error the sequential run would hit first.
+        status = worker_status[c];
+        continue;
+      }
+      if (keyed == nullptr) {
+        for (Item& item : worker_out[c]) out->push_back(std::move(item));
+      } else {
+        for (auto& kv : worker_keyed[c]) keyed->push_back(std::move(kv));
+      }
+    }
+    PARTIX_RETURN_IF_ERROR(status);
+    return Sequence{};
+  }
+
   // Save and restore any shadowed variable.
-  auto saved = variables_.find(clause.var);
-  bool had_saved = saved != variables_.end();
+  auto saved = ctx.variables.find(clause.var);
+  bool had_saved = saved != ctx.variables.end();
   Sequence saved_value;
   if (had_saved) saved_value = saved->second;
 
   Status status = Status::Ok();
   if (clause.is_let) {
-    variables_[clause.var] = std::move(binding);
-    Result<Sequence> r = EvalFlworClauses(flwor, clause_idx + 1, out, keyed);
+    ctx.variables[clause.var] = std::move(binding);
+    Result<Sequence> r =
+        EvalFlworClauses(ctx, flwor, clause_idx + 1, out, keyed);
     if (!r.ok()) status = r.status();
   } else {
     for (Item& item : binding) {
-      variables_[clause.var] = Sequence{item};
+      ctx.variables[clause.var] = Sequence{item};
       Result<Sequence> r =
-          EvalFlworClauses(flwor, clause_idx + 1, out, keyed);
+          EvalFlworClauses(ctx, flwor, clause_idx + 1, out, keyed);
       if (!r.ok()) {
         status = r.status();
         break;
@@ -504,24 +696,26 @@ Result<Sequence> Evaluator::EvalFlworClauses(
     }
   }
   if (had_saved) {
-    variables_[clause.var] = std::move(saved_value);
+    ctx.variables[clause.var] = std::move(saved_value);
   } else {
-    variables_.erase(clause.var);
+    ctx.variables.erase(clause.var);
   }
   PARTIX_RETURN_IF_ERROR(status);
   return Sequence{};
 }
 
-Result<bool> Evaluator::EvalQuantified(const QuantifiedExpr& quantified,
-                                       size_t binding_idx) {
+Result<bool> Evaluator::EvalQuantified(EvalContext& ctx,
+                                       const QuantifiedExpr& quantified,
+                                       size_t binding_idx) const {
   if (binding_idx == quantified.bindings.size()) {
-    PARTIX_ASSIGN_OR_RETURN(Sequence value, EvalExpr(*quantified.satisfies));
+    PARTIX_ASSIGN_OR_RETURN(Sequence value,
+                            EvalExpr(ctx, *quantified.satisfies));
     return EffectiveBooleanValue(value);
   }
   const ForLetClause& clause = quantified.bindings[binding_idx];
-  PARTIX_ASSIGN_OR_RETURN(Sequence binding, EvalExpr(*clause.expr));
-  auto saved = variables_.find(clause.var);
-  bool had_saved = saved != variables_.end();
+  PARTIX_ASSIGN_OR_RETURN(Sequence binding, EvalExpr(ctx, *clause.expr));
+  auto saved = ctx.variables.find(clause.var);
+  bool had_saved = saved != ctx.variables.end();
   Sequence saved_value;
   if (had_saved) saved_value = saved->second;
 
@@ -529,8 +723,8 @@ Result<bool> Evaluator::EvalQuantified(const QuantifiedExpr& quantified,
   bool result = quantified.is_every;
   Status status = Status::Ok();
   for (Item& item : binding) {
-    variables_[clause.var] = Sequence{item};
-    Result<bool> r = EvalQuantified(quantified, binding_idx + 1);
+    ctx.variables[clause.var] = Sequence{item};
+    Result<bool> r = EvalQuantified(ctx, quantified, binding_idx + 1);
     if (!r.ok()) {
       status = r.status();
       break;
@@ -541,17 +735,19 @@ Result<bool> Evaluator::EvalQuantified(const QuantifiedExpr& quantified,
     }
   }
   if (had_saved) {
-    variables_[clause.var] = std::move(saved_value);
+    ctx.variables[clause.var] = std::move(saved_value);
   } else {
-    variables_.erase(clause.var);
+    ctx.variables.erase(clause.var);
   }
   PARTIX_RETURN_IF_ERROR(status);
   return result;
 }
 
-Status Evaluator::BuildContent(const Sequence& content, bool literal_text,
-                               xml::Document* doc, xml::NodeId parent,
-                               bool* last_was_atomic) {
+Status Evaluator::BuildContent(EvalContext& ctx, const Sequence& content,
+                               bool literal_text, xml::Document* doc,
+                               xml::NodeId parent,
+                               bool* last_was_atomic) const {
+  (void)ctx;
   for (const Item& item : content) {
     if (item.IsNode()) {
       const NodeRef& ref = item.AsNode();
@@ -582,7 +778,10 @@ Status Evaluator::BuildContent(const Sequence& content, bool literal_text,
   return Status::Ok();
 }
 
-Result<Sequence> Evaluator::EvalElementCtor(const ElementCtor& ctor) {
+Result<Sequence> Evaluator::EvalElementCtor(EvalContext& ctx,
+                                            const ElementCtor& ctor) const {
+  // pool_ interning is thread-safe, so morsel workers may construct
+  // elements against the shared pool concurrently.
   auto doc = std::make_shared<Document>(pool_, "(constructed)");
   NodeId root = doc->CreateRoot(ctor.name);
   for (const auto& [name, value] : ctor.attributes) {
@@ -591,12 +790,12 @@ Result<Sequence> Evaluator::EvalElementCtor(const ElementCtor& ctor) {
   bool last_was_atomic = false;
   for (size_t i = 0; i < ctor.content.size(); ++i) {
     bool literal = ctor.content_is_literal_text[i];
-    PARTIX_ASSIGN_OR_RETURN(Sequence value, EvalExpr(*ctor.content[i]));
-    PARTIX_RETURN_IF_ERROR(
-        BuildContent(value, literal, doc.get(), root, &last_was_atomic));
+    PARTIX_ASSIGN_OR_RETURN(Sequence value, EvalExpr(ctx, *ctor.content[i]));
+    PARTIX_RETURN_IF_ERROR(BuildContent(ctx, value, literal, doc.get(), root,
+                                        &last_was_atomic));
     if (literal) last_was_atomic = false;
   }
-  ++stats_.elements_constructed;
+  ++ctx.stats.elements_constructed;
   // Seal before freezing: constructed content can itself be stepped over
   // by enclosing path expressions.
   doc->SealLabels();
@@ -604,10 +803,11 @@ Result<Sequence> Evaluator::EvalElementCtor(const ElementCtor& ctor) {
   return Sequence{Item(NodeRef{frozen, root})};
 }
 
-Result<Sequence> Evaluator::EvalFunction(const FunctionCall& call) {
+Result<Sequence> Evaluator::EvalFunction(EvalContext& ctx,
+                                         const FunctionCall& call) const {
   auto eval_args = [&](std::vector<Sequence>* out) -> Status {
     for (const ExprPtr& arg : call.args) {
-      PARTIX_ASSIGN_OR_RETURN(Sequence v, EvalExpr(*arg));
+      PARTIX_ASSIGN_OR_RETURN(Sequence v, EvalExpr(ctx, *arg));
       out->push_back(std::move(v));
     }
     return Status::Ok();
@@ -621,13 +821,13 @@ Result<Sequence> Evaluator::EvalFunction(const FunctionCall& call) {
     if (!call.args.empty()) {
       return Status::InvalidArgument(fn + "() takes no arguments");
     }
-    if (position_stack_.empty()) {
+    if (ctx.position_stack.empty()) {
       return Status::InvalidArgument(fn +
                                      "() outside a predicate context");
     }
     return Sequence{Item(static_cast<double>(
-        fn == "position" ? position_stack_.back().first
-                         : position_stack_.back().second))};
+        fn == "position" ? ctx.position_stack.back().first
+                         : ctx.position_stack.back().second))};
   }
 
   if (fn == "collection" || fn == "doc") {
@@ -640,7 +840,7 @@ Result<Sequence> Evaluator::EvalFunction(const FunctionCall& call) {
       return Status::InvalidArgument(fn + "() takes one string argument");
     }
     std::string name = args[0][0].StringValue();
-    ++stats_.collections_resolved;
+    ++ctx.stats.collections_resolved;
     PARTIX_ASSIGN_OR_RETURN(std::vector<DocumentPtr> docs,
                             resolver_->Resolve(name));
     if (fn == "doc" && docs.size() != 1) {
