@@ -59,6 +59,12 @@ for config in "${configs[@]}"; do
     # must answer byte-identically at morsels 1/2/4/8 (the 2x speedup
     # gate runs only in full mode on multi-core hosts).
     (cd "$dir"/bench && PARTIX_SMOKE=1 ./intra_node_speedup)
+    echo "== ${config}: streaming TTFB smoke =="
+    # Gates the streaming result pipeline: byte-identical answers
+    # streaming vs materialized, streaming TTFB p50 strictly below the
+    # materialized wall on the union workload, and peak governed bytes
+    # below 80% of the double-charge baseline.
+    (cd "$dir"/bench && PARTIX_SMOKE=1 ./streaming_ttfb)
   fi
 done
 

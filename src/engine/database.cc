@@ -469,25 +469,22 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared,
   return ExecutePreparedLocked(prepared, exec);
 }
 
-Result<QueryResult> Database::ExecutePreparedLocked(
-    const PreparedQuery& prepared, const ExecParams& exec) const {
-  if (prepared.compiled == nullptr) {
-    return Status::InvalidArgument("ExecutePrepared: plan has no query");
-  }
-  Stopwatch watch;
-  const std::map<std::string, CollectionPlan>& plans = prepared.plans;
-
+void Database::PlanCandidates(
+    const std::map<std::string, CollectionPlan>& plans,
+    std::map<std::string, std::vector<storage::DocSlot>>* candidates_out,
+    std::map<std::string, storage::DocumentStore*>* stores,
+    QueryMetrics* metrics_out) const {
   // Plan: compute candidate documents per referenced collection. This
   // part is data-dependent (index postings change as documents are
   // stored), so it stays at execution time; the parse and the static
   // site-constraint analysis live in the prepared plan. Index lookups are
   // const reads — the shared lock excludes the (exclusive) writers.
-  std::map<std::string, std::vector<storage::DocSlot>> candidates;
-  std::map<std::string, storage::DocumentStore*> stores;
-  QueryMetrics metrics;
+  std::map<std::string, std::vector<storage::DocSlot>>& candidates =
+      *candidates_out;
+  QueryMetrics& metrics = *metrics_out;
 
   for (const auto& [name, state] : collections_) {
-    stores[name] = state.store.get();
+    (*stores)[name] = state.store.get();
   }
 
   for (const auto& [name, plan] : plans) {
@@ -575,6 +572,55 @@ Result<QueryResult> Database::ExecutePreparedLocked(
     }
     metrics.docs_considered += slots.size();
   }
+}
+
+void Database::FoldExecutionStats(
+    const std::map<std::string, CollectionPlan>& plans,
+    const std::function<storage::StoreMetrics(const std::string&)>& delta_for,
+    const xquery::EvalStats& eval_stats, QueryMetrics* metrics_out) const {
+  QueryMetrics& metrics = *metrics_out;
+  // Collect metrics: fold each collection's access delta (attributed to
+  // exactly this query by the resolver) into its stats — the
+  // per-fragment access counts the fragmentation advisor and
+  // EXPERIMENTS.md's SD-vs-MD cost story consume.
+  for (const auto& [name, plan] : plans) {
+    auto it = collections_.find(name);
+    if (it == collections_.end()) continue;
+    const storage::StoreMetrics delta = delta_for(name);
+    metrics.docs_parsed += delta.parses;
+    metrics.bytes_parsed += delta.bytes_parsed;
+    metrics.cache_hits += delta.cache_hits;
+    std::lock_guard<std::mutex> stats_lock(it->second.stats_mu);
+    it->second.stats.RecordAccess(delta);
+  }
+  metrics.nodes_visited = eval_stats.nodes_visited;
+  metrics.index_range_scans = eval_stats.index_range_scans;
+  metrics.index_range_hits = eval_stats.index_range_hits;
+  if (metrics.index_range_scans > 0) {
+    // Evaluator-side label-range scans are structural-index probes too;
+    // fold them into the same process-wide counters the planner-side
+    // lookups use. Morsel-chunk stats merge in chunk order before this
+    // point, so the counts equal a single-threaded run's exactly.
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.GetCounter("partix_structural_index_probes_total")
+        ->Add(metrics.index_range_scans);
+    registry.GetCounter("partix_structural_index_hits_total")
+        ->Add(metrics.index_range_hits);
+  }
+}
+
+Result<QueryResult> Database::ExecutePreparedLocked(
+    const PreparedQuery& prepared, const ExecParams& exec) const {
+  if (prepared.compiled == nullptr) {
+    return Status::InvalidArgument("ExecutePrepared: plan has no query");
+  }
+  Stopwatch watch;
+  const std::map<std::string, CollectionPlan>& plans = prepared.plans;
+
+  std::map<std::string, std::vector<storage::DocSlot>> candidates;
+  std::map<std::string, storage::DocumentStore*> stores;
+  QueryMetrics metrics;
+  PlanCandidates(plans, &candidates, &stores, &metrics);
 
   // Evaluate.
   PlannedResolver resolver(std::move(candidates), std::move(stores));
@@ -587,34 +633,10 @@ Result<QueryResult> Database::ExecutePreparedLocked(
   Result<xquery::Sequence> result = evaluator.Eval(prepared.compiled->ast());
   if (!result.ok()) return result.status();
 
-  // Collect metrics: fold each collection's access delta (attributed to
-  // exactly this query by the resolver) into its stats — the
-  // per-fragment access counts the fragmentation advisor and
-  // EXPERIMENTS.md's SD-vs-MD cost story consume.
-  for (const auto& [name, plan] : plans) {
-    auto it = collections_.find(name);
-    if (it == collections_.end()) continue;
-    const storage::StoreMetrics delta = resolver.DeltaFor(name);
-    metrics.docs_parsed += delta.parses;
-    metrics.bytes_parsed += delta.bytes_parsed;
-    metrics.cache_hits += delta.cache_hits;
-    std::lock_guard<std::mutex> stats_lock(it->second.stats_mu);
-    it->second.stats.RecordAccess(delta);
-  }
-  metrics.nodes_visited = evaluator.stats().nodes_visited;
-  metrics.index_range_scans = evaluator.stats().index_range_scans;
-  metrics.index_range_hits = evaluator.stats().index_range_hits;
-  if (metrics.index_range_scans > 0) {
-    // Evaluator-side label-range scans are structural-index probes too;
-    // fold them into the same process-wide counters the planner-side
-    // lookups use. Morsel-chunk stats merge in chunk order before this
-    // point, so the counts equal a single-threaded run's exactly.
-    auto& registry = telemetry::MetricsRegistry::Global();
-    registry.GetCounter("partix_structural_index_probes_total")
-        ->Add(metrics.index_range_scans);
-    registry.GetCounter("partix_structural_index_hits_total")
-        ->Add(metrics.index_range_hits);
-  }
+  FoldExecutionStats(
+      plans,
+      [&resolver](const std::string& name) { return resolver.DeltaFor(name); },
+      evaluator.stats(), &metrics);
 
   QueryResult out;
   out.items = std::move(*result);
@@ -625,6 +647,146 @@ Result<QueryResult> Database::ExecutePreparedLocked(
   metrics.elapsed_ms = watch.ElapsedMillis();
   out.metrics = metrics;
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming execution: ResultCursor
+// ---------------------------------------------------------------------------
+
+/// Everything one open stream owns, in destruction order: the evaluator
+/// stream and resolver die before the shared lock releases. Defined here
+/// so it can hold the file-local PlannedResolver.
+struct ResultCursor::State {
+  const Database* db = nullptr;
+  /// Held from open to destruction; DDL (exclusive) waits for it.
+  std::shared_lock<std::shared_mutex> lock;
+  /// Keeps an internally-prepared plan alive (null when the caller owns
+  /// the plan, as with ExecutePreparedStream).
+  PreparedQueryPtr plan_keepalive;
+  const PreparedQuery* plan = nullptr;
+  std::unique_ptr<PlannedResolver> resolver;
+  std::unique_ptr<xquery::Evaluator> evaluator;
+  xquery::EvalStreamPtr stream;
+  /// Carries the '\n'-separator state across blocks so block
+  /// concatenation equals SerializeSequence of the whole result.
+  xquery::SequenceSerializer serializer;
+  /// Items produced by the evaluator stream but not yet emitted.
+  xquery::Sequence pending;
+  size_t pending_pos = 0;
+  size_t block_items = 256;
+  QueryMetrics metrics;
+  bool done = false;
+};
+
+ResultCursor::ResultCursor(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+ResultCursor::~ResultCursor() = default;
+
+const QueryMetrics& ResultCursor::metrics() const { return state_->metrics; }
+
+Result<bool> ResultCursor::Next(ResultBlock* block) {
+  State& st = *state_;
+  block->items.clear();
+  block->serialized.clear();
+  block->digest = 0;
+  if (st.done) return false;
+  Stopwatch watch;
+  // Elapsed accumulates over open + every Next, so the drained cursor's
+  // metrics mirror the materialized elapsed (engine time actually spent).
+  Status status = Status::Ok();
+  while (block->items.size() < st.block_items) {
+    if (st.pending_pos >= st.pending.size()) {
+      st.pending.clear();
+      st.pending_pos = 0;
+      Result<bool> more = st.stream->Next(&st.pending);
+      if (!more.ok()) {
+        st.done = true;
+        status = more.status();
+        break;
+      }
+      if (!*more) break;  // evaluator drained
+    }
+    while (st.pending_pos < st.pending.size() &&
+           block->items.size() < st.block_items) {
+      xquery::Item& item = st.pending[st.pending_pos++];
+      st.serializer.Append(item, &block->serialized);
+      block->items.push_back(std::move(item));
+    }
+  }
+  if (!status.ok()) {
+    st.metrics.elapsed_ms += watch.ElapsedMillis();
+    return status;
+  }
+  if (block->items.empty()) {
+    // Clean end of stream: fold the per-query attribution under the
+    // still-held shared lock (the same fold the materialized path does).
+    st.done = true;
+    st.db->FoldExecutionStats(
+        st.plan->plans,
+        [&st](const std::string& name) { return st.resolver->DeltaFor(name); },
+        st.stream->stats(), &st.metrics);
+    st.metrics.plan_cache_bytes = st.db->plan_cache_.total_bytes();
+    st.metrics.elapsed_ms += watch.ElapsedMillis();
+    return false;
+  }
+  st.metrics.result_items += block->items.size();
+  st.metrics.result_bytes += block->serialized.size();
+  st.metrics.elapsed_ms += watch.ElapsedMillis();
+  return true;
+}
+
+Result<ResultCursorPtr> Database::OpenCursor(PreparedQueryPtr keepalive,
+                                             const PreparedQuery* prepared,
+                                             const ExecParams& exec) const {
+  if (prepared->compiled == nullptr) {
+    return Status::InvalidArgument("ExecutePrepared: plan has no query");
+  }
+  auto st = std::make_unique<ResultCursor::State>();
+  st->db = this;
+  st->lock = std::shared_lock<std::shared_mutex>(mu_);
+  Stopwatch watch;
+  st->plan_keepalive = std::move(keepalive);
+  st->plan = prepared;
+  std::map<std::string, std::vector<storage::DocSlot>> candidates;
+  std::map<std::string, storage::DocumentStore*> stores;
+  PlanCandidates(prepared->plans, &candidates, &stores, &st->metrics);
+  st->resolver = std::make_unique<PlannedResolver>(std::move(candidates),
+                                                   std::move(stores));
+  st->evaluator = std::make_unique<xquery::Evaluator>(st->resolver.get(),
+                                                      pool_);
+  st->evaluator->set_use_structural_index(options_.enable_structural_index);
+  if (exec.morsel_parallelism > 1 && exec.morsel_pool != nullptr) {
+    st->evaluator->set_morsel_parallelism(exec.morsel_parallelism,
+                                          exec.morsel_pool);
+  }
+  Result<xquery::EvalStreamPtr> stream =
+      st->evaluator->OpenStream(prepared->compiled->ast());
+  if (!stream.ok()) return stream.status();  // st's destructor unlocks
+  st->stream = std::move(*stream);
+  if (exec.stream_block_items > 0) st->block_items = exec.stream_block_items;
+  st->metrics.elapsed_ms += watch.ElapsedMillis();
+  return ResultCursorPtr(new ResultCursor(std::move(st)));
+}
+
+Result<ResultCursorPtr> Database::ExecuteStream(const std::string& query,
+                                                const ExecParams& exec) const {
+  // Like Execute: Prepare outside mu_ (plan cache is internally locked),
+  // then one shared acquisition for the cursor's whole life.
+  PARTIX_ASSIGN_OR_RETURN(PrepareOutcome prepared, Prepare(query));
+  PreparedQueryPtr plan = prepared.plan;
+  const PreparedQuery* raw = plan.get();
+  PARTIX_ASSIGN_OR_RETURN(ResultCursorPtr cursor,
+                          OpenCursor(std::move(plan), raw, exec));
+  cursor->state_->metrics.compile_ms = prepared.compile_ms;
+  cursor->state_->metrics.plan_cache_hits = prepared.cache_hit ? 1 : 0;
+  cursor->state_->metrics.plan_cache_misses = prepared.cache_hit ? 0 : 1;
+  return cursor;
+}
+
+Result<ResultCursorPtr> Database::ExecutePreparedStream(
+    const PreparedQuery& prepared, const ExecParams& exec) const {
+  return OpenCursor(nullptr, &prepared, exec);
 }
 
 void Database::DropCaches() {

@@ -2,6 +2,7 @@
 #define PARTIX_ENGINE_DATABASE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -20,6 +21,7 @@
 #include "xml/document.h"
 #include "xml/name_pool.h"
 #include "xml/schema.h"
+#include "xquery/evaluator.h"
 #include "xquery/item.h"
 
 namespace partix::xdb {
@@ -89,6 +91,9 @@ struct ExecParams {
   /// admission-controls — never a private one (no second pool, no
   /// oversubscription).
   ThreadPool* morsel_pool = nullptr;
+  /// Target items per ResultBlock on the streaming path
+  /// (ExecuteStream/ExecutePreparedStream). 0 = the default (256).
+  size_t stream_block_items = 0;
 };
 
 /// Execution counters for one query.
@@ -132,6 +137,24 @@ struct QueryResult {
   /// docs/fault-tolerance.md.
   uint64_t response_digest = 0;
 };
+
+/// One batch of a streamed query result. Blocks carry both forms the
+/// consumers need: serialized bytes (what crosses the wire; block
+/// serializations concatenate to exactly QueryResult::serialized) and the
+/// items themselves (join composition reads the px-* reconstruction
+/// metadata off the documents, not the bytes). Documents stay alive
+/// through the items' shared_ptrs.
+struct ResultBlock {
+  xquery::Sequence items;
+  std::string serialized;
+  /// FNV-1a of `serialized`, stamped by the driver before the block
+  /// crosses the simulated wire (0 = no digest). The executor verifies
+  /// per block exactly like QueryResult::response_digest.
+  uint64_t digest = 0;
+};
+
+class ResultCursor;
+using ResultCursorPtr = std::unique_ptr<ResultCursor>;
 
 /// One document as the store holds it: name, raw serialized bytes, and
 /// out-of-band metadata. This is the unit of replica repair — copying a
@@ -282,6 +305,20 @@ class Database {
       const PreparedQuery& prepared,
       const ExecParams& exec = ExecParams()) const;
 
+  /// Streaming forms: instead of one materialized QueryResult, returns a
+  /// pull-based cursor yielding ResultBlocks whose concatenation is
+  /// byte-, item-, and metrics-identical to the materialized call. The
+  /// cursor holds this database's shared lock for its whole life (DDL
+  /// waits until every open cursor is destroyed), so create, drain, and
+  /// destroy it on ONE thread — a shared_mutex must be released by the
+  /// locking thread. ExecuteStream prepares internally; for
+  /// ExecutePreparedStream the plan must outlive the cursor.
+  Result<ResultCursorPtr> ExecuteStream(
+      const std::string& query, const ExecParams& exec = ExecParams()) const;
+  Result<ResultCursorPtr> ExecutePreparedStream(
+      const PreparedQuery& prepared,
+      const ExecParams& exec = ExecParams()) const;
+
   /// Plan-cache introspection (tests, benches, DDL-invalidation proofs).
   PlanCacheStats plan_cache_stats() const { return plan_cache_.stats(); }
   size_t plan_cache_size() const { return plan_cache_.size(); }
@@ -336,6 +373,34 @@ class Database {
   Result<QueryResult> ExecutePreparedLocked(const PreparedQuery& prepared,
                                             const ExecParams& exec) const;
 
+  /// Data-dependent candidate planning (index-posting intersection into
+  /// sorted per-collection slot lists); requires mu_ held (shared).
+  /// Shared by the materialized and streaming paths.
+  void PlanCandidates(
+      const std::map<std::string, CollectionPlan>& plans,
+      std::map<std::string, std::vector<storage::DocSlot>>* candidates,
+      std::map<std::string, storage::DocumentStore*>* stores,
+      QueryMetrics* metrics) const;
+
+  /// Folds per-collection store-activity deltas into collection stats and
+  /// evaluator counters into `metrics` + the process-wide structural-index
+  /// counters; requires mu_ held (shared). `delta_for` returns the
+  /// store-activity delta this query caused on one collection.
+  void FoldExecutionStats(
+      const std::map<std::string, CollectionPlan>& plans,
+      const std::function<storage::StoreMetrics(const std::string&)>&
+          delta_for,
+      const xquery::EvalStats& eval_stats, QueryMetrics* metrics) const;
+
+  /// Streaming open body shared by ExecuteStream/ExecutePreparedStream.
+  /// `keepalive` (may be null) keeps an internally-prepared plan alive for
+  /// the cursor's lifetime; `prepared` is the plan to run.
+  Result<ResultCursorPtr> OpenCursor(PreparedQueryPtr keepalive,
+                                     const PreparedQuery* prepared,
+                                     const ExecParams& exec) const;
+
+  friend class ResultCursor;
+
   DatabaseOptions options_;
   std::shared_ptr<xml::NamePool> pool_;
   /// Declared before the caches/stores it governs: consumers detach in
@@ -351,6 +416,40 @@ class Database {
   /// Prepared plans keyed by query text; cleared by collection DDL.
   /// Internally thread-safe; mutable so the const query path can use it.
   mutable PlanCache plan_cache_;
+};
+
+/// A pull-based streamed query result, opened by Database::ExecuteStream
+/// or ExecutePreparedStream. Yields fixed-size ResultBlocks whose
+/// concatenated items/bytes equal the materialized QueryResult exactly;
+/// metrics() is complete (elapsed, result counts, store/evaluator
+/// attribution) once Next() has returned false.
+///
+/// Thread contract: NOT thread-safe, and lock-bound — the cursor holds
+/// the database's shared lock from open to destruction, so it must be
+/// created, drained, and destroyed on the same thread (shared_mutex
+/// ownership is per-thread). Dropping a cursor early releases the lock
+/// but skips the final stats fold, exactly like an errored materialized
+/// execution.
+class ResultCursor {
+ public:
+  ~ResultCursor();
+  ResultCursor(const ResultCursor&) = delete;
+  ResultCursor& operator=(const ResultCursor&) = delete;
+
+  /// Produces the next block (up to ExecParams::stream_block_items
+  /// items) into `*block`. Returns false at end of stream; an evaluation
+  /// error ends the stream with that error.
+  Result<bool> Next(ResultBlock* block);
+
+  /// Metrics accumulated so far; complete after Next() returned false.
+  const QueryMetrics& metrics() const;
+
+ private:
+  friend class Database;
+  struct State;
+  explicit ResultCursor(std::unique_ptr<State> state);
+
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace partix::xdb

@@ -88,6 +88,7 @@ void MemoryGovernor::Charge(int id, size_t bytes) {
     }
   }
   charged_ += bytes;
+  if (charged_ > peak_charged_) peak_charged_ = charged_;
   GovernorTelemetry::Get().charged_bytes->Add(static_cast<double>(bytes));
   if (budget_ > 0 && charged_ > budget_) {
     ++stats_.pressure_events;
@@ -143,6 +144,16 @@ size_t MemoryGovernor::consumer_bytes(int id) const {
 size_t MemoryGovernor::headroom_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return charged_ < budget_ ? budget_ - charged_ : 0;
+}
+
+size_t MemoryGovernor::peak_charged_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_charged_;
+}
+
+void MemoryGovernor::ResetPeakCharged() {
+  std::lock_guard<std::mutex> lock(mu_);
+  peak_charged_ = charged_;
 }
 
 GovernorStats MemoryGovernor::stats() const {

@@ -84,6 +84,13 @@ class MemoryGovernor {
   /// budget - charged, floored at 0.
   size_t headroom_bytes() const;
 
+  /// High-water mark of charged bytes since construction (or the last
+  /// ResetPeakCharged). The streaming-pipeline tests and bench read this
+  /// to prove bounded buffering: the peak must track block-buffer size,
+  /// not total result size.
+  size_t peak_charged_bytes() const;
+  void ResetPeakCharged();
+
   GovernorStats stats() const;
 
  private:
@@ -104,6 +111,7 @@ class MemoryGovernor {
   mutable std::mutex mu_;
   size_t budget_ = 0;
   size_t charged_ = 0;
+  size_t peak_charged_ = 0;
   int next_id_ = 1;
   bool evicting_ = false;  // collapse re-entrant pressure runs
   std::vector<Consumer> consumers_;

@@ -8,6 +8,62 @@
 
 namespace partix::middleware {
 
+namespace {
+
+/// Wraps a driver stream with one node's streaming fault knobs, all
+/// deterministic: a per-block stall, a hard fail after N served blocks
+/// (the mid-response node death failover must recover from), and — when
+/// the open-time gate drew response corruption — one flipped character in
+/// the first non-empty block, applied after the driver stamped that
+/// block's digest so the mangling is detectable, exactly like the
+/// materialized path's wire corruption.
+class GatedStream : public SubQueryStream {
+ public:
+  GatedStream(SubQueryStreamPtr inner, size_t node,
+              int64_t fail_after_blocks, double block_stall_ms,
+              bool corrupt_response)
+      : inner_(std::move(inner)),
+        node_(node),
+        fail_after_blocks_(fail_after_blocks),
+        block_stall_ms_(block_stall_ms),
+        corrupt_pending_(corrupt_response) {}
+
+  Result<bool> Next(xdb::ResultBlock* out) override {
+    if (fail_after_blocks_ >= 0 &&
+        served_ >= static_cast<uint64_t>(fail_after_blocks_)) {
+      return Status::Unavailable(
+          "node" + std::to_string(node_) + " stream failed after " +
+          std::to_string(fail_after_blocks_) + " block(s) (injected)");
+    }
+    if (block_stall_ms_ > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(block_stall_ms_ / 1e3));
+    }
+    Result<bool> more = inner_->Next(out);
+    if (!more.ok() || !*more) return more;
+    ++served_;
+    if (corrupt_pending_ && !out->serialized.empty()) {
+      CorruptXmlText(&out->serialized, out->digest);
+      corrupt_pending_ = false;
+    }
+    return more;
+  }
+
+  const xdb::QueryMetrics& metrics() const override {
+    return inner_->metrics();
+  }
+
+ private:
+  SubQueryStreamPtr inner_;
+  size_t node_;
+  int64_t fail_after_blocks_;
+  double block_stall_ms_;
+  bool corrupt_pending_;
+  uint64_t served_ = 0;
+};
+
+}  // namespace
+
 ClusterSim::ClusterSim(size_t node_count, xdb::DatabaseOptions node_options,
                        NetworkModel network)
     : network_(network) {
@@ -118,6 +174,42 @@ Result<xdb::QueryResult> ClusterSim::ExecuteGated(
   return result;
 }
 
+Result<SubQueryStreamPtr> ClusterSim::ExecuteStreamGated(
+    size_t i, double stall_budget_ms,
+    const std::function<Result<SubQueryStreamPtr>()>& open) {
+  double spike_ms = 0.0;
+  bool corrupt_response = false;
+  bool crash_restart = false;
+  Status gate = FaultGate(i, stall_budget_ms, &spike_ms, &corrupt_response,
+                          &crash_restart);
+  if (!gate.ok()) {
+    if (crash_restart) nodes_[i]->DropCaches();
+    if (spike_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(spike_ms / 1e3));
+    }
+    return gate;
+  }
+  if (spike_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(spike_ms / 1e3));
+  }
+  // Snapshot the deterministic streaming knobs under the fault mutex at
+  // open time: a control-plane profile swap mid-stream must not tear them.
+  int64_t fail_after_blocks = -1;
+  double block_stall_ms = 0.0;
+  {
+    NodeFaultState& f = *faults_[i];
+    std::lock_guard<std::mutex> lock(f.mu);
+    fail_after_blocks = f.profile.fail_stream_after_blocks;
+    block_stall_ms = f.profile.stream_block_stall_ms;
+  }
+  Result<SubQueryStreamPtr> stream = open();
+  if (!stream.ok()) return stream;
+  return SubQueryStreamPtr(std::make_unique<GatedStream>(
+      std::move(*stream), i, fail_after_blocks, block_stall_ms,
+      corrupt_response));
+}
+
 Result<xdb::QueryResult> ClusterSim::ExecuteOnNode(
     size_t i, const std::string& query, double stall_budget_ms,
     const xdb::ExecParams& exec) {
@@ -153,6 +245,30 @@ Result<xdb::QueryResult> ClusterSim::ExecutePreparedOnNode(
   }
   return ExecuteGated(i, stall_budget_ms, [&] {
     return nodes_[i]->ExecutePrepared(prepared, exec);
+  });
+}
+
+Result<SubQueryStreamPtr> ClusterSim::ExecuteStreamOnNode(
+    size_t i, const std::string& query, double stall_budget_ms,
+    const xdb::ExecParams& exec) {
+  if (i >= nodes_.size()) {
+    return Status::OutOfRange("node " + std::to_string(i) +
+                              " out of range");
+  }
+  return ExecuteStreamGated(i, stall_budget_ms, [&] {
+    return nodes_[i]->ExecuteStream(query, exec);
+  });
+}
+
+Result<SubQueryStreamPtr> ClusterSim::ExecutePreparedStreamOnNode(
+    size_t i, const PreparedSubQuery& prepared, double stall_budget_ms,
+    const xdb::ExecParams& exec) {
+  if (i >= nodes_.size()) {
+    return Status::OutOfRange("node " + std::to_string(i) +
+                              " out of range");
+  }
+  return ExecuteStreamGated(i, stall_budget_ms, [&] {
+    return nodes_[i]->ExecutePreparedStream(prepared, exec);
   });
 }
 

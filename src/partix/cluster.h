@@ -74,6 +74,17 @@ struct FaultProfile {
   /// so integrity verification (ExecutionOptions::verify_integrity) can
   /// detect the mangled response and fail over.
   double response_corruption_rate = 0.0;
+  /// Streaming data plane only: the node's block stream serves this many
+  /// blocks, then every further Next() fails with a retryable
+  /// kUnavailable (-1 = never). Deterministic — consumes no RNG draw
+  /// (the open already drew the gate's stochastic knobs). Models a node
+  /// dying mid-response after part of the result crossed the wire, the
+  /// case failover must handle by discarding the partial prefix.
+  int64_t fail_stream_after_blocks = -1;
+  /// Streaming data plane only: every block Next() stalls this long
+  /// before the engine produces the block (deterministic, no RNG draw).
+  /// Emulates a slow producer for deadline-expires-mid-stream tests.
+  double stream_block_stall_ms = 0.0;
   /// Probability that a document *stored* through the cluster's data
   /// plane (publisher, replica repair) is silently corrupted at rest: one
   /// text character of the serialized bytes flips before the store
@@ -152,6 +163,23 @@ class ClusterSim {
       size_t i, const PreparedSubQuery& prepared,
       double stall_budget_ms = -1.0, const xdb::ExecParams& exec = {});
 
+  /// Streaming counterparts of ExecuteOnNode/ExecutePreparedOnNode: the
+  /// same fault gate runs ONCE at open (one draw / one engine request per
+  /// attempt — a stream is one engine request no matter how many blocks
+  /// it yields), then the returned stream applies the node's
+  /// deterministic streaming knobs: per-block stalls
+  /// (stream_block_stall_ms), fail-after-N-blocks
+  /// (fail_stream_after_blocks), and — when the gate drew response
+  /// corruption — one flipped character in the first non-empty block,
+  /// after the driver stamped that block's digest. Thread-safe to open;
+  /// the returned stream follows the driver stream's one-thread contract.
+  Result<SubQueryStreamPtr> ExecuteStreamOnNode(
+      size_t i, const std::string& query, double stall_budget_ms = -1.0,
+      const xdb::ExecParams& exec = {});
+  Result<SubQueryStreamPtr> ExecutePreparedStreamOnNode(
+      size_t i, const PreparedSubQuery& prepared,
+      double stall_budget_ms = -1.0, const xdb::ExecParams& exec = {});
+
   /// Store data plane: creates a collection on node `i` through its
   /// liveness gate (a down node rejects with kUnavailable). Thread-safe;
   /// the publisher and replica repair route collection DDL through here.
@@ -223,6 +251,14 @@ class ClusterSim {
   Result<xdb::QueryResult> ExecuteGated(
       size_t i, double stall_budget_ms,
       const std::function<Result<xdb::QueryResult>()>& run);
+
+  /// Streaming tail: fault gate once at open, capped stall, stream open
+  /// via `open`, then the driver stream wrapped with this node's
+  /// deterministic streaming knobs (snapshotted under the fault mutex at
+  /// open time).
+  Result<SubQueryStreamPtr> ExecuteStreamGated(
+      size_t i, double stall_budget_ms,
+      const std::function<Result<SubQueryStreamPtr>()>& open);
 
   std::vector<std::unique_ptr<LocalXdbDriver>> nodes_;
   std::vector<std::unique_ptr<NodeFaultState>> faults_;

@@ -65,6 +65,17 @@ class TimedUniqueLock {
   std::unique_lock<std::shared_mutex> lock_;
 };
 
+/// Shared-lock acquisition with the wait recorded to the read-wait
+/// histogram, as a movable lock for holders that outlive one call scope
+/// (the streaming path hands the lock to the stream object).
+std::shared_lock<std::shared_mutex> AcquireTimedSharedLock(
+    std::shared_mutex& mu) {
+  Stopwatch watch;
+  std::shared_lock<std::shared_mutex> lock(mu);
+  DriverTelemetry::Get().read_lock_wait_ms->Observe(watch.ElapsedMillis());
+  return lock;
+}
+
 /// LocalXdbDriver's handle: wraps the engine's shareable prepared plan.
 class LocalPreparedSubQuery : public PreparedSubQuery {
  public:
@@ -79,6 +90,43 @@ class LocalPreparedSubQuery : public PreparedSubQuery {
 
  private:
   xdb::PreparedQueryPtr plan_;
+};
+
+/// LocalXdbDriver's stream: the engine cursor plus the driver's shared
+/// lock, both held open-to-destruction. Member order matters — the
+/// cursor (which holds the *database's* shared lock) must be destroyed
+/// before the driver lock is released, so the driver lock is declared
+/// first. Each block is digest-stamped here, node-side, exactly like the
+/// materialized path stamps QueryResult::response_digest; engine time is
+/// accumulated across Next() calls and observed once at destruction so
+/// the partix_engine_execute_ms histogram still sees one sample per
+/// (sub-query, node) execution.
+class LocalSubQueryStream : public SubQueryStream {
+ public:
+  LocalSubQueryStream(std::shared_lock<std::shared_mutex> driver_lock,
+                      xdb::ResultCursorPtr cursor)
+      : driver_lock_(std::move(driver_lock)), cursor_(std::move(cursor)) {}
+
+  ~LocalSubQueryStream() override {
+    DriverTelemetry::Get().engine_ms->Observe(engine_ms_);
+  }
+
+  Result<bool> Next(xdb::ResultBlock* out) override {
+    Stopwatch engine_watch;
+    Result<bool> more = cursor_->Next(out);
+    engine_ms_ += engine_watch.ElapsedMillis();
+    if (more.ok() && *more) out->digest = Fnv1a64(out->serialized);
+    return more;
+  }
+
+  const xdb::QueryMetrics& metrics() const override {
+    return cursor_->metrics();
+  }
+
+ private:
+  std::shared_lock<std::shared_mutex> driver_lock_;
+  xdb::ResultCursorPtr cursor_;
+  double engine_ms_ = 0.0;
 };
 
 }  // namespace
@@ -151,6 +199,42 @@ Result<xdb::QueryResult> LocalXdbDriver::ExecutePrepared(
   telemetry.engine_ms->Observe(engine_watch.ElapsedMillis());
   if (result.ok()) result->response_digest = Fnv1a64(result->serialized);
   return result;
+}
+
+Result<SubQueryStreamPtr> LocalXdbDriver::ExecuteStream(
+    const std::string& query, const xdb::ExecParams& exec) {
+  const DriverTelemetry& telemetry = DriverTelemetry::Get();
+  std::shared_lock<std::shared_mutex> lock = AcquireTimedSharedLock(mu_);
+  telemetry.executes->Add();
+  Stopwatch engine_watch;
+  Result<xdb::ResultCursorPtr> cursor = db_.ExecuteStream(query, exec);
+  if (!cursor.ok()) {
+    telemetry.engine_ms->Observe(engine_watch.ElapsedMillis());
+    return cursor.status();
+  }
+  return SubQueryStreamPtr(std::make_unique<LocalSubQueryStream>(
+      std::move(lock), std::move(*cursor)));
+}
+
+Result<SubQueryStreamPtr> LocalXdbDriver::ExecutePreparedStream(
+    const PreparedSubQuery& prepared, const xdb::ExecParams& exec) {
+  const auto* local = dynamic_cast<const LocalPreparedSubQuery*>(&prepared);
+  if (local == nullptr) {
+    return Status::InvalidArgument(
+        "prepared handle was not produced by a LocalXdbDriver");
+  }
+  const DriverTelemetry& telemetry = DriverTelemetry::Get();
+  std::shared_lock<std::shared_mutex> lock = AcquireTimedSharedLock(mu_);
+  telemetry.executes->Add();
+  Stopwatch engine_watch;
+  Result<xdb::ResultCursorPtr> cursor =
+      db_.ExecutePreparedStream(*local->plan(), exec);
+  if (!cursor.ok()) {
+    telemetry.engine_ms->Observe(engine_watch.ElapsedMillis());
+    return cursor.status();
+  }
+  return SubQueryStreamPtr(std::make_unique<LocalSubQueryStream>(
+      std::move(lock), std::move(*cursor)));
 }
 
 void LocalXdbDriver::DropCaches() {

@@ -38,6 +38,32 @@ class PreparedSubQuery {
 
 using PreparedSubQueryPtr = std::shared_ptr<const PreparedSubQuery>;
 
+/// A pull-based streamed sub-query response: the driver-side face of the
+/// batched result pipeline. Blocks arrive in result order; their
+/// serializations concatenate to exactly what the materialized Execute
+/// would have returned, and each block carries a driver-stamped digest so
+/// the executor can verify integrity block-by-block. metrics() is
+/// complete once Next() has returned false.
+///
+/// Thread contract: NOT thread-safe, and (for lock-bound drivers like
+/// LocalXdbDriver) the stream holds node-side locks from open to
+/// destruction — create, drain, and destroy it on ONE thread. Dropping a
+/// stream early is legal and releases node resources.
+class SubQueryStream {
+ public:
+  virtual ~SubQueryStream() = default;
+
+  /// Produces the next block into `*out`. Returns false at end of
+  /// stream; an error ends the stream.
+  virtual Result<bool> Next(xdb::ResultBlock* out) = 0;
+
+  /// Engine-side metrics accumulated so far; complete after the stream
+  /// is drained.
+  virtual const xdb::QueryMetrics& metrics() const = 0;
+};
+
+using SubQueryStreamPtr = std::unique_ptr<SubQueryStream>;
+
 /// The PartiX Driver (paper §4): a uniform interface between the
 /// middleware and one XQuery-enabled DBMS node. Any XML DBMS that
 /// processes XQuery can participate; the only build here wraps the
@@ -87,6 +113,16 @@ class Driver {
   /// Executes a handle obtained from this driver's Prepare. Pays no parse
   /// and no static analysis (`metrics.compile_ms == 0`).
   virtual Result<xdb::QueryResult> ExecutePrepared(
+      const PreparedSubQuery& prepared, const xdb::ExecParams& exec = {}) = 0;
+
+  /// Streaming forms of Execute/ExecutePrepared: a pull-based block
+  /// cursor instead of one materialized response. Blocks are digest-
+  /// stamped individually; the concatenation is byte-identical to the
+  /// materialized call. For ExecutePreparedStream the handle must outlive
+  /// the stream.
+  virtual Result<SubQueryStreamPtr> ExecuteStream(
+      const std::string& query, const xdb::ExecParams& exec = {}) = 0;
+  virtual Result<SubQueryStreamPtr> ExecutePreparedStream(
       const PreparedSubQuery& prepared, const xdb::ExecParams& exec = {}) = 0;
 
   /// Drops parsed-document caches (cold-start emulation for benchmarks).
@@ -147,6 +183,11 @@ class LocalXdbDriver : public Driver {
   Result<PreparedSubQueryPtr> Prepare(
       const xquery::CompiledQueryPtr& compiled) override;
   Result<xdb::QueryResult> ExecutePrepared(
+      const PreparedSubQuery& prepared,
+      const xdb::ExecParams& exec = {}) override;
+  Result<SubQueryStreamPtr> ExecuteStream(
+      const std::string& query, const xdb::ExecParams& exec = {}) override;
+  Result<SubQueryStreamPtr> ExecutePreparedStream(
       const PreparedSubQuery& prepared,
       const xdb::ExecParams& exec = {}) override;
   void DropCaches() override;

@@ -12,6 +12,7 @@
 #include "common/strings.h"
 #include "partix/cluster.h"
 #include "partix/health.h"
+#include "partix/stream.h"
 #include "telemetry/metrics.h"
 
 namespace partix::middleware {
@@ -205,6 +206,9 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
     exec.morsel_parallelism = options.intra_node_parallelism;
     exec.morsel_pool = &EffectivePool();
   }
+  if (options.stream != nullptr) {
+    exec.stream_block_items = options.stream_block_items;
+  }
 
   // Compile-once contract: when the plan ships a compiled sub-query, each
   // node is prepared at most once for this sub-query, on first contact;
@@ -216,6 +220,13 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
   // wall time, aggregate counters, and the span's canonical
   // `fragment@node<i>` name plus summary tags.
   auto finish = [&] {
+    // Streaming: close this sub-query's channel lane with its final
+    // status — every return path runs finish exactly once, which is what
+    // guarantees the consumer's Pull() always terminates.
+    if (options.stream != nullptr) {
+      options.stream->Finish(
+          index, out->result.ok() ? Status::Ok() : out->result.status());
+    }
     out->wall_ms = watch.ElapsedMillis();
     counters.subquery_wall_ms->Observe(out->wall_ms);
     if (out->attempts > 1) counters.retries->Add(out->attempts - 1);
@@ -257,6 +268,48 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
     finish();
   };
 
+  // Shared retry tail: advance the candidate cursor and apply one backoff
+  // step when attempts remain. Returns false when the deadline would
+  // expire mid-backoff — fail_deadline has already written the outcome
+  // and the caller must return.
+  auto backoff_for_retry = [&]() -> bool {
+    cursor = (cursor + 1) % candidates.size();
+    if (out->attempts < max_attempts && retry.base_backoff_ms > 0.0) {
+      double sleep_ms =
+          backoff_ms * (1.0 + rng.UniformDouble(-retry.jitter, retry.jitter));
+      sleep_ms = std::max(0.0, sleep_ms);
+      if (retry.subquery_deadline_ms > 0.0) {
+        // The deadline expires mid-backoff: the mandated sleep would eat
+        // the whole remaining budget, so no further attempt can run.
+        // Fail fast with the canonical deadline error instead of
+        // sleeping up to (or past) a deadline we already know is lost.
+        const double remaining =
+            retry.subquery_deadline_ms - watch.ElapsedMillis();
+        if (remaining <= sleep_ms) {
+          fail_deadline();
+          return false;
+        }
+      }
+      if (sleep_ms > 0.0) {
+        counters.backoff_sleeps->Add();
+        counters.backoff_sleep_us->Add(
+            static_cast<uint64_t>(sleep_ms * 1e3));
+        if (tracer != nullptr) {
+          out->span.children.emplace_back("backoff");
+          telemetry::TraceSpan& backoff_span = out->span.children.back();
+          backoff_span.start_ms = tracer->NowMs();
+          backoff_span.duration_ms = sleep_ms;  // scheduled, not measured
+          backoff_span.AddTag("sleep_ms", std::to_string(sleep_ms));
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleep_ms / 1e3));
+      }
+      backoff_ms =
+          std::min(backoff_ms * retry.backoff_multiplier, retry.max_backoff_ms);
+    }
+    return true;
+  };
+
   while (out->attempts < max_attempts) {
     // Remaining sub-query budget, clamped: once the deadline has expired
     // the loop fails fast — a negative remainder must never flow
@@ -296,12 +349,21 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
       }
     }
     if (!found) {
-      out->result = Status::Unavailable(
+      // Every replica is refusing traffic *right now* — down, or behind an
+      // open breaker (possibly because another worker holds the one
+      // half-open probe). That is a transient routing condition, not a
+      // verdict on the sub-query: consume an attempt and retry with
+      // backoff, so refused workers drain through the breaker once the
+      // probe closes it. A refusal never contacts a node, so it counts no
+      // engine request.
+      ++out->attempts;
+      counters.attempts->Add();
+      last_error = Status::Unavailable(
           "all " + std::to_string(candidates.size()) +
-          " replica(s) unreachable (down or circuit open); last error: " +
-          last_error.message());
-      finish();
-      return;
+          " replica(s) unreachable (down or circuit open)");
+      if (out->attempts >= max_attempts) break;
+      if (!backoff_for_retry()) return;
+      continue;
     }
     // A failover is any move off the node the sub-query last targeted —
     // including a first attempt routed around a down primary.
@@ -343,6 +405,7 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
         attempt_budget_ms > 0.0 ? attempt_budget_ms : -1.0;
 
     Stopwatch attempt_watch(clock_);
+    bool stream_opened = false;
     Result<xdb::QueryResult> result = [&]() -> Result<xdb::QueryResult> {
       const PreparedSubQuery* handle = nullptr;
       if (sub.compiled != nullptr) {
@@ -389,6 +452,55 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
         // real parallelism.
         std::this_thread::sleep_for(std::chrono::duration<double>(rpc_sec));
       }
+      if (options.stream != nullptr) {
+        // Streaming attempt: open the node's block cursor, then forward
+        // blocks into the channel as they arrive. Integrity and the
+        // attempt budget are enforced per block; any failure here flows
+        // through the normal retry/failover machinery, and the channel's
+        // replay verification makes the next attempt's re-produced
+        // prefix invisible to the consumer.
+        Result<SubQueryStreamPtr> opened =
+            handle != nullptr
+                ? cluster_->ExecutePreparedStreamOnNode(node, *handle,
+                                                        stall_budget_ms, exec)
+                : cluster_->ExecuteStreamOnNode(node, sub.query,
+                                                stall_budget_ms, exec);
+        if (!opened.ok()) return opened.status();
+        stream_opened = true;
+        SubQueryStreamPtr stream = std::move(*opened);
+        options.stream->BeginAttempt(index);
+        for (;;) {
+          xdb::ResultBlock block;
+          Result<bool> more = stream->Next(&block);
+          if (!more.ok()) return more.status();
+          if (!*more) break;
+          if (options.verify_response_digests && block.digest != 0 &&
+              Fnv1a64(block.serialized) != block.digest) {
+            ++out->corrupt_responses;
+            counters.corrupt_responses->Add();
+            if (attempt_span != nullptr) {
+              attempt_span->AddTag("corrupt", "true");
+            }
+            return Status::Unavailable("corrupt response from node" +
+                                       std::to_string(node) +
+                                       " (digest mismatch)");
+          }
+          Status pushed = options.stream->Push(index, std::move(block));
+          if (!pushed.ok()) return pushed;  // non-retryable by design
+          if (attempt_budget_ms > 0.0 &&
+              attempt_watch.ElapsedMillis() > attempt_budget_ms) {
+            return Status::DeadlineExceeded(
+                "attempt to node" + std::to_string(node) +
+                " exceeded its budget (" +
+                std::to_string(attempt_budget_ms) + " ms) mid-stream");
+          }
+        }
+        // Clean end: the bytes went through the channel; the result
+        // carries only the engine-side metrics.
+        xdb::QueryResult done;
+        done.metrics = stream->metrics();
+        return done;
+      }
       if (handle != nullptr) {
         return cluster_->ExecutePreparedOnNode(node, *handle,
                                                stall_budget_ms, exec);
@@ -402,7 +514,10 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
     // counters and outcome accounting conserve. The fault gate's
     // rejections (transient, down, circuit-open prepares) are retryable
     // kUnavailable and never touched the engine.
-    const bool engine_served = result.ok() || !Retryable(result.status());
+    // Streaming: an attempt whose stream *opened* reached the engine,
+    // even if the stream later died mid-flight with a retryable error.
+    const bool engine_served =
+        result.ok() || stream_opened || !Retryable(result.status());
     if (engine_served) ++out->engine_requests;
 
     // End-to-end integrity: recompute the digest the node stamped before
@@ -427,7 +542,9 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
                                    " (digest mismatch)");
     }
 
-    if (result.ok() && attempt_budget_ms > 0.0 &&
+    // (Streaming attempts enforce the budget per block instead: blocks
+    // already forwarded through the channel cannot be discarded post hoc.)
+    if (result.ok() && options.stream == nullptr && attempt_budget_ms > 0.0 &&
         attempt_ms > attempt_budget_ms) {
       // The node answered, but past its budget: a real client would have
       // hung up. Discard the result and treat as a timeout — after
@@ -489,41 +606,7 @@ void Executor::RunOne(const SubQuery& sub, size_t index,
       finish();
       return;
     }
-    cursor = (cursor + 1) % candidates.size();
-
-    if (out->attempts < max_attempts && retry.base_backoff_ms > 0.0) {
-      double sleep_ms =
-          backoff_ms * (1.0 + rng.UniformDouble(-retry.jitter, retry.jitter));
-      sleep_ms = std::max(0.0, sleep_ms);
-      if (retry.subquery_deadline_ms > 0.0) {
-        // The deadline expires mid-backoff: the mandated sleep would eat
-        // the whole remaining budget, so no further attempt can run.
-        // Fail fast with the canonical deadline error instead of
-        // sleeping up to (or past) a deadline we already know is lost.
-        const double remaining =
-            retry.subquery_deadline_ms - watch.ElapsedMillis();
-        if (remaining <= sleep_ms) {
-          fail_deadline();
-          return;
-        }
-      }
-      if (sleep_ms > 0.0) {
-        counters.backoff_sleeps->Add();
-        counters.backoff_sleep_us->Add(
-            static_cast<uint64_t>(sleep_ms * 1e3));
-        if (tracer != nullptr) {
-          out->span.children.emplace_back("backoff");
-          telemetry::TraceSpan& backoff_span = out->span.children.back();
-          backoff_span.start_ms = tracer->NowMs();
-          backoff_span.duration_ms = sleep_ms;  // scheduled, not measured
-          backoff_span.AddTag("sleep_ms", std::to_string(sleep_ms));
-        }
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(sleep_ms / 1e3));
-      }
-      backoff_ms =
-          std::min(backoff_ms * retry.backoff_multiplier, retry.max_backoff_ms);
-    }
+    if (!backoff_for_retry()) return;
   }
 
   out->result = Status(last_error.code(),

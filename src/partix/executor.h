@@ -16,6 +16,7 @@
 
 namespace partix::middleware {
 
+class BlockChannel;
 class ClusterSim;
 class HealthMonitor;
 
@@ -86,6 +87,19 @@ struct DispatchOptions {
   /// tracer's epoch/clock. Null (the default) records nothing. The
   /// tracer must outlive the Dispatch call; workers only read it.
   const telemetry::Tracer* tracer = nullptr;
+  /// When set, sub-queries stream: each worker opens a block cursor on
+  /// its node and forwards blocks into this channel (lane = sub-query
+  /// index) as they arrive, instead of materializing one QueryResult.
+  /// Every block is digest-verified (under verify_response_digests)
+  /// before it enters the channel; a mid-stream node failure fails over
+  /// and the channel's replay verification keeps the forwarded prefix
+  /// exact. On success the outcome's result is a QueryResult carrying
+  /// only metrics (empty bytes — they went through the channel). The
+  /// channel must outlive the Dispatch; Finish(index, status) fires
+  /// exactly once per sub-query, after all retries resolved.
+  BlockChannel* stream = nullptr;
+  /// Target items per streamed block (0 = the engine default).
+  size_t stream_block_items = 0;
 };
 
 /// Outcome of one dispatched sub-query, index-aligned with the plan's

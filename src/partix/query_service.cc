@@ -4,11 +4,13 @@
 #include <cassert>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "common/clock.h"
 #include "common/strings.h"
 #include "engine/database.h"
 #include "partix/executor.h"
+#include "partix/stream.h"
 #include "telemetry/metrics.h"
 #include "xml/document.h"
 #include "xquery/parser.h"
@@ -89,10 +91,13 @@ void CopyContentInto(Document* dst, NodeId dst_parent, const Document& src,
 Result<DocumentPtr> JoinGroup(const std::string& source,
                               std::vector<FetchedDoc> docs,
                               const std::shared_ptr<xml::NamePool>& pool) {
-  std::sort(docs.begin(), docs.end(),
-            [](const FetchedDoc& a, const FetchedDoc& b) {
-              return a.root_id < b.root_id;
-            });
+  // Stable: fragments sharing a reconstruction id (FragMode2 siblings
+  // merged into one container) must keep their arrival order, or the
+  // merged children permute across runs.
+  std::stable_sort(docs.begin(), docs.end(),
+                   [](const FetchedDoc& a, const FetchedDoc& b) {
+                     return a.root_id < b.root_id;
+                   });
   auto out = std::make_shared<Document>(pool, source);
   std::map<uint64_t, NodeId> containers;  // reconstruction id -> built node
 
@@ -163,6 +168,7 @@ struct ServiceTelemetry {
   telemetry::Histogram* decompose_ms;
   telemetry::Histogram* compose_ms;
   telemetry::Histogram* query_wall_ms;
+  telemetry::Histogram* ttfb_ms;
 
   static const ServiceTelemetry& Get() {
     static const ServiceTelemetry t = [] {
@@ -175,6 +181,7 @@ struct ServiceTelemetry {
       out.decompose_ms = registry.GetHistogram("partix_decompose_ms");
       out.compose_ms = registry.GetHistogram("partix_compose_ms");
       out.query_wall_ms = registry.GetHistogram("partix_query_wall_ms");
+      out.ttfb_ms = registry.GetHistogram("partix_ttfb_ms");
       return out;
     }();
     return t;
@@ -218,6 +225,18 @@ class InflightResultCharge {
     bytes_ += bytes;
     InflightResultBytesGauge()->Add(static_cast<double>(bytes));
     if (governor_ != nullptr) governor_->Charge(id_, bytes);
+  }
+
+  /// Early release of bytes no longer held (a partial drained into the
+  /// composed answer, a staged lane discarded on failure). Without this
+  /// the coordinator's peak charge double-counts every result byte:
+  /// once as a partial and again inside the composed answer.
+  void Release(size_t bytes) {
+    if (bytes == 0) return;
+    bytes = std::min(bytes, bytes_);
+    bytes_ -= bytes;
+    InflightResultBytesGauge()->Add(-static_cast<double>(bytes));
+    if (governor_ != nullptr) governor_->Release(id_, bytes);
   }
 
  private:
@@ -279,6 +298,7 @@ Result<DistributedResult> QueryService::Execute(
   result.decompose_ms = decompose_ms;
   result.response_ms += decompose_ms;
   result.wall_ms += decompose_ms;
+  result.ttfb_ms += decompose_ms;
   if (result.traced) {
     // Splice the decompose phase in front of the span tree ExecutePlan
     // recorded: shift its phases right, prepend a decompose span.
@@ -471,7 +491,130 @@ Result<DistributedResult> QueryService::ExecutePlan(
   if (options.trace) dispatch_options.tracer = &tracer;
   const double dispatch_start_ms = options.trace ? tracer.NowMs() : 0.0;
   std::vector<SubQueryOutcome> outcomes;
-  cluster_->executor().Dispatch(live, dispatch_options, &outcomes);
+
+  // In-flight result accounting: result bytes held on this coordinator
+  // (streamed staging, materialized partials, the composed answer) are
+  // charged against the governor's pinned consumer until this execution
+  // returns.
+  InflightResultCharge inflight(governor_, governor_id_);
+
+  // Streaming compose state, filled by the consumer loop below and read
+  // by the composition switch; untouched on the materialized path.
+  double ttfb_ms = -1.0;
+  std::string streamed;                 // union: the answer, built in-stream
+  uint64_t streamed_items = 0;
+  std::vector<xdb::QueryResult> staged_lanes;  // sum: digits; join: items
+  std::vector<bool> lane_ok;
+
+  if (options.streaming) {
+    // Streaming pipeline: workers push fixed-size result blocks into a
+    // bounded channel while this thread drains lanes in plan order and
+    // composes incrementally. Dispatch runs on a dedicated thread so the
+    // coordinator thread is free to consume. Deadlock-freedom: the
+    // consumer drains lanes in plan order, workers claim sub-queries in
+    // ascending index order, and the lane under the consumer's cursor is
+    // exempt from the buffer cap (see stream.h).
+    staged_lanes.resize(live.size());
+    lane_ok.assign(live.size(), false);
+    BlockChannel channel(live.size(), options.stream_buffer_bytes,
+                         governor_, governor_id_);
+    dispatch_options.stream = &channel;
+    dispatch_options.stream_block_items = options.stream_block_items;
+    std::thread dispatcher([&] {
+      cluster_->executor().Dispatch(live, dispatch_options, &outcomes);
+    });
+    // Union under kFail appends straight into the answer: any sub-query
+    // failure fails the whole query, so no committed byte can outlive a
+    // lane that later fails. Every other mode stages per lane and commits
+    // only on clean lane end — the commit barrier that keeps a sub-query
+    // which failed over (or failed outright) mid-stream from leaving a
+    // mixed prefix in the answer.
+    const bool direct_union =
+        plan.composition == Composition::kUnion &&
+        options.partial_results == PartialResultPolicy::kFail;
+    bool abort_compose = false;
+    for (size_t i = 0; i < live.size() && !abort_compose; ++i) {
+      std::string staged;
+      uint64_t staged_items = 0;
+      size_t staged_bytes = 0;
+      uint64_t lane_items = 0;
+      bool lane_emitted = false;
+      bool lane_failed = false;
+      for (;;) {
+        xdb::ResultBlock block;
+        Result<bool> more = channel.Pull(i, &block);
+        if (!more.ok()) {
+          lane_failed = true;
+          break;
+        }
+        if (!*more) break;
+        const size_t bytes = block.serialized.size();
+        switch (plan.composition) {
+          case Composition::kUnion:
+            if (direct_union) {
+              lane_items += block.items.size();
+              if (bytes > 0) {
+                if (!lane_emitted && !streamed.empty()) {
+                  streamed.push_back('\n');
+                }
+                lane_emitted = true;
+                if (ttfb_ms < 0.0) ttfb_ms = wall_watch.ElapsedMillis();
+                inflight.Add(bytes);
+                streamed += block.serialized;
+              }
+            } else {
+              inflight.Add(bytes);
+              staged_bytes += bytes;
+              staged += block.serialized;
+              staged_items += block.items.size();
+            }
+            break;
+          case Composition::kSumCounts:
+            inflight.Add(bytes);
+            staged_bytes += bytes;
+            staged_lanes[i].serialized += block.serialized;
+            break;
+          case Composition::kJoinReconstruct:
+            // The join consumes items, not bytes; like the materialized
+            // join, the staged item trees are not byte-charged.
+            for (xquery::Item& item : block.items) {
+              staged_lanes[i].items.push_back(std::move(item));
+            }
+            break;
+        }
+      }
+      if (lane_failed) {
+        // Commit barrier: drop everything this lane staged. Under direct
+        // union the whole query fails below, so stop composing.
+        inflight.Release(staged_bytes);
+        staged_lanes[i] = xdb::QueryResult();
+        if (direct_union) abort_compose = true;
+        continue;
+      }
+      lane_ok[i] = true;
+      if (plan.composition == Composition::kUnion) {
+        if (direct_union) {
+          if (lane_emitted) streamed_items += lane_items;
+        } else if (!staged.empty()) {
+          if (!streamed.empty()) streamed.push_back('\n');
+          if (ttfb_ms < 0.0) ttfb_ms = wall_watch.ElapsedMillis();
+          streamed += staged;
+          streamed_items += staged_items;
+        }
+        // An all-empty lane contributes neither bytes nor items, matching
+        // the materialized union.
+      }
+    }
+    // Unblock any producers still running (remaining lanes after an
+    // abort, replay tails), then wait for the executor to finish filling
+    // the outcome slots.
+    for (size_t i = 0; i < live.size(); ++i) channel.DrainDiscard(i);
+    dispatcher.join();
+    out.stream_blocks = channel.consumed();
+    dispatch_options.stream = nullptr;  // channel dies with this scope
+  } else {
+    cluster_->executor().Dispatch(live, dispatch_options, &outcomes);
+  }
   if (options.trace) {
     // Workers filled disjoint outcome slots; assemble them under one
     // dispatch phase span in plan order.
@@ -537,10 +680,6 @@ Result<DistributedResult> QueryService::ExecutePlan(
 
   std::vector<xdb::QueryResult> partials;
   partials.reserve(live.size());
-  // In-flight result accounting: the partial results now held on this
-  // coordinator (and, below, the composed answer) are charged against
-  // the governor's pinned consumer until this execution returns.
-  InflightResultCharge inflight(governor_, governor_id_);
   uint64_t total_result_bytes = 0;
   for (size_t i = 0; i < live.size(); ++i) {
     Result<xdb::QueryResult>& result = outcomes[i].result;
@@ -566,9 +705,12 @@ Result<DistributedResult> QueryService::ExecutePlan(
     out.sum_node_ms += stats.elapsed_ms;
     total_result_bytes += stats.result_bytes;
     out.subqueries.push_back(std::move(stats));
-    partials.push_back(std::move(*result));
+    if (!options.streaming) partials.push_back(std::move(*result));
   }
-  inflight.Add(total_result_bytes);
+  // Materialized path: every partial is now held at once, so charge the
+  // lot; the streaming path charged its (bounded) staging block-by-block
+  // as it consumed the channel.
+  if (!options.streaming) inflight.Add(total_result_bytes);
   if (!out.missing_fragments.empty()) {
     // Report missing fragments in plan order regardless of whether they
     // were skipped (unreachable) or failed after dispatch.
@@ -597,30 +739,67 @@ Result<DistributedResult> QueryService::ExecutePlan(
   const double compose_start_ms = options.trace ? tracer.NowMs() : 0.0;
   switch (plan.composition) {
     case Composition::kUnion: {
-      for (const xdb::QueryResult& partial : partials) {
+      if (options.streaming) {
+        // Already composed in-stream; this is the commit of the answer.
+        out.serialized = std::move(streamed);
+        out.result_items = streamed_items;
+        break;
+      }
+      for (xdb::QueryResult& partial : partials) {
         if (partial.serialized.empty()) continue;
         if (!out.serialized.empty()) out.serialized.push_back('\n');
         out.serialized += partial.serialized;
         out.result_items += partial.metrics.result_items;
+        // A partial drained into the answer no longer needs its own
+        // charge (or its buffer): without this release the peak charge
+        // double-counts every result byte.
+        inflight.Release(partial.serialized.size());
+        std::string().swap(partial.serialized);
       }
       break;
     }
     case Composition::kSumCounts: {
       double sum = 0.0;
-      for (const xdb::QueryResult& partial : partials) {
-        double v = 0.0;
-        if (!ParseDouble(partial.serialized, &v)) {
-          return Status::Internal(
-              "sum composition over a non-numeric partial result: '" +
-              partial.serialized + "'");
+      if (options.streaming) {
+        for (size_t i = 0; i < staged_lanes.size(); ++i) {
+          if (!lane_ok[i]) continue;
+          double v = 0.0;
+          if (!ParseDouble(staged_lanes[i].serialized, &v)) {
+            return Status::Internal(
+                "sum composition over a non-numeric partial result: '" +
+                staged_lanes[i].serialized + "'");
+          }
+          sum += v;
         }
-        sum += v;
+      } else {
+        for (xdb::QueryResult& partial : partials) {
+          double v = 0.0;
+          if (!ParseDouble(partial.serialized, &v)) {
+            return Status::Internal(
+                "sum composition over a non-numeric partial result: '" +
+                partial.serialized + "'");
+          }
+          sum += v;
+          inflight.Release(partial.serialized.size());
+        }
       }
       out.serialized = FormatNumber(sum);
       out.result_items = 1;
       break;
     }
     case Composition::kJoinReconstruct: {
+      if (options.streaming) {
+        for (size_t i = 0; i < staged_lanes.size(); ++i) {
+          if (lane_ok[i]) partials.push_back(std::move(staged_lanes[i]));
+        }
+      } else {
+        // The join reads the fetched items, not their serialized bytes:
+        // release those before reconstruction starts allocating.
+        for (xdb::QueryResult& partial : partials) {
+          inflight.Release(partial.serialized.size());
+          std::string().swap(partial.serialized);
+        }
+      }
       PARTIX_ASSIGN_OR_RETURN(
           out.serialized,
           ComposeJoin(plan, std::move(partials), &out.result_items));
@@ -628,11 +807,18 @@ Result<DistributedResult> QueryService::ExecutePlan(
     }
   }
   out.result_bytes = out.serialized.size();
-  // Peak window: partials + composed answer coexist until this frame
-  // returns and the guard releases both.
-  inflight.Add(out.result_bytes);
+  // The composed answer is held until this frame returns. Streaming
+  // union already charged its bytes as they were appended.
+  if (!(options.streaming && plan.composition == Composition::kUnion)) {
+    inflight.Add(out.result_bytes);
+  }
   out.composition_ms = compose_watch.ElapsedMillis();
   counters.compose_ms->Observe(out.composition_ms);
+  // TTFB: streaming union stamps the first committed byte up in the
+  // consumer loop; everywhere else the answer exists only now.
+  if (ttfb_ms < 0.0) ttfb_ms = wall_watch.ElapsedMillis();
+  out.ttfb_ms = ttfb_ms;
+  counters.ttfb_ms->Observe(out.ttfb_ms);
   if (options.trace) {
     telemetry::TraceSpan compose_span;
     compose_span.name = "compose";

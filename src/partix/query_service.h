@@ -96,6 +96,17 @@ struct DistributedResult {
   double composition_ms = 0.0;   // union/sum/join at the middleware
 
   double wall_ms = 0.0;          // measured: real end-to-end wall-clock
+  /// Measured time-to-first-byte: from execution start (Execute adds
+  /// planning) until the first byte of the answer was available on the
+  /// coordinator. Under the streaming pipeline with union composition
+  /// that is the first committed result block — typically far before the
+  /// slowest node finishes; for other compositions (and the materialized
+  /// ablation) the answer exists only once composition completes, so it
+  /// coincides with the end of compose.
+  double ttfb_ms = 0.0;
+  /// Result blocks consumed from the streaming channel (0 on the
+  /// materialized path).
+  uint64_t stream_blocks = 0;
   size_t parallelism = 1;        // executor workers used for this plan
 
   std::vector<SubQueryStats> subqueries;
@@ -183,6 +194,23 @@ struct ExecutionOptions {
   /// allocates span nodes on the coordinator and in each worker's outcome
   /// slot; leave off (the default) for benchmark series.
   bool trace = false;
+  /// Batched streaming result pipeline (the default): each node's engine
+  /// emits its result as fixed-size item blocks that flow through a
+  /// bounded coordinator-side channel and compose incrementally, instead
+  /// of materializing every partial before composition starts. The
+  /// composed answer is byte-identical either way; set false for the
+  /// materialize-then-compose ablation.
+  bool streaming = true;
+  /// Target items per streamed block (0 falls back to the engine default
+  /// of 256). Smaller blocks lower time-to-first-byte; larger blocks
+  /// amortize per-block overhead.
+  size_t stream_block_items = 256;
+  /// Cap on unconsumed streamed bytes buffered across a query's
+  /// sub-queries. Producers past the cap wait — except the lane being
+  /// composed, which is always admitted so composition cannot deadlock
+  /// against the cap. Buffered bytes are charged block-by-block to the
+  /// memory governor.
+  size_t stream_buffer_bytes = size_t{4} << 20;
 };
 
 /// Distributed XML Query Service (paper §4): analyzes path expressions,

@@ -86,4 +86,9 @@ std::string SerializeSubtree(const Document& doc, NodeId node,
   return out;
 }
 
+void SerializeSubtreeInto(const Document& doc, NodeId node,
+                          std::string* out) {
+  SerializeNode(doc, node, SerializeOptions(), 0, out);
+}
+
 }  // namespace partix::xml

@@ -24,6 +24,12 @@ std::string SerializeSubtree(const Document& doc, NodeId node,
                              const SerializeOptions& options =
                                  SerializeOptions());
 
+/// Appends the subtree's serialization to `*out` without an intermediate
+/// string — the allocation-free form the streaming result path uses.
+/// Compact output only (indentation anchors on an empty buffer, which an
+/// append target does not guarantee).
+void SerializeSubtreeInto(const Document& doc, NodeId node, std::string* out);
+
 }  // namespace partix::xml
 
 #endif  // PARTIX_XML_SERIALIZER_H_

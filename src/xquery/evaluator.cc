@@ -135,6 +135,80 @@ Result<Sequence> Evaluator::Eval(const Expr& query) {
   return out;
 }
 
+Result<EvalStreamPtr> Evaluator::OpenStream(const Expr& query) const {
+  auto stream = EvalStreamPtr(new EvalStream(this, &query));
+  stream->ctx_.variables = variables_;
+  stream->ctx_.context_stack = context_stack_;
+  // Lazy only for the relative-path shape: the source (typically
+  // collection("...")) is evaluated up front; the steps run per slice.
+  // DisjointSubtrees is the same precondition the morsel fork uses, and
+  // for the same reason: per-step dedup never crosses disjoint subtrees,
+  // so slice-order evaluation of the remaining steps concatenates to the
+  // sequential result byte-for-byte.
+  if (query.Is<PathExpr>() && query.As<PathExpr>().source != nullptr) {
+    const PathExpr& path = query.As<PathExpr>();
+    PARTIX_ASSIGN_OR_RETURN(stream->context_,
+                            EvalExpr(stream->ctx_, *path.source));
+    if (DisjointSubtrees(stream->context_)) {
+      stream->lazy_ = true;
+      stream->steps_ = &path.steps;
+      // One slice still fans out across the morsel workers when enabled.
+      stream->slice_ = std::max<size_t>(morsels_, 1);
+      return stream;
+    }
+    // Non-disjoint source: fall through to materialized batches, reusing
+    // the already-evaluated source.
+    Result<Sequence> all = EvalSteps(stream->ctx_, std::move(stream->context_),
+                                     path.steps, 0);
+    stream->context_.clear();
+    PARTIX_RETURN_IF_ERROR(all.status());
+    stream->context_ = std::move(*all);
+    stream->lazy_ = true;  // drain context_ as one batch
+    stream->steps_ = nullptr;
+    stream->slice_ = 0;
+    return stream;
+  }
+  return stream;
+}
+
+Result<bool> EvalStream::Next(Sequence* out) {
+  out->clear();
+  if (done_) return false;
+  if (!lazy_) {
+    // Whole-expression fallback: one materialized batch.
+    done_ = true;
+    Result<Sequence> all = eval_->EvalExpr(ctx_, *query_);
+    PARTIX_RETURN_IF_ERROR(all.status());
+    *out = std::move(*all);
+    return !out->empty();
+  }
+  if (steps_ == nullptr) {
+    // Pre-materialized result parked in context_ (non-disjoint source).
+    done_ = true;
+    *out = std::move(context_);
+    context_.clear();
+    return !out->empty();
+  }
+  while (pos_ < context_.size()) {
+    const size_t take = std::min(slice_, context_.size() - pos_);
+    Sequence slice(context_.begin() + static_cast<ptrdiff_t>(pos_),
+                   context_.begin() + static_cast<ptrdiff_t>(pos_ + take));
+    pos_ += take;
+    Result<Sequence> batch =
+        eval_->EvalSteps(ctx_, std::move(slice), *steps_, 0);
+    if (!batch.ok()) {
+      done_ = true;
+      return batch.status();
+    }
+    if (!batch->empty()) {
+      *out = std::move(*batch);
+      return true;
+    }
+  }
+  done_ = true;
+  return false;
+}
+
 void Evaluator::RunMorsels(size_t chunks,
                            std::function<void(size_t)> run) const {
   // Shared by the coordinator and the helper tasks; shared_ptr-owned so a

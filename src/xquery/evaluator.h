@@ -78,6 +78,9 @@ struct EvalContext {
   bool in_morsel = false;
 };
 
+class EvalStream;
+using EvalStreamPtr = std::unique_ptr<EvalStream>;
+
 /// Evaluates a parsed XQuery expression against a CollectionResolver.
 ///
 /// Split into an immutable per-query environment (this class after setup:
@@ -130,9 +133,21 @@ class Evaluator {
 
   Result<Sequence> Eval(const Expr& query);
 
+  /// Opens a pull-based batched evaluation of `query`. The batches a
+  /// stream yields, concatenated in order, are item- and stats-identical
+  /// to one Eval() of the same query. Path expressions with an evaluated
+  /// source whose items root pairwise-disjoint subtrees (the common
+  /// collection("...")/step... shape) stream lazily — the remaining steps
+  /// run slice-by-slice as the consumer pulls; every other expression
+  /// materializes on the first Next(). The evaluator and `query` must
+  /// outlive the stream; one stream per thread (create, drain, destroy on
+  /// the same thread when the resolver is lock-bound, as the engine's is).
+  Result<EvalStreamPtr> OpenStream(const Expr& query) const;
+
   const EvalStats& stats() const { return stats_; }
 
  private:
+  friend class EvalStream;
   Result<Sequence> EvalExpr(EvalContext& ctx, const Expr& e) const;
   Result<Sequence> EvalBinary(EvalContext& ctx, const BinaryOp& op) const;
   Result<Sequence> EvalPath(EvalContext& ctx, const PathExpr& path) const;
@@ -198,6 +213,41 @@ class Evaluator {
   bool use_structural_index_ = true;
   size_t morsels_ = 1;
   ThreadPool* morsel_pool_ = nullptr;
+};
+
+/// A pull-based batched evaluation opened by Evaluator::OpenStream. Not
+/// thread-safe; Next() batches are produced in result order and the stats
+/// are complete once Next() has returned false (or an error).
+class EvalStream {
+ public:
+  /// Produces the next non-empty batch of result items into `*out`
+  /// (cleared first). Returns false at end of stream; an error ends the
+  /// stream (identical to what Eval() would have returned for lazily
+  /// detectable failures, modulo slice-order error selection — the same
+  /// first-failing-chunk rule morsel forks follow).
+  Result<bool> Next(Sequence* out);
+
+  /// Counters accumulated so far; equal to Eval()'s stats once the stream
+  /// is drained.
+  const EvalStats& stats() const { return ctx_.stats; }
+
+ private:
+  friend class Evaluator;
+  EvalStream(const Evaluator* eval, const Expr* query)
+      : eval_(eval), query_(query) {}
+
+  const Evaluator* eval_;
+  const Expr* query_;
+  EvalContext ctx_;
+  /// Lazy path mode: `context_` holds the evaluated source items (roots
+  /// of disjoint subtrees); Next() runs `steps_` over `slice_`-item
+  /// slices from `pos_`.
+  bool lazy_ = false;
+  Sequence context_;
+  size_t pos_ = 0;
+  const std::vector<AxisStep>* steps_ = nullptr;
+  size_t slice_ = 1;
+  bool done_ = false;
 };
 
 /// Convenience: parse + evaluate `query` in one call.

@@ -47,25 +47,39 @@ Result<bool> EffectiveBooleanValue(const Sequence& seq) {
   return !item.AsString().empty();
 }
 
+namespace {
+
+/// One item's bare serialization (no separator), appended to `*out`.
+void AppendItemText(const Item& item, std::string* out) {
+  if (item.IsNode()) {
+    const NodeRef& n = item.AsNode();
+    if (n.node == xml::kDocumentNode) {
+      if (!n.doc->empty()) {
+        xml::SerializeSubtreeInto(*n.doc, n.doc->root(), out);
+      }
+    } else if (n.doc->kind(n.node) == xml::NodeKind::kElement) {
+      xml::SerializeSubtreeInto(*n.doc, n.node, out);
+    } else {
+      out->append(n.doc->value(n.node));
+    }
+  } else {
+    *out += item.StringValue();
+  }
+}
+
+}  // namespace
+
+void SequenceSerializer::Append(const Item& item, std::string* out) {
+  if (emitted_) out->push_back('\n');
+  const size_t before = out->size();
+  AppendItemText(item, out);
+  if (!emitted_ && out->size() > before) emitted_ = true;
+}
+
 std::string SerializeSequence(const Sequence& seq) {
   std::string out;
-  for (const Item& item : seq) {
-    if (!out.empty()) out.push_back('\n');
-    if (item.IsNode()) {
-      const NodeRef& n = item.AsNode();
-      if (n.node == xml::kDocumentNode) {
-        if (!n.doc->empty()) {
-          out += xml::SerializeSubtree(*n.doc, n.doc->root());
-        }
-      } else if (n.doc->kind(n.node) == xml::NodeKind::kElement) {
-        out += xml::SerializeSubtree(*n.doc, n.node);
-      } else {
-        out += std::string(n.doc->value(n.node));
-      }
-    } else {
-      out += item.StringValue();
-    }
-  }
+  SequenceSerializer serializer;
+  for (const Item& item : seq) serializer.Append(item, &out);
   return out;
 }
 

@@ -64,6 +64,23 @@ Result<bool> EffectiveBooleanValue(const Sequence& seq);
 /// newlines. Also used to measure transmission sizes.
 std::string SerializeSequence(const Sequence& seq);
 
+/// Incremental form of SerializeSequence for streaming: feeding every item
+/// of a sequence through one SequenceSerializer (across any number of
+/// Append calls and output buffers) produces byte-identical output to
+/// SerializeSequence on the whole sequence. The separator rule is a *byte*
+/// rule — once any output byte has been emitted, every subsequent item is
+/// preceded by '\n' — so the serializer carries that one bit of state
+/// between blocks.
+class SequenceSerializer {
+ public:
+  /// Appends `item`'s serialization (plus its separator, when due) to
+  /// `*out`.
+  void Append(const Item& item, std::string* out);
+
+ private:
+  bool emitted_ = false;
+};
+
 }  // namespace partix::xquery
 
 #endif  // PARTIX_XQUERY_ITEM_H_
